@@ -1,0 +1,54 @@
+// Section 7 case study — the vehicle cruise controller (54 tasks, 26
+// messages, 4 task graphs over 5 nodes).  The paper reports:
+//  * BBC: < 5 s but unschedulable;
+//  * OBC-CF: 137 s, schedulable;
+//  * OBC-EE: 29 min, schedulable, cost ~1.2% better than OBC-CF.
+// Absolute runtimes reflect our host and scaled exploration caps; the
+// reproduced shape is the feasibility split and the OBC-CF / OBC-EE
+// quality-vs-effort trade.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "flexopt/gen/cruise_control.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+using namespace flexopt::bench;
+
+int main() {
+  std::cout << "== Section 7 case study: vehicle cruise controller ==\n";
+  const Application app = build_cruise_controller();
+  const BusParams params = cruise_controller_params();
+  std::cout << "system: " << app.task_count() << " tasks, " << app.message_count()
+            << " messages, " << app.graph_count() << " graphs, " << app.node_count()
+            << " nodes\n\n";
+
+  // The paper's BBC is unschedulable on the CC; reproduce that regime by
+  // restricting BBC to its minimal static segment and a coarse sweep.
+  const auto bbc = run_bbc(app, params);
+  const auto cf = run_obc_cf(app, params);
+  const auto ee = run_obc_ee(app, params, full_scale() ? 512 : 96);
+  const auto sa = run_sa(app, params, full_scale() ? 6000 : 1500, 7);
+
+  Table table({"algorithm", "schedulable", "cost (us)", "evals", "time (s)", "paper"});
+  auto row = [&](const char* name, const OptimizationOutcome& o, const char* paper) {
+    table.add_row({name, o.feasible ? "yes" : "NO", fmt_double(o.cost.value, 1),
+                   std::to_string(o.evaluations), fmt_double(o.wall_seconds, 3), paper});
+  };
+  row("BBC", bbc.outcome, "<5s, unschedulable");
+  row("OBC-CF", cf.outcome, "137s, schedulable");
+  row("OBC-EE", ee.outcome, "29min, schedulable");
+  row("SA", sa.outcome, "(reference)");
+  table.print(std::cout);
+
+  if (cf.outcome.feasible && ee.outcome.feasible) {
+    const double rel = (cf.outcome.cost.value - ee.outcome.cost.value) /
+                       std::abs(ee.outcome.cost.value) * 100.0;
+    std::cout << "\nOBC-CF cost is " << fmt_double(rel, 2)
+              << "% away from OBC-EE (paper: 1.2%), using "
+              << cf.outcome.evaluations << " vs " << ee.outcome.evaluations
+              << " full analyses.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 1 — protocol walkthrough: prints the bus timeline of the paper's
+// introductory example (messages ma..mh over two communication cycles),
+// showing static slots, FTDMA arbitration, the mf/mg shared-FrameID
+// priority decision and the pLatestTx deferral of mh.
+
+#include <algorithm>
+#include <iostream>
+
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/gen/figures.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+
+int main() {
+  std::cout << "== Fig. 1: FlexRay communication cycle walkthrough ==\n";
+  const FigureBundle bundle = build_fig1();
+  auto layout = BusLayout::build(bundle.app, bundle.params, bundle.configs[0]);
+  if (!layout.ok()) {
+    std::cerr << "layout: " << layout.error().message << "\n";
+    return 1;
+  }
+  AnalysisOptions analysis_options;
+  analysis_options.scheduler.placement = Placement::Asap;  // replay the figure's ASAP table
+  auto analysis = analyze_system(layout.value(), analysis_options);
+  if (!analysis.ok()) {
+    std::cerr << "analysis: " << analysis.error().message << "\n";
+    return 1;
+  }
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout.value(), analysis.value().schedule, options);
+  if (!sim.ok()) {
+    std::cerr << "sim: " << sim.error().message << "\n";
+    return 1;
+  }
+
+  std::cout << "cycle: " << format_time(layout.value().cycle_len()) << " (ST "
+            << format_time(layout.value().st_segment_len()) << " + DYN "
+            << format_time(layout.value().dyn_segment_len()) << ")\n\n";
+
+  auto trace = sim.value().trace;
+  std::sort(trace.begin(), trace.end(),
+            [](const TransmissionRecord& a, const TransmissionRecord& b) {
+              return a.start < b.start;
+            });
+  Table table({"t (us)", "message", "segment", "slot/FrameID", "cycle", "finish (us)"});
+  for (const TransmissionRecord& r : trace) {
+    if (r.instance != 0) continue;  // first period only, like the figure
+    table.add_row({fmt_double(to_us(r.start), 0),
+                   bundle.app.messages()[index_of(r.message)].name,
+                   r.dynamic ? "DYN" : "ST",
+                   std::to_string(r.dynamic ? r.slot : r.slot + 1),
+                   std::to_string(r.cycle), fmt_double(to_us(r.finish), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote mh (FrameID 5): ready before cycle 1 but deferred to cycle 2 by the\n"
+               "pLatestTx gate, and mg deferred behind the higher-priority mf on FrameID 4 —\n"
+               "exactly the behaviour Fig. 1 illustrates.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 9 (left) — "Evaluation of Bus Optimisation Algorithms": average
+// percentage deviation of the cost function obtained with BBC / OBC-CF /
+// OBC-EE relative to the near-optimal SA baseline, per node count, plus the
+// fraction of systems each algorithm makes schedulable.
+//
+// Paper's findings to reproduce in shape:
+//  * BBC finds no schedulable configurations beyond 3 nodes;
+//  * OBC-CF and OBC-EE stay within a few percent of SA;
+//  * OBC-CF is within a fraction of a percent of OBC-EE.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "flexopt/math/stats.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+using namespace flexopt::bench;
+
+int main() {
+  std::cout << "== Fig. 9 (left): schedulability degree deviation vs SA ==\n";
+  const Scale scale = Scale::current();
+  scale.print(std::cout);
+  const BusParams params = section7_params();
+
+  // The paper measures the deviation of each heuristic's cost vs the SA
+  // result after hours of annealing.  At CI budgets SA is not always the
+  // best solver, so the reference here is the best cost any of the four
+  // algorithms achieved on that system (with FLEXOPT_BENCH_FULL and its
+  // long SA runs the reference is almost always SA itself, recovering the
+  // paper's metric).
+  Table table({"nodes", "BBC dev%", "OBCCF dev%", "OBCEE dev%", "SA dev%", "BBC sched",
+               "OBCCF sched", "OBCEE sched", "SA sched"});
+
+  for (int nodes = scale.min_nodes; nodes <= scale.max_nodes; ++nodes) {
+    std::vector<double> dev_bbc;
+    std::vector<double> dev_cf;
+    std::vector<double> dev_ee;
+    std::vector<double> dev_sa;
+    int sched_bbc = 0;
+    int sched_cf = 0;
+    int sched_ee = 0;
+    int sched_sa = 0;
+
+    for (int i = 0; i < scale.systems_per_size; ++i) {
+      auto app = section7_system(nodes, i);
+      if (!app.ok()) {
+        std::cerr << "generator: " << app.error().message << "\n";
+        return 1;
+      }
+      const auto bbc = run_bbc(app.value(), params);
+      const auto cf = run_obc_cf(app.value(), params);
+      const auto ee = run_obc_ee(app.value(), params, scale.obcee_sweep_points);
+      const auto sa = run_sa(app.value(), params, scale.sa_evaluations,
+                             static_cast<std::uint64_t>(nodes) * 100 + static_cast<std::uint64_t>(i));
+
+      sched_bbc += bbc.outcome.feasible ? 1 : 0;
+      sched_cf += cf.outcome.feasible ? 1 : 0;
+      sched_ee += ee.outcome.feasible ? 1 : 0;
+      sched_sa += sa.outcome.feasible ? 1 : 0;
+
+      const double reference =
+          std::min(std::min(bbc.outcome.cost.value, cf.outcome.cost.value),
+                   std::min(ee.outcome.cost.value, sa.outcome.cost.value));
+      if (reference >= kInvalidConfigCost) continue;  // nothing analysable
+      if (bbc.outcome.cost.value < kInvalidConfigCost) {
+        dev_bbc.push_back(deviation_percent(bbc.outcome.cost.value, reference));
+      }
+      dev_cf.push_back(deviation_percent(cf.outcome.cost.value, reference));
+      dev_ee.push_back(deviation_percent(ee.outcome.cost.value, reference));
+      dev_sa.push_back(deviation_percent(sa.outcome.cost.value, reference));
+    }
+
+    auto frac = [&](int n) {
+      return std::to_string(n) + "/" + std::to_string(scale.systems_per_size);
+    };
+    table.add_row({std::to_string(nodes), fmt_double(summarize(dev_bbc).mean, 2),
+                   fmt_double(summarize(dev_cf).mean, 2), fmt_double(summarize(dev_ee).mean, 2),
+                   fmt_double(summarize(dev_sa).mean, 2), frac(sched_bbc), frac(sched_cf),
+                   frac(sched_ee), frac(sched_sa)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): BBC degrades and stops finding schedulable\n"
+               "configurations as systems grow; OBC-CF tracks OBC-EE closely; both\n"
+               "stay within a few percent of the near-optimal reference.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Extension experiment — the paper's opening claim: FlexRay's value is the
+// *combination* of static and dynamic transmission ("offering the
+// advantages of both worlds").  We take mixed workloads (time-triggered
+// control loops + event-triggered service chains) and materialise each
+// three ways: as designed (hybrid ST+DYN), forced all-TT (TTP-style pure
+// static cycle) and forced all-ET (Byteflight-style pure dynamic cycle),
+// then let OBC-CF configure the bus for each and compare.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "flexopt/core/mapping.hpp"
+#include "flexopt/math/stats.hpp"
+#include "flexopt/util/rng.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+using namespace flexopt::bench;
+
+namespace {
+
+/// Mixed workload: tight TT control loops and slower ET service chains.
+LogicalApplication make_workload(std::uint64_t seed) {
+  Rng rng(seed);
+  LogicalApplication l;
+  l.node_count = 3;
+  l.graphs.push_back({"ctrl0", timeunits::ms(10), timeunits::ms(8), true});
+  l.graphs.push_back({"ctrl1", timeunits::ms(20), timeunits::ms(16), true});
+  l.graphs.push_back({"svc0", timeunits::ms(40), timeunits::ms(32), false});
+  l.graphs.push_back({"svc1", timeunits::ms(80), timeunits::ms(64), false});
+  for (std::uint32_t g = 0; g < l.graphs.size(); ++g) {
+    const int len = 5;
+    for (int i = 0; i < len; ++i) {
+      l.tasks.push_back({l.graphs[g].name + "_t" + std::to_string(i), g,
+                         timeunits::us(rng.uniform_int(250, 900)), i});
+      if (i > 0) {
+        const auto idx = static_cast<std::uint32_t>(l.tasks.size());
+        l.flows.push_back(
+            {idx - 2, idx - 1, static_cast<int>(rng.uniform_int(2, 12)), i});
+      }
+    }
+  }
+  return l;
+}
+
+/// Force every graph to one trigger class.
+LogicalApplication with_trigger(LogicalApplication l, bool time_triggered) {
+  for (LogicalGraph& g : l.graphs) g.time_triggered = time_triggered;
+  return l;
+}
+
+struct VariantStats {
+  int schedulable = 0;
+  std::vector<double> costs;
+  std::vector<double> cycle_us;
+  std::vector<double> st_share;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "== Extension: hybrid ST+DYN cycle vs pure-TT and pure-ET ==\n";
+  const BusParams params = section7_params();
+  const int systems = full_scale() ? 12 : 5;
+  std::cout << "# " << systems << " mixed workloads, 3 nodes, 20 tasks each;\n"
+               "# bus configured per variant by OBC-CF over a round-robin mapping\n";
+
+  VariantStats hybrid;
+  VariantStats pure_tt;
+  VariantStats pure_et;
+
+  for (int i = 0; i < systems; ++i) {
+    const LogicalApplication base = make_workload(77 + static_cast<std::uint64_t>(i));
+    // Fixed round-robin mapping so the comparison isolates the bus protocol
+    // configuration (the flows crossing nodes are identical per variant).
+    std::vector<int> mapping(base.tasks.size());
+    for (std::size_t t = 0; t < mapping.size(); ++t) {
+      mapping[t] = static_cast<int>(t % static_cast<std::size_t>(base.node_count));
+    }
+
+    auto evaluate = [&](const LogicalApplication& logical, VariantStats* stats) {
+      auto app = logical.materialize(mapping);
+      if (!app.ok()) return;
+      CostEvaluator evaluator(app.value(), params, optimizer_analysis_options());
+      CurveFitDynSearch strategy;
+      const OptimizationOutcome outcome = optimize_obc(evaluator, strategy);
+      stats->schedulable += outcome.feasible ? 1 : 0;
+      if (outcome.cost.value < kInvalidConfigCost) {
+        stats->costs.push_back(outcome.cost.value);
+        auto layout = BusLayout::build(app.value(), params, outcome.config);
+        if (layout.ok()) {
+          stats->cycle_us.push_back(to_us(layout.value().cycle_len()));
+          stats->st_share.push_back(
+              static_cast<double>(layout.value().st_segment_len()) /
+              static_cast<double>(layout.value().cycle_len()));
+        }
+      }
+    };
+    evaluate(base, &hybrid);
+    evaluate(with_trigger(base, true), &pure_tt);
+    evaluate(with_trigger(base, false), &pure_et);
+  }
+
+  Table table({"cycle style", "schedulable", "avg cost (us)", "avg gdCycle (us)",
+               "ST share"});
+  auto row = [&](const char* name, const VariantStats& s) {
+    table.add_row({name, std::to_string(s.schedulable) + "/" + std::to_string(systems),
+                   fmt_double(summarize(s.costs).mean, 1),
+                   fmt_double(summarize(s.cycle_us).mean, 1),
+                   fmt_percent(summarize(s.st_share).mean, 0)});
+  };
+  row("hybrid ST+DYN (FlexRay)", hybrid);
+  row("pure TT (TTP-style)", pure_tt);
+  row("pure ET (Byteflight-style)", pure_et);
+  table.print(std::cout);
+  std::cout << "\nReading: a pure dynamic cycle (Byteflight-style) loses the tight\n"
+               "control deadlines outright — determinism needs the ST segment.  A pure\n"
+               "static cycle squeezes out slightly more laxity on this *strictly\n"
+               "periodic* worst-case workload, but it reserves table slots for every\n"
+               "service message on every occurrence; the hybrid cycle stays within a\n"
+               "few percent of it while serving the event chains from the DYN segment\n"
+               "without reservations — the flexibility argument the paper opens with\n"
+               "(sporadic event traffic costs a pure-TT design bandwidth even when\n"
+               "nothing happens).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Task mapping + bus configuration co-exploration: describe an application
+// *without* fixing which ECU runs what, and let the library search mappings
+// while configuring the FlexRay cycle for each candidate — the outer-loop
+// usage the paper motivates the fast OBC-CF heuristic with.
+//
+//   $ ./mapping_exploration
+
+#include <iostream>
+
+#include "flexopt/core/mapping.hpp"
+#include "flexopt/core/obc.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+
+int main() {
+  // A body-electronics style application on 3 ECUs: a TT window-control
+  // loop and an ET diagnostics chain; flows become bus messages only when
+  // their endpoints land on different ECUs.
+  LogicalApplication logical;
+  logical.node_count = 3;
+  logical.graphs.push_back({"window_ctrl", timeunits::ms(10), timeunits::ms(8), true});
+  logical.graphs.push_back({"diagnostics", timeunits::ms(40), timeunits::ms(30), false});
+  auto add_chain = [&](std::uint32_t graph, const char* prefix, int count, Time base_wcet,
+                       int bytes) {
+    for (int i = 0; i < count; ++i) {
+      logical.tasks.push_back({std::string(prefix) + std::to_string(i), graph,
+                               base_wcet + timeunits::us(120 * i), i});
+      if (i > 0) {
+        const auto idx = static_cast<std::uint32_t>(logical.tasks.size());
+        logical.flows.push_back({idx - 2, idx - 1, bytes, i});
+      }
+    }
+  };
+  add_chain(0, "wc", 6, timeunits::us(400), 8);
+  add_chain(1, "dx", 5, timeunits::us(700), 16);
+
+  BusParams params;  // 10 Mbit/s defaults
+
+  // Baseline: utilisation-balanced mapping, bus configured by OBC-CF.
+  const std::vector<int> balanced = logical.balanced_mapping();
+  auto balanced_app = logical.materialize(balanced);
+  if (!balanced_app.ok()) {
+    std::cerr << balanced_app.error().message << "\n";
+    return 1;
+  }
+  CostEvaluator evaluator(balanced_app.value(), params, AnalysisOptions{});
+  CurveFitDynSearch baseline_strategy;
+  const OptimizationOutcome baseline = optimize_obc(evaluator, baseline_strategy);
+
+  // Co-exploration of mapping + bus configuration.
+  CurveFitDynSearch strategy;
+  MappingOptions options;
+  options.moves_per_restart = 30;
+  options.stop_at_first_feasible = false;
+  auto outcome = optimize_mapping(logical, params, AnalysisOptions{}, strategy, options);
+  if (!outcome.ok()) {
+    std::cerr << outcome.error().message << "\n";
+    return 1;
+  }
+
+  Table table({"approach", "schedulable", "cost (us)", "bus messages", "analyses"});
+  table.add_row({"balanced mapping", baseline.feasible ? "yes" : "no",
+                 fmt_double(baseline.cost.value, 1),
+                 std::to_string(balanced_app.value().message_count()),
+                 std::to_string(baseline.evaluations)});
+  auto best_app = logical.materialize(outcome.value().mapping);
+  table.add_row({"co-explored mapping", outcome.value().bus.feasible ? "yes" : "no",
+                 fmt_double(outcome.value().bus.cost.value, 1),
+                 std::to_string(best_app.value().message_count()),
+                 std::to_string(outcome.value().evaluations)});
+  table.print(std::cout);
+
+  std::cout << "\nchosen mapping:";
+  for (std::size_t i = 0; i < outcome.value().mapping.size(); ++i) {
+    std::cout << " " << logical.tasks[i].name << "->N" << outcome.value().mapping[i];
+  }
+  std::cout << "\n\nCo-exploring the mapping lets the optimiser trade CPU balance against\n"
+               "bus traffic (fewer crossings = fewer messages), on top of the per-mapping\n"
+               "FlexRay cycle optimisation.\n";
+  return outcome.value().bus.feasible ? 0 : 1;
+}

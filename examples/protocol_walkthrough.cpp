@@ -1,0 +1,70 @@
+// FlexRay protocol walkthrough on the paper's Fig. 1 example: prints the
+// complete bus timeline (static slots, minislot arbitration, priority
+// resolution on shared FrameIDs, pLatestTx deferral) for two communication
+// cycles, as a teaching aid for the media access control of Section 3.
+//
+//   $ ./protocol_walkthrough
+
+#include <algorithm>
+#include <iostream>
+
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/gen/figures.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+
+int main() {
+  const FigureBundle bundle = build_fig1();
+  auto layout = BusLayout::build(bundle.app, bundle.params, bundle.configs[0]);
+  AnalysisOptions analysis_options;
+  analysis_options.scheduler.placement = Placement::Asap;  // replay the figure's ASAP table
+  auto analysis = analyze_system(layout.value(), analysis_options);
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout.value(), analysis.value().schedule, options);
+  if (!sim.ok()) {
+    std::cerr << sim.error().message << "\n";
+    return 1;
+  }
+
+  const BusLayout& l = layout.value();
+  std::cout << "FlexRay cycle: " << format_time(l.cycle_len()) << "\n"
+            << "  static segment : " << l.config().static_slot_count << " slots x "
+            << format_time(l.config().static_slot_len) << "\n"
+            << "  dynamic segment: " << l.config().minislot_count << " minislots x "
+            << format_time(l.params().gd_minislot) << "\n\n";
+
+  std::cout << "pLatestTx per node (last minislot a DYN transmission may start):\n";
+  for (std::uint32_t n = 0; n < bundle.app.node_count(); ++n) {
+    std::cout << "  " << bundle.app.node(static_cast<NodeId>(n)).name << ": "
+              << l.p_latest_tx(static_cast<NodeId>(n)) << "\n";
+  }
+
+  auto trace = sim.value().trace;
+  std::sort(trace.begin(), trace.end(),
+            [](const TransmissionRecord& a, const TransmissionRecord& b) {
+              return a.start < b.start;
+            });
+
+  std::cout << "\nBus timeline (first period):\n";
+  Table table({"start", "end", "cycle", "segment", "slot", "message", "sender"});
+  for (const TransmissionRecord& r : trace) {
+    if (r.instance != 0) continue;
+    const Message& msg = bundle.app.messages()[index_of(r.message)];
+    table.add_row({format_time(r.start), format_time(r.finish), std::to_string(r.cycle),
+                   r.dynamic ? "DYN" : "ST",
+                   std::to_string(r.dynamic ? r.slot : r.slot + 1), msg.name,
+                   bundle.app.node(bundle.app.task(msg.sender).node).name});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThings to notice (cf. Section 3 of the paper):\n"
+               "  * the DYN slot counter advances one minislot per unused FrameID;\n"
+               "  * mf beats mg on their shared FrameID 4 (higher priority), pushing mg\n"
+               "    a full cycle later;\n"
+               "  * mh's FrameID 5 arrives past N3's pLatestTx in cycle 0, so it\n"
+               "    transmits in cycle 1 even though it was ready from the start.\n";
+  return 0;
+}

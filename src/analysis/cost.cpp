@@ -1,0 +1,44 @@
+#include "flexopt/analysis/cost.hpp"
+
+#include <algorithm>
+
+#include "flexopt/analysis/sat_time.hpp"
+
+namespace flexopt {
+
+Cost evaluate_cost(const Application& app, std::span<const Time> task_completions,
+                   std::span<const Time> message_completions) {
+  Cost cost;
+  double overshoot_us = 0.0;  // f1 accumulator
+  double laxity_us = 0.0;     // f2 accumulator
+
+  auto account = [&](ActivityRef a, Time completion) {
+    const Time deadline = app.effective_deadline(a);
+    if (is_infinite(completion)) {
+      ++cost.unbounded_activities;
+      overshoot_us += to_us(deadline) * kUnboundedPenaltyFactor;
+      return;
+    }
+    const Time slack = completion - deadline;
+    if (slack > 0) overshoot_us += to_us(slack);
+    laxity_us += to_us(slack);
+  };
+
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    account(ActivityRef::task(static_cast<TaskId>(t)), task_completions[t]);
+  }
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    account(ActivityRef::message(static_cast<MessageId>(m)), message_completions[m]);
+  }
+
+  if (overshoot_us > 0.0 || cost.unbounded_activities > 0) {
+    cost.value = overshoot_us;
+    cost.schedulable = false;
+  } else {
+    cost.value = laxity_us;
+    cost.schedulable = true;
+  }
+  return cost;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,135 @@
+#include "flexopt/analysis/dyn_analysis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "flexopt/analysis/sat_time.hpp"
+#include "flexopt/math/fixed_point.hpp"
+
+namespace flexopt {
+
+Time dyn_sigma(const BusLayout& layout, MessageId m) {
+  const int fid = layout.frame_id(m);
+  const Time earliest_slot_pass =
+      layout.st_segment_len() + static_cast<Time>(fid - 1) * layout.params().gd_minislot;
+  return layout.cycle_len() - earliest_slot_pass;
+}
+
+namespace {
+
+/// Largest k such that k cycles can each collect `need` excess minislots
+/// when message j supplies at most min(n_j, k) instances of weight w_j
+/// (at most one transmission per FrameID slot per cycle).  Monotone in k,
+/// so binary search applies; k is bounded by floor(total / need).
+std::int64_t multiplicity_capped_fill(std::span<const std::int64_t> counts,
+                                      std::span<const std::int64_t> weights,
+                                      std::int64_t need) {
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < counts.size(); ++j) total += counts[j] * weights[j];
+  std::int64_t lo = 0;
+  std::int64_t hi = total / need;
+  while (lo < hi) {
+    const std::int64_t k = lo + (hi - lo + 1) / 2;
+    std::int64_t usable = 0;
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      usable += weights[j] * std::min(counts[j], k);
+    }
+    if (usable >= k * need) {
+      lo = k;
+    } else {
+      hi = k - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+DynResponse dyn_response_time(const BusLayout& layout, MessageId m,
+                              std::span<const Time> jitters, Time horizon,
+                              DynCyclesBound bound) {
+  DynResponse out;
+  const Application& app = layout.application();
+  const Message& msg = app.message(m);
+  const int fid = layout.frame_id(m);
+  const NodeId sender_node = app.task(msg.sender).node;
+  const int p_latest = layout.p_latest_tx(sender_node);
+
+  // With all lower slots empty the counter reads `fid` at m's slot; if that
+  // already exceeds pLatestTx the message can never be transmitted.
+  if (fid > p_latest) return out;
+  out.transmittable = true;
+
+  const Time own_jitter = jitters[index_of(m)];
+  if (is_infinite(own_jitter)) return out;
+
+  struct Interferer {
+    Time jitter;
+    Time period;
+    std::int64_t weight;  // excess minislots (lf) or 1 (hp cycle fill)
+  };
+  std::vector<Interferer> hp_set;
+  std::vector<Interferer> lf_set;
+  for (const MessageId j : layout.hp(m)) {
+    const Time jj = jitters[index_of(j)];
+    if (is_infinite(jj)) return out;  // unbounded interference
+    hp_set.push_back({jj, app.period_of(ActivityRef::message(j)), 1});
+  }
+  for (const MessageId j : layout.lf(m)) {
+    const Time jj = jitters[index_of(j)];
+    if (is_infinite(jj)) return out;
+    const std::int64_t excess = layout.message_minislots(j) - 1;
+    if (excess <= 0) continue;  // single-minislot frames never exceed the baseline
+    lf_set.push_back({jj, app.period_of(ActivityRef::message(j)), excess});
+  }
+
+  const Time cycle = layout.cycle_len();
+  const Time minislot = layout.params().gd_minislot;
+  const Time sigma = dyn_sigma(layout, m);
+  const std::int64_t need = p_latest - fid + 1;  // >= 1 here
+
+  std::int64_t fixed_cycles = 0;
+  std::vector<std::int64_t> lf_counts(lf_set.size());
+  std::vector<std::int64_t> lf_weights(lf_set.size());
+  for (std::size_t j = 0; j < lf_set.size(); ++j) lf_weights[j] = lf_set[j].weight;
+
+  const auto body = [&](Time t) -> Time {
+    std::int64_t n_hp = 0;
+    for (const Interferer& i : hp_set) n_hp += ceil_div(t + i.jitter, i.period);
+    std::int64_t excess = 0;
+    for (std::size_t j = 0; j < lf_set.size(); ++j) {
+      lf_counts[j] = ceil_div(t + lf_set[j].jitter, lf_set[j].period);
+      excess += lf_counts[j] * lf_set[j].weight;
+    }
+
+    const std::int64_t lf_fill =
+        bound == DynCyclesBound::MultiplicityCapped
+            ? multiplicity_capped_fill(lf_counts, lf_weights, need)
+            : excess / need;
+    const std::int64_t filled = n_hp + lf_fill;
+    const std::int64_t leftover = std::min<std::int64_t>(
+        need - 1, std::max<std::int64_t>(0, excess - lf_fill * need));
+    fixed_cycles = filled;
+
+    // Final-cycle delay from the cycle start to the start of m's frame:
+    // the ST segment, the baseline minislots of the f-1 lower slots, and
+    // whatever excess remains without filling the cycle.
+    const Time w_last = layout.st_segment_len() +
+                        (static_cast<Time>(fid - 1) + static_cast<Time>(std::min(
+                                                          leftover, need - 1))) *
+                            minislot;
+    return sat_add(sigma, sat_add(sat_mul(cycle, filled), w_last));
+  };
+
+  const FixedPointResult fp = iterate_to_fixed_point(body, horizon);
+  if (!fp.converged) return out;
+  out.converged = true;
+  out.w = fp.value;
+  out.bus_cycles = fixed_cycles;
+  // C_m rounded up to the frame's minislot footprint: delivery happens at
+  // the end of the last occupied minislot.
+  out.response = sat_add(own_jitter, sat_add(fp.value, layout.message_occupancy(m)));
+  return out;
+}
+
+}  // namespace flexopt

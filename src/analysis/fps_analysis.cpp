@@ -1,0 +1,54 @@
+#include "flexopt/analysis/fps_analysis.hpp"
+
+#include <algorithm>
+
+#include "flexopt/analysis/sat_time.hpp"
+#include "flexopt/math/fixed_point.hpp"
+
+namespace flexopt {
+
+Time fps_response_time(const FpsTaskParams& task, std::span<const FpsTaskParams> same_node,
+                       const BusyProfile& scs, Time horizon) {
+  if (is_infinite(task.jitter)) return kTimeInfinity;
+  // Level-i load including the SCS share: if it exceeds 1, the level-i busy
+  // period never ends and the least fixed point below (which only bounds
+  // the *first* job) is not a sound WCRT — report unbounded instead.
+  double load = static_cast<double>(task.wcet) / static_cast<double>(task.period) +
+                static_cast<double>(scs.busy_per_period()) / static_cast<double>(scs.period());
+  for (const FpsTaskParams& j : same_node) {
+    if (j.id == task.id || j.priority > task.priority) continue;
+    if (is_infinite(j.jitter)) {
+      // An interfering task with unbounded jitter makes the bound unbounded.
+      return kTimeInfinity;
+    }
+    load += static_cast<double>(j.wcet) / static_cast<double>(j.period);
+  }
+  if (load > 1.0 + 1e-12) return kTimeInfinity;
+
+  const auto body = [&](Time w) -> Time {
+    Time total = task.wcet;
+    total = sat_add(total, scs.max_busy_in_window(w));
+    for (const FpsTaskParams& j : same_node) {
+      if (j.id == task.id || j.priority > task.priority) continue;
+      const std::int64_t releases = ceil_div(w + j.jitter, j.period);
+      total = sat_add(total, sat_mul(j.wcet, releases));
+    }
+    return total;
+  };
+
+  const FixedPointResult fp = iterate_to_fixed_point(body, horizon);
+  if (!fp.converged) return kTimeInfinity;
+  return sat_add(task.jitter, fp.value);
+}
+
+Time fps_response_time_sum(std::span<const FpsTaskParams> same_node, const BusyProfile& scs,
+                           Time horizon) {
+  Time sum = 0;
+  for (const FpsTaskParams& t : same_node) {
+    const Time r = fps_response_time(t, same_node, scs, horizon);
+    sum = sat_add(sum, is_infinite(r) ? horizon : r);
+  }
+  return sum;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file cost.hpp
+/// The schedulability-degree cost function of Eq. 5:
+///
+///   Cost = f1 = sum_ij max(R_ij - D_ij, 0)   if f1 > 0   (unschedulable)
+///        = f2 = sum_ij (R_ij - D_ij)         if f1 = 0   (schedulable, <= 0)
+///
+/// R_ij are graph-relative worst-case completion bounds of all activities,
+/// D_ij their effective deadlines.  Activities with an unbounded response
+/// contribute a finite penalty (a multiple of their deadline) so that
+/// optimisers can still rank two infeasible configurations.
+
+#include <span>
+
+#include "flexopt/model/application.hpp"
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+struct Cost {
+  /// Cost in microseconds (double so benches can average across systems).
+  double value = 0.0;
+  bool schedulable = false;
+  /// Number of activities whose response bound is unbounded.
+  int unbounded_activities = 0;
+
+  friend bool operator<(const Cost& a, const Cost& b) { return a.value < b.value; }
+};
+
+/// Deadline-multiple charged for an activity with R = infinity.
+inline constexpr int kUnboundedPenaltyFactor = 10;
+
+/// Evaluate Eq. 5.  `task_completions` / `message_completions` are
+/// graph-relative worst-case completion bounds indexed by TaskId /
+/// MessageId (kTimeInfinity for unbounded).
+Cost evaluate_cost(const Application& app, std::span<const Time> task_completions,
+                   std::span<const Time> message_completions);
+
+}  // namespace flexopt

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file dyn_analysis.hpp
+/// Worst-case response time of DYN messages (Section 5.1 of the paper,
+/// reimplementing the analysis the paper imports from [14]).
+///
+///   R_m = J_m + w_m + C_m                                   (Eq. 2)
+///   w_m(t) = sigma_m + BusCycles_m(t) * gdCycle + w'_m(t)   (Eq. 3)
+///
+/// Interference sources on a DYN message m with FrameID f sent by node Np:
+///  * hp(m): higher-priority messages with the same FrameID — each instance
+///    occupies m's slot for a whole cycle;
+///  * lf(m): messages with lower FrameIDs — their transmissions advance the
+///    minislot counter beyond the one-minislot baseline of an empty slot;
+///  * ms(m): the f-1 lower DYN slots — one minislot each even when unused.
+///
+/// A cycle is "filled" (unusable by m) when the minislot counter exceeds
+/// pLatestTx(Np) at slot f, or slot f is taken by hp(m).  With
+///   need = pLatestTx(Np) - f + 1   extra minislots required to fill,
+/// the worst case over release phasings within a window t is
+///   BusCycles_m(t) = n_hp(t) + floor(excess_lf(t) / need)
+/// where excess_lf(t) counts, over all lf(m) instances released in t, the
+/// minislots their frames occupy beyond the empty-slot baseline
+/// (minislots_j - 1 each).  This is the polynomial-time bound of [14]:
+/// distributing interference differently can only fill fewer cycles
+/// because each filled cycle consumes at least `need` excess, and a filled
+/// cycle always delays m for longer than the same excess spent inside the
+/// final cycle (gdCycle >= need * gdMinislot).
+
+#include <span>
+
+#include "flexopt/flexray/bus_layout.hpp"
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+/// How BusCycles_m is bounded.  [14] offers both exact approaches and
+/// polynomial heuristics; we provide the greedy heuristic plus a refined
+/// polynomial bound that additionally respects the protocol constraint
+/// that each lf(m) message transmits at most once per cycle (one slot per
+/// FrameID per cycle), so a burst of instances of a single message cannot
+/// all be packed into one filled cycle.
+enum class DynCyclesBound {
+  /// filled = n_hp + floor(total_excess / need) — fastest, most pessimistic.
+  Greedy,
+  /// filled = n_hp + max k with sum_j w_j * min(n_j, k) >= k * need
+  /// (binary search).  Tighter; still a sound upper bound because the
+  /// multiplicity cap only removes physically impossible fillings.
+  MultiplicityCapped,
+};
+
+/// Decomposition of one DYN WCRT computation, exposed for tests and for the
+/// Fig. 7 curve bench.
+struct DynResponse {
+  Time response = kTimeInfinity;  ///< R_m including jitter
+  Time w = kTimeInfinity;         ///< queuing delay w_m
+  std::int64_t bus_cycles = 0;    ///< BusCycles_m at the fixed point
+  bool transmittable = false;     ///< false when FrameID > pLatestTx (never sends)
+  bool converged = false;
+};
+
+/// WCRT of DYN message `m`.  `jitters` is indexed by MessageId and supplies
+/// the holistic release jitters of every DYN message (entries for ST
+/// messages are ignored).  `horizon` bounds the fixed-point iteration.
+DynResponse dyn_response_time(const BusLayout& layout, MessageId m,
+                              std::span<const Time> jitters, Time horizon,
+                              DynCyclesBound bound = DynCyclesBound::Greedy);
+
+/// sigma_m of Eq. 3: the longest in-cycle delay when m is produced just
+/// after its slot went by — the slot passes earliest when all lower slots
+/// are empty minislots.
+Time dyn_sigma(const BusLayout& layout, MessageId m);
+
+}  // namespace flexopt

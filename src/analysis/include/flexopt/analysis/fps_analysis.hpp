@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file fps_analysis.hpp
+/// Worst-case response times of FPS tasks executing in the slack of the
+/// static schedule (Section 5, item 1: "take into consideration the
+/// interference from the SCS activities").
+///
+/// Model: on each node, SCS jobs occupy the CPU at table-fixed times
+/// (non-preemptable, effectively highest priority); FPS tasks are
+/// priority-preemptive among themselves in the remaining slack.  The
+/// response-time recurrence is the classic jitter-aware one extended with a
+/// term S(w) = maximum SCS busy time in any window of length w:
+///
+///   w = C_i + S(w) + sum_{j in hp(i)} ceil((w + J_j) / T_j) * C_j
+///   R_i = J_i + w
+///
+/// S(w) upper-bounds the table interference for every possible critical
+/// instant, which makes the analysis sustainable (release-time independent)
+/// at the cost of some pessimism; the simulator-based property tests bound
+/// that pessimism.
+
+#include <span>
+
+#include "flexopt/analysis/busy_profile.hpp"
+#include "flexopt/model/ids.hpp"
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+/// Per-task inputs of the FPS analysis.
+struct FpsTaskParams {
+  TaskId id{};
+  Time wcet = 0;
+  Time period = 0;
+  /// Release jitter inherited from predecessors (holistic iteration).
+  Time jitter = 0;
+  /// Smaller = higher priority.
+  int priority = 0;
+};
+
+/// Response time (including the task's own jitter) of `task` when competing
+/// with `same_node` FPS tasks (which may include `task` itself; it is
+/// skipped) in the slack of `scs`.  Tasks with priority <= task.priority
+/// interfere (equal priorities are mutually interfering — conservative
+/// FIFO-agnostic treatment).  Returns kTimeInfinity if the recurrence
+/// exceeds `horizon` or any contributing jitter is infinite.
+Time fps_response_time(const FpsTaskParams& task, std::span<const FpsTaskParams> same_node,
+                       const BusyProfile& scs, Time horizon);
+
+/// Sum of response times of all tasks in `same_node` (infinite responses
+/// are added as `horizon` each, keeping the sum finite and comparable).
+/// Used by the list scheduler to rank candidate SCS placements
+/// (Fig. 2, line 11).
+Time fps_response_time_sum(std::span<const FpsTaskParams> same_node, const BusyProfile& scs,
+                           Time horizon);
+
+}  // namespace flexopt

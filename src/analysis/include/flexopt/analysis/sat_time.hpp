@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file sat_time.hpp
+/// Saturating arithmetic on Time with kTimeInfinity as the absorbing
+/// "unschedulable" element.  Holistic analysis propagates infinite response
+/// times through jitters; plain + would overflow.
+
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+constexpr bool is_infinite(Time t) { return t == kTimeInfinity; }
+
+constexpr Time sat_add(Time a, Time b) {
+  if (is_infinite(a) || is_infinite(b)) return kTimeInfinity;
+  if (a > kTimeInfinity - b) return kTimeInfinity;  // both non-negative in practice
+  return a + b;
+}
+
+constexpr Time sat_mul(Time a, std::int64_t k) {
+  if (is_infinite(a)) return kTimeInfinity;
+  if (k != 0 && a > kTimeInfinity / k) return kTimeInfinity;
+  return a * k;
+}
+
+}  // namespace flexopt

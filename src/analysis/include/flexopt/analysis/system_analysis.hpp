@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file system_analysis.hpp
+/// Holistic scheduling + schedulability analysis of a complete FlexRay
+/// system (Section 5): builds the static schedule table, then iterates
+/// response-time analysis for FPS tasks and DYN messages with jitter
+/// propagation along the task graphs until a global fixed point.
+
+#include <vector>
+
+#include "flexopt/analysis/cost.hpp"
+#include "flexopt/analysis/dyn_analysis.hpp"
+#include "flexopt/analysis/list_scheduler.hpp"
+#include "flexopt/analysis/static_schedule.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+struct AnalysisOptions {
+  SchedulerOptions scheduler;
+  /// BusCycles_m bound for DYN messages; the multiplicity-capped refinement
+  /// is tighter and only marginally slower (binary search per fixed-point
+  /// step).
+  DynCyclesBound dyn_bound = DynCyclesBound::MultiplicityCapped;
+  /// Global holistic iterations before declaring divergence.
+  int max_holistic_iterations = 32;
+  /// Response-time horizon as a multiple of max(hyper-period, max deadline);
+  /// any recurrence exceeding it is reported unbounded.
+  int horizon_factor = 4;
+  /// Log per-iteration convergence diagnostics (log_debug level).
+  bool debug_trace = false;
+};
+
+/// Full analysis outcome for one (application, bus configuration) pair.
+struct AnalysisResult {
+  /// Graph-relative worst-case completion bound per task / message
+  /// (kTimeInfinity when unbounded).  For TT activities this is the table
+  /// finish relative to the graph release; for ET activities it is the
+  /// holistic response time including inherited jitter.
+  std::vector<Time> task_completion;
+  std::vector<Time> message_completion;
+  /// Release jitter used in the final iteration (diagnostics / tests).
+  std::vector<Time> task_jitter;
+  std::vector<Time> message_jitter;
+  StaticSchedule schedule{0, 0, 0, 0};
+  Cost cost;
+  [[nodiscard]] bool schedulable() const { return cost.schedulable; }
+};
+
+/// Runs GlobalSchedulingAlgorithm (Fig. 2) + holistic response-time
+/// analysis.  Fails only on structural errors (e.g. no ST slot placement
+/// possible); an unschedulable system is a *successful* analysis with a
+/// positive cost.
+Expected<AnalysisResult> analyze_system(const BusLayout& layout,
+                                        const AnalysisOptions& options = {});
+
+}  // namespace flexopt

@@ -1,0 +1,62 @@
+#include "flexopt/analysis/static_schedule.hpp"
+
+#include <algorithm>
+
+namespace flexopt {
+
+StaticSchedule::StaticSchedule(Time hyperperiod, std::size_t node_count,
+                               std::size_t task_count, std::size_t message_count)
+    : hyperperiod_(hyperperiod),
+      per_task_(task_count),
+      per_message_(message_count),
+      per_node_(node_count) {}
+
+void StaticSchedule::add_task_entry(ScheduledTask entry, std::size_t node_index) {
+  per_task_[index_of(entry.task)].push_back(entry);
+  per_node_[node_index].push_back(entry);
+}
+
+void StaticSchedule::add_message_entry(ScheduledMessage entry) {
+  per_message_[index_of(entry.message)].push_back(entry);
+}
+
+Time StaticSchedule::task_wcrt(TaskId t) const {
+  const auto& entries = per_task_[index_of(t)];
+  if (entries.empty()) return kTimeInfinity;
+  Time worst = 0;
+  for (const auto& e : entries) worst = std::max(worst, e.finish - e.release);
+  return worst;
+}
+
+Time StaticSchedule::message_wcrt(MessageId m) const {
+  const auto& entries = per_message_[index_of(m)];
+  if (entries.empty()) return kTimeInfinity;
+  Time worst = 0;
+  for (const auto& e : entries) worst = std::max(worst, e.finish - e.release);
+  return worst;
+}
+
+void StaticSchedule::finalize() {
+  profiles_.clear();
+  profiles_.reserve(per_node_.size());
+  for (auto& entries : per_node_) {
+    std::sort(entries.begin(), entries.end(),
+              [](const ScheduledTask& a, const ScheduledTask& b) { return a.start < b.start; });
+    std::vector<Interval> busy;
+    busy.reserve(entries.size());
+    for (const auto& e : entries) {
+      // Wrap entries into [0, H): the table repeats with the hyper-period.
+      const Time s = e.start % hyperperiod_;
+      const Time f = s + (e.finish - e.start);
+      if (f <= hyperperiod_) {
+        busy.push_back({s, f});
+      } else {
+        busy.push_back({s, hyperperiod_});
+        busy.push_back({0, f - hyperperiod_});
+      }
+    }
+    profiles_.emplace_back(std::move(busy), hyperperiod_);
+  }
+}
+
+}  // namespace flexopt

@@ -1,0 +1,28 @@
+#include "flexopt/core/evaluator.hpp"
+
+namespace flexopt {
+
+CostEvaluator::CostEvaluator(const Application& app, const BusParams& params,
+                             AnalysisOptions options)
+    : app_(&app), params_(params), options_(options) {}
+
+CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
+  Evaluation out;
+  auto layout = BusLayout::build(*app_, params_, config);
+  if (!layout.ok()) {
+    out.error = layout.error().message;
+    return out;
+  }
+  ++evaluations_;
+  auto analysis = analyze_system(layout.value(), options_);
+  if (!analysis.ok()) {
+    out.error = analysis.error().message;
+    return out;
+  }
+  out.valid = true;
+  out.analysis = std::move(analysis).value();
+  out.cost = out.analysis.cost;
+  return out;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file bbc.hpp
+/// The Basic Bus Configuration algorithm of Fig. 5: minimal ST segment
+/// (one slot per ST-sending node, slot length = largest ST frame), unique
+/// criticality-ordered FrameIDs, and a sweep over the DYN segment length
+/// keeping the best cost.
+
+#include "flexopt/core/evaluator.hpp"
+
+namespace flexopt {
+
+struct BbcOptions {
+  /// Sweep stride in minislots; 0 = auto (cover the range with at most
+  /// `max_sweep_points` full analyses).  The paper steps by one minislot;
+  /// the auto stride trades negligible cost resolution for tractable
+  /// runtime and is reported by the benches.
+  int dyn_stride_minislots = 0;
+  int max_sweep_points = 128;
+};
+
+/// Runs BBC.  The outcome carries the best configuration found over the
+/// sweep (feasible == cost.schedulable; BBC frequently ends infeasible on
+/// larger systems, which is exactly the Fig. 9 result).
+OptimizationOutcome optimize_bbc(CostEvaluator& evaluator, const BbcOptions& options = {});
+
+}  // namespace flexopt

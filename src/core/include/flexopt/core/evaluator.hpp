@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file evaluator.hpp
+/// Cost evaluation service shared by all optimisers: wraps BusLayout
+/// construction + holistic analysis + Eq. 5, and counts evaluations so the
+/// Fig. 9 runtime comparison can report work done.
+
+#include <string>
+
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/flexray/bus_config.hpp"
+#include "flexopt/flexray/params.hpp"
+
+namespace flexopt {
+
+/// Cost assigned to configurations that violate the protocol or for which
+/// no static schedule exists; large enough to lose against any analysable
+/// configuration.
+inline constexpr double kInvalidConfigCost = 1e15;
+
+class CostEvaluator {
+ public:
+  CostEvaluator(const Application& app, const BusParams& params, AnalysisOptions options);
+
+  struct Evaluation {
+    bool valid = false;
+    Cost cost{kInvalidConfigCost, false, 0};
+    AnalysisResult analysis;
+    std::string error;
+  };
+
+  /// Full scheduling + schedulability analysis of one candidate.
+  Evaluation evaluate(const BusConfig& config);
+
+  [[nodiscard]] const Application& application() const { return *app_; }
+  [[nodiscard]] const BusParams& params() const { return params_; }
+  [[nodiscard]] const AnalysisOptions& analysis_options() const { return options_; }
+  /// Number of full analyses performed so far.
+  [[nodiscard]] long evaluations() const { return evaluations_; }
+
+ private:
+  const Application* app_;
+  BusParams params_;
+  AnalysisOptions options_;
+  long evaluations_ = 0;
+};
+
+/// Outcome shared by all optimisation algorithms.
+struct OptimizationOutcome {
+  BusConfig config;
+  Cost cost{kInvalidConfigCost, false, 0};
+  bool feasible = false;
+  /// Full analyses performed by this run.
+  long evaluations = 0;
+  double wall_seconds = 0.0;
+  std::string algorithm;
+};
+
+}  // namespace flexopt

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file mapping.hpp
+/// Task-mapping design-space exploration around the bus access optimiser —
+/// the outer loop the paper motivates OBC-CF's speed with (Section 6.2:
+/// "the bus access optimisation heuristic can be placed inside other
+/// optimisation loops, e.g. for task mapping").
+///
+/// A LogicalApplication describes tasks and data flows *without* a node
+/// assignment; materialising it under a candidate mapping turns every
+/// node-crossing flow into a bus message (ST or DYN per the graph's
+/// trigger) and every intra-node flow into a plain precedence edge.  The
+/// mapping optimiser hill-climbs over task-to-node assignments, scoring
+/// each candidate with a full bus access optimisation.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flexopt/core/dyn_search.hpp"
+#include "flexopt/core/evaluator.hpp"
+
+namespace flexopt {
+
+struct LogicalGraph {
+  std::string name;
+  Time period = 0;
+  Time deadline = 0;
+  /// Time-triggered graphs materialise as SCS tasks + ST messages,
+  /// event-triggered ones as FPS tasks + DYN messages.
+  bool time_triggered = false;
+};
+
+struct LogicalTask {
+  std::string name;
+  std::uint32_t graph = 0;
+  Time wcet = 0;
+  int priority = 0;
+};
+
+/// Producer-consumer data flow; becomes a bus message only when the two
+/// tasks land on different nodes.
+struct LogicalFlow {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  int size_bytes = 0;
+  int priority = 0;
+};
+
+class LogicalApplication {
+ public:
+  int node_count = 0;
+  std::vector<LogicalGraph> graphs;
+  std::vector<LogicalTask> tasks;
+  std::vector<LogicalFlow> flows;
+
+  /// Structural validation independent of any mapping: ids in range, flows
+  /// within one graph, positive sizes/wcets/periods.
+  [[nodiscard]] Expected<bool> validate() const;
+
+  /// Builds the concrete Application for `mapping` (node index per task).
+  /// Fails if the mapping is out of range or materialisation violates the
+  /// model rules (it cannot: intra-node flows become dependencies).
+  [[nodiscard]] Expected<Application> materialize(std::span<const int> mapping) const;
+
+  /// Load-balancing initial mapping: tasks in WCET-density order, each to
+  /// the currently least-utilised node.
+  [[nodiscard]] std::vector<int> balanced_mapping() const;
+};
+
+struct MappingOptions {
+  std::uint64_t seed = 1;
+  /// Neighbourhood moves per restart (each move = one full bus access
+  /// optimisation of the remapped system).
+  int moves_per_restart = 40;
+  int restarts = 2;
+  /// Stop as soon as a schedulable mapping is found.
+  bool stop_at_first_feasible = true;
+};
+
+struct MappingOutcome {
+  std::vector<int> mapping;
+  /// Bus optimisation outcome for the best mapping.
+  OptimizationOutcome bus;
+  /// Full analyses spent across all inner optimisations.
+  long evaluations = 0;
+  double wall_seconds = 0.0;
+  /// Mappings scored (inner optimiser runs).
+  int mappings_tried = 0;
+};
+
+/// Hill-climbing mapping exploration with `dyn_strategy` (OBC-CF or OBC-EE)
+/// as the inner bus access optimiser.
+Expected<MappingOutcome> optimize_mapping(const LogicalApplication& logical,
+                                          const BusParams& params,
+                                          const AnalysisOptions& analysis,
+                                          DynSegmentStrategy& dyn_strategy,
+                                          const MappingOptions& options = {});
+
+}  // namespace flexopt

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file sa.hpp
+/// Simulated-annealing design-space exploration (Section 7's evaluation
+/// baseline): Metropolis acceptance with geometric cooling over moves on
+/// the full configuration space — ST slot count, slot length, DYN segment
+/// length, ST slot ownership, and DYN FrameID assignment.  With a large
+/// evaluation budget this approximates the optimum the heuristics are
+/// measured against in Fig. 9.
+
+#include <cstdint>
+
+#include "flexopt/core/evaluator.hpp"
+
+namespace flexopt {
+
+struct SaOptions {
+  std::uint64_t seed = 1;
+  /// Full analyses the run may spend.  The paper ran "several hours"; the
+  /// default is sized for the scaled-down Fig. 9 bench, and
+  /// FLEXOPT_BENCH_FULL raises it.
+  long max_evaluations = 1500;
+  double initial_temperature_factor = 0.25;  ///< T0 = factor * |initial cost|
+  double cooling = 0.97;
+  int iterations_per_temperature = 20;
+  /// Keep annealing after the first schedulable solution to minimise f2
+  /// (the paper optimises the cost function, not mere feasibility).
+  bool stop_at_first_feasible = false;
+};
+
+OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& options = {});
+
+}  // namespace flexopt

@@ -1,0 +1,161 @@
+#include "flexopt/flexray/bus_layout.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace flexopt {
+
+BusLayout::BusLayout(const Application& app, const BusParams& params, BusConfig config)
+    : app_(&app), params_(params), config_(std::move(config)) {}
+
+Expected<BusLayout> BusLayout::build(const Application& app, const BusParams& params,
+                                     BusConfig config) {
+  if (!app.finalized()) return make_error("BusLayout: application not finalized");
+
+  const auto& messages = app.messages();
+  if (config.frame_id.size() != messages.size()) {
+    return make_error("BusLayout: frame_id vector size mismatch");
+  }
+  if (config.static_slot_count < 0 ||
+      config.static_slot_count > SpecLimits::kMaxStaticSlots) {
+    return make_error("BusLayout: static slot count outside [0, 1023]");
+  }
+  if (static_cast<int>(config.static_slot_owner.size()) != config.static_slot_count) {
+    return make_error("BusLayout: static slot owner vector size mismatch");
+  }
+  if (config.minislot_count < 0 || config.minislot_count > SpecLimits::kMaxMinislots) {
+    return make_error("BusLayout: minislot count outside [0, 7994]");
+  }
+  if (config.static_slot_count > 0) {
+    if (config.static_slot_len <= 0) return make_error("BusLayout: non-positive static slot length");
+    if (config.static_slot_len > SpecLimits::kMaxStaticSlotMacroticks * params.gd_macrotick) {
+      return make_error("BusLayout: static slot longer than 661 macroticks");
+    }
+  }
+  for (const NodeId owner : config.static_slot_owner) {
+    if (index_of(owner) >= app.node_count()) return make_error("BusLayout: slot owned by unknown node");
+  }
+
+  BusLayout layout(app, params, std::move(config));
+  const BusConfig& cfg = layout.config_;
+
+  layout.st_segment_len_ = static_cast<Time>(cfg.static_slot_count) * cfg.static_slot_len;
+  layout.dyn_segment_len_ = static_cast<Time>(cfg.minislot_count) * params.gd_minislot;
+  if (layout.cycle_len() <= 0) return make_error("BusLayout: empty bus cycle");
+  if (layout.cycle_len() > SpecLimits::kMaxCycle) {
+    return make_error("BusLayout: bus cycle exceeds 16 ms");
+  }
+
+  // Per-message durations and minislot footprints.
+  layout.durations_.resize(messages.size());
+  layout.minislots_.resize(messages.size());
+  Time max_st_frame = 0;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    layout.durations_[i] = params.frame_duration(messages[i].size_bytes);
+    if (messages[i].cls == MessageClass::Dynamic) {
+      layout.minislots_[i] = params.frame_minislots(messages[i].size_bytes);
+    } else {
+      layout.minislots_[i] = 0;
+      max_st_frame = std::max(max_st_frame, layout.durations_[i]);
+    }
+  }
+
+  // Static segment: slot ownership per node; every ST sender needs a slot;
+  // the largest ST frame must fit in one slot.
+  layout.st_slots_of_node_.assign(app.node_count(), {});
+  for (int s = 0; s < cfg.static_slot_count; ++s) {
+    layout.st_slots_of_node_[index_of(cfg.static_slot_owner[static_cast<std::size_t>(s)])]
+        .push_back(s);
+  }
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (messages[i].cls != MessageClass::Static) continue;
+    const NodeId sender_node = app.task(messages[i].sender).node;
+    if (layout.st_slots_of_node_[index_of(sender_node)].empty()) {
+      return make_error("BusLayout: node '" + app.node(sender_node).name +
+                        "' sends ST messages but owns no ST slot");
+    }
+  }
+  if (max_st_frame > 0 && cfg.static_slot_len < max_st_frame) {
+    return make_error("BusLayout: static slot shorter than the largest ST frame");
+  }
+
+  // Dynamic segment: FrameID sanity and slot ownership.
+  layout.fid_owner_.assign(static_cast<std::size_t>(cfg.minislot_count) + 1, -1);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const int fid = cfg.frame_id[i];
+    if (messages[i].cls == MessageClass::Static) {
+      if (fid != 0) return make_error("BusLayout: ST message with a DYN FrameID");
+      continue;
+    }
+    if (fid < 1 || fid > cfg.minislot_count) {
+      return make_error("BusLayout: DYN message '" + messages[i].name +
+                        "' has FrameID outside [1, minislot_count]");
+    }
+    const int sender_node = static_cast<int>(index_of(app.task(messages[i].sender).node));
+    int& owner = layout.fid_owner_[static_cast<std::size_t>(fid)];
+    if (owner == -1) {
+      owner = sender_node;
+    } else if (owner != sender_node) {
+      return make_error("BusLayout: FrameID " + std::to_string(fid) +
+                        " shared by messages from different nodes");
+    }
+    layout.max_frame_id_ = std::max(layout.max_frame_id_, fid);
+  }
+
+  // pLatestTx per node: last 1-based minislot at which the node's largest
+  // DYN frame still fits before the segment end.
+  layout.p_latest_tx_.assign(app.node_count(), cfg.minislot_count);
+  std::vector<bool> sends_dyn(app.node_count(), false);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (messages[i].cls != MessageClass::Dynamic) continue;
+    const std::size_t n = index_of(app.task(messages[i].sender).node);
+    sends_dyn[n] = true;
+    layout.p_latest_tx_[n] =
+        std::min(layout.p_latest_tx_[n], cfg.minislot_count - layout.minislots_[i] + 1);
+  }
+  for (std::size_t n = 0; n < app.node_count(); ++n) {
+    if (sends_dyn[n] && layout.p_latest_tx_[n] < 1) {
+      return make_error("BusLayout: DYN segment too short for the largest frame of node '" +
+                        app.node(static_cast<NodeId>(n)).name + "'");
+    }
+  }
+
+  return layout;
+}
+
+bool BusLayout::frame_id_owner(int fid, NodeId* owner) const {
+  if (fid < 1 || fid >= static_cast<int>(fid_owner_.size())) return false;
+  const int raw = fid_owner_[static_cast<std::size_t>(fid)];
+  if (raw < 0) return false;
+  if (owner != nullptr) *owner = static_cast<NodeId>(raw);
+  return true;
+}
+
+std::vector<MessageId> BusLayout::hp(MessageId m) const {
+  std::vector<MessageId> out;
+  const auto& messages = app_->messages();
+  const std::size_t mi = index_of(m);
+  const int fid = config_.frame_id[mi];
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (i == mi || messages[i].cls != MessageClass::Dynamic) continue;
+    if (config_.frame_id[i] == fid && messages[i].priority < messages[mi].priority) {
+      out.push_back(static_cast<MessageId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<MessageId> BusLayout::lf(MessageId m) const {
+  std::vector<MessageId> out;
+  const auto& messages = app_->messages();
+  const int fid = config_.frame_id[index_of(m)];
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (messages[i].cls != MessageClass::Dynamic) continue;
+    if (config_.frame_id[i] >= 1 && config_.frame_id[i] < fid) {
+      out.push_back(static_cast<MessageId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file bus_config.hpp
+/// A candidate FlexRay bus configuration — the decision variables of the
+/// paper's optimisation problem (Section 6): ST slot count / length /
+/// ownership, DYN segment length, and FrameID assignment of DYN messages.
+
+#include <vector>
+
+#include "flexopt/model/ids.hpp"
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+/// The six decision variables of Section 6.  A plain value type: optimisers
+/// copy and mutate it freely; `BusLayout::build` validates it against an
+/// application and the protocol limits.
+struct BusConfig {
+  /// (1)(2) Number and length of ST slots (gdNumberOfStaticSlots, gdStaticSlot).
+  int static_slot_count = 0;
+  Time static_slot_len = 0;
+  /// (3) Owner node of each ST slot, size == static_slot_count.
+  std::vector<NodeId> static_slot_owner;
+  /// (4) DYN segment length in minislots (gNumberOfMinislots).
+  int minislot_count = 0;
+  /// (5)(6) FrameID per message, indexed by MessageId: 0 for ST messages,
+  /// 1-based DYN slot number for DYN messages.  DYN slot ownership follows
+  /// from the sender node of the message(s) with that FrameID.
+  std::vector<int> frame_id;
+
+  friend bool operator==(const BusConfig&, const BusConfig&) = default;
+};
+
+}  // namespace flexopt

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file params.hpp
+/// Global FlexRay protocol parameters and spec limits.
+///
+/// Names follow the FlexRay 2.1 specification (gd* = global duration
+/// parameters).  Spec limits enforced here are the ones the paper cites in
+/// Section 6: at most 1023 static slots, at most 7994 minislots, bus cycle
+/// at most 16 ms, static slot at most 661 macroticks, ST payload growing in
+/// 2-byte (20 gdBit) increments.
+
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+/// Physical-layer frame cost model (Eq. 1 of the paper):
+///   C_m = frame_size(m) / bus_speed
+/// FlexRay encodes each payload byte in 10 bit-times (byte start sequence +
+/// 8 data bits) and adds a fixed header/trailer/TSS overhead.  The didactic
+/// figure reproductions zero the overhead so message "sizes" map 1:1 to the
+/// paper's abstract time units.
+struct FrameFormat {
+  /// Fixed per-frame overhead in bit-times (TSS + FSS + header + CRC + FES).
+  int overhead_bits = 110;
+  /// Bit-times per payload byte (10 with the FlexRay byte start sequence).
+  int bits_per_payload_byte = 10;
+};
+
+/// Immutable global bus parameters, fixed before bus-access optimisation.
+struct BusParams {
+  /// Duration of one bit on the bus; 100 ns at the standard 10 Mbit/s.
+  Time gd_bit = 100;
+  /// Macrotick: the protocol's coarse time unit (typically 1 us).
+  Time gd_macrotick = timeunits::us(1);
+  /// Minislot length (spec: 2..63 macroticks).
+  Time gd_minislot = timeunits::us(5);
+  FrameFormat frame;
+
+  /// Communication time of a payload of `size_bytes` (Eq. 1).
+  [[nodiscard]] Time frame_duration(int size_bytes) const {
+    const auto bits =
+        static_cast<std::int64_t>(frame.overhead_bits) +
+        static_cast<std::int64_t>(frame.bits_per_payload_byte) * size_bytes;
+    return bits * gd_bit;
+  }
+
+  /// Number of minislots a DYN frame of `size_bytes` occupies.
+  [[nodiscard]] int frame_minislots(int size_bytes) const {
+    return static_cast<int>(ceil_div(frame_duration(size_bytes), gd_minislot));
+  }
+};
+
+/// FlexRay 2.1 protocol limits (Section 6 of the paper).
+struct SpecLimits {
+  static constexpr int kMaxStaticSlots = 1023;        // gdNumberOfStaticSlots max
+  static constexpr int kMaxMinislots = 7994;          // gNumberOfMinislots max
+  static constexpr Time kMaxCycle = timeunits::ms(16);  // gdCycle max
+  static constexpr int kMaxStaticSlotMacroticks = 661;  // gdStaticSlot max
+  /// ST payload grows in 2-byte increments = 20 bit-times.
+  static constexpr int kPayloadStepBits = 20;
+};
+
+}  // namespace flexopt

@@ -1,0 +1,269 @@
+#include "flexopt/gen/figures.hpp"
+
+#include <stdexcept>
+
+namespace flexopt {
+
+BusParams didactic_params() {
+  BusParams p;
+  p.gd_bit = 100;                    // 10 Mbit/s
+  p.gd_macrotick = timeunits::us(1);
+  p.gd_minislot = timeunits::us(1);
+  p.frame.overhead_bits = 0;         // abstract units: size 1 byte == 1 us
+  p.frame.bits_per_payload_byte = 10;
+  return p;
+}
+
+FigureBundle build_fig1() {
+  FigureBundle b;
+  b.params = didactic_params();
+  Application& app = b.app;
+
+  const NodeId n1 = app.add_node("N1");
+  const NodeId n2 = app.add_node("N2");
+  const NodeId n3 = app.add_node("N3");
+
+  // One graph; period = two bus cycles (cycle = 3*4 us ST + 12 us DYN = 24).
+  const Time period = timeunits::us(48);
+  const GraphId g = app.add_graph("fig1", period, period);
+
+  auto sender = [&](const char* name, NodeId node, TaskPolicy policy) {
+    return app.add_task(g, name, node, timeunits::us(1), policy, 0);
+  };
+  // Receivers all live on N1 unless the sender is on N1.
+  auto receiver = [&](const char* name, NodeId node, TaskPolicy policy) {
+    return app.add_task(g, name, node, timeunits::us(1), policy, 1);
+  };
+
+  // ST messages: ma (N2, slot 1 / cycle 1), mb (N1, slot 2 / cycle 2 — via
+  // a release offset past the first cycle), mc (N2, slot 3 / cycle 1).
+  const TaskId t_ma = sender("t_ma", n2, TaskPolicy::Scs);
+  const TaskId t_mb = sender("t_mb", n1, TaskPolicy::Scs);
+  const TaskId t_mc = sender("t_mc", n2, TaskPolicy::Scs);
+  app.set_task_release_offset(t_mb, timeunits::us(25));
+
+  const MessageId ma = app.add_message(g, "ma", t_ma, receiver("r_ma", n1, TaskPolicy::Scs), 2,
+                                       MessageClass::Static);
+  const MessageId mb = app.add_message(g, "mb", t_mb, receiver("r_mb", n2, TaskPolicy::Scs), 2,
+                                       MessageClass::Static);
+  const MessageId mc = app.add_message(g, "mc", t_mc, receiver("r_mc", n1, TaskPolicy::Scs), 2,
+                                       MessageClass::Static);
+
+  // DYN messages: md (N3, FrameID 1), me (N2, FrameID 2, 3 minislots),
+  // mf/mg (N2, shared FrameID 4, priority(mf) > priority(mg)),
+  // mh (N3, FrameID 5, 4 minislots — delayed to cycle 2 by pLatestTx).
+  const TaskId t_md = sender("t_md", n3, TaskPolicy::Fps);
+  const TaskId t_me = sender("t_me", n2, TaskPolicy::Fps);
+  const TaskId t_mf = sender("t_mf", n2, TaskPolicy::Fps);
+  const TaskId t_mg = sender("t_mg", n2, TaskPolicy::Fps);
+  const TaskId t_mh = sender("t_mh", n3, TaskPolicy::Fps);
+
+  const MessageId md = app.add_message(g, "md", t_md, receiver("r_md", n1, TaskPolicy::Fps), 2,
+                                       MessageClass::Dynamic, 0);
+  const MessageId me = app.add_message(g, "me", t_me, receiver("r_me", n1, TaskPolicy::Fps), 3,
+                                       MessageClass::Dynamic, 0);
+  const MessageId mf = app.add_message(g, "mf", t_mf, receiver("r_mf", n1, TaskPolicy::Fps), 4,
+                                       MessageClass::Dynamic, 0);
+  const MessageId mg = app.add_message(g, "mg", t_mg, receiver("r_mg", n1, TaskPolicy::Fps), 2,
+                                       MessageClass::Dynamic, 1);
+  const MessageId mh = app.add_message(g, "mh", t_mh, receiver("r_mh", n1, TaskPolicy::Fps), 4,
+                                       MessageClass::Dynamic, 0);
+
+  const auto fin = app.finalize();
+  if (!fin.ok()) throw std::logic_error("figure builder: " + fin.error().message);
+
+  BusConfig cfg;
+  cfg.static_slot_count = 3;
+  cfg.static_slot_len = timeunits::us(4);
+  cfg.static_slot_owner = {n2, n1, n2};  // slots 1/3 -> N2, slot 2 -> N1
+  cfg.minislot_count = 12;
+  cfg.frame_id.assign(app.message_count(), 0);
+  cfg.frame_id[index_of(md)] = 1;
+  cfg.frame_id[index_of(me)] = 2;
+  cfg.frame_id[index_of(mf)] = 4;
+  cfg.frame_id[index_of(mg)] = 4;
+  cfg.frame_id[index_of(mh)] = 5;
+  b.configs.push_back(cfg);
+  b.labels.emplace_back("fig1");
+  b.focus = {ma, mb, mc, md, me, mf, mg, mh};
+  return b;
+}
+
+FigureBundle build_fig3() {
+  FigureBundle b;
+  b.params = didactic_params();
+  Application& app = b.app;
+
+  const NodeId n1 = app.add_node("N1");
+  const NodeId n2 = app.add_node("N2");
+  const Time period = timeunits::us(240);
+  const GraphId g = app.add_graph("fig3", period, period);
+
+  auto task = [&](const char* name, NodeId node) {
+    return app.add_task(g, name, node, timeunits::us(1), TaskPolicy::Scs, 0);
+  };
+  const TaskId s1 = task("s1", n1);
+  const TaskId s2 = task("s2", n2);
+  const TaskId s3 = task("s3", n2);
+  const MessageId m1 =
+      app.add_message(g, "m1", s1, task("r1", n2), 4, MessageClass::Static);
+  const MessageId m2 =
+      app.add_message(g, "m2", s2, task("r2", n1), 3, MessageClass::Static);
+  const MessageId m3 =
+      app.add_message(g, "m3", s3, task("r3", n1), 2, MessageClass::Static);
+  (void)m1;
+  (void)m2;
+
+  const auto fin = app.finalize();
+  if (!fin.ok()) throw std::logic_error("figure builder: " + fin.error().message);
+
+  auto make = [&](int slots, Time slot_len, std::vector<NodeId> owners) {
+    BusConfig cfg;
+    cfg.static_slot_count = slots;
+    cfg.static_slot_len = slot_len;
+    cfg.static_slot_owner = std::move(owners);
+    cfg.minislot_count = 0;
+    cfg.frame_id.assign(app.message_count(), 0);
+    return cfg;
+  };
+  // (a) two minimal slots; (b) three slots, N2 owns two; (c) two longer
+  // slots so m2 and m3 pack into one frame.
+  b.configs.push_back(make(2, timeunits::us(4), {n1, n2}));
+  b.configs.push_back(make(3, timeunits::us(4), {n1, n2, n2}));
+  b.configs.push_back(make(2, timeunits::us(5), {n1, n2}));
+  b.labels = {"a: 2 x 4", "b: 3 x 4", "c: 2 x 5 (packing)"};
+  b.focus = {m3};
+  return b;
+}
+
+FigureBundle build_fig4() {
+  FigureBundle b;
+  b.params = didactic_params();
+  Application& app = b.app;
+
+  const NodeId n1 = app.add_node("N1");
+  const NodeId n2 = app.add_node("N2");
+  const Time period = timeunits::us(200);
+  const GraphId g = app.add_graph("fig4", period, period);
+
+  auto task = [&](const char* name, NodeId node, int priority) {
+    return app.add_task(g, name, node, timeunits::us(1), TaskPolicy::Fps, priority);
+  };
+  const TaskId sender1 = task("s13", n1, 0);  // sends m1 and m3
+  const TaskId sender2 = task("s2", n2, 0);   // sends m2
+
+  // Frame footprints (minislots): m1 = 3, m2 = 5, m3 = 2 — chosen so that
+  // with a 7-minislot DYN segment m2 misses the first cycle while m3 fits
+  // (scenario b), exactly the situation of the figure.
+  const MessageId m1 =
+      app.add_message(g, "m1", sender1, task("r1", n2, 1), 3, MessageClass::Dynamic, 0);
+  const MessageId m2 =
+      app.add_message(g, "m2", sender2, task("r2", n1, 1), 5, MessageClass::Dynamic, 0);
+  const MessageId m3 =
+      app.add_message(g, "m3", sender1, task("r3", n2, 2), 2, MessageClass::Dynamic, 1);
+
+  const auto fin = app.finalize();
+  if (!fin.ok()) throw std::logic_error("figure builder: " + fin.error().message);
+
+  auto make = [&](int minislots, int f1, int f2, int f3) {
+    BusConfig cfg;
+    cfg.static_slot_count = 1;
+    cfg.static_slot_len = timeunits::us(8);  // the figure's "ST = 8"
+    cfg.static_slot_owner = {n1};
+    cfg.minislot_count = minislots;
+    cfg.frame_id.assign(app.message_count(), 0);
+    cfg.frame_id[index_of(m1)] = f1;
+    cfg.frame_id[index_of(m2)] = f2;
+    cfg.frame_id[index_of(m3)] = f3;
+    return cfg;
+  };
+  b.configs.push_back(make(7, 1, 2, 1));   // (a) Table A: m1/m3 share FrameID 1
+  b.configs.push_back(make(7, 1, 2, 3));   // (b) Table B: unique FrameIDs
+  b.configs.push_back(make(10, 1, 2, 3));  // (c) Table B + enlarged DYN segment
+  b.labels = {"a: shared FrameID", "b: unique FrameIDs", "c: unique + larger DYN"};
+  b.focus = {m2, m1, m3};
+  return b;
+}
+
+FigureBundle build_fig7() {
+  FigureBundle b;
+  BusParams params;  // realistic 10 Mbit/s parameters, 5 us minislots
+  params.gd_bit = 100;
+  params.gd_macrotick = timeunits::us(1);
+  params.gd_minislot = timeunits::us(5);
+  b.params = params;
+  Application& app = b.app;
+
+  // 3 nodes, 45 tasks in 9 graphs of 5, 10 ST + 20 DYN messages:
+  //  * 2 TT chain graphs fully crossing nodes: 4 ST messages each (8)
+  //  * 1 TT graph with 2 crossings (2) -> 10 ST
+  //  * 5 ET chain graphs fully crossing: 4 DYN messages each -> 20 DYN
+  //  * 1 local ET graph with no crossings.
+  const NodeId nodes[3] = {app.add_node("N1"), app.add_node("N2"), app.add_node("N3")};
+
+  int st_priority = 0;
+  int dyn_priority = 0;
+  auto add_chain = [&](const char* name, bool tt, Time period, const int node_pattern[5],
+                       int size_bytes) {
+    const GraphId g = app.add_graph(name, period, period);
+    TaskId prev{};
+    for (int i = 0; i < 5; ++i) {
+      const TaskId t = app.add_task(
+          g, std::string(name) + "_t" + std::to_string(i), nodes[node_pattern[i]],
+          timeunits::us(400), tt ? TaskPolicy::Scs : TaskPolicy::Fps, dyn_priority % 24);
+      if (i > 0) {
+        if (app.task(prev).node == app.task(t).node) {
+          app.add_dependency(prev, t);
+        } else {
+          app.add_message(g, std::string(name) + "_m" + std::to_string(i), prev, t, size_bytes,
+                          tt ? MessageClass::Static : MessageClass::Dynamic,
+                          tt ? st_priority++ : dyn_priority++);
+        }
+      }
+      prev = t;
+    }
+  };
+
+  const int crossing[5] = {0, 1, 2, 0, 1};   // every edge crosses nodes
+  const int two_cross[5] = {0, 0, 0, 1, 2};  // two crossings
+  const int local[5] = {2, 2, 2, 2, 2};      // no messages
+
+  add_chain("tt0", true, timeunits::ms(20), crossing, 8);
+  add_chain("tt1", true, timeunits::ms(40), crossing, 12);
+  add_chain("tt2", true, timeunits::ms(40), two_cross, 8);
+  add_chain("et0", false, timeunits::ms(20), crossing, 24);
+  add_chain("et1", false, timeunits::ms(20), crossing, 40);
+  add_chain("et2", false, timeunits::ms(40), crossing, 16);
+  add_chain("et3", false, timeunits::ms(40), crossing, 56);
+  add_chain("et4", false, timeunits::ms(40), crossing, 32);
+  add_chain("et5", false, timeunits::ms(40), local, 8);
+
+  const auto fin = app.finalize();
+  if (!fin.ok()) throw std::logic_error("fig7 builder: " + fin.error().message);
+  if (app.task_count() != 45 || app.message_count() != 30) {
+    throw std::logic_error("fig7 builder: unexpected system size");
+  }
+
+  // Fixed ST segment (the paper pins it at 1286 us); FrameIDs 1..20 in
+  // declaration order; minislot_count is swept by the bench.
+  BusConfig cfg;
+  cfg.static_slot_count = 3;
+  cfg.static_slot_len = timeunits::us(160);
+  cfg.static_slot_owner = {nodes[0], nodes[1], nodes[2]};
+  cfg.minislot_count = 0;  // bench overrides
+  cfg.frame_id.assign(app.message_count(), 0);
+  int next_fid = 1;
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls == MessageClass::Dynamic) cfg.frame_id[m] = next_fid++;
+  }
+  b.configs.push_back(cfg);
+  b.labels.emplace_back("fig7 base (sweep minislot_count)");
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls == MessageClass::Dynamic) {
+      b.focus.push_back(static_cast<MessageId>(m));
+    }
+  }
+  return b;
+}
+
+}  // namespace flexopt

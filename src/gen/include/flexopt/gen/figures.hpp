@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file figures.hpp
+/// Builders for the didactic systems of the paper's figures, each paired
+/// with the bus configurations the figure compares.  These power the
+/// Fig. 1/3/4 walkthrough tests and benches and the Fig. 7 curve bench.
+
+#include <string>
+#include <vector>
+
+#include "flexopt/flexray/bus_config.hpp"
+#include "flexopt/flexray/params.hpp"
+#include "flexopt/model/application.hpp"
+
+namespace flexopt {
+
+/// An application plus the scenario configurations a figure compares.
+/// The application must outlive any BusLayout built from the bundle.
+struct FigureBundle {
+  Application app;
+  BusParams params;
+  std::vector<BusConfig> configs;
+  std::vector<std::string> labels;
+  /// Message ids of interest (e.g. m3 in Fig. 3, m2 in Fig. 4).
+  std::vector<MessageId> focus;
+};
+
+/// Abstract-unit bus parameters for the figure systems: zero frame
+/// overhead, 1 byte = 1 us on the wire, 1 us minislots — so the paper's
+/// abstract message "sizes" map directly to time units.
+BusParams didactic_params();
+
+/// Fig. 1: three nodes, messages ma..mh over two bus cycles, including the
+/// pLatestTx-delayed mh.  One configuration (the figure's).
+FigureBundle build_fig1();
+
+/// Fig. 3: ST segment structure vs response time of m3 — scenarios
+/// (a) two minimal slots, (b) three slots, (c) two longer slots with frame
+/// packing.  Expected: R3(a)=16, R3(b)=12, R3(c)=10 (paper values).
+FigureBundle build_fig3();
+
+/// Fig. 4: DYN FrameID assignment and segment length vs response time of
+/// m2 — (a) m1/m3 share FrameID 1, (b) unique FrameIDs, (c) unique
+/// FrameIDs + enlarged DYN segment.  Expected strict ordering
+/// R2(a) > R2(b) > R2(c).
+FigureBundle build_fig4();
+
+/// Fig. 7: a 45-task system with 10 ST and 20 DYN messages whose DYN
+/// response times are U-shaped in the DYN segment length.  The bundle's
+/// single config carries the fixed ST segment; the bench sweeps
+/// minislot_count.
+FigureBundle build_fig7();
+
+}  // namespace flexopt

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// Synthetic system generator reproducing the experimental setup of
+/// Section 7: n nodes with 10 tasks each, task graphs of 5 tasks, half of
+/// the graphs time-triggered and half event-triggered, node utilisation
+/// scaled into [30%, 60%] and bus utilisation into [10%, 70%].
+
+#include <cstdint>
+
+#include "flexopt/flexray/params.hpp"
+#include "flexopt/model/application.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+struct SyntheticSpec {
+  int nodes = 5;
+  int tasks_per_node = 10;
+  int tasks_per_graph = 5;
+  /// Fraction of graphs that are time-triggered (SCS tasks + ST messages).
+  double tt_share = 0.5;
+  /// Per-node processor utilisation target range.  The paper draws
+  /// utilisations in [0.30, 0.60]; our holistic analysis is more
+  /// conservative than the exact variant of [14] (full-cycle sigma per DYN
+  /// hop, sliding-window SCS interference), so the default band is shifted
+  /// down to land the benchmark suite in the same mixed-feasibility regime
+  /// the paper reports (see DESIGN.md, substitutions).
+  double node_util_min = 0.25;
+  double node_util_max = 0.45;
+  /// Bus utilisation target range (sum of frame duration / period).
+  /// Paper band: [0.10, 0.70]; shifted down for the same reason.
+  double bus_util_min = 0.10;
+  double bus_util_max = 0.40;
+  /// Graph periods are drawn from this set (ns); keep them harmonic so the
+  /// hyper-period stays small.
+  std::vector<Time> period_choices{timeunits::ms(20), timeunits::ms(40), timeunits::ms(80)};
+  /// Deadline = period * deadline_factor.
+  double deadline_factor = 1.0;
+  /// Upper clamp for the bus-utilisation size scaling (FlexRay payloads go
+  /// to 254 bytes; automotive signals are usually far smaller, and giant
+  /// frames inflate the minimum bus cycle).
+  int max_message_bytes = 32;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized application following the Section 7 recipe.
+/// `params` supplies the frame cost model used for bus-utilisation scaling.
+Expected<Application> generate_synthetic(const SyntheticSpec& spec, const BusParams& params);
+
+/// Realised (post-scaling) bus utilisation of an application, for test
+/// assertions and bench reporting.
+double bus_utilization(const Application& app, const BusParams& params);
+
+}  // namespace flexopt

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file system_format.hpp
+/// Plain-text system description format and parser, so systems can be fed
+/// to the CLI / examples without writing C++.
+///
+/// Line-based; `#` starts a comment; keywords:
+///
+///   node <name>
+///   graph <name> tt|et period=<dur> deadline=<dur>
+///   task <name> graph=<g> node=<n> wcet=<dur> [prio=<int>] [offset=<dur>]
+///   message <name> from=<task> to=<task> bytes=<int> [prio=<int>]
+///   dependency <from-task> <to-task>
+///   param gd_bit|gd_macrotick|gd_minislot=<dur>
+///   param overhead_bits|bits_per_byte=<int>
+///
+/// Task policy and message class follow the graph trigger (tt -> SCS/ST,
+/// et -> FPS/DYN).  Durations accept ns/us/ms/s suffixes (default ns).
+
+#include <iosfwd>
+#include <string>
+
+#include "flexopt/flexray/params.hpp"
+#include "flexopt/model/application.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+struct ParsedSystem {
+  Application app;  ///< finalized
+  BusParams params;
+};
+
+/// Parses a duration literal like "400us", "10ms", "1s", "250" (ns).
+Expected<Time> parse_duration(const std::string& text);
+
+/// Parses a full system description; errors carry the line number.
+Expected<ParsedSystem> parse_system(std::istream& in);
+
+/// Convenience overload over a string.
+Expected<ParsedSystem> parse_system_text(const std::string& text);
+
+/// Serialises an application (plus params) back to the text format; the
+/// output re-parses to an equivalent system (round-trip tested).
+std::string write_system(const Application& app, const BusParams& params);
+
+}  // namespace flexopt

@@ -1,0 +1,37 @@
+#include "flexopt/math/hyperperiod.hpp"
+
+#include <limits>
+
+namespace flexopt {
+
+std::int64_t gcd(std::int64_t a, std::int64_t b) {
+  while (b != 0) {
+    const std::int64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a < 0 ? -a : a;
+}
+
+Expected<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b) {
+  if (a <= 0 || b <= 0) return make_error("lcm requires strictly positive operands");
+  const std::int64_t g = gcd(a, b);
+  const std::int64_t a_reduced = a / g;
+  if (a_reduced > std::numeric_limits<std::int64_t>::max() / b) {
+    return make_error("lcm overflow");
+  }
+  return a_reduced * b;
+}
+
+Expected<std::int64_t> hyperperiod(std::span<const std::int64_t> periods) {
+  if (periods.empty()) return make_error("hyperperiod of empty period set");
+  std::int64_t acc = 1;
+  for (const std::int64_t p : periods) {
+    auto next = checked_lcm(acc, p);
+    if (!next.ok()) return next;
+    acc = next.value();
+  }
+  return acc;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// Fixed-point iteration driver for response-time recurrences.
+///
+/// Both the FPS task analysis and the DYN message analysis (Eq. 3) have the
+/// classic shape t_{k+1} = f(t_k), f monotone non-decreasing, starting from
+/// t = 0, converging when f(t) == t or diverging past a deadline-derived
+/// horizon (then the activity is unschedulable and the caller reports
+/// +infinity).
+
+#include <cstdint>
+
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+struct FixedPointResult {
+  /// Converged value, or kTimeInfinity when the horizon was exceeded.
+  Time value = kTimeInfinity;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Iterate t <- f(t) from t = f(0) until convergence or t > horizon.
+/// `f` must be monotone non-decreasing for the result to be the least fixed
+/// point (standard RTA argument).
+template <typename F>
+FixedPointResult iterate_to_fixed_point(F&& f, Time horizon, int max_iterations = 10'000) {
+  FixedPointResult result;
+  Time t = 0;
+  for (result.iterations = 0; result.iterations < max_iterations; ++result.iterations) {
+    const Time next = f(t);
+    if (next == t) {
+      result.value = t;
+      result.converged = true;
+      return result;
+    }
+    if (next > horizon || next < t) {
+      // Past the horizon (or f not monotone due to saturation): report
+      // divergence; response time treated as unbounded.
+      return result;
+    }
+    t = next;
+  }
+  return result;
+}
+
+}  // namespace flexopt

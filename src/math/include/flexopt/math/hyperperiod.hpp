@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file hyperperiod.hpp
+/// LCM-based hyper-period computation.  The application model combines task
+/// graphs of different periods into one activation pattern over the LCM of
+/// the periods (Section 4 of the paper).
+
+#include <cstdint>
+#include <span>
+
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+/// Greatest common divisor; gcd(0, x) == x.
+std::int64_t gcd(std::int64_t a, std::int64_t b);
+
+/// Least common multiple with overflow detection.
+Expected<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b);
+
+/// Hyper-period (LCM) of a non-empty set of strictly positive periods.
+/// Fails on overflow or invalid input rather than silently wrapping —
+/// a wrapped hyper-period would corrupt every downstream schedule length.
+Expected<std::int64_t> hyperperiod(std::span<const std::int64_t> periods);
+
+}  // namespace flexopt

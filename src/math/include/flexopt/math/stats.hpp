@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file stats.hpp
+/// Summary statistics for the experiment harnesses (average deviation
+/// percentages of Fig. 9, runtime aggregation, …).
+
+#include <span>
+
+namespace flexopt {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Summary of a sample set; all-zero summary for empty input.
+Summary summarize(std::span<const double> values);
+
+/// p-th percentile (0..100) by linear interpolation; requires non-empty input.
+double percentile(std::span<const double> values, double p);
+
+}  // namespace flexopt

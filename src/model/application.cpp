@@ -1,0 +1,259 @@
+#include "flexopt/model/application.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "flexopt/math/hyperperiod.hpp"
+
+namespace flexopt {
+
+NodeId Application::add_node(std::string name) {
+  nodes_.push_back(ProcessingNode{std::move(name)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+GraphId Application::add_graph(std::string name, Time period, Time deadline) {
+  graphs_.push_back(TaskGraph{std::move(name), period, deadline});
+  return static_cast<GraphId>(graphs_.size() - 1);
+}
+
+TaskId Application::add_task(GraphId graph, std::string name, NodeId node, Time wcet,
+                             TaskPolicy policy, int priority) {
+  Task t;
+  t.name = std::move(name);
+  t.graph = graph;
+  t.node = node;
+  t.wcet = wcet;
+  t.policy = policy;
+  t.priority = priority;
+  tasks_.push_back(std::move(t));
+  finalized_ = false;
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+MessageId Application::add_message(GraphId graph, std::string name, TaskId sender,
+                                   TaskId receiver, int size_bytes, MessageClass cls,
+                                   int priority) {
+  Message m;
+  m.name = std::move(name);
+  m.graph = graph;
+  m.sender = sender;
+  m.receiver = receiver;
+  m.size_bytes = size_bytes;
+  m.cls = cls;
+  m.priority = priority;
+  messages_.push_back(std::move(m));
+  finalized_ = false;
+  return static_cast<MessageId>(messages_.size() - 1);
+}
+
+void Application::add_dependency(TaskId from, TaskId to) {
+  task_deps_.emplace_back(from, to);
+  finalized_ = false;
+}
+
+void Application::set_task_deadline(TaskId task, Time deadline) {
+  tasks_[index_of(task)].deadline = deadline;
+}
+
+void Application::set_message_deadline(MessageId message, Time deadline) {
+  messages_[index_of(message)].deadline = deadline;
+}
+
+void Application::set_task_release_offset(TaskId task, Time offset) {
+  tasks_[index_of(task)].release_offset = offset;
+}
+
+void Application::set_task_wcet(TaskId task, Time wcet) { tasks_[index_of(task)].wcet = wcet; }
+
+void Application::set_message_size(MessageId message, int size_bytes) {
+  messages_[index_of(message)].size_bytes = size_bytes;
+}
+
+void Application::set_graph_deadline(GraphId graph, Time deadline) {
+  graphs_[index_of(graph)].deadline = deadline;
+}
+
+Expected<bool> Application::finalize() {
+  if (nodes_.empty()) return make_error("application has no processing nodes");
+  if (tasks_.empty()) return make_error("application has no tasks");
+
+  // Basic element validation.
+  for (const auto& g : graphs_) {
+    if (g.period <= 0) return make_error("graph '" + g.name + "' has non-positive period");
+    if (g.deadline <= 0) return make_error("graph '" + g.name + "' has non-positive deadline");
+  }
+  for (const auto& t : tasks_) {
+    if (t.wcet <= 0) return make_error("task '" + t.name + "' has non-positive WCET");
+    if (t.release_offset < 0) return make_error("task '" + t.name + "' has negative release offset");
+    if (index_of(t.node) >= nodes_.size()) return make_error("task '" + t.name + "' mapped to unknown node");
+    if (index_of(t.graph) >= graphs_.size()) return make_error("task '" + t.name + "' in unknown graph");
+  }
+  for (const auto& m : messages_) {
+    if (m.size_bytes <= 0) return make_error("message '" + m.name + "' has non-positive size");
+    if (index_of(m.sender) >= tasks_.size() || index_of(m.receiver) >= tasks_.size()) {
+      return make_error("message '" + m.name + "' references unknown task");
+    }
+    const Task& snd = tasks_[index_of(m.sender)];
+    const Task& rcv = tasks_[index_of(m.receiver)];
+    if (snd.node == rcv.node) {
+      return make_error("message '" + m.name +
+                        "' connects tasks on the same node (intra-node comms are part of the WCET)");
+    }
+    if (snd.graph != m.graph || rcv.graph != m.graph) {
+      return make_error("message '" + m.name + "' crosses task graphs");
+    }
+    if (m.cls == MessageClass::Static && snd.policy != TaskPolicy::Scs) {
+      return make_error("ST message '" + m.name +
+                        "' must be produced by an SCS task (its slot is fixed in the schedule table)");
+    }
+  }
+  for (const auto& [from, to] : task_deps_) {
+    if (index_of(from) >= tasks_.size() || index_of(to) >= tasks_.size()) {
+      return make_error("dependency references unknown task");
+    }
+    if (tasks_[index_of(from)].graph != tasks_[index_of(to)].graph) {
+      return make_error("dependency crosses task graphs");
+    }
+  }
+
+  // Build adjacency over activities.
+  const std::size_t n = activity_count();
+  preds_.assign(n, {});
+  succs_.assign(n, {});
+  auto link = [&](ActivityRef from, ActivityRef to) {
+    succs_[activity_slot(from)].push_back(to);
+    preds_[activity_slot(to)].push_back(from);
+  };
+  for (std::uint32_t i = 0; i < messages_.size(); ++i) {
+    const auto mref = ActivityRef::message(static_cast<MessageId>(i));
+    link(ActivityRef::task(messages_[i].sender), mref);
+    link(mref, ActivityRef::task(messages_[i].receiver));
+  }
+  for (const auto& [from, to] : task_deps_) {
+    link(ActivityRef::task(from), ActivityRef::task(to));
+  }
+
+  // SCS tasks may only depend on time-triggered activities: a table-driven
+  // start time cannot honour an event-triggered arrival.
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].policy != TaskPolicy::Scs) continue;
+    for (const ActivityRef p : preds_[activity_slot(ActivityRef::task(static_cast<TaskId>(i)))]) {
+      const bool tt = p.is_task() ? tasks_[p.index].policy == TaskPolicy::Scs
+                                  : messages_[p.index].cls == MessageClass::Static;
+      if (!tt) {
+        return make_error("SCS task '" + tasks_[i].name +
+                          "' depends on an event-triggered activity");
+      }
+    }
+  }
+
+  // Kahn topological sort; also detects cycles.
+  std::vector<std::size_t> indegree(n);
+  for (std::size_t a = 0; a < n; ++a) indegree[a] = preds_[a].size();
+  auto ref_of_slot = [&](std::size_t slot) {
+    return slot < tasks_.size()
+               ? ActivityRef::task(static_cast<TaskId>(slot))
+               : ActivityRef::message(static_cast<MessageId>(slot - tasks_.size()));
+  };
+  std::queue<std::size_t> ready;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (indegree[a] == 0) ready.push(a);
+  }
+  topo_order_.clear();
+  topo_order_.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t slot = ready.front();
+    ready.pop();
+    topo_order_.push_back(ref_of_slot(slot));
+    for (const ActivityRef s : succs_[slot]) {
+      if (--indegree[activity_slot(s)] == 0) ready.push(activity_slot(s));
+    }
+  }
+  if (topo_order_.size() != n) return make_error("precedence constraints contain a cycle");
+
+  finalized_ = true;
+  return true;
+}
+
+void Application::require_finalized() const {
+  if (!finalized_) throw std::logic_error("Application must be finalized before analysis queries");
+}
+
+const std::vector<ActivityRef>& Application::predecessors(ActivityRef a) const {
+  require_finalized();
+  return preds_[activity_slot(a)];
+}
+
+const std::vector<ActivityRef>& Application::successors(ActivityRef a) const {
+  require_finalized();
+  return succs_[activity_slot(a)];
+}
+
+const std::vector<ActivityRef>& Application::topological_order() const {
+  require_finalized();
+  return topo_order_;
+}
+
+GraphId Application::graph_of(ActivityRef a) const {
+  return a.is_task() ? tasks_[a.index].graph : messages_[a.index].graph;
+}
+
+Time Application::model_cost(ActivityRef a) const {
+  return a.is_task() ? tasks_[a.index].wcet : 0;
+}
+
+Time Application::effective_deadline(ActivityRef a) const {
+  const Time individual = a.is_task() ? tasks_[a.index].deadline : messages_[a.index].deadline;
+  if (individual != kTimeNone) return individual;
+  return graphs_[index_of(graph_of(a))].deadline;
+}
+
+const std::string& Application::activity_name(ActivityRef a) const {
+  return a.is_task() ? tasks_[a.index].name : messages_[a.index].name;
+}
+
+Time Application::period_of(ActivityRef a) const {
+  return graphs_[index_of(graph_of(a))].period;
+}
+
+Expected<Time> Application::hyperperiod() const {
+  std::vector<std::int64_t> periods;
+  periods.reserve(graphs_.size());
+  for (const auto& g : graphs_) periods.push_back(g.period);
+  return flexopt::hyperperiod(periods);
+}
+
+Time Application::longest_path_to(ActivityRef a, std::span<const Time> message_costs) const {
+  require_finalized();
+  std::vector<Time> lp(activity_count(), 0);
+  auto cost_of = [&](ActivityRef r) {
+    if (r.is_task()) return tasks_[r.index].wcet;
+    return r.index < message_costs.size() ? message_costs[r.index] : Time{0};
+  };
+  for (const ActivityRef r : topo_order_) {
+    Time best_pred = 0;
+    for (const ActivityRef p : preds_[activity_slot(r)]) {
+      best_pred = std::max(best_pred, lp[activity_slot(p)]);
+    }
+    lp[activity_slot(r)] = best_pred + cost_of(r);
+  }
+  return lp[activity_slot(a)];
+}
+
+Time Application::criticality(MessageId m, std::span<const Time> message_costs) const {
+  const auto mref = ActivityRef::message(m);
+  return effective_deadline(mref) - longest_path_to(mref, message_costs);
+}
+
+double Application::node_utilization(NodeId node) const {
+  double u = 0.0;
+  for (const auto& t : tasks_) {
+    if (t.node != node) continue;
+    u += static_cast<double>(t.wcet) / static_cast<double>(graphs_[index_of(t.graph)].period);
+  }
+  return u;
+}
+
+}  // namespace flexopt

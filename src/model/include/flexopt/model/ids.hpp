@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file ids.hpp
+/// Strongly-typed indices for the application model.  Plain enums-over-u32
+/// rather than full strong types: the model is index-based (contiguous
+/// vectors) and these exist to make signatures self-documenting and to stop
+/// accidental cross-assignment between id spaces.
+
+#include <cstdint>
+#include <limits>
+
+namespace flexopt {
+
+enum class NodeId : std::uint32_t {};
+enum class TaskId : std::uint32_t {};
+enum class MessageId : std::uint32_t {};
+enum class GraphId : std::uint32_t {};
+
+constexpr std::uint32_t index_of(NodeId id) { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t index_of(TaskId id) { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t index_of(MessageId id) { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t index_of(GraphId id) { return static_cast<std::uint32_t>(id); }
+
+/// An activity is a task or a message; the precedence graphs, the list
+/// scheduler and the cost function all range over activities uniformly.
+struct ActivityRef {
+  enum class Kind : std::uint8_t { Task, Message } kind;
+  std::uint32_t index;
+
+  static constexpr ActivityRef task(TaskId id) { return {Kind::Task, index_of(id)}; }
+  static constexpr ActivityRef message(MessageId id) { return {Kind::Message, index_of(id)}; }
+
+  [[nodiscard]] constexpr bool is_task() const { return kind == Kind::Task; }
+  [[nodiscard]] constexpr bool is_message() const { return kind == Kind::Message; }
+  [[nodiscard]] constexpr TaskId as_task() const { return static_cast<TaskId>(index); }
+  [[nodiscard]] constexpr MessageId as_message() const { return static_cast<MessageId>(index); }
+
+  friend constexpr bool operator==(ActivityRef a, ActivityRef b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+  friend constexpr bool operator<(ActivityRef a, ActivityRef b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.index < b.index;
+  }
+};
+
+}  // namespace flexopt

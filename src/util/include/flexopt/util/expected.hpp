@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file expected.hpp
+/// Minimal result type for recoverable configuration / validation errors.
+///
+/// flexopt is a design-space-exploration library: most "errors" (a bus
+/// configuration violating the FlexRay spec, an unschedulable system) are
+/// ordinary negative answers that optimisation loops must observe cheaply,
+/// so exceptions are reserved for programming errors (precondition
+/// violations) and `Expected` carries everything else.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flexopt {
+
+/// A recoverable error with a human-readable message.
+struct Error {
+  std::string message;
+};
+
+/// Result-or-error.  `value()` throws std::logic_error if the caller did not
+/// check `ok()` first and the Expected holds an error — that is a programming
+/// bug, not a runtime condition.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Expected::error() called on a success value");
+    return std::get<Error>(data_);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Expected::value() on error: " + std::get<Error>(data_).message);
+    }
+  }
+
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory mirroring std::unexpected.
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace flexopt

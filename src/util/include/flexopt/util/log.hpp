@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging.  Optimisation loops are chatty at debug level;
+/// the default level is Warn so library users see nothing unless they opt in.
+
+#include <sstream>
+#include <string>
+
+namespace flexopt {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/// Process-wide log level (not thread-safe to mutate concurrently with
+/// logging; set it once at startup).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug) log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info) log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn) log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace flexopt

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation for workload synthesis and
+/// simulated annealing.  A thin wrapper over std::mt19937_64 so that every
+/// experiment is reproducible from a single seed printed by the benches.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace flexopt {
+
+/// Seedable RNG with the handful of draw shapes flexopt needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this generator was constructed with (for logging).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Uniformly pick an index in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-system streams inside a
+  /// benchmark sweep) without correlating the parent sequence.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace flexopt

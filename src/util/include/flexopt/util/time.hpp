@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file time.hpp
+/// Time representation used throughout flexopt.
+///
+/// All durations and instants are integral nanoseconds.  The paper works in
+/// microseconds with minislot granularity; nanoseconds keep Eq. (1)
+/// (C_m = frame_size / bus_speed) exact for all realistic bus speeds while
+/// staying in a plain 64-bit integer (about 292 years of range).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace flexopt {
+
+/// Duration or instant in nanoseconds.
+using Time = std::int64_t;
+
+/// Sentinel for "no time" / unset instants.
+inline constexpr Time kTimeNone = std::numeric_limits<Time>::min();
+
+/// Largest representable time; used as +infinity in fixed-point iterations.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+namespace timeunits {
+
+/// Nanoseconds (identity; exists for symmetry and call-site clarity).
+constexpr Time ns(std::int64_t v) { return v; }
+/// Microseconds to nanoseconds.
+constexpr Time us(std::int64_t v) { return v * 1'000; }
+/// Milliseconds to nanoseconds.
+constexpr Time ms(std::int64_t v) { return v * 1'000'000; }
+/// Seconds to nanoseconds.
+constexpr Time sec(std::int64_t v) { return v * 1'000'000'000; }
+
+}  // namespace timeunits
+
+/// Ceiling division for non-negative integers: ceil(a / b), b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Render a time value as a human-readable string with unit scaling,
+/// e.g. "1.286 ms", "250 us", "unset".
+std::string format_time(Time t);
+
+/// Convert to floating microseconds (for plots / CSV output only;
+/// all computation stays integral).
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1'000.0; }
+
+}  // namespace flexopt

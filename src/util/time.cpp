@@ -1,0 +1,35 @@
+#include "flexopt/util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flexopt {
+
+std::string format_time(Time t) {
+  if (t == kTimeNone) return "unset";
+  if (t == kTimeInfinity) return "inf";
+
+  const bool negative = t < 0;
+  const double abs_ns = std::abs(static_cast<double>(t));
+  const char* unit = "ns";
+  double scaled = abs_ns;
+  if (abs_ns >= 1e9) {
+    unit = "s";
+    scaled = abs_ns / 1e9;
+  } else if (abs_ns >= 1e6) {
+    unit = "ms";
+    scaled = abs_ns / 1e6;
+  } else if (abs_ns >= 1e3) {
+    unit = "us";
+    scaled = abs_ns / 1e3;
+  }
+  char buf[64];
+  if (scaled == std::floor(scaled)) {
+    std::snprintf(buf, sizeof(buf), "%s%.0f %s", negative ? "-" : "", scaled, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.3f %s", negative ? "-" : "", scaled, unit);
+  }
+  return buf;
+}
+
+}  // namespace flexopt

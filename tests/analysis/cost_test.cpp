@@ -1,0 +1,96 @@
+// Eq. 5 cost function: f1 (overshoot sum) when any deadline is missed,
+// f2 (laxity sum, negative) when schedulable, finite penalties for
+// unbounded responses.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flexopt/analysis/cost.hpp"
+
+namespace flexopt {
+namespace {
+
+struct CostFixture {
+  Application app;
+  CostFixture() {
+    const NodeId n0 = app.add_node("N0");
+    const NodeId n1 = app.add_node("N1");
+    const GraphId g = app.add_graph("g", timeunits::us(100), timeunits::us(100));
+    const TaskId a = app.add_task(g, "a", n0, 1, TaskPolicy::Scs);
+    const TaskId b = app.add_task(g, "b", n1, 1, TaskPolicy::Scs);
+    app.add_message(g, "m", a, b, 2, MessageClass::Static);
+    if (!app.finalize().ok()) throw std::runtime_error("fixture");
+  }
+};
+
+TEST(Cost, SchedulableIsNegativeLaxitySum) {
+  CostFixture f;
+  const std::vector<Time> tasks{timeunits::us(10), timeunits::us(20)};
+  const std::vector<Time> msgs{timeunits::us(30)};
+  const Cost c = evaluate_cost(f.app, tasks, msgs);
+  EXPECT_TRUE(c.schedulable);
+  // f2 = (10-100)+(20-100)+(30-100) = -240us.
+  EXPECT_DOUBLE_EQ(c.value, -240.0);
+  EXPECT_EQ(c.unbounded_activities, 0);
+}
+
+TEST(Cost, SingleMissSwitchesToOvershoot) {
+  CostFixture f;
+  const std::vector<Time> tasks{timeunits::us(10), timeunits::us(150)};
+  const std::vector<Time> msgs{timeunits::us(30)};
+  const Cost c = evaluate_cost(f.app, tasks, msgs);
+  EXPECT_FALSE(c.schedulable);
+  EXPECT_DOUBLE_EQ(c.value, 50.0);  // only the overshoot counts
+}
+
+TEST(Cost, MultipleMissesAccumulate) {
+  CostFixture f;
+  const std::vector<Time> tasks{timeunits::us(120), timeunits::us(150)};
+  const std::vector<Time> msgs{timeunits::us(130)};
+  const Cost c = evaluate_cost(f.app, tasks, msgs);
+  EXPECT_FALSE(c.schedulable);
+  EXPECT_DOUBLE_EQ(c.value, 20.0 + 50.0 + 30.0);
+}
+
+TEST(Cost, UnboundedActivityGetsPenalty) {
+  CostFixture f;
+  const std::vector<Time> tasks{timeunits::us(10), kTimeInfinity};
+  const std::vector<Time> msgs{timeunits::us(30)};
+  const Cost c = evaluate_cost(f.app, tasks, msgs);
+  EXPECT_FALSE(c.schedulable);
+  EXPECT_EQ(c.unbounded_activities, 1);
+  EXPECT_DOUBLE_EQ(c.value, 100.0 * kUnboundedPenaltyFactor);
+}
+
+TEST(Cost, ExactDeadlineIsSchedulable) {
+  CostFixture f;
+  const std::vector<Time> tasks{timeunits::us(100), timeunits::us(100)};
+  const std::vector<Time> msgs{timeunits::us(100)};
+  const Cost c = evaluate_cost(f.app, tasks, msgs);
+  EXPECT_TRUE(c.schedulable);
+  EXPECT_DOUBLE_EQ(c.value, 0.0);
+}
+
+TEST(Cost, IndividualDeadlinesOverrideGraph) {
+  CostFixture f;
+  f.app.set_task_deadline(TaskId{0}, timeunits::us(5));
+  const std::vector<Time> tasks{timeunits::us(10), timeunits::us(20)};
+  const std::vector<Time> msgs{timeunits::us(30)};
+  const Cost c = evaluate_cost(f.app, tasks, msgs);
+  EXPECT_FALSE(c.schedulable);
+  EXPECT_DOUBLE_EQ(c.value, 5.0);
+}
+
+TEST(Cost, OrderingMatchesIntuition) {
+  CostFixture f;
+  const std::vector<Time> good{timeunits::us(10), timeunits::us(10)};
+  const std::vector<Time> worse{timeunits::us(90), timeunits::us(90)};
+  const std::vector<Time> msgs{timeunits::us(10)};
+  const Cost g = evaluate_cost(f.app, good, msgs);
+  const Cost w = evaluate_cost(f.app, worse, msgs);
+  EXPECT_LT(g, w);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,146 @@
+// DYN message WCRT analysis (Eqs. 2-3): sigma, BusCycles filling by hp/lf
+// interference, the pLatestTx infeasibility case, and monotonicity
+// properties the curve-fit heuristic relies on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flexopt/analysis/dyn_analysis.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::make_layout;
+
+constexpr Time kHorizon = timeunits::ms(100);
+
+/// Two-node system with three DYN messages and a configurable DYN segment.
+struct DynFixture {
+  Application app;
+  BusParams params = didactic_params();
+  MessageId m1{};  // N0, FrameID 1, 3 minislots
+  MessageId m2{};  // N1, FrameID 2, 2 minislots
+  MessageId m3{};  // N0, FrameID 1 (shares with m1), lower priority, 2 slots
+
+  DynFixture() {
+    const NodeId n0 = app.add_node("N0");
+    const NodeId n1 = app.add_node("N1");
+    const GraphId g = app.add_graph("g", timeunits::us(200), timeunits::us(200));
+    const TaskId s0 = app.add_task(g, "s0", n0, 1, TaskPolicy::Fps, 0);
+    const TaskId s1 = app.add_task(g, "s1", n1, 1, TaskPolicy::Fps, 0);
+    const TaskId r0 = app.add_task(g, "r0", n1, 1, TaskPolicy::Fps, 3);
+    const TaskId r1 = app.add_task(g, "r1", n0, 1, TaskPolicy::Fps, 3);
+    m1 = app.add_message(g, "m1", s0, r0, 3, MessageClass::Dynamic, 0);
+    m2 = app.add_message(g, "m2", s1, r1, 2, MessageClass::Dynamic, 0);
+    m3 = app.add_message(g, "m3", s0, r0, 2, MessageClass::Dynamic, 1);
+    if (!app.finalize().ok()) throw std::runtime_error("fixture");
+  }
+
+  BusConfig config(int minislots, int f1 = 1, int f2 = 2, int f3 = 1) const {
+    BusConfig c;
+    c.static_slot_count = 0;
+    c.minislot_count = minislots;
+    c.frame_id.assign(app.message_count(), 0);
+    c.frame_id[index_of(m1)] = f1;
+    c.frame_id[index_of(m2)] = f2;
+    c.frame_id[index_of(m3)] = f3;
+    return c;
+  }
+};
+
+TEST(DynAnalysis, SigmaDecreasesWithFrameId) {
+  DynFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config(10));
+  // sigma = cycle - (ST + (fid-1)*ms); cycle = 10us, ST = 0.
+  EXPECT_EQ(dyn_sigma(layout, f.m1), timeunits::us(10));
+  EXPECT_EQ(dyn_sigma(layout, f.m2), timeunits::us(9));
+}
+
+TEST(DynAnalysis, UncontendedMessageBoundedByOneCyclePlusFrame) {
+  DynFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config(10));
+  const std::vector<Time> jitters(f.app.message_count(), 0);
+  const DynResponse r = dyn_response_time(layout, f.m1, jitters, kHorizon);
+  ASSERT_TRUE(r.converged);
+  // Worst case: ready just after the slot passed -> one full cycle (sigma +
+  // w') + own frame: 10 + 3 = 13us.
+  EXPECT_EQ(r.response, timeunits::us(13));
+  EXPECT_TRUE(r.transmittable);
+}
+
+TEST(DynAnalysis, HigherPrioritySameFrameIdAddsWholeCycles) {
+  DynFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config(10));
+  const std::vector<Time> jitters(f.app.message_count(), 0);
+  const DynResponse r1 = dyn_response_time(layout, f.m1, jitters, kHorizon);
+  const DynResponse r3 = dyn_response_time(layout, f.m3, jitters, kHorizon);
+  ASSERT_TRUE(r3.converged);
+  // m3 shares FrameID 1 with higher-priority m1: at least one extra cycle.
+  EXPECT_GE(r3.response, r1.response + layout.cycle_len() - timeunits::us(1));
+  EXPECT_GE(r3.bus_cycles, 1);
+}
+
+TEST(DynAnalysis, LowerFrameIdTrafficDelaysHigherFrameIds) {
+  DynFixture f;
+  // Unique FrameIDs; m2 behind m1.  Give m1 a release jitter above its
+  // period so two instances land in m2's window: excess = 2 * 2 minislots.
+  const BusLayout small = make_layout(f.app, f.params, f.config(6, 1, 2, 3));
+  const BusLayout large = make_layout(f.app, f.params, f.config(30, 1, 2, 3));
+  std::vector<Time> jitters(f.app.message_count(), 0);
+  jitters[index_of(f.m1)] = timeunits::us(300);
+  const DynResponse r_small = dyn_response_time(small, f.m2, jitters, kHorizon);
+  const DynResponse r_large = dyn_response_time(large, f.m2, jitters, kHorizon);
+  ASSERT_TRUE(r_small.converged);
+  ASSERT_TRUE(r_large.converged);
+  // Small segment: pLTx(N1) = 5, need = 4 <= excess -> one filled cycle.
+  // Large segment: need = 28 > excess -> none.
+  EXPECT_EQ(r_small.bus_cycles, 1);
+  EXPECT_EQ(r_large.bus_cycles, 0);
+  EXPECT_GT(r_small.bus_cycles, r_large.bus_cycles);
+}
+
+TEST(DynAnalysis, FrameIdBeyondPLatestTxIsUntransmittable) {
+  DynFixture f;
+  // 5 minislots, m2 (2 slots) on FrameID 5: pLTx(N1) = 5-2+1 = 4 < 5.
+  const BusLayout layout = make_layout(f.app, f.params, f.config(5, 1, 5, 1));
+  const std::vector<Time> jitters(f.app.message_count(), 0);
+  const DynResponse r = dyn_response_time(layout, f.m2, jitters, kHorizon);
+  EXPECT_FALSE(r.transmittable);
+  EXPECT_EQ(r.response, kTimeInfinity);
+}
+
+TEST(DynAnalysis, InfiniteJitterYieldsInfiniteResponse) {
+  DynFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config(10));
+  std::vector<Time> jitters(f.app.message_count(), 0);
+  jitters[index_of(f.m1)] = kTimeInfinity;
+  // m1 itself unbounded.
+  EXPECT_EQ(dyn_response_time(layout, f.m1, jitters, kHorizon).response, kTimeInfinity);
+  // And so is anything it interferes with (m3 shares its FrameID).
+  EXPECT_EQ(dyn_response_time(layout, f.m3, jitters, kHorizon).response, kTimeInfinity);
+}
+
+TEST(DynAnalysis, ResponseIncludesOwnJitter) {
+  DynFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config(10));
+  std::vector<Time> jitters(f.app.message_count(), 0);
+  const Time base = dyn_response_time(layout, f.m1, jitters, kHorizon).response;
+  jitters[index_of(f.m1)] = timeunits::us(5);
+  const Time with_jitter = dyn_response_time(layout, f.m1, jitters, kHorizon).response;
+  EXPECT_EQ(with_jitter, base + timeunits::us(5));
+}
+
+TEST(DynAnalysis, MonotoneInInterfererJitter) {
+  DynFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config(7, 1, 2, 3));
+  std::vector<Time> jitters(f.app.message_count(), 0);
+  const Time base = dyn_response_time(layout, f.m2, jitters, kHorizon).response;
+  jitters[index_of(f.m1)] = timeunits::us(50);
+  const Time bumped = dyn_response_time(layout, f.m2, jitters, kHorizon).response;
+  EXPECT_GE(bumped, base);
+}
+
+}  // namespace
+}  // namespace flexopt

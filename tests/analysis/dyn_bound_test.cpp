@@ -1,0 +1,155 @@
+// The two BusCycles_m bounds of [14]: the greedy heuristic and the
+// multiplicity-capped refinement.  The refinement must never exceed the
+// heuristic, both must dominate the simulator, and the refinement must be
+// strictly tighter exactly when one message's burst would otherwise be
+// packed into a single cycle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flexopt/analysis/dyn_analysis.hpp"
+#include "flexopt/gen/synthetic.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::analyze;
+using testing::make_layout;
+
+constexpr Time kHorizon = timeunits::ms(400);
+
+/// One big lf message with huge jitter (many instances per window) behind
+/// the message under analysis.
+struct BurstFixture {
+  Application app;
+  BusParams params = didactic_params();
+  MessageId burst{};   // FrameID 1, 5 minislots, jittery
+  MessageId victim{};  // FrameID 2
+
+  BurstFixture() {
+    const NodeId n0 = app.add_node("N0");
+    const NodeId n1 = app.add_node("N1");
+    const GraphId g = app.add_graph("g", timeunits::us(100), timeunits::ms(4));
+    const TaskId s0 = app.add_task(g, "s0", n0, 1, TaskPolicy::Fps, 0);
+    const TaskId s1 = app.add_task(g, "s1", n1, 1, TaskPolicy::Fps, 0);
+    const TaskId r0 = app.add_task(g, "r0", n1, 1, TaskPolicy::Fps, 3);
+    const TaskId r1 = app.add_task(g, "r1", n0, 1, TaskPolicy::Fps, 3);
+    burst = app.add_message(g, "burst", s0, r0, 5, MessageClass::Dynamic, 0);
+    victim = app.add_message(g, "victim", s1, r1, 2, MessageClass::Dynamic, 0);
+    if (!app.finalize().ok()) throw std::runtime_error("fixture");
+  }
+
+  BusConfig config() const {
+    BusConfig c;
+    c.minislot_count = 8;  // pLTx(victim sender) = 7; need = 7 - 2 + 1 = 6
+    c.frame_id.assign(app.message_count(), 0);
+    c.frame_id[index_of(burst)] = 1;
+    c.frame_id[index_of(victim)] = 2;
+    return c;
+  }
+};
+
+TEST(DynBound, RefinementNeverExceedsGreedy) {
+  BurstFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config());
+  for (const Time jitter : {Time{0}, timeunits::us(150), timeunits::us(350),
+                            timeunits::us(900)}) {
+    std::vector<Time> jitters(f.app.message_count(), 0);
+    jitters[index_of(f.burst)] = jitter;
+    const DynResponse greedy =
+        dyn_response_time(layout, f.victim, jitters, kHorizon, DynCyclesBound::Greedy);
+    const DynResponse refined = dyn_response_time(layout, f.victim, jitters, kHorizon,
+                                                  DynCyclesBound::MultiplicityCapped);
+    ASSERT_TRUE(greedy.converged);
+    ASSERT_TRUE(refined.converged);
+    EXPECT_LE(refined.bus_cycles, greedy.bus_cycles) << "jitter " << jitter;
+    EXPECT_LE(refined.response, greedy.response) << "jitter " << jitter;
+  }
+}
+
+TEST(DynBound, RefinementIsStrictlyTighterOnBursts) {
+  // With jitter > 2 periods the greedy bound sees 4+ instances of `burst`
+  // (excess 4 each, need 6) and fills cycles from the pooled excess; the
+  // multiplicity cap knows one cycle can absorb at most ONE burst instance
+  // (excess 4 < need 6), so lf traffic alone can never fill a cycle here.
+  BurstFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config());
+  std::vector<Time> jitters(f.app.message_count(), 0);
+  jitters[index_of(f.burst)] = timeunits::us(900);
+  const DynResponse greedy =
+      dyn_response_time(layout, f.victim, jitters, kHorizon, DynCyclesBound::Greedy);
+  const DynResponse refined = dyn_response_time(layout, f.victim, jitters, kHorizon,
+                                                DynCyclesBound::MultiplicityCapped);
+  EXPECT_GT(greedy.bus_cycles, 0);
+  EXPECT_EQ(refined.bus_cycles, 0);
+  EXPECT_LT(refined.response, greedy.response);
+}
+
+TEST(DynBound, BothBoundsDominateSimulation) {
+  // Soundness of the refined bound on a realistic random system.
+  SyntheticSpec spec;
+  spec.nodes = 3;
+  spec.seed = 91;
+  BusParams params;
+  params.gd_minislot = timeunits::us(5);
+  auto generated = generate_synthetic(spec, params);
+  ASSERT_TRUE(generated.ok());
+  const Application& app = generated.value();
+
+  // Basic configuration.
+  BusConfig config;
+  config.frame_id.assign(app.message_count(), 0);
+  int fid = 1;
+  int largest = 0;
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls == MessageClass::Dynamic) {
+      config.frame_id[m] = fid++;
+      largest = std::max(largest, params.frame_minislots(app.messages()[m].size_bytes));
+    }
+  }
+  config.minislot_count = fid + largest + 40;
+  // Minimal ST side.
+  std::vector<bool> sends(app.node_count(), false);
+  Time max_frame = 0;
+  for (const auto& msg : app.messages()) {
+    if (msg.cls == MessageClass::Static) {
+      sends[index_of(app.task(msg.sender).node)] = true;
+      max_frame = std::max(max_frame, params.frame_duration(msg.size_bytes));
+    }
+  }
+  for (std::uint32_t n = 0; n < app.node_count(); ++n) {
+    if (sends[n]) config.static_slot_owner.push_back(static_cast<NodeId>(n));
+  }
+  config.static_slot_count = static_cast<int>(config.static_slot_owner.size());
+  config.static_slot_len = ceil_div(max_frame, params.gd_macrotick) * params.gd_macrotick;
+
+  const BusLayout layout = make_layout(app, params, config);
+  AnalysisOptions options;
+  options.dyn_bound = DynCyclesBound::MultiplicityCapped;
+  const AnalysisResult analysis = analyze(layout, options);
+  auto sim = simulate(layout, analysis.schedule);
+  ASSERT_TRUE(sim.ok()) << sim.error().message;
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    const Time observed = sim.value().message_worst_completion[m];
+    if (observed == kTimeNone) continue;
+    EXPECT_LE(observed, analysis.message_completion[m]) << app.messages()[m].name;
+  }
+}
+
+TEST(DynBound, RefinedCostNeverWorseThanGreedy) {
+  BurstFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config());
+  AnalysisOptions greedy;
+  greedy.dyn_bound = DynCyclesBound::Greedy;
+  AnalysisOptions refined;
+  refined.dyn_bound = DynCyclesBound::MultiplicityCapped;
+  const AnalysisResult rg = analyze(layout, greedy);
+  const AnalysisResult rr = analyze(layout, refined);
+  EXPECT_LE(rr.cost.value, rg.cost.value);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,98 @@
+// FPS response-time analysis under SCS interference: classic RTA cases
+// plus the availability-window extension.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "flexopt/analysis/fps_analysis.hpp"
+
+namespace flexopt {
+namespace {
+
+constexpr Time kHorizon = timeunits::ms(10);
+
+TEST(FpsAnalysis, SingleTaskNoInterference) {
+  const BusyProfile idle({}, timeunits::us(100));
+  const FpsTaskParams t{TaskId{0}, timeunits::us(10), timeunits::us(100), 0, 1};
+  EXPECT_EQ(fps_response_time(t, {}, idle, kHorizon), timeunits::us(10));
+}
+
+TEST(FpsAnalysis, ClassicTwoTaskPreemption) {
+  // hp task: C=2, T=10; own: C=5 -> w = 5 + 2*ceil(w/10): w=7 -> check 5+2=7.
+  const BusyProfile idle({}, timeunits::us(100));
+  const std::array<FpsTaskParams, 2> tasks{
+      FpsTaskParams{TaskId{0}, timeunits::us(2), timeunits::us(10), 0, 0},
+      FpsTaskParams{TaskId{1}, timeunits::us(5), timeunits::us(100), 0, 1},
+  };
+  EXPECT_EQ(fps_response_time(tasks[1], tasks, idle, kHorizon), timeunits::us(7));
+  // The high-priority task is unaffected by the lower one.
+  EXPECT_EQ(fps_response_time(tasks[0], tasks, idle, kHorizon), timeunits::us(2));
+}
+
+TEST(FpsAnalysis, JitterIncreasesInterferenceAndResponse) {
+  const BusyProfile idle({}, timeunits::us(100));
+  const std::array<FpsTaskParams, 2> tasks{
+      FpsTaskParams{TaskId{0}, timeunits::us(2), timeunits::us(10), timeunits::us(9), 0},
+      FpsTaskParams{TaskId{1}, timeunits::us(5), timeunits::us(100), 0, 1},
+  };
+  // w = 5 + 2*ceil((w+9)/10): w=0->5? iterate: 5->2*ceil(14/10)=4 ->9; 9->2*ceil(18/10)=4 ->9.
+  EXPECT_EQ(fps_response_time(tasks[1], tasks, idle, kHorizon), timeunits::us(9));
+  // Own jitter shifts the response additively.
+  const FpsTaskParams jittered{TaskId{1}, timeunits::us(5), timeunits::us(100),
+                               timeunits::us(3), 1};
+  EXPECT_EQ(fps_response_time(jittered, tasks, idle, kHorizon), timeunits::us(12));
+}
+
+TEST(FpsAnalysis, ScsBusyWindowsDelayFpsTasks) {
+  // SCS busy [0, 40) per 100us period; FPS task C=30 can only run in the
+  // 60us of slack: w = 30 + S(w); S(70) = 40 -> w = 70.
+  const BusyProfile scs({{0, timeunits::us(40)}}, timeunits::us(100));
+  const FpsTaskParams t{TaskId{0}, timeunits::us(30), timeunits::us(100), 0, 1};
+  EXPECT_EQ(fps_response_time(t, {}, scs, kHorizon), timeunits::us(70));
+}
+
+TEST(FpsAnalysis, UnschedulableDivergesToInfinity) {
+  const BusyProfile idle({}, timeunits::us(100));
+  // 100% utilisation by the hp task leaves nothing: diverges.
+  const std::array<FpsTaskParams, 2> tasks{
+      FpsTaskParams{TaskId{0}, timeunits::us(10), timeunits::us(10), 0, 0},
+      FpsTaskParams{TaskId{1}, timeunits::us(5), timeunits::us(100), 0, 1},
+  };
+  EXPECT_EQ(fps_response_time(tasks[1], tasks, idle, kHorizon), kTimeInfinity);
+}
+
+TEST(FpsAnalysis, InfiniteJitterPropagates) {
+  const BusyProfile idle({}, timeunits::us(100));
+  const std::array<FpsTaskParams, 2> tasks{
+      FpsTaskParams{TaskId{0}, timeunits::us(2), timeunits::us(10), kTimeInfinity, 0},
+      FpsTaskParams{TaskId{1}, timeunits::us(5), timeunits::us(100), 0, 1},
+  };
+  EXPECT_EQ(fps_response_time(tasks[1], tasks, idle, kHorizon), kTimeInfinity);
+  const FpsTaskParams own_inf{TaskId{2}, timeunits::us(5), timeunits::us(100),
+                              kTimeInfinity, 2};
+  EXPECT_EQ(fps_response_time(own_inf, {}, idle, kHorizon), kTimeInfinity);
+}
+
+TEST(FpsAnalysis, EqualPrioritiesMutuallyInterfere) {
+  const BusyProfile idle({}, timeunits::us(100));
+  const std::array<FpsTaskParams, 2> tasks{
+      FpsTaskParams{TaskId{0}, timeunits::us(3), timeunits::us(50), 0, 1},
+      FpsTaskParams{TaskId{1}, timeunits::us(4), timeunits::us(50), 0, 1},
+  };
+  EXPECT_EQ(fps_response_time(tasks[0], tasks, idle, kHorizon), timeunits::us(7));
+  EXPECT_EQ(fps_response_time(tasks[1], tasks, idle, kHorizon), timeunits::us(7));
+}
+
+TEST(FpsAnalysis, SumTreatsInfiniteAsHorizon) {
+  const BusyProfile idle({}, timeunits::us(100));
+  const std::array<FpsTaskParams, 2> tasks{
+      FpsTaskParams{TaskId{0}, timeunits::us(10), timeunits::us(10), 0, 0},
+      FpsTaskParams{TaskId{1}, timeunits::us(5), timeunits::us(100), 0, 1},
+  };
+  const Time sum = fps_response_time_sum(tasks, idle, kHorizon);
+  EXPECT_EQ(sum, timeunits::us(10) + kHorizon);
+}
+
+}  // namespace
+}  // namespace flexopt

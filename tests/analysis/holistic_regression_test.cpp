@@ -1,0 +1,124 @@
+// Regression tests for holistic-analysis pitfalls found during bring-up.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/analysis/system_analysis.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::make_layout;
+
+// A message interfered (via a lower FrameID) by its own downstream
+// successor: seeding the fixed point from infinity would lock the pair in a
+// mutually-unbounded state even though the true least fixed point is small.
+// This is the exact shape that criticality-ordered FrameIDs produce (deep
+// messages get low FrameIDs).
+TEST(HolisticRegression, DownstreamInterfererDoesNotDeadlockToInfinity) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n0, timeunits::us(5), TaskPolicy::Fps, 0);
+  const TaskId b = app.add_task(g, "b", n1, timeunits::us(5), TaskPolicy::Fps, 0);
+  const TaskId c = app.add_task(g, "c", n0, timeunits::us(5), TaskPolicy::Fps, 1);
+  // upstream: a -> m_up -> b (FrameID 2); downstream: b -> m_down -> c
+  // (FrameID 1, i.e. in lf(m_up)).
+  const MessageId m_up = app.add_message(g, "m_up", a, b, 10, MessageClass::Dynamic, 0);
+  const MessageId m_down = app.add_message(g, "m_down", b, c, 10, MessageClass::Dynamic, 0);
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.minislot_count = 40;
+  config.frame_id.assign(app.message_count(), 0);
+  config.frame_id[index_of(m_up)] = 2;
+  config.frame_id[index_of(m_down)] = 1;
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+  const auto result = analyze_system(layout);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().message_completion[index_of(m_up)], kTimeInfinity);
+  EXPECT_NE(result.value().message_completion[index_of(m_down)], kTimeInfinity);
+  EXPECT_TRUE(result.value().schedulable());
+}
+
+// The cruise-controller shape: two ET trees whose messages interleave
+// FrameIDs across graphs.  Must converge to finite bounds (was the OBC
+// bring-up failure).
+TEST(HolisticRegression, InterleavedFrameIdsAcrossGraphsConverge) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g1 = app.add_graph("g1", timeunits::ms(2), timeunits::ms(2));
+  const GraphId g2 = app.add_graph("g2", timeunits::ms(4), timeunits::ms(4));
+
+  auto chain = [&](GraphId g, const char* prefix, NodeId first, NodeId second,
+                   int prio_base) {
+    const TaskId t0 = app.add_task(g, std::string(prefix) + "0", first, timeunits::us(10),
+                                   TaskPolicy::Fps, prio_base);
+    const TaskId t1 = app.add_task(g, std::string(prefix) + "1", second, timeunits::us(10),
+                                   TaskPolicy::Fps, prio_base + 1);
+    const TaskId t2 = app.add_task(g, std::string(prefix) + "2", first, timeunits::us(10),
+                                   TaskPolicy::Fps, prio_base + 2);
+    const MessageId ma =
+        app.add_message(g, std::string(prefix) + "ma", t0, t1, 8, MessageClass::Dynamic, prio_base);
+    const MessageId mb =
+        app.add_message(g, std::string(prefix) + "mb", t1, t2, 8, MessageClass::Dynamic, prio_base);
+    return std::pair{ma, mb};
+  };
+  const auto [a1, b1] = chain(g1, "x", n0, n1, 0);
+  const auto [a2, b2] = chain(g2, "y", n1, n0, 3);
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.minislot_count = 60;
+  config.frame_id.assign(app.message_count(), 0);
+  // Interleave: deep messages of both graphs get the low FrameIDs.
+  config.frame_id[index_of(b1)] = 1;
+  config.frame_id[index_of(b2)] = 2;
+  config.frame_id[index_of(a1)] = 3;
+  config.frame_id[index_of(a2)] = 4;
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+  const auto result = analyze_system(layout);
+  ASSERT_TRUE(result.ok());
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    EXPECT_NE(result.value().message_completion[m], kTimeInfinity)
+        << app.messages()[m].name;
+  }
+}
+
+// Genuine divergence must still be reported: a DYN message whose FrameID
+// lies beyond pLatestTx poisons only its own chain, not unrelated ones.
+TEST(HolisticRegression, GenuineUnboundednessStaysUnbounded) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  // The poisoned chain runs at LOW priority (5) so it cannot drag the
+  // healthy high-priority chain into unboundedness via CPU interference.
+  const TaskId a = app.add_task(g, "a", n0, timeunits::us(5), TaskPolicy::Fps, 5);
+  const TaskId b = app.add_task(g, "b", n1, timeunits::us(5), TaskPolicy::Fps, 5);
+  const MessageId dead = app.add_message(g, "dead", a, b, 10, MessageClass::Dynamic, 0);
+  const GraphId g2 = app.add_graph("g2", timeunits::ms(1), timeunits::ms(1));
+  const TaskId c = app.add_task(g2, "c", n1, timeunits::us(5), TaskPolicy::Fps, 0);
+  const TaskId d = app.add_task(g2, "d", n0, timeunits::us(5), TaskPolicy::Fps, 1);
+  const MessageId alive = app.add_message(g2, "alive", c, d, 10, MessageClass::Dynamic, 0);
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.minislot_count = 12;  // 10-minislot frames -> pLatestTx = 3
+  config.frame_id.assign(app.message_count(), 0);
+  config.frame_id[index_of(dead)] = 5;   // 5 > 3: never transmittable
+  config.frame_id[index_of(alive)] = 1;  // fine
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+  const auto result = analyze_system(layout);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().message_completion[index_of(dead)], kTimeInfinity);
+  EXPECT_EQ(result.value().task_completion[index_of(b)], kTimeInfinity);
+  EXPECT_NE(result.value().message_completion[index_of(alive)], kTimeInfinity);
+  EXPECT_NE(result.value().task_completion[index_of(d)], kTimeInfinity);
+  EXPECT_FALSE(result.value().schedulable());
+}
+
+}  // namespace
+}  // namespace flexopt

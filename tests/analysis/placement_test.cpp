@@ -1,0 +1,116 @@
+// FPS-aware SCS placement (Fig. 2 line 11): the MinimizeFpsImpact policy
+// must actually reduce FPS interference versus ASAP packing, while its
+// ALAP delay bound keeps every TT chain within reach of its deadline.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/analysis/fps_analysis.hpp"
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::make_layout;
+
+/// One node with several SCS jobs per period plus one FPS task; a second
+/// node hosts the ST receivers.
+struct PlacementFixture {
+  Application app;
+  BusParams params = didactic_params();
+  TaskId fps{};
+  BusConfig config;
+
+  PlacementFixture() {
+    const NodeId n0 = app.add_node("N0");
+    const NodeId n1 = app.add_node("N1");
+    const GraphId tt = app.add_graph("tt", timeunits::us(200), timeunits::us(200));
+    // Four independent SCS tasks: ASAP placement clumps them into one
+    // 80 us block at the period start.
+    for (int i = 0; i < 4; ++i) {
+      app.add_task(tt, "scs" + std::to_string(i), n0, timeunits::us(20), TaskPolicy::Scs);
+    }
+    app.add_task(tt, "peer", n1, timeunits::us(1), TaskPolicy::Scs);
+    const GraphId et = app.add_graph("et", timeunits::us(200), timeunits::us(200));
+    fps = app.add_task(et, "fps", n0, timeunits::us(30), TaskPolicy::Fps, 0);
+
+    config.static_slot_count = 0;
+    config.minislot_count = 10;
+    config.frame_id.assign(app.message_count(), 0);
+    if (!app.finalize().ok()) throw std::runtime_error("fixture");
+  }
+};
+
+TEST(Placement, MinimizeFpsImpactBeatsAsapForFpsTasks) {
+  PlacementFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config);
+
+  AnalysisOptions asap;
+  asap.scheduler.placement = Placement::Asap;
+  AnalysisOptions spread;  // default MinimizeFpsImpact
+  const auto r_asap = analyze_system(layout, asap);
+  const auto r_spread = analyze_system(layout, spread);
+  ASSERT_TRUE(r_asap.ok());
+  ASSERT_TRUE(r_spread.ok());
+  // ASAP clumps 80 us of SCS -> FPS response >= 110 us; spreading must
+  // strictly improve it.
+  EXPECT_GE(r_asap.value().task_completion[index_of(f.fps)], timeunits::us(110));
+  EXPECT_LT(r_spread.value().task_completion[index_of(f.fps)],
+            r_asap.value().task_completion[index_of(f.fps)]);
+}
+
+TEST(Placement, AlapBoundKeepsDelayedTasksWithinDeadline) {
+  // A chain head with plenty of laxity may be delayed — but never so far
+  // that the chain (reserving one cycle per message hop) cannot finish by
+  // its deadline.  Regression guard for the ALAP bound, which once let TT
+  // chains slip by whole cycles under FPS pressure.
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId tt = app.add_graph("tt", timeunits::us(400), timeunits::us(200));
+  const TaskId head = app.add_task(tt, "head", n0, timeunits::us(10), TaskPolicy::Scs);
+  const TaskId tail = app.add_task(tt, "tail", n1, timeunits::us(10), TaskPolicy::Scs);
+  app.add_message(tt, "hop", head, tail, 4, MessageClass::Static);
+  const GraphId et = app.add_graph("et", timeunits::us(400), timeunits::us(400));
+  app.add_task(et, "fps", n0, timeunits::us(30), TaskPolicy::Fps, 0);
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.static_slot_count = 2;
+  config.static_slot_len = timeunits::us(5);
+  config.static_slot_owner = {n0, n1};
+  config.minislot_count = 10;
+  config.frame_id.assign(app.message_count(), 0);
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+
+  const auto result = analyze_system(layout);  // MinimizeFpsImpact default
+  ASSERT_TRUE(result.ok());
+  // The whole TT chain must still meet its 200 us deadline even though the
+  // head may have been delayed to spare the FPS task.
+  EXPECT_LE(result.value().task_completion[index_of(tail)], timeunits::us(200));
+  EXPECT_LE(result.value().message_completion[0], timeunits::us(200));
+  EXPECT_TRUE(result.value().schedulable());
+}
+
+TEST(Placement, AlignedMultiHyperperiodSimulationStaysSound) {
+  // Soundness must hold beyond the first hyper-period: simulate 4 aligned
+  // hyper-periods and compare every observed completion against the bound.
+  PlacementFixture f;  // H = 200 us, cycle = 10 us -> aligned
+  const BusLayout layout = make_layout(f.app, f.params, f.config);
+  const auto analysis = analyze_system(layout);
+  ASSERT_TRUE(analysis.ok());
+  SimOptions options;
+  options.hyperperiods = 4;
+  auto sim = simulate(layout, analysis.value().schedule, options);
+  ASSERT_TRUE(sim.ok()) << sim.error().message;
+  EXPECT_EQ(sim.value().precedence_violations, 0);
+  for (std::uint32_t t = 0; t < f.app.task_count(); ++t) {
+    const Time o = sim.value().task_worst_completion[t];
+    if (o == kTimeNone) continue;
+    EXPECT_LE(o, analysis.value().task_completion[t]) << f.app.tasks()[t].name;
+  }
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,39 @@
+#include "flexopt/analysis/sat_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexopt {
+namespace {
+
+TEST(SatTime, InfinityDetection) {
+  EXPECT_TRUE(is_infinite(kTimeInfinity));
+  EXPECT_FALSE(is_infinite(0));
+  EXPECT_FALSE(is_infinite(kTimeInfinity - 1));
+}
+
+TEST(SatTime, AddSaturates) {
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_add(kTimeInfinity, 1), kTimeInfinity);
+  EXPECT_EQ(sat_add(1, kTimeInfinity), kTimeInfinity);
+  EXPECT_EQ(sat_add(kTimeInfinity - 2, 5), kTimeInfinity);  // overflow -> saturate
+  EXPECT_EQ(sat_add(kTimeInfinity - 5, 2), kTimeInfinity - 3);
+}
+
+TEST(SatTime, MulSaturates) {
+  EXPECT_EQ(sat_mul(7, 6), 42);
+  EXPECT_EQ(sat_mul(kTimeInfinity, 2), kTimeInfinity);
+  EXPECT_EQ(sat_mul(kTimeInfinity / 2 + 1, 2), kTimeInfinity);
+  EXPECT_EQ(sat_mul(123, 0), 0);
+}
+
+TEST(SatTime, ChainsAbsorb) {
+  // Once a term is infinite, any downstream arithmetic stays infinite.
+  Time acc = timeunits::us(5);
+  acc = sat_add(acc, kTimeInfinity);
+  acc = sat_mul(acc, 3);
+  acc = sat_add(acc, timeunits::ms(1));
+  EXPECT_EQ(acc, kTimeInfinity);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,66 @@
+#include "flexopt/analysis/static_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexopt {
+namespace {
+
+TEST(StaticSchedule, TaskWcrtIsMaxOverInstances) {
+  StaticSchedule s(timeunits::us(100), 1, 1, 0);
+  s.add_task_entry({TaskId{0}, 0, 0, timeunits::us(10), timeunits::us(15)}, 0);
+  s.add_task_entry({TaskId{0}, 1, timeunits::us(50), timeunits::us(80), timeunits::us(90)}, 0);
+  s.finalize();
+  // Instance 0: 15 - 0 = 15us; instance 1: 90 - 50 = 40us.
+  EXPECT_EQ(s.task_wcrt(TaskId{0}), timeunits::us(40));
+}
+
+TEST(StaticSchedule, MessageWcrt) {
+  StaticSchedule s(timeunits::us(100), 1, 0, 1);
+  s.add_message_entry({MessageId{0}, 0, 0, 0, 0, timeunits::us(4), timeunits::us(8)});
+  s.finalize();
+  EXPECT_EQ(s.message_wcrt(MessageId{0}), timeunits::us(8));
+}
+
+TEST(StaticSchedule, MissingEntriesAreInfinite) {
+  StaticSchedule s(timeunits::us(100), 1, 1, 1);
+  s.finalize();
+  EXPECT_EQ(s.task_wcrt(TaskId{0}), kTimeInfinity);
+  EXPECT_EQ(s.message_wcrt(MessageId{0}), kTimeInfinity);
+}
+
+TEST(StaticSchedule, NodeProfileMergesEntries) {
+  StaticSchedule s(timeunits::us(100), 1, 2, 0);
+  s.add_task_entry({TaskId{0}, 0, 0, timeunits::us(10), timeunits::us(20)}, 0);
+  s.add_task_entry({TaskId{1}, 0, 0, timeunits::us(20), timeunits::us(35)}, 0);
+  s.finalize();
+  const BusyProfile& p = s.node_profile(0);
+  EXPECT_EQ(p.busy_per_period(), timeunits::us(25));
+  // Adjacent entries merged into one interval [10, 35).
+  ASSERT_EQ(p.intervals().size(), 1u);
+  EXPECT_EQ(p.intervals()[0], (Interval{timeunits::us(10), timeunits::us(35)}));
+}
+
+TEST(StaticSchedule, ProfileWrapsEntriesPastHyperperiod) {
+  StaticSchedule s(timeunits::us(100), 1, 1, 0);
+  // Entry [90, 110) spilling past H=100us wraps into [90,100) + [0,10).
+  s.add_task_entry({TaskId{0}, 0, timeunits::us(80), timeunits::us(90), timeunits::us(110)},
+                   0);
+  s.finalize();
+  const BusyProfile& p = s.node_profile(0);
+  EXPECT_EQ(p.busy_per_period(), timeunits::us(20));
+  EXPECT_EQ(p.busy_between(0, timeunits::us(10)), timeunits::us(10));
+  EXPECT_EQ(p.busy_between(timeunits::us(90), timeunits::us(100)), timeunits::us(10));
+}
+
+TEST(StaticSchedule, EntriesSortedByStartAfterFinalize) {
+  StaticSchedule s(timeunits::us(100), 1, 2, 0);
+  s.add_task_entry({TaskId{1}, 0, 0, timeunits::us(50), timeunits::us(60)}, 0);
+  s.add_task_entry({TaskId{0}, 0, 0, timeunits::us(5), timeunits::us(15)}, 0);
+  s.finalize();
+  const auto& entries = s.node_entries(0);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].start, entries[1].start);
+}
+
+}  // namespace
+}  // namespace flexopt

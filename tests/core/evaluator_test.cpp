@@ -1,0 +1,57 @@
+// CostEvaluator: the shared analysis service all optimisers consume.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/core/evaluator.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::TinySystem;
+
+TEST(CostEvaluator, ValidConfigYieldsCostAndCountsEvaluation) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
+  EXPECT_EQ(evaluator.evaluations(), 0);
+  const auto eval = evaluator.evaluate(sys.config);
+  ASSERT_TRUE(eval.valid);
+  EXPECT_LT(eval.cost.value, kInvalidConfigCost);
+  EXPECT_EQ(evaluator.evaluations(), 1);
+}
+
+TEST(CostEvaluator, InvalidConfigDoesNotCountAsAnalysis) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
+  BusConfig broken = sys.config;
+  broken.minislot_count = -1;
+  const auto eval = evaluator.evaluate(broken);
+  EXPECT_FALSE(eval.valid);
+  EXPECT_FALSE(eval.error.empty());
+  EXPECT_DOUBLE_EQ(eval.cost.value, kInvalidConfigCost);
+  EXPECT_EQ(evaluator.evaluations(), 0);
+}
+
+TEST(CostEvaluator, DeterministicAcrossCalls) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
+  const auto a = evaluator.evaluate(sys.config);
+  const auto b = evaluator.evaluate(sys.config);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_DOUBLE_EQ(a.cost.value, b.cost.value);
+  EXPECT_EQ(evaluator.evaluations(), 2);
+}
+
+TEST(CostEvaluator, AnalysisResultExposed) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
+  const auto eval = evaluator.evaluate(sys.config);
+  ASSERT_TRUE(eval.valid);
+  EXPECT_EQ(eval.analysis.task_completion.size(), sys.app.task_count());
+  EXPECT_EQ(eval.analysis.message_completion.size(), sys.app.message_count());
+  EXPECT_EQ(eval.analysis.cost.value, eval.cost.value);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,120 @@
+#include "flexopt/flexray/bus_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::TinySystem;
+
+TEST(BusLayout, DerivesCycleGeometry) {
+  TinySystem sys;
+  auto layout = BusLayout::build(sys.app, sys.params, sys.config);
+  ASSERT_TRUE(layout.ok()) << layout.error().message;
+  EXPECT_EQ(layout.value().st_segment_len(), timeunits::us(10));
+  EXPECT_EQ(layout.value().dyn_segment_len(), timeunits::us(8));
+  EXPECT_EQ(layout.value().cycle_len(), timeunits::us(18));
+  EXPECT_EQ(layout.value().static_slot_start(1), timeunits::us(5));
+}
+
+TEST(BusLayout, ComputesMessageDurations) {
+  TinySystem sys;
+  auto layout = BusLayout::build(sys.app, sys.params, sys.config);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout.value().message_duration(sys.st_msg), timeunits::us(4));
+  EXPECT_EQ(layout.value().message_duration(sys.dyn_msg), timeunits::us(2));
+  EXPECT_EQ(layout.value().message_minislots(sys.dyn_msg), 2);
+  EXPECT_EQ(layout.value().message_occupancy(sys.dyn_msg), timeunits::us(2));
+}
+
+TEST(BusLayout, ComputesPLatestTx) {
+  TinySystem sys;
+  auto layout = BusLayout::build(sys.app, sys.params, sys.config);
+  ASSERT_TRUE(layout.ok());
+  // N1 sends the 2-minislot DYN message: pLatestTx = 8 - 2 + 1 = 7.
+  EXPECT_EQ(layout.value().p_latest_tx(NodeId{1}), 7);
+  // N0 sends no DYN messages: gate is the segment end.
+  EXPECT_EQ(layout.value().p_latest_tx(NodeId{0}), 8);
+}
+
+TEST(BusLayout, RejectsMissingStSlot) {
+  TinySystem sys;
+  sys.config.static_slot_count = 1;
+  sys.config.static_slot_owner = {NodeId{1}};  // N0 sends ST but owns nothing
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, sys.config).ok());
+}
+
+TEST(BusLayout, RejectsShortStaticSlot) {
+  TinySystem sys;
+  sys.config.static_slot_len = timeunits::us(3);  // ST frame needs 4 us
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, sys.config).ok());
+}
+
+TEST(BusLayout, RejectsFrameIdOutOfRange) {
+  TinySystem sys;
+  sys.config.frame_id[index_of(sys.dyn_msg)] = 9;  // only 8 minislots
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, sys.config).ok());
+}
+
+TEST(BusLayout, RejectsSharedFrameIdAcrossNodes) {
+  TinySystem sys;
+  // Add a second DYN message from N0 sharing FrameID 1 with N1's message.
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId et = app.add_graph("et", timeunits::us(100), timeunits::us(100));
+  const TaskId a = app.add_task(et, "a", n0, 1, TaskPolicy::Fps);
+  const TaskId b = app.add_task(et, "b", n1, 1, TaskPolicy::Fps);
+  const TaskId ra = app.add_task(et, "ra", n1, 1, TaskPolicy::Fps);
+  const TaskId rb = app.add_task(et, "rb", n0, 1, TaskPolicy::Fps);
+  app.add_message(et, "m0", a, ra, 2, MessageClass::Dynamic);
+  app.add_message(et, "m1", b, rb, 2, MessageClass::Dynamic);
+  ASSERT_TRUE(app.finalize().ok());
+  BusConfig config;
+  config.minislot_count = 8;
+  config.frame_id = {1, 1};  // different sender nodes, same slot
+  EXPECT_FALSE(BusLayout::build(app, sys.params, config).ok());
+}
+
+TEST(BusLayout, RejectsCycleOver16ms) {
+  TinySystem sys;
+  sys.config.static_slot_len = timeunits::us(600);
+  sys.config.static_slot_count = 2;
+  sys.config.minislot_count = 7994;  // 1.2ms ST + 7.994ms DYN OK; raise minislot
+  BusParams params = sys.params;
+  params.gd_minislot = timeunits::us(5);  // DYN = 39.97 ms
+  EXPECT_FALSE(BusLayout::build(sys.app, params, sys.config).ok());
+}
+
+TEST(BusLayout, RejectsDynSegmentTooSmallForFrame) {
+  TinySystem sys;
+  sys.config.minislot_count = 1;  // DYN frame needs 2 minislots
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, sys.config).ok());
+}
+
+TEST(BusLayout, RejectsEmptyCycle) {
+  TinySystem sys;
+  // Strip all messages: build a task-only app, zero slots and minislots.
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  app.add_task(g, "t", n0, 1, TaskPolicy::Scs);
+  ASSERT_TRUE(app.finalize().ok());
+  BusConfig config;  // all zero
+  EXPECT_FALSE(BusLayout::build(app, sys.params, config).ok());
+}
+
+TEST(BusLayout, StaticSlotsOfNode) {
+  TinySystem sys;
+  auto layout = BusLayout::build(sys.app, sys.params, sys.config);
+  ASSERT_TRUE(layout.ok());
+  ASSERT_EQ(layout.value().static_slots_of(NodeId{0}).size(), 1u);
+  EXPECT_EQ(layout.value().static_slots_of(NodeId{0})[0], 0);
+  ASSERT_EQ(layout.value().static_slots_of(NodeId{1}).size(), 1u);
+  EXPECT_EQ(layout.value().static_slots_of(NodeId{1})[0], 1);
+}
+
+}  // namespace
+}  // namespace flexopt

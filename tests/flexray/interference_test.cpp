@@ -1,0 +1,77 @@
+// The interference sets of Section 5.1 — hp(m), lf(m), ms(m) — checked on
+// the Fig. 1 system where the paper spells them out:
+// hp(mg) = {mf}, lf(mg) = {md, me}, ms(mg) = {1, 2, 3}, ms(mf) = {3}.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flexopt/flexray/bus_layout.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+class Fig1Interference : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bundle_ = build_fig1();
+    layout_.emplace(testing::make_layout(bundle_.app, bundle_.params, bundle_.configs[0]));
+  }
+
+  MessageId by_name(const std::string& name) const {
+    for (std::uint32_t m = 0; m < bundle_.app.message_count(); ++m) {
+      if (bundle_.app.messages()[m].name == name) return static_cast<MessageId>(m);
+    }
+    throw std::runtime_error("no message " + name);
+  }
+
+  FigureBundle bundle_;
+  std::optional<BusLayout> layout_;
+};
+
+TEST_F(Fig1Interference, HpOfMgIsMf) {
+  const auto hp = layout_->hp(by_name("mg"));
+  ASSERT_EQ(hp.size(), 1u);
+  EXPECT_EQ(hp[0], by_name("mf"));
+}
+
+TEST_F(Fig1Interference, HpOfMfIsEmpty) {
+  EXPECT_TRUE(layout_->hp(by_name("mf")).empty());
+}
+
+TEST_F(Fig1Interference, LfOfMgIsMdAndMe) {
+  auto lf = layout_->lf(by_name("mg"));
+  std::sort(lf.begin(), lf.end(),
+            [](MessageId a, MessageId b) { return index_of(a) < index_of(b); });
+  ASSERT_EQ(lf.size(), 2u);
+  EXPECT_EQ(lf[0], by_name("md"));
+  EXPECT_EQ(lf[1], by_name("me"));
+}
+
+TEST_F(Fig1Interference, MsCountsLowerSlots) {
+  // ms(mg) = slots {1, 2, 3} -> 3; ms(mf) likewise 3 in our numbering
+  // (FrameID 4), ms(md) = 0 (FrameID 1).
+  EXPECT_EQ(layout_->ms_count(by_name("mg")), 3);
+  EXPECT_EQ(layout_->ms_count(by_name("mf")), 3);
+  EXPECT_EQ(layout_->ms_count(by_name("md")), 0);
+  EXPECT_EQ(layout_->ms_count(by_name("mh")), 4);
+}
+
+TEST_F(Fig1Interference, LfOfLowestSlotIsEmpty) {
+  EXPECT_TRUE(layout_->lf(by_name("md")).empty());
+}
+
+TEST_F(Fig1Interference, FrameIdOwnership) {
+  NodeId owner{};
+  ASSERT_TRUE(layout_->frame_id_owner(1, &owner));
+  EXPECT_EQ(bundle_.app.node(owner).name, "N3");
+  ASSERT_TRUE(layout_->frame_id_owner(4, &owner));
+  EXPECT_EQ(bundle_.app.node(owner).name, "N2");
+  EXPECT_FALSE(layout_->frame_id_owner(3, &owner));  // unowned slot
+  EXPECT_FALSE(layout_->frame_id_owner(0, &owner));
+  EXPECT_FALSE(layout_->frame_id_owner(99, &owner));
+}
+
+}  // namespace
+}  // namespace flexopt

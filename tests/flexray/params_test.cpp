@@ -1,0 +1,43 @@
+#include "flexopt/flexray/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexopt {
+namespace {
+
+TEST(BusParams, FrameDurationEquation1) {
+  BusParams p;  // defaults: 100 ns/bit, 110 overhead bits, 10 bits/byte
+  // 8-byte payload: 110 + 80 = 190 bits = 19 us at 10 Mbit/s.
+  EXPECT_EQ(p.frame_duration(8), timeunits::us(19));
+}
+
+TEST(BusParams, FrameDurationAbstractUnits) {
+  BusParams p;
+  p.frame.overhead_bits = 0;
+  p.frame.bits_per_payload_byte = 10;
+  p.gd_bit = 100;
+  EXPECT_EQ(p.frame_duration(4), timeunits::us(4));  // 1 byte == 1 us
+}
+
+TEST(BusParams, FrameMinislotsRoundsUp) {
+  BusParams p;
+  p.gd_minislot = timeunits::us(5);
+  // 19 us frame -> 4 minislots of 5 us.
+  EXPECT_EQ(p.frame_minislots(8), 4);
+  // Exactly one minislot.
+  p.frame.overhead_bits = 0;
+  p.frame.bits_per_payload_byte = 10;
+  EXPECT_EQ(p.frame_minislots(5), 1);
+  EXPECT_EQ(p.frame_minislots(6), 2);
+}
+
+TEST(SpecLimits, PaperCitedValues) {
+  EXPECT_EQ(SpecLimits::kMaxStaticSlots, 1023);
+  EXPECT_EQ(SpecLimits::kMaxMinislots, 7994);
+  EXPECT_EQ(SpecLimits::kMaxCycle, timeunits::ms(16));
+  EXPECT_EQ(SpecLimits::kMaxStaticSlotMacroticks, 661);
+  EXPECT_EQ(SpecLimits::kPayloadStepBits, 20);
+}
+
+}  // namespace
+}  // namespace flexopt

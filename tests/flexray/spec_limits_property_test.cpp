@@ -1,0 +1,74 @@
+// Exhaustive boundary tests of the FlexRay spec limits in BusLayout:
+// each limit accepted exactly at the boundary and rejected one step past.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/flexray/bus_layout.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::TinySystem;
+
+TEST(SpecLimitBoundaries, StaticSlotCount) {
+  TinySystem sys;
+  // 1023 slots of 1 us + tiny DYN: cycle 1.031 ms < 16 ms.
+  sys.config.static_slot_count = SpecLimits::kMaxStaticSlots;
+  sys.config.static_slot_len = timeunits::us(5);
+  sys.config.static_slot_owner.assign(static_cast<std::size_t>(SpecLimits::kMaxStaticSlots),
+                                      NodeId{0});
+  sys.config.static_slot_owner[1] = NodeId{1};
+  sys.config.minislot_count = 8;
+  BusParams params = sys.params;
+  params.gd_minislot = timeunits::us(1);
+  EXPECT_TRUE(BusLayout::build(sys.app, params, sys.config).ok());
+
+  sys.config.static_slot_count = SpecLimits::kMaxStaticSlots + 1;
+  sys.config.static_slot_owner.push_back(NodeId{0});
+  EXPECT_FALSE(BusLayout::build(sys.app, params, sys.config).ok());
+}
+
+TEST(SpecLimitBoundaries, MinislotCount) {
+  TinySystem sys;
+  BusParams params = sys.params;
+  params.gd_minislot = timeunits::us(1);  // 7994 minislots = 7.994 ms
+  sys.config.minislot_count = SpecLimits::kMaxMinislots;
+  EXPECT_TRUE(BusLayout::build(sys.app, params, sys.config).ok());
+  sys.config.minislot_count = SpecLimits::kMaxMinislots + 1;
+  EXPECT_FALSE(BusLayout::build(sys.app, params, sys.config).ok());
+}
+
+TEST(SpecLimitBoundaries, StaticSlotLength) {
+  TinySystem sys;
+  sys.config.static_slot_len =
+      SpecLimits::kMaxStaticSlotMacroticks * sys.params.gd_macrotick;
+  EXPECT_TRUE(BusLayout::build(sys.app, sys.params, sys.config).ok());
+  sys.config.static_slot_len += sys.params.gd_macrotick;
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, sys.config).ok());
+}
+
+TEST(SpecLimitBoundaries, CycleLength) {
+  TinySystem sys;
+  BusParams params = sys.params;
+  params.gd_minislot = timeunits::us(2);
+  // ST = 2 x 500 us = 1 ms; DYN = 7500 x 2 us = 15 ms -> cycle exactly 16 ms.
+  sys.config.static_slot_len = timeunits::us(500);
+  sys.config.minislot_count = 7500;
+  EXPECT_TRUE(BusLayout::build(sys.app, params, sys.config).ok());
+  sys.config.minislot_count = 7501;  // 16.002 ms
+  EXPECT_FALSE(BusLayout::build(sys.app, params, sys.config).ok());
+}
+
+TEST(SpecLimitBoundaries, NegativeValuesRejected) {
+  TinySystem sys;
+  BusConfig negative = sys.config;
+  negative.static_slot_count = -1;
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, negative).ok());
+  negative = sys.config;
+  negative.minislot_count = -5;
+  EXPECT_FALSE(BusLayout::build(sys.app, sys.params, negative).ok());
+}
+
+}  // namespace
+}  // namespace flexopt

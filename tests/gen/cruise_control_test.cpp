@@ -1,0 +1,76 @@
+// The cruise-controller case study must match the published topology:
+// 54 tasks, 26 messages, 4 graphs (2 TT + 2 ET), 5 nodes.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/gen/cruise_control.hpp"
+#include "flexopt/gen/figures.hpp"
+
+namespace flexopt {
+namespace {
+
+TEST(CruiseController, PublishedTopology) {
+  const Application app = build_cruise_controller();
+  EXPECT_EQ(app.task_count(), 54u);
+  EXPECT_EQ(app.message_count(), 26u);
+  EXPECT_EQ(app.graph_count(), 4u);
+  EXPECT_EQ(app.node_count(), 5u);
+}
+
+TEST(CruiseController, TwoTtTwoEtGraphs) {
+  const Application app = build_cruise_controller();
+  int tt = 0;
+  int et = 0;
+  for (std::uint32_t g = 0; g < app.graph_count(); ++g) {
+    bool any_scs = false;
+    for (const auto& t : app.tasks()) {
+      if (index_of(t.graph) == g && t.policy == TaskPolicy::Scs) any_scs = true;
+    }
+    (any_scs ? tt : et)++;
+  }
+  EXPECT_EQ(tt, 2);
+  EXPECT_EQ(et, 2);
+}
+
+TEST(CruiseController, MessageSplitMatchesGraphTriggering) {
+  const Application app = build_cruise_controller();
+  int st = 0;
+  int dyn = 0;
+  for (const auto& m : app.messages()) {
+    (m.cls == MessageClass::Static ? st : dyn)++;
+  }
+  EXPECT_EQ(st, 13);
+  EXPECT_EQ(dyn, 13);
+}
+
+TEST(CruiseController, ModerateNodeUtilisation) {
+  const Application app = build_cruise_controller();
+  for (std::uint32_t n = 0; n < app.node_count(); ++n) {
+    const double u = app.node_utilization(static_cast<NodeId>(n));
+    EXPECT_GT(u, 0.0) << app.node(static_cast<NodeId>(n)).name;
+    EXPECT_LT(u, 0.9) << app.node(static_cast<NodeId>(n)).name;
+  }
+}
+
+TEST(CruiseController, HyperperiodIs40ms) {
+  const Application app = build_cruise_controller();
+  auto h = app.hyperperiod();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value(), timeunits::ms(40));
+}
+
+TEST(Fig7System, PublishedShape) {
+  const FigureBundle bundle = build_fig7();
+  EXPECT_EQ(bundle.app.task_count(), 45u);
+  int st = 0;
+  int dyn = 0;
+  for (const auto& m : bundle.app.messages()) {
+    (m.cls == MessageClass::Static ? st : dyn)++;
+  }
+  EXPECT_EQ(st, 10);
+  EXPECT_EQ(dyn, 20);
+  EXPECT_EQ(bundle.focus.size(), 20u);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,134 @@
+// Generator contract tests against the Section 7 recipe.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/gen/synthetic.hpp"
+
+namespace flexopt {
+namespace {
+
+class SyntheticRecipe : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticRecipe, HonoursTaskAndGraphCounts) {
+  SyntheticSpec spec;
+  spec.nodes = GetParam();
+  spec.seed = 1234 + static_cast<std::uint64_t>(GetParam());
+  BusParams params;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok()) << app.error().message;
+  EXPECT_EQ(app.value().task_count(),
+            static_cast<std::size_t>(spec.nodes) * 10u);
+  EXPECT_EQ(app.value().graph_count(), static_cast<std::size_t>(spec.nodes) * 2u);
+  // Exactly 10 tasks per node.
+  for (int n = 0; n < spec.nodes; ++n) {
+    int count = 0;
+    for (const auto& t : app.value().tasks()) {
+      if (index_of(t.node) == static_cast<std::uint32_t>(n)) ++count;
+    }
+    EXPECT_EQ(count, 10);
+  }
+}
+
+TEST_P(SyntheticRecipe, HalfTimeTriggeredHalfEventTriggered) {
+  SyntheticSpec spec;
+  spec.nodes = GetParam();
+  spec.seed = 77;
+  BusParams params;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok());
+  std::size_t scs = 0;
+  std::size_t fps = 0;
+  for (const auto& t : app.value().tasks()) {
+    (t.policy == TaskPolicy::Scs ? scs : fps)++;
+  }
+  EXPECT_EQ(scs, fps);
+}
+
+TEST_P(SyntheticRecipe, NodeUtilisationInTargetBand) {
+  SyntheticSpec spec;
+  spec.nodes = GetParam();
+  spec.seed = 4242;
+  BusParams params;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok());
+  for (int n = 0; n < spec.nodes; ++n) {
+    const double u = app.value().node_utilization(static_cast<NodeId>(n));
+    // WCET quantisation perturbs the target slightly.
+    EXPECT_GE(u, spec.node_util_min * 0.9) << "node " << n;
+    EXPECT_LE(u, spec.node_util_max * 1.1) << "node " << n;
+  }
+}
+
+TEST_P(SyntheticRecipe, BusUtilisationInTargetBand) {
+  SyntheticSpec spec;
+  spec.nodes = GetParam();
+  spec.seed = 31337;
+  BusParams params;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok());
+  const double u = bus_utilization(app.value(), params);
+  // Byte quantisation + frame overhead make the scaling approximate, and
+  // the payload clamp caps what is achievable for sparse message sets.
+  double achievable = 0.0;
+  for (const auto& m : app.value().messages()) {
+    achievable += static_cast<double>(params.frame_duration(spec.max_message_bytes)) /
+                  static_cast<double>(app.value().graph(m.graph).period);
+  }
+  EXPECT_GE(u, std::min(spec.bus_util_min * 0.5, achievable * 0.9));
+  EXPECT_LE(u, spec.bus_util_max * 1.5);
+}
+
+TEST_P(SyntheticRecipe, MessageClassesFollowGraphTrigger) {
+  SyntheticSpec spec;
+  spec.nodes = GetParam();
+  spec.seed = 5;
+  BusParams params;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok());
+  for (const auto& m : app.value().messages()) {
+    const TaskPolicy sender = app.value().task(m.sender).policy;
+    if (m.cls == MessageClass::Static) {
+      EXPECT_EQ(sender, TaskPolicy::Scs);
+    } else {
+      EXPECT_EQ(sender, TaskPolicy::Fps);
+    }
+  }
+}
+
+TEST_P(SyntheticRecipe, DeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.nodes = GetParam();
+  spec.seed = 999;
+  BusParams params;
+  auto a = generate_synthetic(spec, params);
+  auto b = generate_synthetic(spec, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().task_count(), b.value().task_count());
+  for (std::uint32_t t = 0; t < a.value().task_count(); ++t) {
+    EXPECT_EQ(a.value().tasks()[t].wcet, b.value().tasks()[t].wcet);
+    EXPECT_EQ(a.value().tasks()[t].node, b.value().tasks()[t].node);
+  }
+  ASSERT_EQ(a.value().message_count(), b.value().message_count());
+  for (std::uint32_t m = 0; m < a.value().message_count(); ++m) {
+    EXPECT_EQ(a.value().messages()[m].size_bytes, b.value().messages()[m].size_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, SyntheticRecipe, ::testing::Range(2, 8));
+
+TEST(Synthetic, RejectsBadSpecs) {
+  BusParams params;
+  SyntheticSpec one_node;
+  one_node.nodes = 1;
+  EXPECT_FALSE(generate_synthetic(one_node, params).ok());
+
+  SyntheticSpec indivisible;
+  indivisible.nodes = 3;
+  indivisible.tasks_per_node = 10;
+  indivisible.tasks_per_graph = 7;  // 30 % 7 != 0
+  EXPECT_FALSE(generate_synthetic(indivisible, params).ok());
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,66 @@
+#pragma once
+
+/// Shared test helpers: tiny system builders and layout/analysis shortcuts.
+
+#include <stdexcept>
+
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
+#include "flexopt/gen/figures.hpp"
+
+namespace flexopt::testing {
+
+/// Builds a layout or throws (tests want loud failures with the reason).
+inline BusLayout make_layout(const Application& app, const BusParams& params,
+                             const BusConfig& config) {
+  auto layout = BusLayout::build(app, params, config);
+  if (!layout.ok()) throw std::runtime_error("layout: " + layout.error().message);
+  return std::move(layout).value();
+}
+
+/// Runs the full analysis or throws.
+inline AnalysisResult analyze(const BusLayout& layout, AnalysisOptions options = {}) {
+  auto result = analyze_system(layout, options);
+  if (!result.ok()) throw std::runtime_error("analysis: " + result.error().message);
+  return std::move(result).value();
+}
+
+/// A minimal two-node application: one SCS producer on N0 sending one ST
+/// message to an SCS consumer on N1, plus one FPS task with a DYN message
+/// back.  Exercises every activity kind.
+struct TinySystem {
+  Application app;
+  BusParams params;
+  BusConfig config;
+  TaskId producer{};
+  TaskId consumer{};
+  TaskId fps_task{};
+  TaskId fps_sink{};
+  MessageId st_msg{};
+  MessageId dyn_msg{};
+
+  TinySystem() {
+    params = didactic_params();
+    const NodeId n0 = app.add_node("N0");
+    const NodeId n1 = app.add_node("N1");
+    const GraphId tt = app.add_graph("tt", timeunits::us(100), timeunits::us(100));
+    const GraphId et = app.add_graph("et", timeunits::us(100), timeunits::us(100));
+    producer = app.add_task(tt, "producer", n0, timeunits::us(2), TaskPolicy::Scs);
+    consumer = app.add_task(tt, "consumer", n1, timeunits::us(2), TaskPolicy::Scs);
+    st_msg = app.add_message(tt, "st", producer, consumer, 4, MessageClass::Static);
+    fps_task = app.add_task(et, "fps", n1, timeunits::us(3), TaskPolicy::Fps, 1);
+    fps_sink = app.add_task(et, "fps_sink", n0, timeunits::us(1), TaskPolicy::Fps, 2);
+    dyn_msg = app.add_message(et, "dyn", fps_task, fps_sink, 2, MessageClass::Dynamic, 0);
+    auto fin = app.finalize();
+    if (!fin.ok()) throw std::runtime_error(fin.error().message);
+
+    config.static_slot_count = 2;
+    config.static_slot_len = timeunits::us(5);
+    config.static_slot_owner = {n0, n1};
+    config.minislot_count = 8;
+    config.frame_id.assign(app.message_count(), 0);
+    config.frame_id[index_of(dyn_msg)] = 1;
+  }
+};
+
+}  // namespace flexopt::testing

@@ -1,0 +1,45 @@
+#include "flexopt/math/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexopt {
+namespace {
+
+TEST(FixedPoint, ConvergesOnClassicRecurrence) {
+  // w = 3 + 2 * ceil(w / 10): converges at w = 5... check: f(5)=3+2=5.
+  const auto f = [](Time t) { return 3 + 2 * ceil_div(t, 10); };
+  const auto r = iterate_to_fixed_point(f, 1000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.value, 5);
+}
+
+TEST(FixedPoint, StartsFromZero) {
+  const auto f = [](Time) { return Time{42}; };
+  const auto r = iterate_to_fixed_point(f, 1000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.value, 42);
+}
+
+TEST(FixedPoint, DetectsDivergencePastHorizon) {
+  const auto f = [](Time t) { return t + 10; };
+  const auto r = iterate_to_fixed_point(f, 100);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.value, kTimeInfinity);
+}
+
+TEST(FixedPoint, ZeroFixedPoint) {
+  const auto f = [](Time t) { return t; };  // f(0) == 0
+  const auto r = iterate_to_fixed_point(f, 100);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.value, 0);
+}
+
+TEST(FixedPoint, IterationCapGuards) {
+  // Slowly growing function that would converge only after the cap.
+  const auto f = [](Time t) { return t + 1; };
+  const auto r = iterate_to_fixed_point(f, kTimeInfinity - 10, /*max_iterations=*/50);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,61 @@
+#include "flexopt/math/hyperperiod.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+
+namespace flexopt {
+namespace {
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(-12, 18), 6);
+}
+
+TEST(Lcm, Basics) {
+  auto r = checked_lcm(4, 6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 12);
+}
+
+TEST(Lcm, RejectsNonPositive) {
+  EXPECT_FALSE(checked_lcm(0, 5).ok());
+  EXPECT_FALSE(checked_lcm(5, -1).ok());
+}
+
+TEST(Lcm, DetectsOverflow) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 2;
+  EXPECT_FALSE(checked_lcm(big, big - 1).ok());
+}
+
+TEST(Hyperperiod, HarmonicPeriods) {
+  const std::array<std::int64_t, 3> periods{10, 20, 40};
+  auto r = hyperperiod(periods);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 40);
+}
+
+TEST(Hyperperiod, CoprimePeriods) {
+  const std::array<std::int64_t, 2> periods{3, 7};
+  auto r = hyperperiod(periods);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 21);
+}
+
+TEST(Hyperperiod, EmptyIsError) {
+  EXPECT_FALSE(hyperperiod({}).ok());
+}
+
+TEST(Hyperperiod, SingleElement) {
+  const std::array<std::int64_t, 1> periods{17};
+  auto r = hyperperiod(periods);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 17);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,109 @@
+#include "flexopt/math/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flexopt {
+namespace {
+
+TEST(NewtonPolynomial, InterpolatesThroughSamples) {
+  NewtonPolynomial p;
+  ASSERT_TRUE(p.add_point(0.0, 1.0).ok());
+  ASSERT_TRUE(p.add_point(1.0, 3.0).ok());
+  ASSERT_TRUE(p.add_point(2.0, 9.0).ok());
+  EXPECT_NEAR(p.evaluate(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(p.evaluate(1.0), 3.0, 1e-12);
+  EXPECT_NEAR(p.evaluate(2.0), 9.0, 1e-12);
+}
+
+TEST(NewtonPolynomial, ExactOnPolynomialData) {
+  // f(x) = 2x^2 - 3x + 5 must be recovered exactly from 3 samples.
+  auto f = [](double x) { return 2 * x * x - 3 * x + 5; };
+  NewtonPolynomial p;
+  for (const double x : {-1.0, 0.5, 4.0}) ASSERT_TRUE(p.add_point(x, f(x)).ok());
+  for (const double x : {-3.0, 0.0, 1.7, 10.0}) EXPECT_NEAR(p.evaluate(x), f(x), 1e-9);
+}
+
+TEST(NewtonPolynomial, IncrementalExtension) {
+  // Adding a fourth point refines the fit to a cubic without refitting.
+  auto f = [](double x) { return x * x * x - x; };
+  NewtonPolynomial p;
+  for (const double x : {0.0, 1.0, 2.0}) ASSERT_TRUE(p.add_point(x, f(x)).ok());
+  ASSERT_TRUE(p.add_point(3.0, f(3.0)).ok());
+  EXPECT_NEAR(p.evaluate(1.5), f(1.5), 1e-9);
+  EXPECT_NEAR(p.evaluate(-1.0), f(-1.0), 1e-9);
+}
+
+TEST(NewtonPolynomial, RejectsDuplicateAbscissa) {
+  NewtonPolynomial p;
+  ASSERT_TRUE(p.add_point(1.0, 2.0).ok());
+  EXPECT_FALSE(p.add_point(1.0, 5.0).ok());
+}
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+  auto pl = PiecewiseLinear::fit({0.0, 10.0, 20.0}, {0.0, 100.0, 0.0});
+  ASSERT_TRUE(pl.ok());
+  EXPECT_DOUBLE_EQ(pl.value().evaluate(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(pl.value().evaluate(15.0), 50.0);
+  EXPECT_DOUBLE_EQ(pl.value().evaluate(-5.0), 0.0);   // constant extrapolation
+  EXPECT_DOUBLE_EQ(pl.value().evaluate(30.0), 0.0);
+}
+
+TEST(PiecewiseLinear, SortsUnorderedInput) {
+  auto pl = PiecewiseLinear::fit({20.0, 0.0, 10.0}, {0.0, 0.0, 100.0});
+  ASSERT_TRUE(pl.ok());
+  EXPECT_DOUBLE_EQ(pl.value().evaluate(10.0), 100.0);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicatesAndMismatch) {
+  EXPECT_FALSE(PiecewiseLinear::fit({1.0, 1.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(PiecewiseLinear::fit({1.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(PiecewiseLinear::fit({}, {}).ok());
+}
+
+TEST(ResponseTimeCurve, ClampsToRange) {
+  ResponseTimeCurve::Options opt;
+  opt.clamp_lo = 0.0;
+  opt.clamp_hi = 100.0;
+  ResponseTimeCurve curve(opt);
+  // Steep quadratic through these points overshoots 100 beyond x=2.
+  ASSERT_TRUE(curve.add_point(0.0, 0.0).ok());
+  ASSERT_TRUE(curve.add_point(1.0, 50.0).ok());
+  ASSERT_TRUE(curve.add_point(2.0, 99.0).ok());
+  EXPECT_LE(curve.evaluate(10.0), 100.0);
+  EXPECT_GE(curve.evaluate(-10.0), 0.0);
+}
+
+TEST(ResponseTimeCurve, FallsBackToPiecewiseLinearAtHighDegree) {
+  ResponseTimeCurve::Options opt;
+  opt.max_newton_points = 3;
+  ResponseTimeCurve curve(opt);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(curve.add_point(i, i * 10.0).ok());
+  }
+  // Piecewise-linear on y = 10x is exact.
+  EXPECT_NEAR(curve.evaluate(4.5), 45.0, 1e-9);
+}
+
+TEST(ResponseTimeCurve, UShapeMinimumLocatedApproximately) {
+  // The Fig. 7 usage pattern: locate the minimum of a U-shaped response.
+  auto f = [](double x) { return (x - 40.0) * (x - 40.0) + 7.0; };
+  ResponseTimeCurve curve;
+  for (const double x : {10.0, 25.0, 50.0, 70.0, 90.0}) {
+    ASSERT_TRUE(curve.add_point(x, f(x)).ok());
+  }
+  double best_x = 0.0;
+  double best = 1e300;
+  for (int x = 10; x <= 90; ++x) {
+    const double v = curve.evaluate(x);
+    if (v < best) {
+      best = v;
+      best_x = x;
+    }
+  }
+  EXPECT_NEAR(best_x, 40.0, 2.0);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,51 @@
+#include "flexopt/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace flexopt {
+namespace {
+
+TEST(Stats, Summary) {
+  const std::array<double, 4> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, EmptySummary) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleValueSummary) {
+  const std::array<double, 1> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+}
+
+TEST(Stats, Percentiles) {
+  const std::array<double, 5> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 2> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,98 @@
+#include "flexopt/model/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace flexopt {
+namespace {
+
+Application two_node_chain() {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::ms(10), timeunits::ms(10));
+  const TaskId a = app.add_task(g, "a", n0, timeunits::us(100), TaskPolicy::Scs);
+  const TaskId b = app.add_task(g, "b", n1, timeunits::us(200), TaskPolicy::Scs);
+  app.add_message(g, "m", a, b, 8, MessageClass::Static);
+  return app;
+}
+
+TEST(Application, FinalizeBuildsAdjacency) {
+  Application app = two_node_chain();
+  ASSERT_TRUE(app.finalize().ok());
+  const auto a = ActivityRef::task(TaskId{0});
+  const auto m = ActivityRef::message(MessageId{0});
+  const auto b = ActivityRef::task(TaskId{1});
+  ASSERT_EQ(app.successors(a).size(), 1u);
+  EXPECT_EQ(app.successors(a)[0], m);
+  ASSERT_EQ(app.predecessors(b).size(), 1u);
+  EXPECT_EQ(app.predecessors(b)[0], m);
+}
+
+TEST(Application, TopologicalOrderRespectsEdges) {
+  Application app = two_node_chain();
+  ASSERT_TRUE(app.finalize().ok());
+  const auto& topo = app.topological_order();
+  ASSERT_EQ(topo.size(), 3u);
+  auto pos = [&](ActivityRef r) {
+    return std::find(topo.begin(), topo.end(), r) - topo.begin();
+  };
+  EXPECT_LT(pos(ActivityRef::task(TaskId{0})), pos(ActivityRef::message(MessageId{0})));
+  EXPECT_LT(pos(ActivityRef::message(MessageId{0})), pos(ActivityRef::task(TaskId{1})));
+}
+
+TEST(Application, EffectiveDeadlineFallsBackToGraph) {
+  Application app = two_node_chain();
+  app.set_task_deadline(TaskId{0}, timeunits::ms(5));
+  ASSERT_TRUE(app.finalize().ok());
+  EXPECT_EQ(app.effective_deadline(ActivityRef::task(TaskId{0})), timeunits::ms(5));
+  EXPECT_EQ(app.effective_deadline(ActivityRef::task(TaskId{1})), timeunits::ms(10));
+  EXPECT_EQ(app.effective_deadline(ActivityRef::message(MessageId{0})), timeunits::ms(10));
+}
+
+TEST(Application, HyperperiodOfMixedGraphs) {
+  Application app = two_node_chain();
+  const GraphId g2 = app.add_graph("g2", timeunits::ms(4), timeunits::ms(4));
+  app.add_task(g2, "c", NodeId{0}, timeunits::us(10), TaskPolicy::Fps);
+  ASSERT_TRUE(app.finalize().ok());
+  auto h = app.hyperperiod();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value(), timeunits::ms(20));
+}
+
+TEST(Application, NodeUtilization) {
+  Application app = two_node_chain();
+  ASSERT_TRUE(app.finalize().ok());
+  EXPECT_NEAR(app.node_utilization(NodeId{0}), 0.01, 1e-9);   // 100us / 10ms
+  EXPECT_NEAR(app.node_utilization(NodeId{1}), 0.02, 1e-9);
+}
+
+TEST(Application, LongestPathUsesMessageCosts) {
+  Application app = two_node_chain();
+  ASSERT_TRUE(app.finalize().ok());
+  const std::vector<Time> msg_costs{timeunits::us(50)};
+  // a (100) -> m (50) -> b (200): LP to b = 350us.
+  EXPECT_EQ(app.longest_path_to(ActivityRef::task(TaskId{1}), msg_costs), timeunits::us(350));
+  EXPECT_EQ(app.longest_path_to(ActivityRef::message(MessageId{0}), msg_costs),
+            timeunits::us(150));
+}
+
+TEST(Application, QueriesBeforeFinalizeThrow) {
+  Application app = two_node_chain();
+  EXPECT_THROW((void)app.topological_order(), std::logic_error);
+  EXPECT_THROW((void)app.predecessors(ActivityRef::task(TaskId{0})), std::logic_error);
+}
+
+TEST(Application, ActivityRefHelpers) {
+  const auto t = ActivityRef::task(TaskId{3});
+  const auto m = ActivityRef::message(MessageId{3});
+  EXPECT_TRUE(t.is_task());
+  EXPECT_TRUE(m.is_message());
+  EXPECT_FALSE(t == m);
+  EXPECT_EQ(index_of(t.as_task()), 3u);
+  EXPECT_EQ(index_of(m.as_message()), 3u);
+}
+
+}  // namespace
+}  // namespace flexopt

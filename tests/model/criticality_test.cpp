@@ -1,0 +1,53 @@
+// Eq. 4: CP_m = D_m - LP_m.  Messages deeper in a chain (larger LP) and
+// messages with tighter deadlines must come out as more critical.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/model/application.hpp"
+
+namespace flexopt {
+namespace {
+
+struct ChainFixture {
+  Application app;
+  MessageId early{};
+  MessageId late{};
+
+  ChainFixture() {
+    const NodeId n0 = app.add_node("N0");
+    const NodeId n1 = app.add_node("N1");
+    const GraphId g = app.add_graph("g", timeunits::ms(10), timeunits::ms(10));
+    const TaskId a = app.add_task(g, "a", n0, timeunits::us(100), TaskPolicy::Fps);
+    const TaskId b = app.add_task(g, "b", n1, timeunits::us(100), TaskPolicy::Fps);
+    const TaskId c = app.add_task(g, "c", n0, timeunits::us(100), TaskPolicy::Fps);
+    early = app.add_message(g, "early", a, b, 4, MessageClass::Dynamic);
+    late = app.add_message(g, "late", b, c, 4, MessageClass::Dynamic);
+    if (!app.finalize().ok()) throw std::runtime_error("fixture finalize failed");
+  }
+};
+
+TEST(Criticality, DeeperMessageIsMoreCritical) {
+  ChainFixture f;
+  const std::vector<Time> costs(f.app.message_count(), timeunits::us(20));
+  // Same deadline, longer path => smaller CP => more critical.
+  EXPECT_LT(f.app.criticality(f.late, costs), f.app.criticality(f.early, costs));
+}
+
+TEST(Criticality, TighterDeadlineIsMoreCritical) {
+  ChainFixture f;
+  f.app.set_message_deadline(f.early, timeunits::ms(1));
+  const std::vector<Time> costs(f.app.message_count(), timeunits::us(20));
+  EXPECT_LT(f.app.criticality(f.early, costs), f.app.criticality(f.late, costs));
+}
+
+TEST(Criticality, ExactValue) {
+  ChainFixture f;
+  const std::vector<Time> costs(f.app.message_count(), timeunits::us(20));
+  // LP(early) = wcet(a) + cost(early) = 120us; CP = 10ms - 120us.
+  EXPECT_EQ(f.app.criticality(f.early, costs), timeunits::ms(10) - timeunits::us(120));
+  // LP(late) = a + early + b + late = 100+20+100+20 = 240us.
+  EXPECT_EQ(f.app.criticality(f.late, costs), timeunits::ms(10) - timeunits::us(240));
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,129 @@
+// Negative tests: Application::finalize must reject every malformed model
+// with a descriptive error instead of letting analysis run on garbage.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/model/application.hpp"
+
+namespace flexopt {
+namespace {
+
+TEST(Validation, RejectsEmptyApplication) {
+  Application app;
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsNodelessTasks) {
+  Application app;
+  app.add_node("N0");
+  EXPECT_FALSE(app.finalize().ok());  // no tasks
+}
+
+TEST(Validation, RejectsNonPositivePeriod) {
+  Application app;
+  const NodeId n = app.add_node("N0");
+  const GraphId g = app.add_graph("g", 0, timeunits::ms(1));
+  app.add_task(g, "t", n, 1, TaskPolicy::Scs);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsNonPositiveWcet) {
+  Application app;
+  const NodeId n = app.add_node("N0");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  app.add_task(g, "t", n, 0, TaskPolicy::Scs);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsIntraNodeMessage) {
+  Application app;
+  const NodeId n = app.add_node("N0");
+  app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n, 1, TaskPolicy::Scs);
+  const TaskId b = app.add_task(g, "b", n, 1, TaskPolicy::Scs);
+  app.add_message(g, "m", a, b, 4, MessageClass::Static);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsStMessageFromFpsTask) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n0, 1, TaskPolicy::Fps);
+  const TaskId b = app.add_task(g, "b", n1, 1, TaskPolicy::Fps);
+  app.add_message(g, "m", a, b, 4, MessageClass::Static);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsScsTaskWithEtPredecessor) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n0, 1, TaskPolicy::Fps);
+  const TaskId b = app.add_task(g, "b", n0, 1, TaskPolicy::Scs);
+  app.add_dependency(a, b);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsCrossGraphMessage) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g1 = app.add_graph("g1", timeunits::ms(1), timeunits::ms(1));
+  const GraphId g2 = app.add_graph("g2", timeunits::ms(2), timeunits::ms(2));
+  const TaskId a = app.add_task(g1, "a", n0, 1, TaskPolicy::Scs);
+  const TaskId b = app.add_task(g2, "b", n1, 1, TaskPolicy::Scs);
+  app.add_message(g1, "m", a, b, 4, MessageClass::Static);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsDependencyCycle) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n0, 1, TaskPolicy::Scs);
+  const TaskId b = app.add_task(g, "b", n0, 1, TaskPolicy::Scs);
+  app.add_dependency(a, b);
+  app.add_dependency(b, a);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsNegativeReleaseOffset) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n0, 1, TaskPolicy::Scs);
+  app.set_task_release_offset(a, -1);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, RejectsNonPositiveMessageSize) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::ms(1), timeunits::ms(1));
+  const TaskId a = app.add_task(g, "a", n0, 1, TaskPolicy::Scs);
+  const TaskId b = app.add_task(g, "b", n1, 1, TaskPolicy::Scs);
+  app.add_message(g, "m", a, b, 0, MessageClass::Static);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+TEST(Validation, AcceptsWellFormedMixedSystem) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId tt = app.add_graph("tt", timeunits::ms(2), timeunits::ms(2));
+  const GraphId et = app.add_graph("et", timeunits::ms(4), timeunits::ms(4));
+  const TaskId a = app.add_task(tt, "a", n0, 1, TaskPolicy::Scs);
+  const TaskId b = app.add_task(tt, "b", n1, 1, TaskPolicy::Scs);
+  app.add_message(tt, "st", a, b, 4, MessageClass::Static);
+  const TaskId c = app.add_task(et, "c", n0, 1, TaskPolicy::Fps);
+  const TaskId d = app.add_task(et, "d", n1, 1, TaskPolicy::Fps);
+  app.add_message(et, "dyn", c, d, 4, MessageClass::Dynamic);
+  EXPECT_TRUE(app.finalize().ok());
+}
+
+}  // namespace
+}  // namespace flexopt

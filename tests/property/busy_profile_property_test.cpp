@@ -1,0 +1,108 @@
+// Property tests: BusyProfile's analytic queries must agree with a
+// brute-force reference over randomly generated periodic profiles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "flexopt/analysis/busy_profile.hpp"
+#include "flexopt/util/rng.hpp"
+
+namespace flexopt {
+namespace {
+
+struct RandomProfile {
+  std::vector<Interval> intervals;
+  Time period;
+};
+
+RandomProfile make_profile(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomProfile p;
+  p.period = 50 + rng.uniform_int(0, 150);  // small period => cheap brute force
+  const int n = static_cast<int>(rng.uniform_int(0, 6));
+  for (int i = 0; i < n; ++i) {
+    const Time start = rng.uniform_int(0, p.period - 2);
+    const Time end = start + rng.uniform_int(1, std::max<Time>(1, (p.period - start) / 2));
+    p.intervals.push_back({start, std::min(end, p.period)});
+  }
+  return p;
+}
+
+/// Reference: busy time of [from, to) by per-tick scan.
+Time brute_busy(const RandomProfile& p, Time from, Time to) {
+  const auto merged = normalize_intervals(p.intervals);
+  Time busy = 0;
+  for (Time t = from; t < to; ++t) {
+    const Time local = t % p.period;
+    for (const Interval& iv : merged) {
+      if (local >= iv.start && local < iv.end) {
+        ++busy;
+        break;
+      }
+    }
+  }
+  return busy;
+}
+
+class BusyProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BusyProfileProperty, BusyBetweenMatchesBruteForce) {
+  const RandomProfile p = make_profile(GetParam());
+  const BusyProfile profile(p.intervals, p.period);
+  Rng rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Time from = rng.uniform_int(0, 3 * p.period);
+    const Time to = from + rng.uniform_int(0, 2 * p.period);
+    EXPECT_EQ(profile.busy_between(from, to), brute_busy(p, from, to))
+        << "window [" << from << ", " << to << ") period " << p.period;
+  }
+}
+
+TEST_P(BusyProfileProperty, MaxBusyWindowDominatesAllPlacements) {
+  const RandomProfile p = make_profile(GetParam());
+  const BusyProfile profile(p.intervals, p.period);
+  Rng rng(GetParam() ^ 0x5678);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Time w = rng.uniform_int(1, 2 * p.period);
+    const Time claimed = profile.max_busy_in_window(w);
+    // No window placement may beat the claimed maximum...
+    Time best = 0;
+    for (Time x = 0; x < p.period; ++x) {
+      best = std::max(best, brute_busy(p, x, x + w));
+    }
+    EXPECT_EQ(claimed, best) << "w=" << w;
+  }
+}
+
+TEST_P(BusyProfileProperty, EarliestGapIsIdleAndEarliest) {
+  const RandomProfile p = make_profile(GetParam());
+  const BusyProfile profile(p.intervals, p.period);
+  Rng rng(GetParam() ^ 0x9abc);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Time from = rng.uniform_int(0, 2 * p.period);
+    const Time len = rng.uniform_int(1, p.period);
+    const Time found = profile.earliest_gap(from, len);
+    if (found == kTimeInfinity) {
+      // Then no window of this length may exist anywhere in two periods.
+      for (Time x = from; x < from + 2 * p.period; ++x) {
+        EXPECT_NE(brute_busy(p, x, x + len), 0)
+            << "claimed impossible but [" << x << ", " << x + len << ") is idle";
+      }
+      continue;
+    }
+    EXPECT_GE(found, from);
+    EXPECT_EQ(brute_busy(p, found, found + len), 0) << "found window not idle";
+    // No earlier idle window of the same length.
+    for (Time x = from; x < found; ++x) {
+      EXPECT_NE(brute_busy(p, x, x + len), 0)
+          << "earlier idle window at " << x << " missed (found " << found << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusyProfileProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,130 @@
+// Protocol invariants on randomly generated configurations: every layout
+// that BusLayout::build accepts must satisfy the FlexRay limits, and every
+// simulator trace must respect slot ownership, minislot bounds and the
+// pLatestTx gate.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/gen/synthetic.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "flexopt/util/rng.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::analyze;
+
+class ProtocolProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolProperty, AcceptedLayoutsSatisfySpecLimits) {
+  Rng rng(GetParam());
+  SyntheticSpec spec;
+  spec.nodes = 2 + static_cast<int>(rng.index(4));
+  spec.seed = GetParam() * 7919;
+  BusParams params;
+  params.gd_minislot = timeunits::us(5);
+  auto generated = generate_synthetic(spec, params);
+  ASSERT_TRUE(generated.ok());
+  const Application& app = generated.value();
+
+  int accepted = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    BusConfig config;
+    config.frame_id = rng.chance(0.5) ? assign_frame_ids_by_criticality(app, params)
+                                      : assign_frame_ids_arbitrary(app);
+    const auto senders = st_sender_nodes(app);
+    const int extra = static_cast<int>(rng.uniform_int(0, 3));
+    config.static_slot_count = static_cast<int>(senders.size()) + extra;
+    config.static_slot_owner = assign_static_slots(app, config.static_slot_count);
+    config.static_slot_len =
+        min_static_slot_len(app, params) + params.gd_macrotick * rng.uniform_int(0, 50);
+    config.minislot_count = static_cast<int>(rng.uniform_int(0, 2000));
+
+    auto layout = BusLayout::build(app, params, config);
+    if (!layout.ok()) continue;
+    ++accepted;
+    const BusLayout& l = layout.value();
+    EXPECT_LE(l.cycle_len(), SpecLimits::kMaxCycle);
+    EXPECT_LE(l.config().static_slot_count, SpecLimits::kMaxStaticSlots);
+    EXPECT_LE(l.config().minislot_count, SpecLimits::kMaxMinislots);
+    for (std::size_t n = 0; n < app.node_count(); ++n) {
+      EXPECT_GE(l.p_latest_tx(static_cast<NodeId>(n)), 1);
+      EXPECT_LE(l.p_latest_tx(static_cast<NodeId>(n)), l.config().minislot_count);
+    }
+    // Every DYN slot has exactly one owner and FrameIDs stay in range.
+    for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+      if (app.messages()[m].cls != MessageClass::Dynamic) continue;
+      const int fid = l.frame_id(static_cast<MessageId>(m));
+      EXPECT_GE(fid, 1);
+      EXPECT_LE(fid, l.config().minislot_count);
+      NodeId owner{};
+      ASSERT_TRUE(l.frame_id_owner(fid, &owner));
+      EXPECT_EQ(owner, app.task(app.messages()[m].sender).node);
+    }
+  }
+  EXPECT_GT(accepted, 0) << "random search never produced a valid layout";
+}
+
+TEST_P(ProtocolProperty, TraceRespectsSlotOwnershipAndSegmentBounds) {
+  SyntheticSpec spec;
+  spec.nodes = 3;
+  spec.seed = GetParam();
+  BusParams params;
+  params.gd_minislot = timeunits::us(5);
+  auto generated = generate_synthetic(spec, params);
+  ASSERT_TRUE(generated.ok());
+  const Application& app = generated.value();
+
+  BusConfig config;
+  config.frame_id = assign_frame_ids_by_criticality(app, params);
+  const auto senders = st_sender_nodes(app);
+  config.static_slot_count = static_cast<int>(senders.size());
+  config.static_slot_len = min_static_slot_len(app, params);
+  config.static_slot_owner = senders;
+  const DynBounds bounds = dyn_segment_bounds(
+      app, params, static_cast<Time>(config.static_slot_count) * config.static_slot_len);
+  ASSERT_TRUE(bounds.feasible());
+  config.minislot_count = std::min(bounds.max_minislots, bounds.min_minislots + 100);
+
+  auto layout_or = BusLayout::build(app, params, config);
+  ASSERT_TRUE(layout_or.ok()) << layout_or.error().message;
+  const BusLayout& layout = layout_or.value();
+  const AnalysisResult analysis = analyze(layout);
+
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout, analysis.schedule, options);
+  ASSERT_TRUE(sim.ok()) << sim.error().message;
+
+  const Time cycle = layout.cycle_len();
+  for (const TransmissionRecord& r : sim.value().trace) {
+    const Time cycle_start = r.cycle * cycle;
+    if (r.dynamic) {
+      // DYN frames lie inside the DYN segment of their cycle and obey the
+      // sender's pLatestTx gate.
+      const Time seg_start = cycle_start + layout.st_segment_len();
+      EXPECT_GE(r.start, seg_start);
+      EXPECT_LE(r.finish, cycle_start + cycle);
+      const NodeId sender = layout.application().task(
+          layout.application().messages()[index_of(r.message)].sender).node;
+      const auto counter = (r.start - seg_start) / layout.params().gd_minislot + 1;
+      EXPECT_LE(counter, layout.p_latest_tx(sender));
+    } else {
+      // ST frames lie inside a slot owned by the sender's node.
+      const Time slot_start = cycle_start + layout.static_slot_start(r.slot);
+      EXPECT_GE(r.start, slot_start);
+      EXPECT_LE(r.finish, slot_start + layout.config().static_slot_len);
+      const NodeId owner = layout.config().static_slot_owner[static_cast<std::size_t>(r.slot)];
+      const NodeId sender = layout.application().task(
+          layout.application().messages()[index_of(r.message)].sender).node;
+      EXPECT_EQ(owner, sender);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace flexopt

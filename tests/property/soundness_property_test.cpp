@@ -1,0 +1,117 @@
+// Property suite: on randomly generated systems and bus configurations,
+// the holistic analysis must upper-bound every completion the simulator
+// observes (analysis soundness), and the cost function must classify
+// consistently.  Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/gen/synthetic.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::analyze;
+using testing::make_layout;
+
+struct Scenario {
+  std::uint64_t seed;
+  int nodes;
+};
+
+class SoundnessProperty : public ::testing::TestWithParam<Scenario> {};
+
+/// Basic (BBC-style) configuration for a generated application.
+BusConfig basic_config(const Application& app, const BusParams& params, int extra_minislots) {
+  BusConfig config;
+  config.frame_id = assign_frame_ids_by_criticality(app, params);
+  const auto senders = st_sender_nodes(app);
+  config.static_slot_count = static_cast<int>(senders.size());
+  config.static_slot_len = min_static_slot_len(app, params);
+  config.static_slot_owner = senders;
+  const Time st_len = static_cast<Time>(config.static_slot_count) * config.static_slot_len;
+  const DynBounds bounds = dyn_segment_bounds(app, params, st_len);
+  config.minislot_count =
+      std::min(bounds.max_minislots, bounds.min_minislots + extra_minislots);
+  return config;
+}
+
+TEST_P(SoundnessProperty, AnalysisDominatesSimulation) {
+  const Scenario scenario = GetParam();
+  SyntheticSpec spec;
+  spec.nodes = scenario.nodes;
+  spec.seed = scenario.seed;
+  BusParams params;
+  params.gd_minislot = timeunits::us(5);
+
+  auto generated = generate_synthetic(spec, params);
+  ASSERT_TRUE(generated.ok()) << generated.error().message;
+  const Application& app = generated.value();
+
+  const BusConfig config = basic_config(app, params, /*extra_minislots=*/64);
+  auto layout_or = BusLayout::build(app, params, config);
+  ASSERT_TRUE(layout_or.ok()) << layout_or.error().message;
+  const BusLayout& layout = layout_or.value();
+
+  const AnalysisResult analysis = analyze(layout);
+  auto sim = simulate(layout, analysis.schedule);
+  ASSERT_TRUE(sim.ok()) << sim.error().message;
+  const SimResult& observed = sim.value();
+
+  EXPECT_EQ(observed.precedence_violations, 0);
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    const Time o = observed.task_worst_completion[t];
+    if (o == kTimeNone) continue;
+    EXPECT_LE(o, analysis.task_completion[t])
+        << "task " << app.tasks()[t].name << " (seed " << scenario.seed << ")";
+  }
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    const Time o = observed.message_worst_completion[m];
+    if (o == kTimeNone) continue;
+    EXPECT_LE(o, analysis.message_completion[m])
+        << "message " << app.messages()[m].name << " (seed " << scenario.seed << ")";
+  }
+}
+
+TEST_P(SoundnessProperty, CostClassificationIsConsistent) {
+  const Scenario scenario = GetParam();
+  SyntheticSpec spec;
+  spec.nodes = scenario.nodes;
+  spec.seed = scenario.seed ^ 0xabcdef;
+  BusParams params;
+  params.gd_minislot = timeunits::us(5);
+
+  auto generated = generate_synthetic(spec, params);
+  ASSERT_TRUE(generated.ok());
+  const Application& app = generated.value();
+
+  const BusConfig config = basic_config(app, params, 64);
+  auto layout_or = BusLayout::build(app, params, config);
+  ASSERT_TRUE(layout_or.ok()) << layout_or.error().message;
+  const AnalysisResult analysis = analyze(layout_or.value());
+
+  // Schedulable <=> non-positive cost and no unbounded activities; the two
+  // reporting paths must agree.
+  if (analysis.cost.schedulable) {
+    EXPECT_LE(analysis.cost.value, 0.0);
+    EXPECT_EQ(analysis.cost.unbounded_activities, 0);
+    for (const Time c : analysis.task_completion) EXPECT_NE(c, kTimeInfinity);
+  } else {
+    EXPECT_GT(analysis.cost.value, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SoundnessProperty,
+    ::testing::Values(Scenario{1, 2}, Scenario{2, 2}, Scenario{3, 3}, Scenario{4, 3},
+                      Scenario{5, 4}, Scenario{6, 4}, Scenario{7, 5}, Scenario{8, 5},
+                      Scenario{9, 6}, Scenario{10, 7}),
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_nodes" +
+             std::to_string(param_info.param.nodes);
+    });
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,164 @@
+// Focused FTDMA arbitration tests: multiple instances per hyper-period,
+// CHI queue ordering, and readiness-at-slot-boundary semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flexopt/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::analyze;
+using testing::make_layout;
+
+/// One DYN sender with a fast period, sharing the bus with a slow one.
+struct ArbFixture {
+  Application app;
+  BusParams params = didactic_params();
+  MessageId fast_msg{};
+  MessageId slow_msg{};
+  NodeId n0{};
+  NodeId n1{};
+
+  ArbFixture() {
+    n0 = app.add_node("N0");
+    n1 = app.add_node("N1");
+    const GraphId fast = app.add_graph("fast", timeunits::us(40), timeunits::us(40));
+    const GraphId slow = app.add_graph("slow", timeunits::us(120), timeunits::us(120));
+    const TaskId fs = app.add_task(fast, "fs", n0, timeunits::us(1), TaskPolicy::Fps, 0);
+    const TaskId fr = app.add_task(fast, "fr", n1, timeunits::us(1), TaskPolicy::Fps, 5);
+    fast_msg = app.add_message(fast, "fm", fs, fr, 2, MessageClass::Dynamic, 0);
+    const TaskId ss = app.add_task(slow, "ss", n1, timeunits::us(1), TaskPolicy::Fps, 1);
+    const TaskId sr = app.add_task(slow, "sr", n0, timeunits::us(1), TaskPolicy::Fps, 5);
+    slow_msg = app.add_message(slow, "sm", ss, sr, 3, MessageClass::Dynamic, 0);
+    if (!app.finalize().ok()) throw std::runtime_error("fixture");
+  }
+
+  BusConfig config() const {
+    BusConfig c;
+    c.static_slot_count = 0;
+    c.minislot_count = 10;  // cycle = 10us; hyper-period 120us = 12 cycles
+    c.frame_id.assign(app.message_count(), 0);
+    c.frame_id[index_of(fast_msg)] = 1;
+    c.frame_id[index_of(slow_msg)] = 2;
+    return c;
+  }
+};
+
+TEST(DynArbitration, EveryInstanceDelivered) {
+  ArbFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config());
+  const AnalysisResult analysis = analyze(layout);
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout, analysis.schedule, options);
+  ASSERT_TRUE(sim.ok()) << sim.error().message;
+  EXPECT_EQ(sim.value().unfinished_jobs, 0);
+  // 3 instances of the fast message, 1 of the slow one.
+  int fast_count = 0;
+  int slow_count = 0;
+  for (const TransmissionRecord& r : sim.value().trace) {
+    if (r.message == f.fast_msg) ++fast_count;
+    if (r.message == f.slow_msg) ++slow_count;
+  }
+  EXPECT_EQ(fast_count, 3);
+  EXPECT_EQ(slow_count, 1);
+}
+
+TEST(DynArbitration, InstancesTransmitInOrder) {
+  ArbFixture f;
+  const BusLayout layout = make_layout(f.app, f.params, f.config());
+  const AnalysisResult analysis = analyze(layout);
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout, analysis.schedule, options);
+  ASSERT_TRUE(sim.ok());
+  std::vector<TransmissionRecord> fast;
+  for (const TransmissionRecord& r : sim.value().trace) {
+    if (r.message == f.fast_msg) fast.push_back(r);
+  }
+  std::sort(fast.begin(), fast.end(),
+            [](const TransmissionRecord& a, const TransmissionRecord& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].instance, static_cast<int>(i));
+    // Each instance transmits no earlier than its release.
+    EXPECT_GE(fast[i].start, timeunits::us(40) * static_cast<Time>(i));
+  }
+}
+
+TEST(DynArbitration, MessageNotReadyBeforeSlotWaitsForNextCycle) {
+  // Sender with a release offset that lands just after its DYN slot has
+  // passed in cycle 0: the frame must go out in cycle 1.
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::us(60), timeunits::us(60));
+  const TaskId s = app.add_task(g, "s", n0, timeunits::us(1), TaskPolicy::Fps, 0);
+  const TaskId r = app.add_task(g, "r", n1, timeunits::us(1), TaskPolicy::Fps, 1);
+  const MessageId m = app.add_message(g, "m", s, r, 2, MessageClass::Dynamic, 0);
+  // DYN segment = cycle [0, 10); slot 1 at t=0.  Offset 2 -> ready at 3.
+  app.set_task_release_offset(s, timeunits::us(2));
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.static_slot_count = 0;
+  config.minislot_count = 10;
+  config.frame_id.assign(app.message_count(), 0);
+  config.frame_id[index_of(m)] = 1;
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+  const AnalysisResult analysis = analyze(layout);
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout, analysis.schedule, options);
+  ASSERT_TRUE(sim.ok());
+  ASSERT_FALSE(sim.value().trace.empty());
+  const TransmissionRecord& first = sim.value().trace.front();
+  EXPECT_EQ(first.cycle, 1);  // missed cycle 0's slot
+  EXPECT_GE(first.start, timeunits::us(10));
+}
+
+TEST(DynArbitration, SamePriorityFifoWithinFrameId) {
+  // Two same-priority messages of one node on one FrameID: the one queued
+  // first transmits first.
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId g = app.add_graph("g", timeunits::us(100), timeunits::us(100));
+  const TaskId s1 = app.add_task(g, "s1", n0, timeunits::us(1), TaskPolicy::Fps, 0);
+  const TaskId s2 = app.add_task(g, "s2", n0, timeunits::us(2), TaskPolicy::Fps, 1);
+  const TaskId r1 = app.add_task(g, "r1", n1, timeunits::us(1), TaskPolicy::Fps, 5);
+  const TaskId r2 = app.add_task(g, "r2", n1, timeunits::us(1), TaskPolicy::Fps, 6);
+  const MessageId early = app.add_message(g, "early", s1, r1, 2, MessageClass::Dynamic, 3);
+  const MessageId late = app.add_message(g, "late", s2, r2, 2, MessageClass::Dynamic, 3);
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.static_slot_count = 0;
+  config.minislot_count = 10;
+  config.frame_id.assign(app.message_count(), 0);
+  config.frame_id[index_of(early)] = 1;
+  config.frame_id[index_of(late)] = 1;
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+  const AnalysisResult analysis = analyze(layout);
+  SimOptions options;
+  options.record_trace = true;
+  auto sim = simulate(layout, analysis.schedule, options);
+  ASSERT_TRUE(sim.ok());
+  Time t_early = kTimeNone;
+  Time t_late = kTimeNone;
+  for (const TransmissionRecord& r : sim.value().trace) {
+    if (r.message == early) t_early = r.start;
+    if (r.message == late) t_late = r.start;
+  }
+  ASSERT_NE(t_early, kTimeNone);
+  ASSERT_NE(t_late, kTimeNone);
+  EXPECT_LT(t_early, t_late);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,118 @@
+// Reproduction of the scenario comparisons of Fig. 3 (ST segment
+// structure) and Fig. 4 (DYN FrameID assignment / segment length): the
+// response-time orderings — and for Fig. 3, the paper's exact values —
+// must come out of both the simulator and the analysis.
+
+#include <gtest/gtest.h>
+
+#include "flexopt/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::analyze;
+using testing::make_layout;
+
+/// Simulated worst graph-relative completion of `m` under scenario `i`.
+Time simulated_completion(const FigureBundle& bundle, std::size_t i, MessageId m) {
+  const BusLayout layout = make_layout(bundle.app, bundle.params, bundle.configs[i]);
+  const AnalysisResult analysis = analyze(layout);
+  auto sim = simulate(layout, analysis.schedule);
+  EXPECT_TRUE(sim.ok()) << sim.error().message;
+  EXPECT_EQ(sim.value().precedence_violations, 0);
+  const Time c = sim.value().message_worst_completion[index_of(m)];
+  EXPECT_NE(c, kTimeNone) << "message never delivered in scenario " << bundle.labels[i];
+  return c;
+}
+
+TEST(Fig3Scenarios, ReproducesPaperResponseTimesForM3) {
+  const FigureBundle bundle = build_fig3();
+  const MessageId m3 = bundle.focus[0];
+  // The paper's Fig. 3 values: R3 = 16 (a), 12 (b), 10 (c).
+  EXPECT_EQ(simulated_completion(bundle, 0, m3), timeunits::us(16));
+  EXPECT_EQ(simulated_completion(bundle, 1, m3), timeunits::us(12));
+  EXPECT_EQ(simulated_completion(bundle, 2, m3), timeunits::us(10));
+}
+
+TEST(Fig3Scenarios, AnalysisMatchesTableDrivenResponseTimes) {
+  // ST messages are table-driven, so the analysis bound equals the
+  // simulated completion exactly.
+  const FigureBundle bundle = build_fig3();
+  const MessageId m3 = bundle.focus[0];
+  const Time expected[3] = {timeunits::us(16), timeunits::us(12), timeunits::us(10)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const BusLayout layout = make_layout(bundle.app, bundle.params, bundle.configs[i]);
+    const AnalysisResult analysis = analyze(layout);
+    EXPECT_EQ(analysis.message_completion[index_of(m3)], expected[i]) << bundle.labels[i];
+  }
+}
+
+TEST(Fig3Scenarios, LongerSlotsDelayOtherMessages) {
+  // The paper notes the trade-off: packing in (c) delays m1/m2 reception
+  // relative to their own slot in (b).  m2 is delivered at its slot end, so
+  // (c)'s longer slot pushes its delivery later than (b)'s.
+  const FigureBundle bundle = build_fig3();
+  const MessageId m2{1};
+  const Time r2_b = simulated_completion(bundle, 1, m2);
+  const Time r2_c = simulated_completion(bundle, 2, m2);
+  EXPECT_GT(r2_c, r2_b);
+}
+
+TEST(Fig4Scenarios, StrictImprovementAcrossConfigurations) {
+  const FigureBundle bundle = build_fig4();
+  const MessageId m2 = bundle.focus[0];
+  const Time r2_a = simulated_completion(bundle, 0, m2);
+  const Time r2_b = simulated_completion(bundle, 1, m2);
+  const Time r2_c = simulated_completion(bundle, 2, m2);
+  // Paper: R2 = 37 > 35 > 21.  Our frame timing gives 30 > 29 > 16 — the
+  // same strict ordering with a large win for the enlarged DYN segment.
+  EXPECT_GT(r2_a, r2_b);
+  EXPECT_GT(r2_b, r2_c);
+  EXPECT_EQ(r2_a, timeunits::us(30));
+  EXPECT_EQ(r2_b, timeunits::us(29));
+  EXPECT_EQ(r2_c, timeunits::us(16));
+}
+
+TEST(Fig4Scenarios, SharedFrameIdDelaysLowerPriorityMessage) {
+  // In (a) m3 shares FrameID 1 with the higher-priority m1 and must wait a
+  // full cycle; in (b) it has its own FrameID and goes out in cycle 1.
+  const FigureBundle bundle = build_fig4();
+  const MessageId m3 = bundle.focus[2];
+  const Time r3_a = simulated_completion(bundle, 0, m3);
+  const Time r3_b = simulated_completion(bundle, 1, m3);
+  EXPECT_GT(r3_a, r3_b);
+}
+
+TEST(Fig4Scenarios, AnalysisBoundsMatchPaperScale) {
+  // Regression pin: the worst-case analysis bounds for m2 under our frame
+  // constants are 37 / 36 / 26 us — the paper's own (worst-case) numbers
+  // are 37 / 35 / 21.  Scenario (a) agrees exactly.
+  const FigureBundle bundle = build_fig4();
+  const MessageId m2 = bundle.focus[0];
+  const Time expected[3] = {timeunits::us(37), timeunits::us(36), timeunits::us(26)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const BusLayout layout = make_layout(bundle.app, bundle.params, bundle.configs[i]);
+    const AnalysisResult analysis = analyze(layout);
+    EXPECT_EQ(analysis.message_completion[index_of(m2)], expected[i]) << bundle.labels[i];
+  }
+}
+
+TEST(Fig4Scenarios, AnalysisBoundsDominateSimulation) {
+  const FigureBundle bundle = build_fig4();
+  for (std::size_t i = 0; i < bundle.configs.size(); ++i) {
+    const BusLayout layout = make_layout(bundle.app, bundle.params, bundle.configs[i]);
+    const AnalysisResult analysis = analyze(layout);
+    auto sim = simulate(layout, analysis.schedule);
+    ASSERT_TRUE(sim.ok());
+    for (std::uint32_t m = 0; m < bundle.app.message_count(); ++m) {
+      const Time observed = sim.value().message_worst_completion[m];
+      if (observed == kTimeNone) continue;
+      EXPECT_LE(observed, analysis.message_completion[m])
+          << bundle.labels[i] << " message " << bundle.app.messages()[m].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexopt

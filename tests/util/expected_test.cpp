@@ -1,0 +1,42 @@
+#include "flexopt/util/expected.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexopt {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(make_error("boom"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().message, "boom");
+}
+
+TEST(Expected, ValueOnErrorThrows) {
+  Expected<int> e(make_error("nope"));
+  EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+TEST(Expected, ErrorOnValueThrows) {
+  Expected<int> e(7);
+  EXPECT_THROW((void)e.error(), std::logic_error);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> e(std::string("payload"));
+  const std::string s = std::move(e).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Expected, BoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(Expected<int>(1)));
+  EXPECT_FALSE(static_cast<bool>(Expected<int>(make_error("x"))));
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,47 @@
+#include "flexopt/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flexopt {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  t.print(os);  // must not crash on missing cells
+}
+
+TEST(Table, WritesCsv) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace flexopt

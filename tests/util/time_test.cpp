@@ -1,0 +1,41 @@
+#include "flexopt/util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexopt {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(timeunits::ns(7), 7);
+  EXPECT_EQ(timeunits::us(3), 3'000);
+  EXPECT_EQ(timeunits::ms(2), 2'000'000);
+  EXPECT_EQ(timeunits::sec(1), 1'000'000'000);
+}
+
+TEST(Time, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+  EXPECT_EQ(ceil_div(10, 3), 4);
+}
+
+TEST(Time, FormatScalesUnits) {
+  EXPECT_EQ(format_time(timeunits::us(250)), "250 us");
+  EXPECT_EQ(format_time(timeunits::ms(16)), "16 ms");
+  EXPECT_EQ(format_time(500), "500 ns");
+  EXPECT_EQ(format_time(timeunits::us(1) + 286), "1.286 us");
+}
+
+TEST(Time, FormatSentinels) {
+  EXPECT_EQ(format_time(kTimeNone), "unset");
+  EXPECT_EQ(format_time(kTimeInfinity), "inf");
+}
+
+TEST(Time, ToMicroseconds) {
+  EXPECT_DOUBLE_EQ(to_us(timeunits::us(10)), 10.0);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,145 @@
+// flexopt_cli — optimise the FlexRay bus configuration for a system
+// described in the plain-text format of flexopt/io/system_format.hpp.
+//
+//   flexopt_cli <system-file> [--algorithm bbc|obccf|obcee|sa]
+//               [--seed N] [--simulate] [--dump]
+//
+// Prints the chosen configuration and the per-activity worst-case response
+// times; exit code 0 iff the system is schedulable.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "flexopt/core/bbc.hpp"
+#include "flexopt/core/obc.hpp"
+#include "flexopt/core/sa.hpp"
+#include "flexopt/io/system_format.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: flexopt_cli <system-file> [--algorithm bbc|obccf|obcee|sa]\n"
+               "                   [--seed N] [--simulate] [--dump]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string algorithm = "obccf";
+  std::uint64_t seed = 1;
+  bool run_sim = false;
+  bool dump = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--algorithm" && i + 1 < argc) {
+      algorithm = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--simulate") {
+      run_sim = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open '" << path << "'\n";
+    return 2;
+  }
+  auto parsed = parse_system(in);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error().message << "\n";
+    return 2;
+  }
+  const Application& app = parsed.value().app;
+  const BusParams& params = parsed.value().params;
+  std::cout << "system: " << app.task_count() << " tasks, " << app.message_count()
+            << " messages, " << app.graph_count() << " graphs, " << app.node_count()
+            << " nodes\n";
+  if (dump) {
+    std::cout << write_system(app, params);
+    return 0;
+  }
+
+  CostEvaluator evaluator(app, params, AnalysisOptions{});
+  OptimizationOutcome outcome;
+  if (algorithm == "bbc") {
+    outcome = optimize_bbc(evaluator);
+  } else if (algorithm == "obccf") {
+    CurveFitDynSearch strategy;
+    outcome = optimize_obc(evaluator, strategy);
+  } else if (algorithm == "obcee") {
+    ExhaustiveDynSearch strategy;
+    outcome = optimize_obc(evaluator, strategy);
+  } else if (algorithm == "sa") {
+    SaOptions options;
+    options.seed = seed;
+    outcome = optimize_sa(evaluator, options);
+  } else {
+    return usage();
+  }
+
+  std::cout << "\n" << outcome.algorithm << ": "
+            << (outcome.feasible ? "SCHEDULABLE" : "not schedulable") << ", cost "
+            << fmt_double(outcome.cost.value, 1) << " us, " << outcome.evaluations
+            << " analyses in " << fmt_double(outcome.wall_seconds, 3) << " s\n";
+  if (outcome.cost.value >= kInvalidConfigCost) {
+    std::cerr << "no analysable configuration found\n";
+    return 1;
+  }
+  std::cout << "configuration: " << outcome.config.static_slot_count << " ST slots x "
+            << format_time(outcome.config.static_slot_len) << ", DYN "
+            << outcome.config.minislot_count << " minislots\n";
+  Table fids({"message", "FrameID"});
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (outcome.config.frame_id[m] > 0) {
+      fids.add_row({app.messages()[m].name, std::to_string(outcome.config.frame_id[m])});
+    }
+  }
+  if (fids.rows() > 0) fids.print(std::cout);
+
+  auto layout = BusLayout::build(app, params, outcome.config);
+  auto analysis = analyze_system(layout.value());
+  std::cout << "\nworst-case response times:\n";
+  Table wcrt({"activity", "kind", "WCRT", "deadline", "status"});
+  auto add = [&](const std::string& name, const char* kind, Time r, Time d) {
+    wcrt.add_row({name, kind, format_time(r), format_time(d), r <= d ? "ok" : "MISS"});
+  };
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    add(app.tasks()[t].name, app.tasks()[t].policy == TaskPolicy::Scs ? "SCS" : "FPS",
+        analysis.value().task_completion[t],
+        app.effective_deadline(ActivityRef::task(static_cast<TaskId>(t))));
+  }
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    add(app.messages()[m].name,
+        app.messages()[m].cls == MessageClass::Static ? "ST" : "DYN",
+        analysis.value().message_completion[m],
+        app.effective_deadline(ActivityRef::message(static_cast<MessageId>(m))));
+  }
+  wcrt.print(std::cout);
+
+  if (run_sim) {
+    auto sim = simulate(layout.value(), analysis.value().schedule);
+    if (!sim.ok()) {
+      std::cerr << "simulation: " << sim.error().message << "\n";
+    } else {
+      std::cout << "\nsimulated one hyper-period: " << sim.value().unfinished_jobs
+                << " unfinished jobs, " << sim.value().precedence_violations
+                << " precedence violations\n";
+    }
+  }
+  return outcome.feasible ? 0 : 1;
+}
