@@ -42,12 +42,11 @@ int main() {
     for (int i = 0; i < scale.systems_per_size; ++i) {
       auto app = section7_system(nodes, i);
       if (!app.ok()) continue;
-      CostEvaluator evaluator(app.value(), params, optimizer_analysis_options());
-      CurveFitDynOptions options;
-      options.initial_points = s.initial_points;
-      options.n_max = s.n_max;
-      CurveFitDynSearch strategy(options);
-      const OptimizationOutcome outcome = optimize_obc(evaluator, strategy);
+      ObcCfParams optimizer_params;
+      optimizer_params.dyn.initial_points = s.initial_points;
+      optimizer_params.dyn.n_max = s.n_max;
+      const OptimizationOutcome outcome =
+          run_algorithm("obc-cf", app.value(), params, optimizer_params).outcome;
       if (outcome.cost.value < kInvalidConfigCost) costs.push_back(outcome.cost.value);
       evals.push_back(static_cast<double>(outcome.evaluations));
       sched += outcome.feasible ? 1 : 0;

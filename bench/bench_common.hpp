@@ -11,11 +11,10 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
-#include "flexopt/core/bbc.hpp"
-#include "flexopt/core/obc.hpp"
-#include "flexopt/core/sa.hpp"
+#include "flexopt/core/solver.hpp"
 #include "flexopt/gen/synthetic.hpp"
 
 namespace flexopt::bench {
@@ -82,35 +81,45 @@ inline Expected<Application> section7_system(int nodes, int index) {
 struct AlgorithmResult {
   OptimizationOutcome outcome;
   bool ran = false;
+  SolveStatus status = SolveStatus::Complete;
+  std::uint64_t cache_hits = 0;
 };
 
-inline AlgorithmResult run_bbc(const Application& app, const BusParams& params) {
+/// Creates the named optimizer with `params` and solves on a fresh
+/// evaluator — the shared harness path every bench drives algorithms
+/// through.  Throws on registry errors (bench bugs should be loud).
+inline AlgorithmResult run_algorithm(const std::string& name, const Application& app,
+                                     const BusParams& params,
+                                     const OptimizerParams& optimizer_params = {},
+                                     const SolveRequest& request = {}) {
+  auto optimizer = OptimizerRegistry::create(name, optimizer_params);
+  if (!optimizer.ok()) throw std::runtime_error(optimizer.error().message);
   CostEvaluator evaluator(app, params, optimizer_analysis_options());
-  return {optimize_bbc(evaluator), true};
+  const SolveReport report = optimizer.value()->solve(evaluator, request);
+  return {report.outcome, true, report.status, report.cache_hits};
+}
+
+inline AlgorithmResult run_bbc(const Application& app, const BusParams& params) {
+  return run_algorithm("bbc", app, params);
 }
 
 inline AlgorithmResult run_obc_cf(const Application& app, const BusParams& params) {
-  CostEvaluator evaluator(app, params, optimizer_analysis_options());
-  CurveFitDynSearch strategy;
-  return {optimize_obc(evaluator, strategy), true};
+  return run_algorithm("obc-cf", app, params);
 }
 
 inline AlgorithmResult run_obc_ee(const Application& app, const BusParams& params,
                                   int sweep_points) {
-  CostEvaluator evaluator(app, params, optimizer_analysis_options());
-  ExhaustiveDynOptions options;
-  options.max_sweep_points = sweep_points;
-  ExhaustiveDynSearch strategy(options);
-  return {optimize_obc(evaluator, strategy), true};
+  ObcEeParams optimizer_params;
+  optimizer_params.dyn.max_sweep_points = sweep_points;
+  return run_algorithm("obc-ee", app, params, optimizer_params);
 }
 
 inline AlgorithmResult run_sa(const Application& app, const BusParams& params,
                               long evaluations, std::uint64_t seed) {
-  CostEvaluator evaluator(app, params, optimizer_analysis_options());
-  SaOptions options;
-  options.max_evaluations = evaluations;
-  options.seed = seed;
-  return {optimize_sa(evaluator, options), true};
+  SolveRequest request;
+  request.max_evaluations = evaluations;
+  request.seed = seed;
+  return run_algorithm("sa", app, params, {}, request);
 }
 
 /// Percentage deviation of a cost value vs the SA reference, following the

@@ -81,9 +81,8 @@ int main() {
     auto evaluate = [&](const LogicalApplication& logical, VariantStats* stats) {
       auto app = logical.materialize(mapping);
       if (!app.ok()) return;
-      CostEvaluator evaluator(app.value(), params, optimizer_analysis_options());
-      CurveFitDynSearch strategy;
-      const OptimizationOutcome outcome = optimize_obc(evaluator, strategy);
+      const OptimizationOutcome outcome =
+          run_algorithm("obc-cf", app.value(), params).outcome;
       stats->schedulable += outcome.feasible ? 1 : 0;
       if (outcome.cost.value < kInvalidConfigCost) {
         stats->costs.push_back(outcome.cost.value);

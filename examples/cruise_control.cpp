@@ -7,9 +7,7 @@
 
 #include <iostream>
 
-#include "flexopt/core/bbc.hpp"
-#include "flexopt/core/obc.hpp"
-#include "flexopt/core/sa.hpp"
+#include "flexopt/core/solver.hpp"
 #include "flexopt/gen/cruise_control.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "flexopt/util/table.hpp"
@@ -26,33 +24,24 @@ int main() {
   AnalysisOptions fast;
   fast.scheduler.placement = Placement::Asap;
 
-  // Compare the algorithms of the paper.
+  // Compare the algorithms of the paper — every registered optimizer runs
+  // through the same Optimizer/SolveRequest interface.
   Table algs({"algorithm", "schedulable", "cost (us)", "analyses", "time (s)"});
   OptimizationOutcome best;
-  auto consider = [&](const OptimizationOutcome& o) {
+  for (const OptimizerInfo& info : OptimizerRegistry::list()) {
+    auto optimizer = OptimizerRegistry::create(info.name);
+    if (!optimizer.ok()) {
+      std::cerr << optimizer.error().message << "\n";
+      return 1;
+    }
+    SolveRequest request;
+    if (info.name == "sa") request.max_evaluations = 500;
+    CostEvaluator evaluator(app, params, fast);
+    const SolveReport report = optimizer.value()->solve(evaluator, request);
+    const OptimizationOutcome& o = report.outcome;
     algs.add_row({o.algorithm, o.feasible ? "yes" : "no", fmt_double(o.cost.value, 1),
                   std::to_string(o.evaluations), fmt_double(o.wall_seconds, 3)});
     if (o.cost.value < best.cost.value) best = o;
-  };
-  {
-    CostEvaluator e(app, params, fast);
-    consider(optimize_bbc(e));
-  }
-  {
-    CostEvaluator e(app, params, fast);
-    CurveFitDynSearch s;
-    consider(optimize_obc(e, s));
-  }
-  {
-    CostEvaluator e(app, params, fast);
-    ExhaustiveDynSearch s;
-    consider(optimize_obc(e, s));
-  }
-  {
-    CostEvaluator e(app, params, fast);
-    SaOptions options;
-    options.max_evaluations = 500;
-    consider(optimize_sa(e, options));
   }
   algs.print(std::cout);
   std::cout << "\nbest: " << best.algorithm << " -> " << best.config.static_slot_count

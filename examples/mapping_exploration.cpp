@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "flexopt/core/mapping.hpp"
-#include "flexopt/core/obc.hpp"
+#include "flexopt/core/solver.hpp"
 #include "flexopt/util/table.hpp"
 
 using namespace flexopt;
@@ -44,9 +44,14 @@ int main() {
     std::cerr << balanced_app.error().message << "\n";
     return 1;
   }
+  auto baseline_optimizer = OptimizerRegistry::create("obc-cf");
+  if (!baseline_optimizer.ok()) {
+    std::cerr << baseline_optimizer.error().message << "\n";
+    return 1;
+  }
   CostEvaluator evaluator(balanced_app.value(), params, AnalysisOptions{});
-  CurveFitDynSearch baseline_strategy;
-  const OptimizationOutcome baseline = optimize_obc(evaluator, baseline_strategy);
+  const OptimizationOutcome baseline =
+      baseline_optimizer.value()->solve(evaluator).outcome;
 
   // Co-exploration of mapping + bus configuration.
   CurveFitDynSearch strategy;

@@ -5,11 +5,12 @@
 //   $ ./quickstart
 //
 // Walks through the full public API surface: Application -> optimisation
-// (OBC with curve fitting) -> BusLayout -> analysis -> simulation.
+// (the "obc-cf" optimizer from the registry) -> BusLayout -> analysis ->
+// simulation.
 
 #include <iostream>
 
-#include "flexopt/core/obc.hpp"
+#include "flexopt/core/solver.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "flexopt/util/table.hpp"
 
@@ -51,8 +52,13 @@ int main() {
   // ---- 2. Optimise the bus access configuration ---------------------------
   BusParams params;  // 10 Mbit/s FlexRay defaults
   CostEvaluator evaluator(app, params, AnalysisOptions{});
-  CurveFitDynSearch dyn_strategy;  // the paper's OBC-CF heuristic
-  const OptimizationOutcome outcome = optimize_obc(evaluator, dyn_strategy);
+  auto optimizer = OptimizerRegistry::create("obc-cf");  // the paper's heuristic
+  if (!optimizer.ok()) {
+    std::cerr << optimizer.error().message << "\n";
+    return 1;
+  }
+  const SolveReport report = optimizer.value()->solve(evaluator);
+  const OptimizationOutcome& outcome = report.outcome;
 
   std::cout << "optimiser: " << outcome.algorithm << ", "
             << (outcome.feasible ? "schedulable" : "NOT schedulable") << ", cost "

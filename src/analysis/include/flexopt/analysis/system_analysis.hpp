@@ -52,6 +52,11 @@ struct AnalysisResult {
 /// analysis.  Fails only on structural errors (e.g. no ST slot placement
 /// possible); an unschedulable system is a *successful* analysis with a
 /// positive cost.
+///
+/// Reentrancy guarantee: the analysis reads `layout` and `options` only and
+/// keeps all state on the stack — concurrent calls (the CostEvaluator
+/// worker pool fans candidate configurations across threads) are safe as
+/// long as each call gets its own BusLayout.
 Expected<AnalysisResult> analyze_system(const BusLayout& layout,
                                         const AnalysisOptions& options = {});
 

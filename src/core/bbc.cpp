@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/detail/batch_sweep.hpp"
+#include "flexopt/core/solve_types.hpp"
 
 namespace flexopt {
 
-OptimizationOutcome optimize_bbc(CostEvaluator& evaluator, const BbcOptions& options) {
+OptimizationOutcome optimize_bbc(CostEvaluator& evaluator, const BbcOptions& options,
+                                 SolveControl* control) {
   const auto t0 = std::chrono::steady_clock::now();
   const Application& app = evaluator.application();
   const BusParams& params = evaluator.params();
@@ -37,19 +41,19 @@ OptimizationOutcome optimize_bbc(CostEvaluator& evaluator, const BbcOptions& opt
     stride = std::max(1, span / std::max(1, options.max_sweep_points - 1));
   }
 
-  // Fig. 5 lines 5-12: sweep the DYN segment length, keep the best cost.
-  for (int minislots = bounds.min_minislots; minislots <= bounds.max_minislots;
-       minislots += stride) {
-    BusConfig candidate = base;
-    candidate.minislot_count = minislots;
-    const auto eval = evaluator.evaluate(candidate);
-    if (!eval.valid) continue;
-    if (eval.cost.value < outcome.cost.value) {
-      outcome.cost = eval.cost;
-      outcome.config = candidate;
-      outcome.feasible = eval.cost.schedulable;
-    }
-  }
+  // Fig. 5 lines 5-12: sweep the DYN segment length in parallel batches,
+  // keep the best cost (in-order strictly-better selection == serial sweep).
+  detail::batched_minislot_sweep(
+      evaluator, base, bounds.min_minislots, bounds.max_minislots, stride, control,
+      [&](int minislots, const CostEvaluator::Evaluation& eval) {
+        if (eval.cost.value < outcome.cost.value) {
+          outcome.cost = eval.cost;
+          outcome.config = base;
+          outcome.config.minislot_count = minislots;
+          outcome.feasible = eval.cost.schedulable;
+          if (control != nullptr) control->note_best(outcome.cost);
+        }
+      });
 
   outcome.evaluations = evaluator.evaluations() - evals_before;
   outcome.wall_seconds =

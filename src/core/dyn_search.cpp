@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "flexopt/analysis/sat_time.hpp"
+#include "flexopt/core/detail/batch_sweep.hpp"
+#include "flexopt/core/solve_types.hpp"
 #include "flexopt/math/interpolation.hpp"
 
 namespace flexopt {
@@ -19,27 +21,26 @@ int auto_stride(int span, int max_points) {
 }  // namespace
 
 DynSearchResult ExhaustiveDynSearch::search(CostEvaluator& evaluator, const BusConfig& base,
-                                            int dyn_min, int dyn_max) {
+                                            int dyn_min, int dyn_max, SolveControl* control) {
   DynSearchResult best;
   const int stride = options_.stride_minislots > 0
                          ? options_.stride_minislots
                          : auto_stride(dyn_max - dyn_min, options_.max_sweep_points);
-  for (int minislots = dyn_min; minislots <= dyn_max; minislots += stride) {
-    BusConfig candidate = base;
-    candidate.minislot_count = minislots;
-    const auto eval = evaluator.evaluate(candidate);
-    if (!eval.valid) continue;
-    if (eval.cost.value < best.cost.value) {
-      best.cost = eval.cost;
-      best.minislots = minislots;
-      best.exact = true;
-    }
-  }
+
+  detail::batched_minislot_sweep(evaluator, base, dyn_min, dyn_max, stride, control,
+                                 [&](int minislots, const CostEvaluator::Evaluation& eval) {
+                                   if (eval.cost.value < best.cost.value) {
+                                     best.cost = eval.cost;
+                                     best.minislots = minislots;
+                                     best.exact = true;
+                                     if (control != nullptr) control->note_best(best.cost);
+                                   }
+                                 });
   return best;
 }
 
 DynSearchResult CurveFitDynSearch::search(CostEvaluator& evaluator, const BusConfig& base,
-                                          int dyn_min, int dyn_max) {
+                                          int dyn_min, int dyn_max, SolveControl* control) {
   const Application& app = evaluator.application();
 
   // Completion bounds are fitted in microseconds; unbounded completions are
@@ -136,14 +137,17 @@ DynSearchResult CurveFitDynSearch::search(CostEvaluator& evaluator, const BusCon
   // samples the x axis with geometrically growing steps.
   const int span = dyn_max - dyn_min;
   const int k = std::max(2, options_.initial_points);
+  const auto stop_requested = [&]() {
+    return control != nullptr && control->should_stop(evaluator);
+  };
   if (dyn_min > 0 && dyn_max > dyn_min) {
     const double ratio = static_cast<double>(dyn_max) / static_cast<double>(dyn_min);
-    for (int i = 0; i < k; ++i) {
+    for (int i = 0; i < k && !stop_requested(); ++i) {
       const double x = dyn_min * std::pow(ratio, static_cast<double>(i) / (k - 1));
       analyse_point(std::clamp(static_cast<int>(std::lround(x)), dyn_min, dyn_max));
     }
   } else {
-    for (int i = 0; i < k; ++i) {
+    for (int i = 0; i < k && !stop_requested(); ++i) {
       const int x = dyn_min + static_cast<int>(
                                   static_cast<std::int64_t>(span) * i / std::max(1, k - 1));
       analyse_point(x);
@@ -161,12 +165,13 @@ DynSearchResult CurveFitDynSearch::search(CostEvaluator& evaluator, const BusCon
       best_exact.cost = cost;
       best_exact.minislots = x;
       best_exact.exact = true;
+      if (control != nullptr) control->note_best(cost);
     }
   };
   for (const auto& [x, data] : points) note_exact(x, data.cost);
 
   int stale_iterations = 0;
-  while (stale_iterations < options_.n_max) {
+  while (stale_iterations < options_.n_max && !stop_requested()) {
     const double previous_best = best_exact.cost.value;
 
     // Fig. 8 lines 6-11: scan all candidates, interpolating where needed,

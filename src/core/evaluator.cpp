@@ -1,19 +1,45 @@
 #include "flexopt/core/evaluator.hpp"
 
+#include <algorithm>
+#include <thread>
+
 namespace flexopt {
 
-CostEvaluator::CostEvaluator(const Application& app, const BusParams& params,
-                             AnalysisOptions options)
-    : app_(&app), params_(params), options_(options) {}
+std::size_t hash_config(const BusConfig& config) {
+  // FNV-1a over the six decision variables.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(config.static_slot_count));
+  mix(static_cast<std::uint64_t>(config.static_slot_len));
+  mix(static_cast<std::uint64_t>(config.minislot_count));
+  for (const NodeId owner : config.static_slot_owner) mix(index_of(owner));
+  for (const int fid : config.frame_id) mix(static_cast<std::uint64_t>(fid));
+  return static_cast<std::size_t>(h);
+}
 
-CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
+CostEvaluator::CostEvaluator(std::shared_ptr<const Application> app, const BusParams& params,
+                             AnalysisOptions options, EvaluatorOptions evaluator_options)
+    : app_(std::move(app)),
+      params_(params),
+      options_(options),
+      evaluator_options_(evaluator_options) {}
+
+CostEvaluator::CostEvaluator(const Application& app, const BusParams& params,
+                             AnalysisOptions options, EvaluatorOptions evaluator_options)
+    : CostEvaluator(std::make_shared<const Application>(app), params, options,
+                    evaluator_options) {}
+
+CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
   Evaluation out;
   auto layout = BusLayout::build(*app_, params_, config);
   if (!layout.ok()) {
     out.error = layout.error().message;
     return out;
   }
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   auto analysis = analyze_system(layout.value(), options_);
   if (!analysis.ok()) {
     out.error = analysis.error().message;
@@ -23,6 +49,129 @@ CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
   out.analysis = std::move(analysis).value();
   out.cost = out.analysis.cost;
   return out;
+}
+
+CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
+  if (!evaluator_options_.cache_enabled) return analyze(config);
+
+  std::shared_ptr<const Evaluation> hit;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = cache_.find(config); it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      hit = it->second;  // entries are immutable: copy outside the lock
+    }
+  }
+  if (hit) return *hit;
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Concurrent misses of the same configuration analyse redundantly but
+  // converge on identical values (the analysis is deterministic), so no
+  // per-key coordination is needed.
+  auto entry = std::make_shared<const Evaluation>(analyze(config));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_.size() < evaluator_options_.max_cache_entries) {
+      cache_.emplace(config, entry);
+    }
+  }
+  return *entry;
+}
+
+CostEvaluator::~CostEvaluator() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutting_down_ = true;
+  }
+  pool_wake_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+int CostEvaluator::worker_threads() const {
+  const int threads = evaluator_options_.threads > 0
+                          ? evaluator_options_.threads
+                          : static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, threads);
+}
+
+void CostEvaluator::ensure_pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  const std::size_t wanted = static_cast<std::size_t>(worker_threads()) - 1;
+  while (pool_.size() < wanted) pool_.emplace_back([this] { pool_worker(); });
+}
+
+void CostEvaluator::drain(Batch& batch) {
+  for (std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+       i < batch.configs.size(); i = batch.next.fetch_add(1, std::memory_order_relaxed)) {
+    (*batch.out)[i] = evaluate(batch.configs[i]);
+  }
+}
+
+void CostEvaluator::pool_worker() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_wake_.wait(lock, [&] {
+        return shutting_down_ || (batch_ != nullptr && batch_generation_ != seen_generation);
+      });
+      if (shutting_down_) return;
+      seen_generation = batch_generation_;
+      batch = batch_;
+      ++batch->active;
+    }
+    drain(*batch);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      --batch->active;
+    }
+    pool_done_.notify_all();
+  }
+}
+
+std::vector<CostEvaluator::Evaluation> CostEvaluator::evaluate_many(
+    std::span<const BusConfig> configs) {
+  std::vector<Evaluation> out(configs.size());
+  if (configs.empty()) return out;
+
+  if (worker_threads() <= 1 || configs.size() <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) out[i] = evaluate(configs[i]);
+    return out;
+  }
+
+  ensure_pool();
+  Batch batch;
+  batch.configs = configs;
+  batch.out = &out;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    batch_ = &batch;
+    ++batch_generation_;
+  }
+  pool_wake_.notify_all();
+  drain(batch);  // the caller participates
+  {
+    // `batch` lives on this stack frame: wait for every worker to check
+    // out (they only touch it between the active ++/--) before returning.
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    pool_done_.wait(lock, [&] { return batch.active == 0; });
+    if (batch_ == &batch) batch_ = nullptr;
+  }
+  return out;
+}
+
+EvaluatorCacheStats CostEvaluator::cache_stats() const {
+  EvaluatorCacheStats stats;
+  stats.hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  stats.entries = cache_.size();
+  return stats;
+}
+
+void CostEvaluator::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
 }
 
 }  // namespace flexopt

@@ -10,6 +10,8 @@
 
 namespace flexopt {
 
+class SolveControl;
+
 struct BbcOptions {
   /// Sweep stride in minislots; 0 = auto (cover the range with at most
   /// `max_sweep_points` full analyses).  The paper steps by one minislot;
@@ -21,7 +23,11 @@ struct BbcOptions {
 
 /// Runs BBC.  The outcome carries the best configuration found over the
 /// sweep (feasible == cost.schedulable; BBC frequently ends infeasible on
-/// larger systems, which is exactly the Fig. 9 result).
-OptimizationOutcome optimize_bbc(CostEvaluator& evaluator, const BbcOptions& options = {});
+/// larger systems, which is exactly the Fig. 9 result).  Candidate DYN
+/// lengths are evaluated in parallel batches on the evaluator's worker
+/// pool; `control` (optional) enforces the SolveRequest budgets between
+/// batches.  Front-ends drive this through the OptimizerRegistry ("bbc").
+OptimizationOutcome optimize_bbc(CostEvaluator& evaluator, const BbcOptions& options = {},
+                                 SolveControl* control = nullptr);
 
 }  // namespace flexopt

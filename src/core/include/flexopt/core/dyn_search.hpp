@@ -16,6 +16,8 @@
 
 namespace flexopt {
 
+class SolveControl;
+
 struct DynSearchResult {
   int minislots = 0;
   Cost cost{kInvalidConfigCost, false, 0};
@@ -25,12 +27,13 @@ struct DynSearchResult {
 
 /// Interface: search [dyn_min, dyn_max] (minislots) for the best DYN length
 /// for `base` (a BusConfig with the ST segment and FrameIDs already fixed;
-/// minislot_count is overwritten by the search).
+/// minislot_count is overwritten by the search).  `control` (nullable)
+/// enforces SolveRequest budgets at the strategy's cancellation points.
 class DynSegmentStrategy {
  public:
   virtual ~DynSegmentStrategy() = default;
   virtual DynSearchResult search(CostEvaluator& evaluator, const BusConfig& base, int dyn_min,
-                                 int dyn_max) = 0;
+                                 int dyn_max, SolveControl* control = nullptr) = 0;
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
@@ -40,11 +43,14 @@ struct ExhaustiveDynOptions {
   int max_sweep_points = 96;
 };
 
+/// Full analysis at every candidate length (OBC-EE).  Candidates are fanned
+/// across the evaluator's worker pool in batches; results are identical to
+/// the serial sweep (in-order, strictly-better comparisons).
 class ExhaustiveDynSearch final : public DynSegmentStrategy {
  public:
   explicit ExhaustiveDynSearch(ExhaustiveDynOptions options = {}) : options_(options) {}
   DynSearchResult search(CostEvaluator& evaluator, const BusConfig& base, int dyn_min,
-                         int dyn_max) override;
+                         int dyn_max, SolveControl* control = nullptr) override;
   [[nodiscard]] const char* name() const override { return "exhaustive"; }
 
  private:
@@ -66,7 +72,7 @@ class CurveFitDynSearch final : public DynSegmentStrategy {
  public:
   explicit CurveFitDynSearch(CurveFitDynOptions options = {}) : options_(options) {}
   DynSearchResult search(CostEvaluator& evaluator, const BusConfig& base, int dyn_min,
-                         int dyn_max) override;
+                         int dyn_max, SolveControl* control = nullptr) override;
   [[nodiscard]] const char* name() const override { return "curve-fit"; }
 
  private:

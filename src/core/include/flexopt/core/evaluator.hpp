@@ -2,10 +2,25 @@
 
 /// \file evaluator.hpp
 /// Cost evaluation service shared by all optimisers: wraps BusLayout
-/// construction + holistic analysis + Eq. 5, and counts evaluations so the
-/// Fig. 9 runtime comparison can report work done.
+/// construction + holistic analysis + Eq. 5, memoizes results per
+/// configuration, and counts full analyses so the Fig. 9 runtime comparison
+/// can report work done.
+///
+/// The evaluator is a thread-safe service: it owns the Application by
+/// shared_ptr (evaluations stay valid after the caller's copy goes away),
+/// `evaluate()` may be called concurrently from any number of threads, and
+/// `evaluate_many()` fans a batch of candidates across a worker pool.
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/flexray/bus_config.hpp"
@@ -18,9 +33,43 @@ namespace flexopt {
 /// configuration.
 inline constexpr double kInvalidConfigCost = 1e15;
 
+/// Stable hash of the decision variables; keys the evaluator's memoization
+/// cache (collisions are resolved by full BusConfig equality).
+[[nodiscard]] std::size_t hash_config(const BusConfig& config);
+
+/// Behaviour knobs of the evaluation service (cache + worker pool).
+struct EvaluatorOptions {
+  /// Memoize BusConfig -> Evaluation.  Optimisers that revisit
+  /// configurations (SA, nested OBC loops) pay one analysis per distinct
+  /// candidate instead of one per visit.
+  bool cache_enabled = true;
+  /// Insertion stops once the cache holds this many entries (the hot
+  /// configurations of a run are cached early; this bounds memory on
+  /// multi-hour SA runs).
+  std::size_t max_cache_entries = 1u << 16;
+  /// Worker threads for evaluate_many(); 0 = hardware concurrency.
+  int threads = 0;
+};
+
+/// Cache effectiveness counters (monotonic over the evaluator's lifetime).
+struct EvaluatorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+
 class CostEvaluator {
  public:
-  CostEvaluator(const Application& app, const BusParams& params, AnalysisOptions options);
+  /// Shares ownership of `app`: the evaluator (and every Evaluation it
+  /// hands out) remains valid after the caller drops its reference.
+  CostEvaluator(std::shared_ptr<const Application> app, const BusParams& params,
+                AnalysisOptions options, EvaluatorOptions evaluator_options = {});
+  /// Convenience overload: copies `app` into shared ownership.
+  CostEvaluator(const Application& app, const BusParams& params, AnalysisOptions options,
+                EvaluatorOptions evaluator_options = {});
+  ~CostEvaluator();
+  CostEvaluator(const CostEvaluator&) = delete;
+  CostEvaluator& operator=(const CostEvaluator&) = delete;
 
   struct Evaluation {
     bool valid = false;
@@ -29,20 +78,78 @@ class CostEvaluator {
     std::string error;
   };
 
-  /// Full scheduling + schedulability analysis of one candidate.
+  /// Full scheduling + schedulability analysis of one candidate (served
+  /// from the cache when the configuration was seen before).  Thread-safe.
   Evaluation evaluate(const BusConfig& config);
 
+  /// Evaluates a batch of candidates on the worker pool; results are in
+  /// input order and identical to calling evaluate() serially.  The pool
+  /// is persistent: threads are spawned lazily on the first batch and
+  /// reused across calls, so small per-batch sweeps stay cheap.
+  std::vector<Evaluation> evaluate_many(std::span<const BusConfig> configs);
+
   [[nodiscard]] const Application& application() const { return *app_; }
+  [[nodiscard]] const std::shared_ptr<const Application>& application_ptr() const {
+    return app_;
+  }
   [[nodiscard]] const BusParams& params() const { return params_; }
   [[nodiscard]] const AnalysisOptions& analysis_options() const { return options_; }
-  /// Number of full analyses performed so far.
-  [[nodiscard]] long evaluations() const { return evaluations_; }
+  [[nodiscard]] const EvaluatorOptions& evaluator_options() const {
+    return evaluator_options_;
+  }
+
+  /// Number of full analyses performed so far (cache hits excluded) —
+  /// the work metric every optimisation budget is charged against.
+  [[nodiscard]] long evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker threads evaluate_many() will use (EvaluatorOptions::threads
+  /// resolved against hardware concurrency); >= 1.
+  [[nodiscard]] int worker_threads() const;
+
+  [[nodiscard]] EvaluatorCacheStats cache_stats() const;
+  void clear_cache();
 
  private:
-  const Application* app_;
+  /// The uncached path: BusLayout::build + analyze_system + Eq. 5.
+  Evaluation analyze(const BusConfig& config);
+
+  struct ConfigHash {
+    std::size_t operator()(const BusConfig& config) const { return hash_config(config); }
+  };
+
+  /// One evaluate_many call in flight: workers claim indices via `next`;
+  /// `active` counts workers currently inside the batch so the caller can
+  /// destroy it only after everyone has checked out.
+  struct Batch {
+    std::span<const BusConfig> configs;
+    std::vector<Evaluation>* out = nullptr;
+    std::atomic<std::size_t> next{0};
+    int active = 0;  // guarded by pool_mutex_
+  };
+
+  void ensure_pool();
+  void pool_worker();
+  void drain(Batch& batch);
+
+  std::shared_ptr<const Application> app_;
   BusParams params_;
   AnalysisOptions options_;
-  long evaluations_ = 0;
+  EvaluatorOptions evaluator_options_;
+  std::atomic<long> evaluations_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<BusConfig, std::shared_ptr<const Evaluation>, ConfigHash> cache_;
+
+  std::mutex pool_mutex_;
+  std::condition_variable pool_wake_;  ///< workers: a new batch was posted
+  std::condition_variable pool_done_;  ///< caller: all workers left the batch
+  std::vector<std::thread> pool_;      // spawned lazily, guarded by pool_mutex_
+  Batch* batch_ = nullptr;             // guarded by pool_mutex_
+  std::uint64_t batch_generation_ = 0;  // guarded by pool_mutex_
+  bool shutting_down_ = false;          // guarded by pool_mutex_
 };
 
 /// Outcome shared by all optimisation algorithms.

@@ -12,6 +12,8 @@
 
 namespace flexopt {
 
+class SolveControl;
+
 struct ObcOptions {
   /// Extra ST slots explored beyond the per-sender minimum.  The paper
   /// loops to the protocol limit (1023) but stops at the first feasible
@@ -26,8 +28,12 @@ struct ObcOptions {
   bool criticality_frame_ids = true;
 };
 
-/// Runs the OBC heuristic with the given DYN-length strategy.
+/// Runs the OBC heuristic with the given DYN-length strategy.  `control`
+/// (optional) enforces SolveRequest budgets at the ST-exploration loop and
+/// inside the DYN search.  Front-ends drive this through the
+/// OptimizerRegistry ("obc-ee" / "obc-cf").
 OptimizationOutcome optimize_obc(CostEvaluator& evaluator, DynSegmentStrategy& dyn_strategy,
-                                 const ObcOptions& options = {});
+                                 const ObcOptions& options = {},
+                                 SolveControl* control = nullptr);
 
 }  // namespace flexopt

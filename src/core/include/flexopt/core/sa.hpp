@@ -14,6 +14,8 @@
 
 namespace flexopt {
 
+class SolveControl;
+
 struct SaOptions {
   std::uint64_t seed = 1;
   /// Full analyses the run may spend.  The paper ran "several hours"; the
@@ -28,6 +30,10 @@ struct SaOptions {
   bool stop_at_first_feasible = false;
 };
 
-OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& options = {});
+/// Runs simulated annealing.  `control` (optional) adds SolveRequest
+/// budgets / cancellation on top of the SaOptions evaluation budget.
+/// Front-ends drive this through the OptimizerRegistry ("sa").
+OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& options = {},
+                                SolveControl* control = nullptr);
 
 }  // namespace flexopt

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file solve_types.hpp
+/// The request/report pair of the unified solver interface, plus the
+/// SolveControl coordinator that algorithm implementations poll to honour
+/// evaluation budgets, wall-clock limits, progress reporting, and
+/// cooperative cancellation.  Front-ends consume these through
+/// flexopt/core/solver.hpp; the per-algorithm implementations include this
+/// header only.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "flexopt/core/evaluator.hpp"
+
+namespace flexopt {
+
+/// Snapshot handed to the progress callback while a solve runs.
+struct SolveProgress {
+  std::string_view algorithm;
+  /// Full analyses spent by this solve so far / allowed in total (0 = no
+  /// evaluation budget).
+  long evaluations = 0;
+  long max_evaluations = 0;
+  double elapsed_seconds = 0.0;
+  /// Best Eq. 5 cost seen so far (kInvalidConfigCost until a candidate
+  /// analyses successfully).
+  double best_cost = kInvalidConfigCost;
+  bool feasible = false;
+};
+
+/// Return false to cancel the solve cooperatively.
+using SolveProgressCallback = std::function<bool(const SolveProgress&)>;
+
+/// Budgets and hooks shared by every optimiser.  Per-algorithm tuning stays
+/// in the per-algorithm option structs (the registry payloads); this is the
+/// part a front-end can set without knowing which algorithm it drives.
+struct SolveRequest {
+  /// Seed for stochastic algorithms (SA); deterministic ones ignore it.
+  /// Unset keeps the seed of the per-algorithm option payload.
+  std::optional<std::uint64_t> seed;
+  /// Full-analysis budget; 0 = the algorithm's own default/unlimited.
+  long max_evaluations = 0;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double max_wall_seconds = 0.0;
+  /// Called whenever the spent-evaluation count advances.
+  SolveProgressCallback progress;
+  /// Set to true (from any thread) to stop the solve at the next
+  /// cancellation point; the best solution found so far is still reported.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+/// Why a solve returned.
+enum class SolveStatus {
+  Complete,         ///< the algorithm ran to its natural termination
+  BudgetExhausted,  ///< stopped by SolveRequest::max_evaluations
+  TimeLimit,        ///< stopped by SolveRequest::max_wall_seconds
+  Cancelled,        ///< cancel flag set or progress callback returned false
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status);
+
+/// Unified result of Optimizer::solve — the algorithm outcome plus how the
+/// run ended and what the evaluator's cache contributed.
+struct SolveReport {
+  OptimizationOutcome outcome;
+  SolveStatus status = SolveStatus::Complete;
+  /// Cache hits/misses incurred by this solve (deltas, not totals).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Polled by algorithm implementations at their cancellation points.  A
+/// default-constructed control never stops anything (the legacy free
+/// functions pass nullptr instead).  Not thread-safe: one control per solve,
+/// polled from the solve's driving thread.
+class SolveControl {
+ public:
+  /// `request` must outlive the solve call.
+  SolveControl(const SolveRequest& request, const CostEvaluator& evaluator,
+               std::string_view algorithm);
+
+  /// True when the solve must stop (sticky).  Also emits progress whenever
+  /// the spent-evaluation count advanced since the last poll.
+  [[nodiscard]] bool should_stop(const CostEvaluator& evaluator);
+
+  /// Full analyses this solve may still spend; LONG_MAX when unbudgeted.
+  [[nodiscard]] long remaining_evaluations(const CostEvaluator& evaluator) const;
+  [[nodiscard]] long evaluations_used(const CostEvaluator& evaluator) const;
+
+  /// Feeds progress reporting; call when the incumbent improves.
+  void note_best(const Cost& cost);
+
+  /// Marks the run BudgetExhausted iff it is still Complete and the
+  /// request's evaluation budget is spent.  For algorithms whose own loop
+  /// enforces the same budget and exits before should_stop() notices (SA);
+  /// deliberately checks nothing else, so a naturally finished run is never
+  /// re-labelled TimeLimit/Cancelled after the fact.
+  void mark_budget_exhausted_if_spent(const CostEvaluator& evaluator);
+
+  [[nodiscard]] SolveStatus status() const { return status_; }
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  const SolveRequest* request_;
+  std::string_view algorithm_;
+  std::chrono::steady_clock::time_point start_;
+  long evals_at_start_ = 0;
+  long last_reported_evals_ = -1;
+  double best_cost_ = kInvalidConfigCost;
+  bool best_feasible_ = false;
+  SolveStatus status_ = SolveStatus::Complete;
+};
+
+}  // namespace flexopt

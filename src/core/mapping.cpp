@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "flexopt/core/obc.hpp"
 #include "flexopt/util/rng.hpp"
@@ -113,7 +115,10 @@ Expected<MappingOutcome> optimize_mapping(const LogicalApplication& logical,
       bad.algorithm = "mapping/unmaterialisable";
       return bad;
     }
-    CostEvaluator evaluator(app.value(), params, analysis);
+    // Move the materialised application straight into shared ownership —
+    // one mapping candidate = one evaluator, no extra copy.
+    CostEvaluator evaluator(std::make_shared<const Application>(std::move(app).value()),
+                            params, analysis);
     OptimizationOutcome bus = optimize_obc(evaluator, dyn_strategy);
     outcome.evaluations += bus.evaluations;
     return bus;

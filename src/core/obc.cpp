@@ -5,11 +5,12 @@
 #include <string>
 
 #include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/solve_types.hpp"
 
 namespace flexopt {
 
 OptimizationOutcome optimize_obc(CostEvaluator& evaluator, DynSegmentStrategy& dyn_strategy,
-                                 const ObcOptions& options) {
+                                 const ObcOptions& options, SolveControl* control) {
   const auto t0 = std::chrono::steady_clock::now();
   const Application& app = evaluator.application();
   const BusParams& params = evaluator.params();
@@ -54,6 +55,7 @@ OptimizationOutcome optimize_obc(CostEvaluator& evaluator, DynSegmentStrategy& d
     const int len_steps_cap = slot_count == 0 ? 1 : std::max(1, options.max_slot_len_steps);
     for (Time slot_len = len_min; slot_len <= len_max && len_steps < len_steps_cap;
          slot_len += len_step, ++len_steps) {
+      if (control != nullptr && control->should_stop(evaluator)) return finish(outcome);
       BusConfig base;
       base.frame_id = frame_ids;
       base.static_slot_count = slot_count;
@@ -64,8 +66,8 @@ OptimizationOutcome optimize_obc(CostEvaluator& evaluator, DynSegmentStrategy& d
       const DynBounds bounds = dyn_segment_bounds(app, params, st_len);
       if (!bounds.feasible()) continue;
 
-      const DynSearchResult dyn =
-          dyn_strategy.search(evaluator, base, bounds.min_minislots, bounds.max_minislots);
+      const DynSearchResult dyn = dyn_strategy.search(evaluator, base, bounds.min_minislots,
+                                                      bounds.max_minislots, control);
       if (!dyn.exact) continue;
 
       if (dyn.cost.value < outcome.cost.value) {
@@ -73,6 +75,7 @@ OptimizationOutcome optimize_obc(CostEvaluator& evaluator, DynSegmentStrategy& d
         outcome.config = base;
         outcome.config.minislot_count = dyn.minislots;
         outcome.feasible = dyn.cost.schedulable;
+        if (control != nullptr) control->note_best(outcome.cost);
       }
       // Fig. 6 line 7: stop as soon as a feasible configuration is found.
       if (outcome.feasible) return finish(outcome);

@@ -8,6 +8,7 @@
 #include "flexopt/core/bbc.hpp"
 #include "flexopt/core/config_builder.hpp"
 #include "flexopt/core/obc.hpp"
+#include "flexopt/core/solve_types.hpp"
 #include "flexopt/util/rng.hpp"
 
 namespace flexopt {
@@ -87,7 +88,8 @@ bool random_move(BusConfig& config, const Application& app, const BusParams& par
 
 }  // namespace
 
-OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& options) {
+OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& options,
+                                SolveControl* control) {
   const auto t0 = std::chrono::steady_clock::now();
   const Application& app = evaluator.application();
   const BusParams& params = evaluator.params();
@@ -115,7 +117,7 @@ OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& optio
   BbcOptions seed_options;
   seed_options.max_sweep_points =
       static_cast<int>(std::min<long>(16, std::max<long>(2, options.max_evaluations / 8)));
-  OptimizationOutcome seed = optimize_bbc(evaluator, seed_options);
+  OptimizationOutcome seed = optimize_bbc(evaluator, seed_options, control);
   {
     // A quick OBC-CF pass often lands in feasibility pockets the coarse BBC
     // sweep misses; starting the annealer there makes the budgeted SA a
@@ -124,7 +126,7 @@ OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& optio
     CurveFitDynOptions cf_options;
     cf_options.n_max = 5;
     CurveFitDynSearch cf(cf_options);
-    const OptimizationOutcome alt = optimize_obc(evaluator, cf);
+    const OptimizationOutcome alt = optimize_obc(evaluator, cf, {}, control);
     if (alt.cost.value < seed.cost.value) seed = alt;
   }
   double current_cost = kInvalidConfigCost;
@@ -151,8 +153,10 @@ OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& optio
 
   while (evaluator.evaluations() - evals_before < options.max_evaluations &&
          temperature > t_min) {
+    if (control != nullptr && control->should_stop(evaluator)) break;
     for (int i = 0; i < options.iterations_per_temperature; ++i) {
       if (evaluator.evaluations() - evals_before >= options.max_evaluations) break;
+      if (control != nullptr && control->should_stop(evaluator)) break;
       BusConfig neighbour = current;
       bool moved = false;
       for (int attempt = 0; attempt < 8 && !moved; ++attempt) {
@@ -172,6 +176,7 @@ OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& optio
         outcome.config = current;
         outcome.cost = eval.cost;
         outcome.feasible = eval.cost.schedulable;
+        if (control != nullptr) control->note_best(outcome.cost);
         if (outcome.feasible && options.stop_at_first_feasible) {
           outcome.evaluations = evaluator.evaluations() - evals_before;
           outcome.wall_seconds =

@@ -1,0 +1,174 @@
+#include "flexopt/core/solver.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <map>
+#include <mutex>
+
+namespace flexopt {
+
+// ---- SolveControl ----------------------------------------------------------
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Complete:
+      return "complete";
+    case SolveStatus::BudgetExhausted:
+      return "budget-exhausted";
+    case SolveStatus::TimeLimit:
+      return "time-limit";
+    case SolveStatus::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+SolveControl::SolveControl(const SolveRequest& request, const CostEvaluator& evaluator,
+                           std::string_view algorithm)
+    : request_(&request),
+      algorithm_(algorithm),
+      start_(std::chrono::steady_clock::now()),
+      evals_at_start_(evaluator.evaluations()) {}
+
+double SolveControl::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+long SolveControl::evaluations_used(const CostEvaluator& evaluator) const {
+  return evaluator.evaluations() - evals_at_start_;
+}
+
+long SolveControl::remaining_evaluations(const CostEvaluator& evaluator) const {
+  if (request_->max_evaluations <= 0) return LONG_MAX;
+  return std::max(0L, request_->max_evaluations - evaluations_used(evaluator));
+}
+
+void SolveControl::mark_budget_exhausted_if_spent(const CostEvaluator& evaluator) {
+  if (status_ == SolveStatus::Complete && request_->max_evaluations > 0 &&
+      evaluations_used(evaluator) >= request_->max_evaluations) {
+    status_ = SolveStatus::BudgetExhausted;
+  }
+}
+
+void SolveControl::note_best(const Cost& cost) {
+  if (cost.value < best_cost_) {
+    best_cost_ = cost.value;
+    best_feasible_ = cost.schedulable;
+  }
+}
+
+bool SolveControl::should_stop(const CostEvaluator& evaluator) {
+  if (status_ != SolveStatus::Complete) return true;  // sticky
+
+  if (request_->cancel && request_->cancel->load(std::memory_order_relaxed)) {
+    status_ = SolveStatus::Cancelled;
+    return true;
+  }
+  if (request_->max_wall_seconds > 0.0 && elapsed_seconds() >= request_->max_wall_seconds) {
+    status_ = SolveStatus::TimeLimit;
+    return true;
+  }
+  const long used = evaluations_used(evaluator);
+  if (request_->max_evaluations > 0 && used >= request_->max_evaluations) {
+    status_ = SolveStatus::BudgetExhausted;
+    return true;
+  }
+  if (request_->progress && used != last_reported_evals_) {
+    last_reported_evals_ = used;
+    SolveProgress progress;
+    progress.algorithm = algorithm_;
+    progress.evaluations = used;
+    progress.max_evaluations = request_->max_evaluations;
+    progress.elapsed_seconds = elapsed_seconds();
+    progress.best_cost = best_cost_;
+    progress.feasible = best_feasible_;
+    if (!request_->progress(progress)) {
+      status_ = SolveStatus::Cancelled;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- OptimizerRegistry -----------------------------------------------------
+
+namespace {
+
+struct RegistryEntry {
+  std::string description;
+  OptimizerRegistry::Factory factory;
+};
+
+struct RegistryState {
+  std::mutex mutex;
+  std::map<std::string, RegistryEntry> entries;
+};
+
+RegistryState& registry_state() {
+  static RegistryState state;
+  return state;
+}
+
+std::string normalize_name(std::string_view name) {
+  std::string out(name);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  // Legacy CLI spellings.
+  if (out == "obccf" || out == "obc_cf") return "obc-cf";
+  if (out == "obcee" || out == "obc_ee") return "obc-ee";
+  return out;
+}
+
+}  // namespace
+
+void OptimizerRegistry::register_optimizer(std::string name, std::string description,
+                                           Factory factory) {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.entries[normalize_name(name)] =
+      RegistryEntry{std::move(description), std::move(factory)};
+}
+
+Expected<std::unique_ptr<Optimizer>> OptimizerRegistry::create(std::string_view name,
+                                                               const OptimizerParams& params) {
+  detail::ensure_builtin_optimizers_registered();
+  RegistryState& state = registry_state();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.entries.find(normalize_name(name));
+    if (it == state.entries.end()) {
+      std::string known;
+      for (const auto& [key, entry] : state.entries) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      return make_error("unknown optimizer '" + std::string(name) +
+                        "'; available: " + known);
+    }
+    factory = it->second.factory;  // invoke outside the lock
+  }
+  return factory(params);
+}
+
+std::vector<OptimizerInfo> OptimizerRegistry::list() {
+  detail::ensure_builtin_optimizers_registered();
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<OptimizerInfo> out;
+  out.reserve(state.entries.size());
+  for (const auto& [name, entry] : state.entries) {
+    out.push_back(OptimizerInfo{name, entry.description});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+bool OptimizerRegistry::contains(std::string_view name) {
+  detail::ensure_builtin_optimizers_registered();
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.entries.contains(normalize_name(name));
+}
+
+}  // namespace flexopt

@@ -1,6 +1,12 @@
-// CostEvaluator: the shared analysis service all optimisers consume.
+// CostEvaluator: the shared, thread-safe analysis service all optimisers
+// consume — memoization cache, atomic work counter, shared Application
+// ownership, and the evaluate_many worker pool.
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "flexopt/core/evaluator.hpp"
 #include "helpers.hpp"
@@ -9,6 +15,13 @@ namespace flexopt {
 namespace {
 
 using testing::TinySystem;
+
+EvaluatorOptions uncached_serial() {
+  EvaluatorOptions o;
+  o.cache_enabled = false;
+  o.threads = 1;
+  return o;
+}
 
 TEST(CostEvaluator, ValidConfigYieldsCostAndCountsEvaluation) {
   TinySystem sys;
@@ -32,7 +45,7 @@ TEST(CostEvaluator, InvalidConfigDoesNotCountAsAnalysis) {
   EXPECT_EQ(evaluator.evaluations(), 0);
 }
 
-TEST(CostEvaluator, DeterministicAcrossCalls) {
+TEST(CostEvaluator, RevisitIsServedFromCache) {
   TinySystem sys;
   CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
   const auto a = evaluator.evaluate(sys.config);
@@ -40,7 +53,40 @@ TEST(CostEvaluator, DeterministicAcrossCalls) {
   ASSERT_TRUE(a.valid);
   ASSERT_TRUE(b.valid);
   EXPECT_DOUBLE_EQ(a.cost.value, b.cost.value);
+  // The second visit is a cache hit: no new full analysis.
+  EXPECT_EQ(evaluator.evaluations(), 1);
+  const EvaluatorCacheStats stats = evaluator.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CostEvaluator, CacheDisabledAnalysesEveryVisit) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{}, uncached_serial());
+  const auto a = evaluator.evaluate(sys.config);
+  const auto b = evaluator.evaluate(sys.config);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_DOUBLE_EQ(a.cost.value, b.cost.value);
   EXPECT_EQ(evaluator.evaluations(), 2);
+}
+
+TEST(CostEvaluator, CachedEvaluationIdenticalToFreshAnalysis) {
+  TinySystem sys;
+  CostEvaluator cached(sys.app, sys.params, AnalysisOptions{});
+  (void)cached.evaluate(sys.config);           // populate
+  const auto hit = cached.evaluate(sys.config);  // served from cache
+
+  CostEvaluator fresh(sys.app, sys.params, AnalysisOptions{}, uncached_serial());
+  const auto reference = fresh.evaluate(sys.config);
+
+  ASSERT_TRUE(hit.valid);
+  ASSERT_TRUE(reference.valid);
+  EXPECT_DOUBLE_EQ(hit.cost.value, reference.cost.value);
+  EXPECT_EQ(hit.cost.schedulable, reference.cost.schedulable);
+  EXPECT_EQ(hit.analysis.task_completion, reference.analysis.task_completion);
+  EXPECT_EQ(hit.analysis.message_completion, reference.analysis.message_completion);
 }
 
 TEST(CostEvaluator, AnalysisResultExposed) {
@@ -51,6 +97,132 @@ TEST(CostEvaluator, AnalysisResultExposed) {
   EXPECT_EQ(eval.analysis.task_completion.size(), sys.app.task_count());
   EXPECT_EQ(eval.analysis.message_completion.size(), sys.app.message_count());
   EXPECT_EQ(eval.analysis.cost.value, eval.cost.value);
+}
+
+// Regression for the dangling-pointer hazard of the raw `const Application*`
+// evaluator: evaluations must stay valid after the caller's Application (and
+// the caller's shared_ptr) go out of scope.
+TEST(CostEvaluator, OutlivesSourceApplication) {
+  std::unique_ptr<CostEvaluator> evaluator;
+  BusConfig config;
+  {
+    TinySystem sys;
+    config = sys.config;
+    evaluator = std::make_unique<CostEvaluator>(sys.app, sys.params, AnalysisOptions{});
+  }  // sys.app destroyed here
+  const auto eval = evaluator->evaluate(config);
+  ASSERT_TRUE(eval.valid);
+  EXPECT_LT(eval.cost.value, kInvalidConfigCost);
+}
+
+TEST(CostEvaluator, SharedOwnershipConstructorSharesTheApplication) {
+  TinySystem sys;
+  auto shared = std::make_shared<const Application>(sys.app);
+  CostEvaluator evaluator(shared, sys.params, AnalysisOptions{});
+  EXPECT_EQ(evaluator.application_ptr().get(), shared.get());
+  EXPECT_EQ(&evaluator.application(), shared.get());
+  const auto eval = evaluator.evaluate(sys.config);
+  EXPECT_TRUE(eval.valid);
+}
+
+TEST(CostEvaluator, EvaluateManyMatchesSerialUncachedWithFewerAnalyses) {
+  TinySystem sys;
+
+  // A candidate sweep with revisits, as a nested exploration produces.
+  std::vector<BusConfig> candidates;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int minislots = 4; minislots <= 16; ++minislots) {
+      candidates.push_back(sys.config);
+      candidates.back().minislot_count = minislots;
+    }
+  }
+
+  CostEvaluator serial(sys.app, sys.params, AnalysisOptions{}, uncached_serial());
+  std::vector<CostEvaluator::Evaluation> reference;
+  reference.reserve(candidates.size());
+  for (const BusConfig& c : candidates) reference.push_back(serial.evaluate(c));
+
+  EvaluatorOptions pool;
+  pool.threads = 4;
+  CostEvaluator parallel(sys.app, sys.params, AnalysisOptions{}, pool);
+  const auto results = parallel.evaluate_many(candidates);
+
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].valid, reference[i].valid) << "candidate " << i;
+    EXPECT_DOUBLE_EQ(results[i].cost.value, reference[i].cost.value) << "candidate " << i;
+  }
+  // The duplicated pass is deduplicated by the cache: strictly fewer full
+  // analyses than the uncached serial sweep.
+  EXPECT_LT(parallel.evaluations(), serial.evaluations());
+}
+
+TEST(CostEvaluator, ConcurrentEvaluateIsConsistent) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
+  const auto reference = evaluator.evaluate(sys.config);
+  ASSERT_TRUE(reference.valid);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 16;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        BusConfig config = sys.config;
+        config.minislot_count = 4 + (r % 8);
+        const auto eval = evaluator.evaluate(config);
+        const auto again = evaluator.evaluate(config);
+        if (!eval.valid || !again.valid || eval.cost.value != again.cost.value) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(CostEvaluator, CacheCapacityBoundsInsertions) {
+  TinySystem sys;
+  EvaluatorOptions options;
+  options.max_cache_entries = 1;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{}, options);
+  BusConfig other = sys.config;
+  other.minislot_count = sys.config.minislot_count + 1;
+  (void)evaluator.evaluate(sys.config);
+  (void)evaluator.evaluate(other);  // not inserted: cache is full
+  EXPECT_EQ(evaluator.cache_stats().entries, 1u);
+  // Still correct, just uncached.
+  const auto eval = evaluator.evaluate(other);
+  EXPECT_TRUE(eval.valid);
+  EXPECT_EQ(evaluator.evaluations(), 3);
+}
+
+TEST(CostEvaluator, ClearCacheForcesReanalysis) {
+  TinySystem sys;
+  CostEvaluator evaluator(sys.app, sys.params, AnalysisOptions{});
+  (void)evaluator.evaluate(sys.config);
+  evaluator.clear_cache();
+  EXPECT_EQ(evaluator.cache_stats().entries, 0u);
+  (void)evaluator.evaluate(sys.config);
+  EXPECT_EQ(evaluator.evaluations(), 2);
+}
+
+TEST(CostEvaluator, HashDistinguishesDecisionVariables) {
+  TinySystem sys;
+  BusConfig a = sys.config;
+  BusConfig b = a;
+  EXPECT_EQ(hash_config(a), hash_config(b));
+  b.minislot_count += 1;
+  EXPECT_NE(hash_config(a), hash_config(b));
+  b = a;
+  b.frame_id.back() += 1;
+  EXPECT_NE(hash_config(a), hash_config(b));
+  b = a;
+  b.static_slot_len += 1;
+  EXPECT_NE(hash_config(a), hash_config(b));
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 #include <numeric>
 
 #include "flexopt/core/mapping.hpp"
-#include "flexopt/core/obc.hpp"
+#include "flexopt/core/solver.hpp"
 #include "flexopt/gen/figures.hpp"
 
 namespace flexopt {
@@ -126,9 +126,10 @@ TEST(MappingOptimizer, NeverWorseThanBalancedStart) {
   // Score the balanced mapping directly.
   auto app = l.materialize(l.balanced_mapping());
   ASSERT_TRUE(app.ok());
+  auto baseline_optimizer = OptimizerRegistry::create("obc-cf");
+  ASSERT_TRUE(baseline_optimizer.ok());
   CostEvaluator evaluator(app.value(), didactic_params(), AnalysisOptions{});
-  CurveFitDynSearch baseline_strategy;
-  const OptimizationOutcome baseline = optimize_obc(evaluator, baseline_strategy);
+  const OptimizationOutcome baseline = baseline_optimizer.value()->solve(evaluator).outcome;
 
   MappingOptions options;
   options.moves_per_restart = 8;

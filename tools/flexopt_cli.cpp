@@ -1,19 +1,19 @@
 // flexopt_cli — optimise the FlexRay bus configuration for a system
 // described in the plain-text format of flexopt/io/system_format.hpp.
 //
-//   flexopt_cli <system-file> [--algorithm bbc|obccf|obcee|sa]
-//               [--seed N] [--simulate] [--dump]
+//   flexopt_cli <system-file> [--algorithm NAME] [--seed N] [--budget N]
+//               [--time-limit S] [--threads N] [--progress] [--no-cache]
+//               [--simulate] [--dump]
 //
-// Prints the chosen configuration and the per-activity worst-case response
-// times; exit code 0 iff the system is schedulable.
+// Algorithms come from the OptimizerRegistry; `--algorithm list` prints
+// them.  Prints the chosen configuration and the per-activity worst-case
+// response times; exit code 0 iff the system is schedulable.
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
-#include "flexopt/core/bbc.hpp"
-#include "flexopt/core/obc.hpp"
-#include "flexopt/core/sa.hpp"
+#include "flexopt/core/solver.hpp"
 #include "flexopt/io/system_format.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "flexopt/util/table.hpp"
@@ -23,25 +23,49 @@ using namespace flexopt;
 namespace {
 
 int usage() {
-  std::cerr << "usage: flexopt_cli <system-file> [--algorithm bbc|obccf|obcee|sa]\n"
-               "                   [--seed N] [--simulate] [--dump]\n";
+  std::cerr << "usage: flexopt_cli <system-file> [--algorithm NAME|list] [--seed N]\n"
+               "                   [--budget MAX_EVALUATIONS] [--time-limit SECONDS]\n"
+               "                   [--threads N] [--progress] [--no-cache]\n"
+               "                   [--simulate] [--dump]\n";
   return 2;
+}
+
+int list_algorithms() {
+  Table table({"algorithm", "description"});
+  for (const OptimizerInfo& info : OptimizerRegistry::list()) {
+    table.add_row({info.name, info.description});
+  }
+  table.print(std::cout);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
-  std::string algorithm = "obccf";
-  std::uint64_t seed = 1;
+  std::string algorithm = "obc-cf";
+  SolveRequest request;
+  EvaluatorOptions evaluator_options;
+  bool show_progress = false;
   bool run_sim = false;
   bool dump = false;
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
       algorithm = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      request.seed = std::stoull(argv[++i]);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      request.max_evaluations = std::stol(argv[++i]);
+    } else if (arg == "--time-limit" && i + 1 < argc) {
+      request.max_wall_seconds = std::stod(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      evaluator_options.threads = std::stoi(argv[++i]);
+    } else if (arg == "--progress") {
+      show_progress = true;
+    } else if (arg == "--no-cache") {
+      evaluator_options.cache_enabled = false;
     } else if (arg == "--simulate") {
       run_sim = true;
     } else if (arg == "--dump") {
@@ -52,7 +76,23 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
+  } catch (const std::exception&) {
+    std::cerr << "invalid numeric argument\n";
+    return usage();
+  }
+  if (request.max_evaluations < 0 || request.max_wall_seconds < 0.0 ||
+      evaluator_options.threads < 0) {
+    std::cerr << "--budget, --time-limit and --threads must be positive\n";
+    return usage();
+  }
+  if (algorithm == "list") return list_algorithms();
   if (path.empty()) return usage();
+
+  auto optimizer = OptimizerRegistry::create(algorithm);
+  if (!optimizer.ok()) {
+    std::cerr << optimizer.error().message << "\n";
+    return 2;
+  }
 
   std::ifstream in(path);
   if (!in) {
@@ -74,28 +114,31 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  CostEvaluator evaluator(app, params, AnalysisOptions{});
-  OptimizationOutcome outcome;
-  if (algorithm == "bbc") {
-    outcome = optimize_bbc(evaluator);
-  } else if (algorithm == "obccf") {
-    CurveFitDynSearch strategy;
-    outcome = optimize_obc(evaluator, strategy);
-  } else if (algorithm == "obcee") {
-    ExhaustiveDynSearch strategy;
-    outcome = optimize_obc(evaluator, strategy);
-  } else if (algorithm == "sa") {
-    SaOptions options;
-    options.seed = seed;
-    outcome = optimize_sa(evaluator, options);
-  } else {
-    return usage();
+  if (show_progress) {
+    request.progress = [](const SolveProgress& p) {
+      std::cerr << "[" << p.algorithm << "] " << p.evaluations;
+      if (p.max_evaluations > 0) std::cerr << "/" << p.max_evaluations;
+      std::cerr << " analyses, best cost ";
+      if (p.best_cost >= kInvalidConfigCost) {
+        std::cerr << "-";
+      } else {
+        std::cerr << fmt_double(p.best_cost, 1) << " us";
+      }
+      std::cerr << ", " << fmt_double(p.elapsed_seconds, 1) << " s\r";
+      return true;  // never cancels; Ctrl-C remains the way out
+    };
   }
+
+  CostEvaluator evaluator(app, params, AnalysisOptions{}, evaluator_options);
+  const SolveReport report = optimizer.value()->solve(evaluator, request);
+  const OptimizationOutcome& outcome = report.outcome;
+  if (show_progress) std::cerr << "\n";
 
   std::cout << "\n" << outcome.algorithm << ": "
             << (outcome.feasible ? "SCHEDULABLE" : "not schedulable") << ", cost "
             << fmt_double(outcome.cost.value, 1) << " us, " << outcome.evaluations
-            << " analyses in " << fmt_double(outcome.wall_seconds, 3) << " s\n";
+            << " analyses in " << fmt_double(outcome.wall_seconds, 3) << " s ("
+            << to_string(report.status) << ", " << report.cache_hits << " cache hits)\n";
   if (outcome.cost.value >= kInvalidConfigCost) {
     std::cerr << "no analysable configuration found\n";
     return 1;
