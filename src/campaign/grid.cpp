@@ -1,0 +1,111 @@
+#include "flexopt/campaign/campaign.hpp"
+
+#include <cmath>
+
+namespace flexopt {
+namespace {
+
+/// splitmix64 finalizer — decorrelates consecutive indices into
+/// independent-looking generator seeds.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
+  return splitmix64(base_seed ^ splitmix64(static_cast<std::uint64_t>(index)));
+}
+
+Expected<std::vector<ScenarioPlan>> expand_grid(const CampaignSpec& spec) {
+  if (spec.node_counts.empty()) return make_error("campaign: no node counts");
+  if (spec.topologies.empty()) return make_error("campaign: no topologies");
+  if (spec.traffic_mixes.empty()) return make_error("campaign: no traffic mixes");
+  if (spec.node_util_bands.empty()) return make_error("campaign: no node utilisation bands");
+  if (spec.bus_util_bands.empty()) return make_error("campaign: no bus utilisation bands");
+  if (spec.period_sets.empty()) return make_error("campaign: no period sets");
+  if (spec.message_size_caps.empty()) return make_error("campaign: no message size caps");
+  if (spec.replicates < 1) return make_error("campaign: replicates must be >= 1");
+  if (spec.algorithms.empty()) return make_error("campaign: no algorithms");
+  // Duplicate algorithm names would be solved redundantly while reports
+  // match only the first run per record.
+  for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.algorithms.size(); ++j) {
+      if (spec.algorithms[i] == spec.algorithms[j]) {
+        return make_error("campaign: duplicate algorithm '" + spec.algorithms[i] + "'");
+      }
+    }
+  }
+  for (const UtilBand& band : spec.node_util_bands) {
+    if (!(band.lo > 0.0) || band.lo > band.hi) {
+      return make_error("campaign: need 0 < node_util lo <= hi");
+    }
+  }
+  for (const UtilBand& band : spec.bus_util_bands) {
+    if (band.lo < 0.0 || band.lo > band.hi) {
+      return make_error("campaign: need 0 <= bus_util lo <= hi");
+    }
+  }
+  // Grid-uniform scalar knobs degenerate every cell at once, so they are
+  // spec-level errors here, not N identical skip-and-record entries.
+  // (Divisibility stays per cell: it depends on the node-count axis.)
+  if (spec.tasks_per_node < 1) return make_error("campaign: tasks_per_node must be >= 1");
+  if (spec.tasks_per_graph < 2) return make_error("campaign: tasks_per_graph must be >= 2");
+  if (spec.tt_share < 0.0 || spec.tt_share > 1.0 || !std::isfinite(spec.tt_share)) {
+    return make_error("campaign: tt_share must be in [0, 1]");
+  }
+  if (!(spec.deadline_factor > 0.0)) {
+    return make_error("campaign: deadline_factor must be > 0");
+  }
+
+  std::vector<ScenarioPlan> plans;
+  plans.reserve(spec.node_counts.size() * spec.topologies.size() * spec.traffic_mixes.size() *
+                spec.node_util_bands.size() * spec.bus_util_bands.size() *
+                spec.period_sets.size() * spec.message_size_caps.size() *
+                static_cast<std::size_t>(spec.replicates));
+
+  // Fixed axis nesting (replicates innermost) keeps scenario indices — and
+  // therefore seeds, records and summaries — stable for a given spec.
+  for (const int nodes : spec.node_counts) {
+    for (const Topology topology : spec.topologies) {
+      for (const TrafficMix traffic : spec.traffic_mixes) {
+        for (const UtilBand& node_util : spec.node_util_bands) {
+          for (const UtilBand& bus_util : spec.bus_util_bands) {
+            for (const std::vector<Time>& periods : spec.period_sets) {
+              for (const int size_cap : spec.message_size_caps) {
+                for (int r = 0; r < spec.replicates; ++r) {
+                  ScenarioPlan plan;
+                  plan.index = plans.size();
+                  plan.node_util = node_util;
+                  plan.bus_util = bus_util;
+                  plan.scenario.topology = topology;
+                  plan.scenario.traffic = traffic;
+                  SyntheticSpec& base = plan.scenario.base;
+                  base.nodes = nodes;
+                  base.tasks_per_node = spec.tasks_per_node;
+                  base.tasks_per_graph = spec.tasks_per_graph;
+                  base.tt_share = spec.tt_share;
+                  base.node_util_min = node_util.lo;
+                  base.node_util_max = node_util.hi;
+                  base.bus_util_min = bus_util.lo;
+                  base.bus_util_max = bus_util.hi;
+                  base.period_choices = periods;
+                  base.deadline_factor = spec.deadline_factor;
+                  base.max_message_bytes = size_cap;
+                  base.seed = scenario_seed(spec.base_seed, plan.index);
+                  plans.push_back(std::move(plan));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return plans;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file campaign.hpp
+/// The scenario campaign subsystem: a CampaignSpec describes a sweep grid
+/// over the generator family of flexopt/gen/scenario.hpp (node counts x
+/// topologies x traffic mixes x utilisation bands x period sets x payload
+/// caps x replicates), expand_grid() unrolls it into per-scenario plans
+/// with derived seeds, and CampaignRunner fans the scenarios across a
+/// worker pool, solving each with every requested registry algorithm.
+///
+/// Determinism contract: with no wall-clock budget, the records (and the
+/// JSON/CSV summaries in flexopt/campaign/report.hpp) are byte-identical
+/// for any worker-thread count — each scenario is generated from a seed
+/// derived only from (base_seed, scenario index) and solved on its own
+/// single-threaded evaluator, so campaign-level parallelism never leaks
+/// into per-scenario results.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flexopt/core/solver.hpp"
+#include "flexopt/gen/scenario.hpp"
+
+namespace flexopt {
+
+/// Closed utilisation interval the generator draws targets from.
+struct UtilBand {
+  double lo = 0.0;
+  double hi = 0.0;
+  friend bool operator==(const UtilBand& a, const UtilBand& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A full sweep description.  Vectors are grid axes (the cartesian product
+/// is swept, innermost axis last = replicates); scalars are shared by every
+/// scenario.
+struct CampaignSpec {
+  std::string name = "campaign";
+
+  // --- grid axes ---------------------------------------------------------
+  std::vector<int> node_counts{3};
+  std::vector<Topology> topologies{Topology::RandomDag};
+  std::vector<TrafficMix> traffic_mixes{TrafficMix::Mixed};
+  std::vector<UtilBand> node_util_bands{{0.25, 0.45}};
+  std::vector<UtilBand> bus_util_bands{{0.10, 0.40}};
+  /// Each entry is one axis value: the period_choices set handed to the
+  /// generator.
+  std::vector<std::vector<Time>> period_sets{
+      {timeunits::ms(20), timeunits::ms(40), timeunits::ms(80)}};
+  std::vector<int> message_size_caps{32};
+  /// Scenarios per grid cell (distinct derived seeds).
+  int replicates = 1;
+
+  // --- shared scenario shape --------------------------------------------
+  int tasks_per_node = 10;
+  int tasks_per_graph = 5;
+  /// TT share for TrafficMix::Mixed cells (St/DynOnly override it).
+  double tt_share = 0.5;
+  double deadline_factor = 1.0;
+  std::uint64_t base_seed = 1;
+
+  // --- solving -----------------------------------------------------------
+  /// OptimizerRegistry names, each run on every scenario (default params).
+  std::vector<std::string> algorithms{"obc-cf"};
+  /// Per-solve budgets (0 = unlimited).  A wall-clock budget trades the
+  /// determinism contract for bounded runtime.
+  long max_evaluations = 0;
+  double max_wall_seconds = 0.0;
+};
+
+/// One expanded grid cell instance: the fully resolved generator spec plus
+/// the axis values echoed for grouping/reporting.
+struct ScenarioPlan {
+  std::size_t index = 0;
+  ScenarioSpec scenario;
+  UtilBand node_util;
+  UtilBand bus_util;
+};
+
+/// Deterministic scenario seed for `index` under `base_seed` (splitmix64;
+/// exposed so tests and external tooling can reproduce single scenarios).
+[[nodiscard]] std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Validates the spec (non-empty axes, replicates >= 1, band ordering) and
+/// unrolls the grid in a fixed axis order.  Generator-level validation
+/// (divisibility, period positivity) happens per scenario at run time so a
+/// partially degenerate grid is skipped-and-recorded, not rejected.
+[[nodiscard]] Expected<std::vector<ScenarioPlan>> expand_grid(const CampaignSpec& spec);
+
+/// Result of one algorithm on one scenario.
+struct AlgorithmRun {
+  std::string algorithm;
+  bool feasible = false;
+  /// Eq. 5 cost (kInvalidConfigCost when no analysable configuration).
+  double cost = kInvalidConfigCost;
+  long evaluations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  SolveStatus status = SolveStatus::Complete;
+  /// Wall-clock of this solve; non-deterministic, excluded from summaries
+  /// unless timing output is requested.
+  double wall_seconds = 0.0;
+};
+
+/// Everything recorded about one scenario of the campaign.
+struct ScenarioRecord {
+  ScenarioPlan plan;
+  /// False when generation failed; `error` says why and `runs` is empty
+  /// (the campaign skips-and-records degenerate scenarios, it never
+  /// aborts on them).
+  bool generated = false;
+  std::string error;
+  std::size_t task_count = 0;
+  std::size_t message_count = 0;
+  std::size_t graph_count = 0;
+  /// Realised (post-scaling) bus utilisation of the generated system.
+  double bus_util_realized = 0.0;
+  std::vector<AlgorithmRun> runs;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  BusParams params;
+  /// One record per plan, in plan (grid) order.
+  std::vector<ScenarioRecord> scenarios;
+  /// Whole-campaign wall-clock (non-deterministic; timing output only).
+  double wall_seconds = 0.0;
+};
+
+struct CampaignOptions {
+  /// Scenario-level worker threads; 0 = hardware concurrency.  Does not
+  /// affect results (see the determinism contract above).
+  int threads = 0;
+  /// Called after each finished scenario (from worker threads, serialized
+  /// internally).
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Expands the grid and runs every (scenario, algorithm) pair.  Errors only
+/// on spec-level problems (empty axes, unknown algorithm names); per
+/// scenario failures are recorded in the result.
+class CampaignRunner {
+ public:
+  CampaignRunner(CampaignSpec spec, BusParams params)
+      : spec_(std::move(spec)), params_(params) {}
+
+  [[nodiscard]] Expected<CampaignResult> run(const CampaignOptions& options = {});
+
+ private:
+  CampaignSpec spec_;
+  BusParams params_;
+};
+
+}  // namespace flexopt

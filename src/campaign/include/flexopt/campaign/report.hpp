@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file report.hpp
+/// Deterministic serialization of campaign results: an aggregate JSON
+/// summary (schedulable fractions, cost quantiles, evaluation counts,
+/// per-node-count breakdowns, skipped scenarios) and a per-(scenario,
+/// algorithm) CSV detail table.
+///
+/// Both writers emit identical bytes for identical records; wall-clock
+/// fields — the only non-deterministic data a campaign records — are
+/// included only when `include_timing` is set, so the default output can
+/// be diffed across thread counts and machines.
+
+#include <string>
+
+#include "flexopt/campaign/campaign.hpp"
+
+namespace flexopt {
+
+/// Aggregates of one algorithm over a group of scenarios (overall or one
+/// node-count bucket).  Computed by aggregate_runs; exposed so benches can
+/// print their own tables from the same numbers the JSON reports.
+struct AlgorithmAggregate {
+  std::string algorithm;
+  /// Scenarios this algorithm ran on (generated scenarios of the group).
+  std::size_t scenarios = 0;
+  std::size_t schedulable = 0;
+  /// Scenarios with at least one analysable configuration (cost below
+  /// kInvalidConfigCost); quantiles are over exactly these costs.
+  std::size_t analysable = 0;
+  double schedulable_fraction = 0.0;
+  double cost_p10 = 0.0;
+  double cost_p50 = 0.0;
+  double cost_p90 = 0.0;
+  double cost_mean = 0.0;
+  long evaluations_total = 0;
+  double evaluations_mean = 0.0;
+  std::uint64_t cache_hits_total = 0;
+  double wall_seconds_total = 0.0;  ///< timing output only
+};
+
+/// Aggregates `algorithm` over the generated scenarios of `result` whose
+/// node count equals `nodes` (or all of them when `nodes` < 0).
+[[nodiscard]] AlgorithmAggregate aggregate_runs(const CampaignResult& result,
+                                                const std::string& algorithm, int nodes = -1);
+
+/// Aggregate JSON summary; stable key order, stable scenario order.
+[[nodiscard]] std::string write_campaign_json(const CampaignResult& result,
+                                              bool include_timing = false);
+
+/// One CSV row per (scenario, algorithm) plus rows for skipped scenarios.
+[[nodiscard]] std::string write_campaign_csv(const CampaignResult& result,
+                                             bool include_timing = false);
+
+}  // namespace flexopt

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file spec_format.hpp
+/// Line-based campaign spec files, so sweeps can be described without
+/// writing C++.  `#` starts a comment; each line is a keyword followed by
+/// whitespace-separated values.  List keywords define a grid axis and may
+/// name several values; repeating `periods` adds another period-set axis
+/// value.
+///
+///   name <identifier>
+///   nodes <int>...                      # axis
+///   topology <random-dag|pipeline|fan-in-out|gateway>...   # axis
+///   traffic <mixed|st-only|dyn-only>...                    # axis
+///   node_util <lo:hi>...                # axis, e.g. 0.25:0.45
+///   bus_util <lo:hi>...                 # axis
+///   periods <dur>...                    # axis value (repeatable), e.g. 20ms 40ms
+///   message_bytes <int>...              # axis
+///   replicates <int>
+///   tasks_per_node <int>
+///   tasks_per_graph <int>
+///   tt_share <float>
+///   deadline_factor <float>
+///   seed <uint64>
+///   algorithms <registry-name>...
+///   budget <max-evaluations-per-solve>
+///   time_limit <seconds-per-solve>
+///
+/// Durations accept the ns/us/ms/s suffixes of the system format.  Axis
+/// keywords replace the default axis on first use.
+
+#include <iosfwd>
+#include <string>
+
+#include "flexopt/campaign/campaign.hpp"
+
+namespace flexopt {
+
+/// Parses a campaign spec; errors carry the line number.
+[[nodiscard]] Expected<CampaignSpec> parse_campaign(std::istream& in);
+
+/// Convenience overload over a string.
+[[nodiscard]] Expected<CampaignSpec> parse_campaign_text(const std::string& text);
+
+}  // namespace flexopt

@@ -1,0 +1,171 @@
+#include "flexopt/campaign/report.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "flexopt/io/json_writer.hpp"
+#include "flexopt/math/stats.hpp"
+
+namespace flexopt {
+namespace {
+
+const AlgorithmRun* find_run(const ScenarioRecord& record, const std::string& algorithm) {
+  for (const AlgorithmRun& run : record.runs) {
+    if (run.algorithm == algorithm) return &run;
+  }
+  return nullptr;
+}
+
+/// Node counts present in the grid, ascending (the by-nodes breakdown axis).
+std::vector<int> node_axis(const CampaignResult& result) {
+  std::set<int> counts;
+  for (const ScenarioRecord& record : result.scenarios) {
+    counts.insert(record.plan.scenario.base.nodes);
+  }
+  return {counts.begin(), counts.end()};
+}
+
+void write_aggregate_fields(JsonWriter& json, const AlgorithmAggregate& agg,
+                            bool include_timing) {
+  json.field("scenarios", agg.scenarios);
+  json.field("schedulable", agg.schedulable);
+  json.field("schedulable_fraction", agg.schedulable_fraction);
+  json.field("analysable", agg.analysable);
+  json.field("cost_p10", agg.cost_p10);
+  json.field("cost_p50", agg.cost_p50);
+  json.field("cost_p90", agg.cost_p90);
+  json.field("cost_mean", agg.cost_mean);
+  json.field("evaluations_total", agg.evaluations_total);
+  json.field("evaluations_mean", agg.evaluations_mean);
+  json.field("cache_hits_total", agg.cache_hits_total);
+  if (include_timing) json.field("wall_seconds_total", agg.wall_seconds_total);
+}
+
+}  // namespace
+
+AlgorithmAggregate aggregate_runs(const CampaignResult& result, const std::string& algorithm,
+                                  int nodes) {
+  AlgorithmAggregate agg;
+  agg.algorithm = algorithm;
+  std::vector<double> costs;
+  for (const ScenarioRecord& record : result.scenarios) {
+    if (!record.generated) continue;
+    if (nodes >= 0 && record.plan.scenario.base.nodes != nodes) continue;
+    const AlgorithmRun* run = find_run(record, algorithm);
+    if (run == nullptr) continue;
+    ++agg.scenarios;
+    if (run->feasible) ++agg.schedulable;
+    if (run->cost < kInvalidConfigCost) {
+      ++agg.analysable;
+      costs.push_back(run->cost);
+    }
+    agg.evaluations_total += run->evaluations;
+    agg.cache_hits_total += run->cache_hits;
+    agg.wall_seconds_total += run->wall_seconds;
+  }
+  if (agg.scenarios > 0) {
+    agg.schedulable_fraction =
+        static_cast<double>(agg.schedulable) / static_cast<double>(agg.scenarios);
+    agg.evaluations_mean =
+        static_cast<double>(agg.evaluations_total) / static_cast<double>(agg.scenarios);
+  }
+  if (!costs.empty()) {
+    agg.cost_p10 = percentile(costs, 10.0);
+    agg.cost_p50 = percentile(costs, 50.0);
+    agg.cost_p90 = percentile(costs, 90.0);
+    agg.cost_mean = summarize(costs).mean;
+  }
+  return agg;
+}
+
+std::string write_campaign_json(const CampaignResult& result, bool include_timing) {
+  std::size_t generated = 0;
+  for (const ScenarioRecord& record : result.scenarios) {
+    if (record.generated) ++generated;
+  }
+  const std::vector<int> nodes_axis = node_axis(result);
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("campaign", result.spec.name);
+  json.field("scenario_count", result.scenarios.size());
+  json.field("generated", generated);
+  json.field("skipped", result.scenarios.size() - generated);
+  json.field("replicates", result.spec.replicates);
+  json.field("base_seed", result.spec.base_seed);
+  json.field("max_evaluations", result.spec.max_evaluations);
+  if (include_timing) json.field("wall_seconds", result.wall_seconds);
+
+  json.key("algorithms").begin_array();
+  for (const std::string& name : result.spec.algorithms) {
+    json.begin_object();
+    json.field("name", name);
+    write_aggregate_fields(json, aggregate_runs(result, name), include_timing);
+    json.key("by_nodes").begin_array();
+    for (const int nodes : nodes_axis) {
+      const AlgorithmAggregate agg = aggregate_runs(result, name, nodes);
+      if (agg.scenarios == 0) continue;
+      json.begin_object();
+      json.field("nodes", nodes);
+      write_aggregate_fields(json, agg, include_timing);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("skipped_scenarios").begin_array();
+  for (const ScenarioRecord& record : result.scenarios) {
+    if (record.generated) continue;
+    json.begin_object();
+    json.field("index", record.plan.index);
+    json.field("nodes", record.plan.scenario.base.nodes);
+    json.field("topology", to_string(record.plan.scenario.topology));
+    json.field("traffic", to_string(record.plan.scenario.traffic));
+    json.field("seed", record.plan.scenario.base.seed);
+    json.field("error", record.error);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string write_campaign_csv(const CampaignResult& result, bool include_timing) {
+  std::ostringstream out;
+  out << "scenario,seed,nodes,topology,traffic,node_util_lo,node_util_hi,bus_util_lo,"
+         "bus_util_hi,tasks,messages,graphs,bus_util_realized,algorithm,feasible,cost,"
+         "evaluations,status,cache_hits,cache_misses";
+  if (include_timing) out << ",wall_seconds";
+  out << "\n";
+  for (const ScenarioRecord& record : result.scenarios) {
+    const ScenarioPlan& plan = record.plan;
+    std::ostringstream prefix;
+    prefix << plan.index << ',' << plan.scenario.base.seed << ',' << plan.scenario.base.nodes
+           << ',' << to_string(plan.scenario.topology) << ','
+           << to_string(plan.scenario.traffic) << ',' << json_double(plan.node_util.lo) << ','
+           << json_double(plan.node_util.hi) << ',' << json_double(plan.bus_util.lo) << ','
+           << json_double(plan.bus_util.hi);
+    if (!record.generated) {
+      out << prefix.str() << ",0,0,0,0,-,0,,0,generation-error,0,0";
+      if (include_timing) out << ",0";
+      out << "\n";
+      continue;
+    }
+    for (const AlgorithmRun& run : record.runs) {
+      out << prefix.str() << ',' << record.task_count << ',' << record.message_count << ','
+          << record.graph_count << ',' << json_double(record.bus_util_realized) << ','
+          << run.algorithm << ',' << (run.feasible ? 1 : 0) << ',' << json_double(run.cost)
+          << ',' << run.evaluations << ',' << to_string(run.status) << ',' << run.cache_hits
+          << ',' << run.cache_misses;
+      if (include_timing) out << ',' << json_double(run.wall_seconds);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace flexopt

@@ -1,0 +1,119 @@
+#include "flexopt/campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace flexopt {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
+  auto plans = expand_grid(spec_);
+  if (!plans.ok()) return plans.error();
+  for (const std::string& name : spec_.algorithms) {
+    if (!OptimizerRegistry::contains(name)) {
+      return make_error("campaign: unknown algorithm '" + name + "' (see --algorithm list)");
+    }
+  }
+  if (options.threads < 0) return make_error("campaign: threads must be >= 0");
+
+  const auto started = std::chrono::steady_clock::now();
+  CampaignResult result;
+  result.spec = spec_;
+  result.params = params_;
+  result.scenarios.resize(plans.value().size());
+
+  std::atomic<std::size_t> next{0};
+  // Guarded by progress_mutex: counting inside the lock keeps delivered
+  // (done, total) pairs monotonic across workers.
+  std::size_t done = 0;
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= plans.value().size()) return;
+      const ScenarioPlan& plan = plans.value()[i];
+      ScenarioRecord& record = result.scenarios[i];
+      record.plan = plan;
+
+      auto app = generate_scenario(plan.scenario, params_);
+      if (!app.ok()) {
+        // Skip-and-record: a degenerate grid cell must not sink the
+        // campaign (or crash it); the summary reports it as skipped.
+        record.generated = false;
+        record.error = app.error().message;
+      } else {
+        record.generated = true;
+        record.task_count = app.value().task_count();
+        record.message_count = app.value().message_count();
+        record.graph_count = app.value().graph_count();
+        record.bus_util_realized = bus_utilization(app.value(), params_);
+
+        auto shared_app = std::make_shared<const Application>(std::move(app.value()));
+        record.runs.reserve(spec_.algorithms.size());
+        for (const std::string& name : spec_.algorithms) {
+          auto optimizer = OptimizerRegistry::create(name);
+          if (!optimizer.ok()) {  // registered names were checked above
+            record.error = optimizer.error().message;
+            continue;
+          }
+          // One single-threaded evaluator per (scenario, algorithm):
+          // campaign parallelism lives at the scenario level only, so the
+          // per-solve evaluation sequence — and with it every recorded
+          // count and cost — is independent of CampaignOptions::threads.
+          EvaluatorOptions evaluator_options;
+          evaluator_options.threads = 1;
+          CostEvaluator evaluator(shared_app, params_, AnalysisOptions{}, evaluator_options);
+          SolveRequest request;
+          request.seed = plan.scenario.base.seed;
+          request.max_evaluations = spec_.max_evaluations;
+          request.max_wall_seconds = spec_.max_wall_seconds;
+          const SolveReport report = optimizer.value()->solve(evaluator, request);
+
+          AlgorithmRun run;
+          run.algorithm = name;
+          run.feasible = report.outcome.feasible;
+          run.cost = report.outcome.cost.value;
+          run.evaluations = report.outcome.evaluations;
+          run.cache_hits = report.cache_hits;
+          run.cache_misses = report.cache_misses;
+          run.status = report.status;
+          run.wall_seconds = report.outcome.wall_seconds;
+          record.runs.push_back(std::move(run));
+        }
+      }
+
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(++done, plans.value().size());
+      }
+    }
+  };
+
+  const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t threads = options.threads > 0 ? static_cast<std::size_t>(options.threads)
+                                            : hardware;
+  threads = std::min(threads, plans.value().size());
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_seconds = seconds_since(started);
+  return result;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The generator family behind the scenario campaign subsystem: one
+/// ScenarioSpec selects a topology family (how task-graph edges are wired)
+/// and a traffic mix (which share of graphs is time-triggered) on top of
+/// the Section 7 sizing knobs of SyntheticSpec.  `generate_synthetic` is
+/// the RandomDag/Mixed member of this family; campaigns sweep the other
+/// members to stress optimizers on structurally different populations.
+
+#include <string_view>
+
+#include "flexopt/gen/synthetic.hpp"
+
+namespace flexopt {
+
+/// How the tasks of each graph are wired together.
+enum class Topology {
+  /// Every non-root task picks 1-2 random predecessors (the Section 7
+  /// recipe; graphs stay connected, acyclic and single-source).
+  RandomDag,
+  /// A single chain t0 -> t1 -> ... -> tk; end-to-end latency is the sum of
+  /// every hop, so deadlines bite hardest here.
+  Pipeline,
+  /// t0 fans out to the middle tasks which all fan into the last task
+  /// (sensor-fusion shape); maximises parallel releases into the bus.
+  FanInFanOut,
+  /// Chain edges like Pipeline, but task placement alternates through a
+  /// designated gateway node (node 0) so nearly every hop crosses nodes —
+  /// the message-heavy worst case for bus optimisation.
+  GatewayHeavy,
+};
+
+/// Which share of the graphs is time-triggered (SCS tasks + ST messages).
+enum class TrafficMix {
+  Mixed,    ///< honour SyntheticSpec::tt_share
+  StOnly,   ///< every graph time-triggered (tt_share = 1)
+  DynOnly,  ///< every graph event-triggered (tt_share = 0)
+};
+
+/// One member of the generator family: Section 7 sizing knobs plus the
+/// structural axes the campaign subsystem sweeps.
+struct ScenarioSpec {
+  SyntheticSpec base;
+  Topology topology = Topology::RandomDag;
+  TrafficMix traffic = TrafficMix::Mixed;
+};
+
+/// Stable spelling used in spec files, CSV/JSON output and CLI errors.
+[[nodiscard]] const char* to_string(Topology topology);
+[[nodiscard]] const char* to_string(TrafficMix traffic);
+
+/// Parses the to_string spelling plus short aliases ("random", "fan",
+/// "st", "dyn"); errors list the valid set.
+[[nodiscard]] Expected<Topology> parse_topology(std::string_view text);
+[[nodiscard]] Expected<TrafficMix> parse_traffic_mix(std::string_view text);
+
+/// Validates the sizing knobs shared by every family member: counts,
+/// divisibility, non-empty positive period choices, tt_share in [0,1],
+/// utilisation bands with min <= max, deadline_factor > 0.  Returns the
+/// first violation.
+[[nodiscard]] Expected<bool> validate_spec(const SyntheticSpec& spec);
+
+/// Generates a finalized application for one family member.  The traffic
+/// mix overrides `spec.base.tt_share` before generation; identical specs
+/// and seeds produce bit-identical applications.
+[[nodiscard]] Expected<Application> generate_scenario(const ScenarioSpec& spec,
+                                                      const BusParams& params);
+
+}  // namespace flexopt

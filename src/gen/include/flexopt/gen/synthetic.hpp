@@ -44,8 +44,13 @@ struct SyntheticSpec {
   std::uint64_t seed = 1;
 };
 
-/// Generates a finalized application following the Section 7 recipe.
-/// `params` supplies the frame cost model used for bus-utilisation scaling.
+/// Generates a finalized application following the Section 7 recipe — the
+/// RandomDag/Mixed member of the generator family in
+/// flexopt/gen/scenario.hpp.  `params` supplies the frame cost model used
+/// for bus-utilisation scaling.  Rejects malformed specs (empty or
+/// non-positive period_choices, tt_share outside [0,1], inverted
+/// utilisation bands, non-positive deadline_factor) with an error instead
+/// of undefined behaviour.
 Expected<Application> generate_synthetic(const SyntheticSpec& spec, const BusParams& params);
 
 /// Realised (post-scaling) bus utilisation of an application, for test

@@ -1,149 +1,29 @@
 #include "flexopt/gen/synthetic.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <string>
-#include <vector>
-
-#include "flexopt/util/rng.hpp"
+#include "flexopt/gen/scenario.hpp"
 
 namespace flexopt {
-namespace {
-
-std::string idx_name(const char* prefix, std::size_t i) {
-  return std::string(prefix) + std::to_string(i);
-}
-
-}  // namespace
 
 double bus_utilization(const Application& app, const BusParams& params) {
   double u = 0.0;
   for (const auto& m : app.messages()) {
-    const Time duration = params.frame_duration(m.size_bytes);
     const Time period = app.graph(m.graph).period;
+    // Degenerate (zero/negative-period) graphs contribute nothing rather
+    // than dividing by zero; finalize() rejects them, but generators call
+    // this on un-finalized applications mid-scaling.
+    if (period <= 0) continue;
+    const Time duration = params.frame_duration(m.size_bytes);
     u += static_cast<double>(duration) / static_cast<double>(period);
   }
   return u;
 }
 
 Expected<Application> generate_synthetic(const SyntheticSpec& spec, const BusParams& params) {
-  if (spec.nodes < 2) return make_error("synthetic: need at least 2 nodes");
-  if (spec.tasks_per_node < 1 || spec.tasks_per_graph < 2) {
-    return make_error("synthetic: invalid task counts");
-  }
-  const int total_tasks = spec.nodes * spec.tasks_per_node;
-  if (total_tasks % spec.tasks_per_graph != 0) {
-    return make_error("synthetic: tasks_per_graph must divide nodes * tasks_per_node");
-  }
-  const int graph_count = total_tasks / spec.tasks_per_graph;
-  Rng rng(spec.seed);
-
-  Application app;
-  for (int n = 0; n < spec.nodes; ++n) app.add_node(idx_name("N", static_cast<std::size_t>(n)));
-
-  // Node assignment: exactly tasks_per_node tasks per node, randomly
-  // interleaved across graphs.
-  std::vector<NodeId> slots;
-  slots.reserve(static_cast<std::size_t>(total_tasks));
-  for (int n = 0; n < spec.nodes; ++n) {
-    for (int k = 0; k < spec.tasks_per_node; ++k) slots.push_back(static_cast<NodeId>(n));
-  }
-  rng.shuffle(slots);
-
-  const int tt_graphs = static_cast<int>(std::lround(graph_count * spec.tt_share));
-  std::size_t slot_cursor = 0;
-
-  for (int g = 0; g < graph_count; ++g) {
-    const bool tt = g < tt_graphs;
-    const std::size_t period_rank = rng.index(spec.period_choices.size());
-    const Time period = spec.period_choices[period_rank];
-    const Time deadline = static_cast<Time>(
-        std::llround(static_cast<double>(period) * spec.deadline_factor));
-    const GraphId graph = app.add_graph(idx_name(tt ? "GT" : "GE", static_cast<std::size_t>(g)),
-                                        period, deadline);
-
-    std::vector<TaskId> tasks;
-    tasks.reserve(static_cast<std::size_t>(spec.tasks_per_graph));
-    for (int i = 0; i < spec.tasks_per_graph; ++i) {
-      const NodeId node = slots[slot_cursor++];
-      // Placeholder WCET; scaled to the utilisation target below.
-      const Time wcet = timeunits::us(rng.uniform_int(200, 1200));
-      // Deadline-monotonic priorities: shorter-period graphs preempt longer
-      // ones; within a graph, upstream tasks run first (they gate the
-      // chain's jitter).
-      const int priority = static_cast<int>(period_rank) * 8 + std::min(i, 7);
-      tasks.push_back(app.add_task(graph, idx_name("t", index_of(graph)) + "_" +
-                                              std::to_string(i),
-                                   node, wcet, tt ? TaskPolicy::Scs : TaskPolicy::Fps,
-                                   priority));
-    }
-
-    // Random DAG over the graph's tasks: every non-root picks 1-2
-    // predecessors among earlier tasks (keeps the graph connected & acyclic;
-    // task 0 is the single source).
-    for (int i = 1; i < spec.tasks_per_graph; ++i) {
-      const int pred_count = rng.chance(0.3) && i >= 2 ? 2 : 1;
-      std::vector<int> preds;
-      while (static_cast<int>(preds.size()) < pred_count) {
-        const int p = static_cast<int>(rng.uniform_int(0, i - 1));
-        if (std::find(preds.begin(), preds.end(), p) == preds.end()) preds.push_back(p);
-      }
-      for (const int p : preds) {
-        const TaskId from = tasks[static_cast<std::size_t>(p)];
-        const TaskId to = tasks[static_cast<std::size_t>(i)];
-        if (app.task(from).node == app.task(to).node) {
-          app.add_dependency(from, to);
-        } else {
-          app.add_message(graph,
-                          idx_name("m", index_of(graph)) + "_" + std::to_string(p) + "_" +
-                              std::to_string(i),
-                          from, to, /*size_bytes=*/static_cast<int>(rng.uniform_int(2, 16)),
-                          tt ? MessageClass::Static : MessageClass::Dynamic,
-                          /*priority=*/static_cast<int>(period_rank) * 8 + std::min(i, 7));
-        }
-      }
-    }
-  }
-
-  // --- scale WCETs to the per-node utilisation targets --------------------
-  for (int n = 0; n < spec.nodes; ++n) {
-    const double target = rng.uniform_real(spec.node_util_min, spec.node_util_max);
-    const double current = app.node_utilization(static_cast<NodeId>(n));
-    if (current <= 0.0) continue;
-    const double factor = target / current;
-    for (std::uint32_t t = 0; t < app.task_count(); ++t) {
-      if (index_of(app.tasks()[t].node) != static_cast<std::uint32_t>(n)) continue;
-      // Rebuild the task WCET in place through the public API surface:
-      // Application exposes tasks() immutably, so scaling happens via a
-      // dedicated mutator.
-      const Time scaled = std::max<Time>(
-          timeunits::us(10),
-          static_cast<Time>(std::llround(static_cast<double>(app.tasks()[t].wcet) * factor)));
-      app.set_task_wcet(static_cast<TaskId>(t), scaled);
-    }
-  }
-
-  // --- scale message sizes to the bus utilisation target ------------------
-  if (app.message_count() > 0) {
-    const double target = rng.uniform_real(spec.bus_util_min, spec.bus_util_max);
-    // Two proportional passes: frame overhead makes utilisation affine in
-    // the payload size, so one pass under/overshoots slightly.
-    for (int pass = 0; pass < 2; ++pass) {
-      const double current = bus_utilization(app, params);
-      if (current <= 0.0) break;
-      const double factor = target / current;
-      for (std::uint32_t m = 0; m < app.message_count(); ++m) {
-        const int scaled = std::clamp(
-            static_cast<int>(std::lround(app.messages()[m].size_bytes * factor)), 1,
-            spec.max_message_bytes);
-        app.set_message_size(static_cast<MessageId>(m), scaled);
-      }
-    }
-  }
-
-  auto fin = app.finalize();
-  if (!fin.ok()) return fin.error();
-  return app;
+  // The Section 7 recipe is the RandomDag/Mixed member of the scenario
+  // generator family (flexopt/gen/scenario.hpp).
+  ScenarioSpec scenario;
+  scenario.base = spec;
+  return generate_scenario(scenario, params);
 }
 
 }  // namespace flexopt

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file json_writer.hpp
+/// Minimal deterministic JSON emitter for campaign summaries and other
+/// machine-readable reports.  Determinism is the point: given identical
+/// values the emitted bytes are identical (fixed key order is the caller's
+/// job, number formatting is locale-independent %.10g via snprintf), so
+/// thread-count and run-to-run comparisons can diff the output directly.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexopt {
+
+/// Streaming writer with begin/end pairs for objects and arrays.  Commas
+/// and 2-space indentation are managed internally; misuse (value without a
+/// key inside an object, unbalanced end) throws std::logic_error — report
+/// writers are deterministic code paths, so these are programming errors.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next member (objects only).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  // One overload per fundamental integer type (not the fixed-width
+  // aliases): size_t/long arguments must resolve unambiguously whether
+  // int64_t is long (LP64 Linux) or long long (macOS).
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned long v) { return value(static_cast<unsigned long long>(v)); }
+  /// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+  JsonWriter& value(double v);
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document so far; call after the outermost end_*().
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  void indent();
+
+  std::ostringstream out_;
+  std::vector<Scope> scopes_;
+  std::vector<int> counts_;   ///< members emitted in each open scope
+  bool key_pending_ = false;  ///< a key was written, its value is due
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Locale-independent shortest-ish double rendering (%.10g, "null" for
+/// non-finite values) shared by JsonWriter and the CSV report writer.
+[[nodiscard]] std::string json_double(double v);
+
+}  // namespace flexopt

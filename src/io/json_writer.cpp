@@ -1,0 +1,156 @@
+#include "flexopt/io/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace flexopt {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  scopes_.push_back(Scope::Object);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (scopes_.empty() || scopes_.back() != Scope::Object || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  const bool had_members = counts_.back() > 0;
+  scopes_.pop_back();
+  counts_.pop_back();
+  if (had_members) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  scopes_.push_back(Scope::Array);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (scopes_.empty() || scopes_.back() != Scope::Array) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  const bool had_members = counts_.back() > 0;
+  scopes_.pop_back();
+  counts_.pop_back();
+  if (had_members) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (scopes_.empty() || scopes_.back() != Scope::Object || key_pending_) {
+    throw std::logic_error("JsonWriter: key() outside an object member slot");
+  }
+  if (counts_.back() > 0) out_ << ',';
+  out_ << '\n';
+  ++counts_.back();
+  indent();
+  out_ << '"' << json_escape(name) << "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ << json_double(v);
+  return *this;
+}
+
+void JsonWriter::before_value() {
+  if (scopes_.empty()) {
+    if (!out_.str().empty()) {
+      throw std::logic_error("JsonWriter: multiple top-level values");
+    }
+    return;
+  }
+  if (scopes_.back() == Scope::Object) {
+    if (!key_pending_) throw std::logic_error("JsonWriter: object member without key");
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (counts_.back() > 0) out_ << ',';
+  out_ << '\n';
+  ++counts_.back();
+  indent();
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < scopes_.size(); ++i) out_ << "  ";
+}
+
+std::string JsonWriter::str() const {
+  if (!scopes_.empty()) throw std::logic_error("JsonWriter: document still open");
+  return out_.str() + "\n";
+}
+
+}  // namespace flexopt

@@ -114,6 +114,10 @@ class Application {
   [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
   [[nodiscard]] const std::vector<Message>& messages() const { return messages_; }
   [[nodiscard]] const std::vector<TaskGraph>& graphs() const { return graphs_; }
+  /// Explicit task->task dependencies (message-induced edges are implicit).
+  [[nodiscard]] const std::vector<std::pair<TaskId, TaskId>>& dependencies() const {
+    return task_deps_;
+  }
 
   [[nodiscard]] const Task& task(TaskId id) const { return tasks_[index_of(id)]; }
   [[nodiscard]] const Message& message(MessageId id) const { return messages_[index_of(id)]; }

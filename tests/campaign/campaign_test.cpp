@@ -1,0 +1,172 @@
+// Campaign subsystem tests: grid expansion, seed derivation, the
+// thread-count determinism contract of the runner, and skip-and-record on
+// degenerate grid cells.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flexopt/campaign/report.hpp"
+
+namespace flexopt {
+namespace {
+
+CampaignSpec tiny_campaign() {
+  CampaignSpec spec;
+  spec.name = "tiny";
+  spec.node_counts = {2};
+  spec.topologies = {Topology::RandomDag, Topology::Pipeline};
+  spec.traffic_mixes = {TrafficMix::Mixed};
+  spec.replicates = 3;
+  spec.tasks_per_node = 6;
+  spec.tasks_per_graph = 3;
+  spec.deadline_factor = 0.7;
+  spec.base_seed = 7;
+  spec.algorithms = {"bbc"};
+  spec.max_evaluations = 200;
+  return spec;
+}
+
+TEST(CampaignGrid, ExpandsCartesianProductWithReplicatesInnermost) {
+  CampaignSpec spec = tiny_campaign();
+  spec.node_counts = {2, 3};
+  auto plans = expand_grid(spec);
+  ASSERT_TRUE(plans.ok()) << plans.error().message;
+  ASSERT_EQ(plans.value().size(), 2u * 2u * 3u);
+  // Fixed axis nesting: replicates vary fastest, node counts slowest.
+  EXPECT_EQ(plans.value()[0].scenario.base.nodes, 2);
+  EXPECT_EQ(plans.value()[0].scenario.topology, Topology::RandomDag);
+  EXPECT_EQ(plans.value()[2].scenario.topology, Topology::RandomDag);
+  EXPECT_EQ(plans.value()[3].scenario.topology, Topology::Pipeline);
+  EXPECT_EQ(plans.value()[6].scenario.base.nodes, 3);
+  for (std::size_t i = 0; i < plans.value().size(); ++i) {
+    EXPECT_EQ(plans.value()[i].index, i);
+  }
+}
+
+TEST(CampaignGrid, DerivedSeedsAreDistinctAndStable) {
+  auto plans = expand_grid(tiny_campaign());
+  ASSERT_TRUE(plans.ok());
+  std::set<std::uint64_t> seeds;
+  for (const ScenarioPlan& plan : plans.value()) {
+    seeds.insert(plan.scenario.base.seed);
+    EXPECT_EQ(plan.scenario.base.seed, scenario_seed(7, plan.index));
+  }
+  EXPECT_EQ(seeds.size(), plans.value().size());
+  // Replicates of the same cell differ only by seed.
+  EXPECT_NE(plans.value()[0].scenario.base.seed, plans.value()[1].scenario.base.seed);
+}
+
+TEST(CampaignGrid, RejectsEmptyAxesAndBadBands) {
+  CampaignSpec no_algorithms = tiny_campaign();
+  no_algorithms.algorithms.clear();
+  EXPECT_FALSE(expand_grid(no_algorithms).ok());
+
+  CampaignSpec no_periods = tiny_campaign();
+  no_periods.period_sets.clear();
+  EXPECT_FALSE(expand_grid(no_periods).ok());
+
+  CampaignSpec zero_replicates = tiny_campaign();
+  zero_replicates.replicates = 0;
+  EXPECT_FALSE(expand_grid(zero_replicates).ok());
+
+  CampaignSpec inverted_band = tiny_campaign();
+  inverted_band.node_util_bands = {{0.5, 0.2}};
+  EXPECT_FALSE(expand_grid(inverted_band).ok());
+
+  // Grid-uniform scalar knobs degenerate every cell, so they are rejected
+  // at spec level instead of skip-and-recording the whole campaign.
+  CampaignSpec bad_tt_share = tiny_campaign();
+  bad_tt_share.tt_share = 1.5;
+  EXPECT_FALSE(expand_grid(bad_tt_share).ok());
+
+  CampaignSpec bad_deadline = tiny_campaign();
+  bad_deadline.deadline_factor = 0.0;
+  EXPECT_FALSE(expand_grid(bad_deadline).ok());
+
+  CampaignSpec bad_tasks = tiny_campaign();
+  bad_tasks.tasks_per_graph = 1;
+  EXPECT_FALSE(expand_grid(bad_tasks).ok());
+
+  CampaignSpec duplicate_algorithm = tiny_campaign();
+  duplicate_algorithm.algorithms = {"bbc", "obc-cf", "bbc"};
+  EXPECT_FALSE(expand_grid(duplicate_algorithm).ok());
+}
+
+TEST(CampaignRunner, UnknownAlgorithmIsASpecLevelError) {
+  CampaignSpec spec = tiny_campaign();
+  spec.algorithms = {"does-not-exist"};
+  CampaignRunner runner(spec, BusParams{});
+  EXPECT_FALSE(runner.run().ok());
+}
+
+// The acceptance-criterion contract: identical summaries for any thread
+// count, byte for byte.
+TEST(CampaignRunner, SummariesAreByteIdenticalAcrossThreadCounts) {
+  CampaignRunner runner(tiny_campaign(), BusParams{});
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  auto a = runner.run(serial);
+  auto b = runner.run(parallel);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(write_campaign_json(a.value()), write_campaign_json(b.value()));
+  EXPECT_EQ(write_campaign_csv(a.value()), write_campaign_csv(b.value()));
+  // Progress reached every scenario exactly once.
+  EXPECT_EQ(a.value().scenarios.size(), 6u);
+  for (const ScenarioRecord& record : a.value().scenarios) {
+    EXPECT_TRUE(record.generated) << record.error;
+    ASSERT_EQ(record.runs.size(), 1u);
+    EXPECT_EQ(record.runs[0].algorithm, "bbc");
+  }
+}
+
+// A degenerate grid cell (divisibility violation for nodes=3) is recorded
+// as skipped; the campaign neither crashes nor aborts.
+TEST(CampaignRunner, SkipsAndRecordsDegenerateScenarios) {
+  CampaignSpec spec = tiny_campaign();
+  spec.node_counts = {2, 3};
+  spec.tasks_per_node = 5;
+  spec.tasks_per_graph = 2;  // 10 % 2 == 0 but 15 % 2 != 0
+  CampaignRunner runner(spec, BusParams{});
+  auto result = runner.run();
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  std::size_t generated = 0;
+  std::size_t skipped = 0;
+  for (const ScenarioRecord& record : result.value().scenarios) {
+    if (record.generated) {
+      EXPECT_EQ(record.plan.scenario.base.nodes, 2);
+      ++generated;
+    } else {
+      EXPECT_EQ(record.plan.scenario.base.nodes, 3);
+      EXPECT_FALSE(record.error.empty());
+      EXPECT_TRUE(record.runs.empty());
+      ++skipped;
+    }
+  }
+  EXPECT_EQ(generated, 6u);
+  EXPECT_EQ(skipped, 6u);
+  // Skipped scenarios surface in the JSON summary.
+  const std::string json = write_campaign_json(result.value());
+  EXPECT_NE(json.find("\"skipped\": 6"), std::string::npos);
+  EXPECT_NE(json.find("skipped_scenarios"), std::string::npos);
+}
+
+TEST(CampaignReport, AggregatesPerAlgorithmAndNodeCount) {
+  CampaignRunner runner(tiny_campaign(), BusParams{});
+  auto result = runner.run();
+  ASSERT_TRUE(result.ok());
+  const AlgorithmAggregate overall = aggregate_runs(result.value(), "bbc");
+  EXPECT_EQ(overall.scenarios, 6u);
+  EXPECT_GE(overall.schedulable_fraction, 0.0);
+  EXPECT_LE(overall.schedulable_fraction, 1.0);
+  EXPECT_GT(overall.evaluations_total, 0);
+  const AlgorithmAggregate by_nodes = aggregate_runs(result.value(), "bbc", 2);
+  EXPECT_EQ(by_nodes.scenarios, overall.scenarios);
+  EXPECT_EQ(aggregate_runs(result.value(), "bbc", 4).scenarios, 0u);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,249 @@
+// Generator-family contract tests: topology wiring, traffic-mix overrides,
+// spec validation (the UB fixes of the campaign PR) and bit-exact seed
+// determinism across every family member.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "flexopt/gen/scenario.hpp"
+
+namespace flexopt {
+namespace {
+
+ScenarioSpec small_spec(Topology topology, TrafficMix traffic = TrafficMix::Mixed) {
+  ScenarioSpec spec;
+  spec.topology = topology;
+  spec.traffic = traffic;
+  spec.base.nodes = 3;
+  spec.base.tasks_per_node = 5;
+  spec.base.tasks_per_graph = 5;
+  spec.base.seed = 404;
+  return spec;
+}
+
+/// Edges of one graph = explicit dependencies + messages (every message is
+/// an implicit sender -> receiver precedence).
+std::size_t graph_edge_count(const Application& app, GraphId graph) {
+  std::size_t edges = 0;
+  for (const auto& dep : app.dependencies()) {
+    if (app.task(dep.first).graph == graph) ++edges;
+  }
+  for (const auto& m : app.messages()) {
+    if (m.graph == graph) ++edges;
+  }
+  return edges;
+}
+
+TEST(Scenario, PipelineIsASingleChain) {
+  BusParams params;
+  auto app = generate_scenario(small_spec(Topology::Pipeline), params);
+  ASSERT_TRUE(app.ok()) << app.error().message;
+  // A chain over k tasks has exactly k-1 edges, in every graph.
+  for (std::size_t g = 0; g < app.value().graph_count(); ++g) {
+    EXPECT_EQ(graph_edge_count(app.value(), static_cast<GraphId>(g)), 4u);
+  }
+}
+
+TEST(Scenario, FanInFanOutHasSourceAndSinkShape) {
+  BusParams params;
+  auto app = generate_scenario(small_spec(Topology::FanInFanOut), params);
+  ASSERT_TRUE(app.ok()) << app.error().message;
+  // k tasks: source feeds k-2 middles, each middle feeds the sink =
+  // 2*(k-2) edges per graph.
+  for (std::size_t g = 0; g < app.value().graph_count(); ++g) {
+    EXPECT_EQ(graph_edge_count(app.value(), static_cast<GraphId>(g)), 6u);
+  }
+}
+
+TEST(Scenario, GatewayHeavyMaximisesBusMessages) {
+  BusParams params;
+  auto gateway = generate_scenario(small_spec(Topology::GatewayHeavy), params);
+  auto pipeline = generate_scenario(small_spec(Topology::Pipeline), params);
+  ASSERT_TRUE(gateway.ok()) << gateway.error().message;
+  ASSERT_TRUE(pipeline.ok());
+  // Deterministic gateway placement turns nearly every chain hop into a
+  // cross-node message; the shuffled pipeline keeps some hops node-local.
+  EXPECT_GE(gateway.value().message_count(), pipeline.value().message_count());
+  // At least half of all edges cross nodes.
+  const std::size_t edges =
+      gateway.value().message_count() + gateway.value().dependencies().size();
+  EXPECT_GE(gateway.value().message_count() * 2, edges);
+}
+
+TEST(Scenario, TrafficMixOverridesTtShare) {
+  BusParams params;
+  auto st = generate_scenario(small_spec(Topology::RandomDag, TrafficMix::StOnly), params);
+  ASSERT_TRUE(st.ok());
+  for (const auto& t : st.value().tasks()) EXPECT_EQ(t.policy, TaskPolicy::Scs);
+  for (const auto& m : st.value().messages()) EXPECT_EQ(m.cls, MessageClass::Static);
+
+  auto dyn = generate_scenario(small_spec(Topology::RandomDag, TrafficMix::DynOnly), params);
+  ASSERT_TRUE(dyn.ok());
+  for (const auto& t : dyn.value().tasks()) EXPECT_EQ(t.policy, TaskPolicy::Fps);
+  for (const auto& m : dyn.value().messages()) EXPECT_EQ(m.cls, MessageClass::Dynamic);
+}
+
+TEST(Scenario, NameRoundTrips) {
+  for (const Topology t : {Topology::RandomDag, Topology::Pipeline, Topology::FanInFanOut,
+                           Topology::GatewayHeavy}) {
+    auto parsed = parse_topology(to_string(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+  for (const TrafficMix m : {TrafficMix::Mixed, TrafficMix::StOnly, TrafficMix::DynOnly}) {
+    auto parsed = parse_traffic_mix(to_string(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+  }
+  EXPECT_FALSE(parse_topology("ring").ok());
+  EXPECT_FALSE(parse_traffic_mix("bursty").ok());
+}
+
+// The satellite bugfixes: malformed specs must come back as errors, never
+// UB (empty period_choices indexing) or nonsense counts (unclamped
+// tt_share).
+TEST(Scenario, RejectsMalformedSpecs) {
+  BusParams params;
+  const ScenarioSpec good = small_spec(Topology::RandomDag);
+  ASSERT_TRUE(generate_scenario(good, params).ok());
+
+  ScenarioSpec empty_periods = good;
+  empty_periods.base.period_choices.clear();
+  EXPECT_FALSE(generate_scenario(empty_periods, params).ok());
+
+  ScenarioSpec zero_period = good;
+  zero_period.base.period_choices = {timeunits::ms(20), 0};
+  EXPECT_FALSE(generate_scenario(zero_period, params).ok());
+
+  ScenarioSpec negative_share = good;
+  negative_share.base.tt_share = -0.25;
+  EXPECT_FALSE(generate_scenario(negative_share, params).ok());
+
+  ScenarioSpec huge_share = good;
+  huge_share.base.tt_share = 1.5;
+  EXPECT_FALSE(generate_scenario(huge_share, params).ok());
+
+  ScenarioSpec nan_share = good;
+  nan_share.base.tt_share = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(generate_scenario(nan_share, params).ok());
+
+  ScenarioSpec inverted_node_util = good;
+  inverted_node_util.base.node_util_min = 0.6;
+  inverted_node_util.base.node_util_max = 0.3;
+  EXPECT_FALSE(generate_scenario(inverted_node_util, params).ok());
+
+  ScenarioSpec inverted_bus_util = good;
+  inverted_bus_util.base.bus_util_min = 0.5;
+  inverted_bus_util.base.bus_util_max = 0.1;
+  EXPECT_FALSE(generate_scenario(inverted_bus_util, params).ok());
+
+  ScenarioSpec bad_deadline = good;
+  bad_deadline.base.deadline_factor = 0.0;
+  EXPECT_FALSE(generate_scenario(bad_deadline, params).ok());
+
+  ScenarioSpec bad_bytes = good;
+  bad_bytes.base.max_message_bytes = 0;
+  EXPECT_FALSE(generate_scenario(bad_bytes, params).ok());
+
+  // Large-but-positive counts must validate, not overflow int.
+  ScenarioSpec huge = good;
+  huge.base.nodes = 70000;
+  huge.base.tasks_per_node = 70000;
+  EXPECT_FALSE(generate_scenario(huge, params).ok());
+}
+
+// `generate_synthetic` with an empty period set was the original UB; it now
+// routes through the same validation.
+TEST(Scenario, SyntheticEntryPointValidatesToo) {
+  BusParams params;
+  SyntheticSpec spec;
+  spec.period_choices.clear();
+  EXPECT_FALSE(generate_synthetic(spec, params).ok());
+}
+
+TEST(Scenario, ZeroPeriodGraphDoesNotCrashBusUtilization) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  // An un-finalized application may hold a degenerate zero-period graph;
+  // bus_utilization must skip it, not divide by zero.
+  const GraphId g = app.add_graph("g", /*period=*/0, /*deadline=*/0);
+  const TaskId a = app.add_task(g, "a", n0, timeunits::us(5), TaskPolicy::Scs);
+  const TaskId b = app.add_task(g, "b", n1, timeunits::us(5), TaskPolicy::Scs);
+  app.add_message(g, "m", a, b, 8, MessageClass::Static);
+  BusParams params;
+  EXPECT_EQ(bus_utilization(app, params), 0.0);
+}
+
+class ScenarioFamily : public ::testing::TestWithParam<Topology> {};
+
+// The regression the campaign determinism contract rests on: same spec +
+// seed => bit-identical Application, for every family member.
+TEST_P(ScenarioFamily, BitIdenticalPerSeed) {
+  BusParams params;
+  ScenarioSpec spec = small_spec(GetParam());
+  spec.base.nodes = 4;
+  spec.base.tasks_per_node = 10;
+  spec.base.tasks_per_graph = 5;
+  auto a = generate_scenario(spec, params);
+  auto b = generate_scenario(spec, params);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+
+  ASSERT_EQ(a.value().graph_count(), b.value().graph_count());
+  for (std::size_t g = 0; g < a.value().graph_count(); ++g) {
+    const TaskGraph& ga = a.value().graphs()[g];
+    const TaskGraph& gb = b.value().graphs()[g];
+    EXPECT_EQ(ga.name, gb.name);
+    EXPECT_EQ(ga.period, gb.period);
+    EXPECT_EQ(ga.deadline, gb.deadline);
+  }
+  ASSERT_EQ(a.value().task_count(), b.value().task_count());
+  for (std::size_t t = 0; t < a.value().task_count(); ++t) {
+    const Task& ta = a.value().tasks()[t];
+    const Task& tb = b.value().tasks()[t];
+    EXPECT_EQ(ta.name, tb.name);
+    EXPECT_EQ(ta.node, tb.node);
+    EXPECT_EQ(ta.wcet, tb.wcet);
+    EXPECT_EQ(ta.policy, tb.policy);
+    EXPECT_EQ(ta.priority, tb.priority);
+  }
+  ASSERT_EQ(a.value().message_count(), b.value().message_count());
+  for (std::size_t m = 0; m < a.value().message_count(); ++m) {
+    const Message& ma = a.value().messages()[m];
+    const Message& mb = b.value().messages()[m];
+    EXPECT_EQ(ma.name, mb.name);
+    EXPECT_EQ(ma.sender, mb.sender);
+    EXPECT_EQ(ma.receiver, mb.receiver);
+    EXPECT_EQ(ma.size_bytes, mb.size_bytes);
+    EXPECT_EQ(ma.cls, mb.cls);
+    EXPECT_EQ(ma.priority, mb.priority);
+  }
+  EXPECT_EQ(a.value().dependencies(), b.value().dependencies());
+}
+
+TEST_P(ScenarioFamily, DifferentSeedsDiffer) {
+  BusParams params;
+  ScenarioSpec spec = small_spec(GetParam());
+  ScenarioSpec other = spec;
+  other.base.seed = spec.base.seed + 1;
+  auto a = generate_scenario(spec, params);
+  auto b = generate_scenario(other, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = a.value().task_count() != b.value().task_count() ||
+                        a.value().message_count() != b.value().message_count();
+  for (std::size_t t = 0; !any_difference && t < a.value().task_count(); ++t) {
+    any_difference = a.value().tasks()[t].wcet != b.value().tasks()[t].wcet;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ScenarioFamily,
+                         ::testing::Values(Topology::RandomDag, Topology::Pipeline,
+                                           Topology::FanInFanOut, Topology::GatewayHeavy));
+
+}  // namespace
+}  // namespace flexopt

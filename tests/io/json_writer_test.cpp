@@ -1,0 +1,74 @@
+// JsonWriter determinism and structure tests: the campaign summaries rely
+// on identical values producing identical bytes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "flexopt/io/json_writer.hpp"
+
+namespace flexopt {
+namespace {
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("name", "demo");
+  json.field("count", 3);
+  json.key("items").begin_array();
+  json.value(1).value(2);
+  json.begin_object();
+  json.field("ok", true);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"name\": \"demo\",\n"
+            "  \"count\": 3,\n"
+            "  \"items\": [\n"
+            "    1,\n"
+            "    2,\n"
+            "    {\n"
+            "      \"ok\": true\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("text", "quote \" backslash \\ newline \n tab \t");
+  json.end_object();
+  EXPECT_NE(json.str().find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos);
+  EXPECT_EQ(json_escape("\x01"), "\\u0001");
+}
+
+TEST(JsonWriter, DoubleFormattingIsStable) {
+  EXPECT_EQ(json_double(0.5), "0.5");
+  EXPECT_EQ(json_double(-3.0), "-3");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  // Same value twice => same bytes (the whole point of the writer).
+  EXPECT_EQ(json_double(1.0 / 3.0), json_double(1.0 / 3.0));
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  JsonWriter value_without_key;
+  value_without_key.begin_object();
+  EXPECT_THROW(value_without_key.value(1), std::logic_error);
+
+  JsonWriter unbalanced;
+  unbalanced.begin_object();
+  EXPECT_THROW(unbalanced.end_array(), std::logic_error);
+
+  JsonWriter key_in_array;
+  key_in_array.begin_array();
+  EXPECT_THROW(key_in_array.key("nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -1,0 +1,78 @@
+// Property test over the generator family: 50 random ScenarioSpecs (all
+// topologies and traffic mixes, varied sizes, bands and period sets) must
+// each produce a finalized application whose realised per-node and bus
+// utilisations land within tolerance of their targets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "flexopt/gen/scenario.hpp"
+#include "flexopt/util/rng.hpp"
+
+namespace flexopt {
+namespace {
+
+ScenarioSpec random_spec(Rng& rng) {
+  ScenarioSpec spec;
+  spec.topology = static_cast<Topology>(rng.index(4));
+  spec.traffic = static_cast<TrafficMix>(rng.index(3));
+  SyntheticSpec& base = spec.base;
+  base.nodes = static_cast<int>(rng.uniform_int(2, 6));
+  base.tasks_per_graph = static_cast<int>(rng.uniform_int(2, 5));
+  // Keep total task count divisible by tasks_per_graph by construction.
+  base.tasks_per_node = base.tasks_per_graph * static_cast<int>(rng.uniform_int(1, 3));
+  base.tt_share = rng.uniform_real(0.0, 1.0);
+  base.node_util_min = rng.uniform_real(0.1, 0.4);
+  base.node_util_max = base.node_util_min + rng.uniform_real(0.05, 0.3);
+  base.bus_util_min = rng.uniform_real(0.05, 0.3);
+  base.bus_util_max = base.bus_util_min + rng.uniform_real(0.05, 0.3);
+  base.deadline_factor = rng.uniform_real(0.6, 1.4);
+  base.max_message_bytes = static_cast<int>(rng.uniform_int(16, 64));
+  base.period_choices.clear();
+  const int period_count = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < period_count; ++i) {
+    base.period_choices.push_back(timeunits::ms(rng.uniform_int(10, 100)));
+  }
+  base.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  return spec;
+}
+
+TEST(GeneratorProperty, FiftyRandomSpecsFinalizeWithinUtilisationTolerance) {
+  BusParams params;
+  Rng rng(20260730);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ScenarioSpec spec = random_spec(rng);
+    auto app = generate_scenario(spec, params);
+    ASSERT_TRUE(app.ok()) << "trial " << trial << " (" << to_string(spec.topology) << "/"
+                          << to_string(spec.traffic) << ", seed " << spec.base.seed
+                          << "): " << app.error().message;
+    EXPECT_TRUE(app.value().finalized());
+
+    // Per-node utilisation: WCET quantisation (10 us floor) perturbs the
+    // drawn target slightly, never wildly.
+    for (int n = 0; n < spec.base.nodes; ++n) {
+      const double u = app.value().node_utilization(static_cast<NodeId>(n));
+      EXPECT_GE(u, spec.base.node_util_min * 0.85) << "trial " << trial << " node " << n;
+      EXPECT_LE(u, spec.base.node_util_max * 1.15) << "trial " << trial << " node " << n;
+    }
+
+    // Bus utilisation: byte quantisation plus the payload cap bound what is
+    // achievable, so the lower check is against the achievable ceiling.
+    if (app.value().message_count() > 0) {
+      const double u = bus_utilization(app.value(), params);
+      double achievable = 0.0;
+      for (const auto& m : app.value().messages()) {
+        achievable += static_cast<double>(params.frame_duration(spec.base.max_message_bytes)) /
+                      static_cast<double>(app.value().graph(m.graph).period);
+      }
+      EXPECT_GE(u, std::min(spec.base.bus_util_min * 0.5, achievable * 0.9))
+          << "trial " << trial;
+      EXPECT_LE(u, spec.base.bus_util_max * 1.5) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexopt

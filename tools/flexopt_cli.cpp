@@ -1,18 +1,33 @@
-// flexopt_cli — optimise the FlexRay bus configuration for a system
-// described in the plain-text format of flexopt/io/system_format.hpp.
+// flexopt_cli — FlexRay bus optimisation front-end.
 //
-//   flexopt_cli <system-file> [--algorithm NAME] [--seed N] [--budget N]
+// Subcommands:
+//
+//   flexopt_cli solve <system-file> [--algorithm NAME] [--seed N] [--budget N]
 //               [--time-limit S] [--threads N] [--progress] [--no-cache]
 //               [--simulate] [--dump]
+//       Optimise one system described in the flexopt/io/system_format.hpp
+//       plain-text format; prints the chosen configuration and per-activity
+//       worst-case response times; exit code 0 iff schedulable.
 //
-// Algorithms come from the OptimizerRegistry; `--algorithm list` prints
-// them.  Prints the chosen configuration and the per-activity worst-case
-// response times; exit code 0 iff the system is schedulable.
+//   flexopt_cli campaign <spec-file> [--threads N] [--json FILE] [--csv FILE]
+//               [--budget N] [--time-limit S] [--timing] [--quiet]
+//       Expand the sweep grid of a campaign spec file
+//       (flexopt/campaign/spec_format.hpp), solve every scenario with every
+//       requested algorithm, print an aggregate table and optionally write
+//       the JSON/CSV summaries.  With no wall-clock limit the summaries are
+//       byte-identical for any --threads value.
+//
+// Invoking without a subcommand keeps the legacy behaviour (solve).
+// `--algorithm list` prints the optimizer registry.
 
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "flexopt/campaign/report.hpp"
+#include "flexopt/campaign/spec_format.hpp"
 #include "flexopt/core/solver.hpp"
 #include "flexopt/io/system_format.hpp"
 #include "flexopt/sim/simulator.hpp"
@@ -23,11 +38,54 @@ using namespace flexopt;
 namespace {
 
 int usage() {
-  std::cerr << "usage: flexopt_cli <system-file> [--algorithm NAME|list] [--seed N]\n"
-               "                   [--budget MAX_EVALUATIONS] [--time-limit SECONDS]\n"
-               "                   [--threads N] [--progress] [--no-cache]\n"
-               "                   [--simulate] [--dump]\n";
+  std::cerr
+      << "usage: flexopt_cli [solve] <system-file> [--algorithm NAME|list] [--seed N]\n"
+         "                   [--budget MAX_EVALUATIONS] [--time-limit SECONDS]\n"
+         "                   [--threads N] [--progress] [--no-cache]\n"
+         "                   [--simulate] [--dump]\n"
+         "       flexopt_cli campaign <spec-file> [--threads N] [--json FILE]\n"
+         "                   [--csv FILE] [--budget N] [--time-limit S]\n"
+         "                   [--timing] [--quiet]\n";
   return 2;
+}
+
+/// Strict numeric argument parsing: trailing garbage ("--budget 1e6",
+/// "--threads 2x") must error, not silently run a different experiment.
+template <typename T, typename Convert>
+bool parse_arg(const char* text, Convert convert, T& out) {
+  try {
+    std::size_t pos = 0;
+    out = convert(text, &pos);
+    return text[0] != '\0' && text[pos] == '\0';
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_long_arg(const char* text, long& out) {
+  return parse_arg(text, [](const std::string& s, std::size_t* p) { return std::stol(s, p); },
+                   out);
+}
+
+bool parse_int_arg(const char* text, int& out) {
+  return parse_arg(text, [](const std::string& s, std::size_t* p) { return std::stoi(s, p); },
+                   out);
+}
+
+bool parse_u64_arg(const char* text, std::uint64_t& out) {
+  if (text[0] == '-') return false;
+  return parse_arg(text,
+                   [](const std::string& s, std::size_t* p) { return std::stoull(s, p); }, out);
+}
+
+bool parse_double_arg(const char* text, double& out) {
+  return parse_arg(text, [](const std::string& s, std::size_t* p) { return std::stod(s, p); },
+                   out);
+}
+
+int numeric_arg_error(const std::string& flag) {
+  std::cerr << "invalid numeric value for " << flag << "\n";
+  return usage();
 }
 
 int list_algorithms() {
@@ -39,9 +97,9 @@ int list_algorithms() {
   return 0;
 }
 
-}  // namespace
+// ---- solve ----------------------------------------------------------------
 
-int main(int argc, char** argv) {
+int solve_main(int argc, char** argv) {
   std::string path;
   std::string algorithm = "obc-cf";
   SolveRequest request;
@@ -49,19 +107,20 @@ int main(int argc, char** argv) {
   bool show_progress = false;
   bool run_sim = false;
   bool dump = false;
-  try {
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
       algorithm = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
-      request.seed = std::stoull(argv[++i]);
+      std::uint64_t seed = 0;
+      if (!parse_u64_arg(argv[++i], seed)) return numeric_arg_error(arg);
+      request.seed = seed;
     } else if (arg == "--budget" && i + 1 < argc) {
-      request.max_evaluations = std::stol(argv[++i]);
+      if (!parse_long_arg(argv[++i], request.max_evaluations)) return numeric_arg_error(arg);
     } else if (arg == "--time-limit" && i + 1 < argc) {
-      request.max_wall_seconds = std::stod(argv[++i]);
+      if (!parse_double_arg(argv[++i], request.max_wall_seconds)) return numeric_arg_error(arg);
     } else if (arg == "--threads" && i + 1 < argc) {
-      evaluator_options.threads = std::stoi(argv[++i]);
+      if (!parse_int_arg(argv[++i], evaluator_options.threads)) return numeric_arg_error(arg);
     } else if (arg == "--progress") {
       show_progress = true;
     } else if (arg == "--no-cache") {
@@ -75,10 +134,6 @@ int main(int argc, char** argv) {
     } else {
       path = arg;
     }
-  }
-  } catch (const std::exception&) {
-    std::cerr << "invalid numeric argument\n";
-    return usage();
   }
   if (request.max_evaluations < 0 || request.max_wall_seconds < 0.0 ||
       evaluator_options.threads < 0) {
@@ -185,4 +240,195 @@ int main(int argc, char** argv) {
     }
   }
   return outcome.feasible ? 0 : 1;
+}
+
+// ---- campaign -------------------------------------------------------------
+
+/// A result file staged through a sibling temp file: opening probes
+/// writability before the campaign runs, commit() renames over the target
+/// only on success, and the destructor cleans up the temp file otherwise —
+/// a failed run never clobbers previous results.
+class PendingOutput {
+ public:
+  bool open_for(const std::string& target) {
+    path_ = target;
+    tmp_ = target + ".tmp";
+    out_.open(tmp_, std::ios::binary);
+    return static_cast<bool>(out_);
+  }
+
+  [[nodiscard]] bool pending() const { return out_.is_open(); }
+
+  bool commit(const std::string& content) {
+    out_ << content;
+    out_.flush();
+    if (!out_) return false;
+    out_.close();
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) return false;
+    committed_ = true;
+    return true;
+  }
+
+  ~PendingOutput() {
+    if (!tmp_.empty() && !committed_) std::remove(tmp_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+int campaign_main(int argc, char** argv) {
+  std::string spec_path;
+  std::string json_path;
+  std::string csv_path;
+  CampaignOptions options;
+  long budget_override = -1;
+  double time_limit_override = -1.0;
+  bool timing = false;
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], options.threads)) return numeric_arg_error(arg);
+      if (options.threads < 0) {
+        std::cerr << "--threads must be >= 0\n";
+        return usage();
+      }
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--budget" && i + 1 < argc) {
+      if (!parse_long_arg(argv[++i], budget_override)) return numeric_arg_error(arg);
+      if (budget_override < 0) {
+        std::cerr << "--budget must be >= 0\n";
+        return usage();
+      }
+    } else if (arg == "--time-limit" && i + 1 < argc) {
+      if (!parse_double_arg(argv[++i], time_limit_override)) return numeric_arg_error(arg);
+      if (time_limit_override < 0.0) {
+        std::cerr << "--time-limit must be >= 0\n";
+        return usage();
+      }
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      spec_path = arg;
+    }
+  }
+  if (spec_path.empty()) return usage();
+  if (!json_path.empty() && json_path == csv_path) {
+    std::cerr << "--json and --csv must name different files\n";
+    return usage();
+  }
+
+  // Probe the output paths up front — an unwritable path must fail in
+  // seconds, not after a multi-minute campaign — but stage through sibling
+  // temp files so a failed run never clobbers previous results.
+  PendingOutput json_out;
+  if (!json_path.empty() && !json_out.open_for(json_path)) {
+    std::cerr << "cannot write '" << json_path << "'\n";
+    return 2;
+  }
+  PendingOutput csv_out;
+  if (!csv_path.empty() && !csv_out.open_for(csv_path)) {
+    std::cerr << "cannot write '" << csv_path << "'\n";
+    return 2;
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::cerr << "cannot open '" << spec_path << "'\n";
+    return 2;
+  }
+  auto spec = parse_campaign(in);
+  if (!spec.ok()) {
+    std::cerr << spec.error().message << "\n";
+    return 2;
+  }
+  if (budget_override >= 0) spec.value().max_evaluations = budget_override;
+  if (time_limit_override >= 0.0) spec.value().max_wall_seconds = time_limit_override;
+
+  if (!quiet) {
+    options.progress = [](std::size_t done, std::size_t total) {
+      std::cerr << "\rscenario " << done << "/" << total;
+      if (done == total) std::cerr << "\n";
+    };
+  }
+
+  // The Section 7 bus parameters (10 Mbit/s, 5 us minislots) — the campaign
+  // spec sweeps the application side; the bus is fixed like in the paper.
+  BusParams params;
+  CampaignRunner runner(spec.value(), params);
+  auto result = runner.run(options);
+  if (!result.ok()) {
+    std::cerr << result.error().message << "\n";
+    return 2;
+  }
+
+  std::size_t skipped = 0;
+  for (const ScenarioRecord& record : result.value().scenarios) {
+    if (!record.generated) ++skipped;
+  }
+  const bool all_skipped = skipped == result.value().scenarios.size();
+  if (all_skipped) {
+    std::cerr << "campaign '" << result.value().spec.name
+              << "': every scenario failed generation\n";
+    for (const ScenarioRecord& record : result.value().scenarios) {
+      std::cerr << "skipped scenario " << record.plan.index << ": " << record.error << "\n";
+      break;  // they are all degenerate; one reason is enough
+    }
+  }
+  if (!quiet && !all_skipped) {
+    std::cout << "campaign '" << result.value().spec.name << "': "
+              << result.value().scenarios.size() << " scenarios (" << skipped
+              << " skipped) in " << fmt_double(result.value().wall_seconds, 1) << " s\n\n";
+    Table table({"algorithm", "scenarios", "schedulable", "cost p50 [us]", "cost p90 [us]",
+                 "analyses/scenario"});
+    for (const std::string& name : result.value().spec.algorithms) {
+      const AlgorithmAggregate agg = aggregate_runs(result.value(), name);
+      table.add_row({name, std::to_string(agg.scenarios),
+                     std::to_string(agg.schedulable) + " (" +
+                         fmt_percent(agg.schedulable_fraction) + ")",
+                     agg.analysable > 0 ? fmt_double(agg.cost_p50, 1) : "-",
+                     agg.analysable > 0 ? fmt_double(agg.cost_p90, 1) : "-",
+                     fmt_double(agg.evaluations_mean, 1)});
+    }
+    table.print(std::cout);
+    for (const ScenarioRecord& record : result.value().scenarios) {
+      if (!record.generated) {
+        std::cerr << "skipped scenario " << record.plan.index << ": " << record.error << "\n";
+      }
+    }
+  }
+
+  if (json_out.pending() && !json_out.commit(write_campaign_json(result.value(), timing))) {
+    std::cerr << "cannot write '" << json_path << "'\n";
+    return 2;
+  }
+  if (csv_out.pending() && !csv_out.commit(write_campaign_csv(result.value(), timing))) {
+    std::cerr << "cannot write '" << csv_path << "'\n";
+    return 2;
+  }
+  return all_skipped ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "campaign") return campaign_main(argc - 2, argv + 2);
+    if (first == "solve") return solve_main(argc - 2, argv + 2);
+    if (first == "--help" || first == "-h") return usage();
+  }
+  // Legacy spelling: no subcommand = solve.
+  return solve_main(argc - 1, argv + 1);
 }
