@@ -1,0 +1,274 @@
+// Delta-evaluation bench and perf-regression gate.  Replays an SA-style
+// neighbour-move workload over the Fig. 9 smoke population twice in
+// lockstep — every proposal evaluated by the full path
+// (CostEvaluator::evaluate) and by the incremental path
+// (CostEvaluator::evaluate_delta) — checks the costs are bit-identical,
+// and counts recomputed analysis components (schedule builds + FPS/DYN
+// response-time recurrences) on each side.
+//
+// The CI perf-smoke job runs this with --check: the run fails unless the
+// delta path recomputes at least --min-ratio (default 3) times fewer
+// components than the full path, which is the Fig. 9 runtime argument in
+// machine-checkable form.  --out writes the machine-readable
+// BENCH_delta.json (schema documented in README.md).
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/sa.hpp"
+#include "flexopt/io/json_writer.hpp"
+#include "flexopt/util/rng.hpp"
+#include "flexopt/util/table.hpp"
+
+using namespace flexopt;
+using namespace flexopt::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct SystemResult {
+  int nodes = 0;
+  long proposed = 0;
+  long accepted = 0;
+  bool identical = true;
+  EvaluatorWorkStats full;
+  EvaluatorWorkStats delta;
+  double full_wall = 0.0;
+  double delta_wall = 0.0;
+};
+
+void write_work(JsonWriter& json, const EvaluatorWorkStats& work, double wall) {
+  json.begin_object()
+      .field("components", work.analysis.components())
+      .field("schedule_builds", work.analysis.schedule_builds)
+      .field("schedule_reuses", work.analysis.schedule_reuses)
+      .field("fps_analyses", work.analysis.fps_analyses)
+      .field("fps_skipped", work.analysis.fps_skipped)
+      .field("dyn_analyses", work.analysis.dyn_analyses)
+      .field("dyn_skipped", work.analysis.dyn_skipped)
+      .field("holistic_iterations", work.analysis.holistic_iterations)
+      .field("delta_evaluations", work.delta_evaluations)
+      .field("delta_seeded", work.delta_seeded)
+      .field("wall_seconds", wall)
+      .end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool check = false;
+  double min_ratio = 3.0;
+  long moves = full_scale() ? 1200 : 300;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--min-ratio") {
+      min_ratio = std::stod(next());
+    } else if (arg == "--moves") {
+      moves = std::stol(next());
+    } else {
+      std::cerr << "usage: bench_delta_eval [--out FILE] [--check] [--min-ratio R] "
+                   "[--moves N]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "== Incremental (delta) evaluation vs full evaluation ==\n";
+  const BusParams params = section7_params();
+  const std::vector<int> node_counts{4, 5, 6};
+
+  Table table({"nodes", "proposed", "accepted", "full comps", "delta comps", "ratio",
+               "full (s)", "delta (s)", "identical"});
+  std::vector<SystemResult> results;
+
+  for (const int nodes : node_counts) {
+    const auto app_result = section7_system(nodes, 0);
+    if (!app_result.ok()) {
+      std::cerr << "generator failed: " << app_result.error().message << "\n";
+      return 1;
+    }
+    const Application& app = app_result.value();
+
+    // The SA seed shape: per-sender minimal ST segment, criticality
+    // FrameIDs, shortest feasible DYN segment.
+    const StartConfig start = minimal_start_config(app, params);
+    if (!start.bounds.feasible()) {
+      std::cerr << "no feasible DYN bounds for " << nodes << "-node system\n";
+      return 1;
+    }
+    const std::vector<NodeId>& senders = start.st_senders;
+    const DynBounds& bounds = start.bounds;
+    BusConfig current = start.config;
+
+    CostEvaluator full_eval(app, params, optimizer_analysis_options());
+    CostEvaluator delta_eval(app, params, optimizer_analysis_options());
+
+    SystemResult r;
+    r.nodes = nodes;
+    const auto f0 = full_eval.evaluate(current);
+    const auto d0 = delta_eval.evaluate(current);
+    double current_cost = f0.valid ? f0.cost.value : kInvalidConfigCost;
+    r.identical = f0.valid == d0.valid && f0.cost.value == d0.cost.value;
+
+    // One move/acceptance stream drives both evaluators in lockstep; the
+    // paths return bit-identical costs, so the trajectories coincide.
+    Rng move_rng(0x5eedu + static_cast<std::uint64_t>(nodes));
+    Rng accept_rng(0xaccu + static_cast<std::uint64_t>(nodes));
+    const double temperature =
+        std::max(1.0, std::abs(current_cost) * 0.1);  // SA's mid-run regime
+
+    double full_wall = 0.0;
+    double delta_wall = 0.0;
+    for (long i = 0; i < moves; ++i) {
+      BusConfig neighbour = current;
+      bool moved = false;
+      for (int attempt = 0; attempt < 8 && !moved; ++attempt) {
+        moved = random_neighbour_move(neighbour, app, params, move_rng, senders,
+                                      bounds.min_minislots, SpecLimits::kMaxMinislots);
+      }
+      if (!moved) continue;
+      ++r.proposed;
+
+      DeltaMove move = DeltaMove::between(current, std::move(neighbour));
+      auto t0 = std::chrono::steady_clock::now();
+      const auto ef = full_eval.evaluate(move.config);
+      full_wall += seconds_since(t0);
+      t0 = std::chrono::steady_clock::now();
+      const auto ed = delta_eval.evaluate_delta(current, move);
+      delta_wall += seconds_since(t0);
+
+      if (ef.valid != ed.valid || (ef.valid && ef.cost.value != ed.cost.value)) {
+        r.identical = false;
+      }
+      const double cost = ef.valid ? ef.cost.value : kInvalidConfigCost;
+      const double delta = cost - current_cost;
+      if (delta <= 0.0 ||
+          accept_rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature)) {
+        current = std::move(move.config);
+        current_cost = cost;
+        ++r.accepted;
+      }
+    }
+
+    r.full = full_eval.work_stats();
+    r.delta = delta_eval.work_stats();
+    r.full_wall = full_wall;
+    r.delta_wall = delta_wall;
+    const double ratio =
+        r.delta.analysis.components() > 0
+            ? static_cast<double>(r.full.analysis.components()) /
+                  static_cast<double>(r.delta.analysis.components())
+            : 0.0;
+    table.add_row({std::to_string(nodes), std::to_string(r.proposed),
+                   std::to_string(r.accepted), std::to_string(r.full.analysis.components()),
+                   std::to_string(r.delta.analysis.components()), fmt_double(ratio, 2),
+                   fmt_double(r.full_wall, 3), fmt_double(r.delta_wall, 3),
+                   r.identical ? "yes" : "NO"});
+    results.push_back(std::move(r));
+  }
+  table.print(std::cout);
+
+  std::uint64_t full_components = 0;
+  std::uint64_t delta_components = 0;
+  long accepted = 0;
+  long proposed = 0;
+  bool identical = true;
+  for (const SystemResult& r : results) {
+    full_components += r.full.analysis.components();
+    delta_components += r.delta.analysis.components();
+    accepted += r.accepted;
+    proposed += r.proposed;
+    identical = identical && r.identical;
+  }
+  const double ratio = delta_components > 0
+                           ? static_cast<double>(full_components) /
+                                 static_cast<double>(delta_components)
+                           : 0.0;
+  const bool pass = identical && ratio >= min_ratio;
+  std::cout << "\ntotals: " << proposed << " proposed / " << accepted << " accepted moves, "
+            << full_components << " full vs " << delta_components
+            << " delta components (ratio " << fmt_double(ratio, 2) << "x, gate "
+            << fmt_double(min_ratio, 1) << "x, costs "
+            << (identical ? "identical" : "MISMATCH") << ")\n";
+
+  if (!out_path.empty()) {
+    JsonWriter json;
+    json.begin_object()
+        .field("bench", "delta_eval")
+        .field("workload", "fig9-smoke")
+        .field("moves_per_system", moves);
+    json.key("systems").begin_array();
+    for (const SystemResult& r : results) {
+      json.begin_object()
+          .field("nodes", r.nodes)
+          .field("proposed_moves", r.proposed)
+          .field("accepted_moves", r.accepted)
+          .field("identical", r.identical);
+      json.key("full");
+      write_work(json, r.full, r.full_wall);
+      json.key("delta");
+      write_work(json, r.delta, r.delta_wall);
+      const double system_ratio =
+          r.delta.analysis.components() > 0
+              ? static_cast<double>(r.full.analysis.components()) /
+                    static_cast<double>(r.delta.analysis.components())
+              : 0.0;
+      json.field("component_ratio", system_ratio).end_object();
+    }
+    json.end_array();
+    json.key("totals")
+        .begin_object()
+        .field("proposed_moves", proposed)
+        .field("accepted_moves", accepted)
+        .field("full_components", full_components)
+        .field("delta_components", delta_components)
+        .field("full_components_per_accepted_move",
+               accepted > 0 ? static_cast<double>(full_components) / accepted : 0.0)
+        .field("delta_components_per_accepted_move",
+               accepted > 0 ? static_cast<double>(delta_components) / accepted : 0.0)
+        .field("component_ratio", ratio)
+        .field("identical", identical)
+        .end_object();
+    json.key("gate")
+        .begin_object()
+        .field("min_ratio", min_ratio)
+        .field("pass", pass)
+        .end_object();
+    json.end_object();
+    std::ofstream out(out_path);
+    out << json.str() << "\n";
+    if (!out) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  if (check && !pass) {
+    std::cerr << "perf gate FAILED: delta/full component ratio " << fmt_double(ratio, 2)
+              << "x below " << fmt_double(min_ratio, 1) << "x"
+              << (identical ? "" : " (and costs diverged)") << "\n";
+    return 1;
+  }
+  return 0;
+}

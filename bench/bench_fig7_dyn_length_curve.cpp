@@ -44,7 +44,9 @@ int main() {
   }
 
   std::vector<std::string> header{"DYNbus (us)", "gdCycle (us)", "cost (us)"};
-  for (const MessageId m : curves) header.push_back("R(" + bundle.app.messages()[index_of(m)].name + ") us");
+  for (const MessageId m : curves) {
+    header.push_back("R(" + bundle.app.messages()[index_of(m)].name + ") us");
+  }
   Table table(std::move(header));
 
   struct Sample {

@@ -52,8 +52,9 @@ int main() {
       const auto bbc = run_bbc(app.value(), params);
       const auto cf = run_obc_cf(app.value(), params);
       const auto ee = run_obc_ee(app.value(), params, scale.obcee_sweep_points);
-      const auto sa = run_sa(app.value(), params, scale.sa_evaluations,
-                             static_cast<std::uint64_t>(nodes) * 100 + static_cast<std::uint64_t>(i));
+      const auto sa =
+          run_sa(app.value(), params, scale.sa_evaluations,
+                 static_cast<std::uint64_t>(nodes) * 100 + static_cast<std::uint64_t>(i));
 
       sched_bbc += bbc.outcome.feasible ? 1 : 0;
       sched_cf += cf.outcome.feasible ? 1 : 0;

@@ -32,8 +32,9 @@ int main() {
       const auto bbc = run_bbc(app.value(), params);
       const auto cf = run_obc_cf(app.value(), params);
       const auto ee = run_obc_ee(app.value(), params, scale.obcee_sweep_points);
-      const auto sa = run_sa(app.value(), params, scale.sa_evaluations,
-                             static_cast<std::uint64_t>(nodes) * 100 + static_cast<std::uint64_t>(i));
+      const auto sa =
+          run_sa(app.value(), params, scale.sa_evaluations,
+                 static_cast<std::uint64_t>(nodes) * 100 + static_cast<std::uint64_t>(i));
       t_bbc.push_back(bbc.outcome.wall_seconds);
       t_cf.push_back(cf.outcome.wall_seconds);
       t_ee.push_back(ee.outcome.wall_seconds);

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file incremental.hpp
+/// Incremental ("delta") system analysis: splits analyze_system into
+/// separately cacheable components keyed by sub-hashes of the BusConfig
+/// decision variables, so a neighbour move recomputes only what it
+/// invalidated.  Three component classes exist:
+///
+///  * the static-segment schedule table (+ the TT completions it fixes),
+///    keyed by the schedule's inputs: ST slot count / length / ownership
+///    and the DYN segment length (the cycle length shifts every later bus
+///    cycle of the table);
+///  * the DYN response-time recurrences, whose non-jitter inputs are the
+///    segment geometry (ST length, cycle length, pLatestTx) and the
+///    FrameID assignment — ST slot ownership is deliberately absent;
+///  * the FPS/task-level structure (FPS task groups per node, response
+///    horizon), which depends on the mapping only and is built once per
+///    application.
+///
+/// analyze_system_incremental reuses every component the move left intact
+/// and, inside the holistic fixed point, recomputes a response-time
+/// recurrence only when one of its inputs actually changed.  The fixed
+/// point is run as a chaotic (Gauss-Seidel-style) relaxation — sound
+/// because the iteration is monotone from below, so every fair update
+/// order reaches the same least fixed point analyze_system's Jacobi
+/// schedule reaches — with analyze_system's exact schedule as the
+/// fallback whenever the sweep cap is hit (the relaxation dominates the
+/// Jacobi sweeps pointwise, so a cap hit here implies the full path would
+/// have hit its cap and pinned too).  The result is therefore
+/// bit-identical to analyze_system whenever the holistic iteration
+/// converges — asserted in Debug builds by CostEvaluator::evaluate_delta
+/// and covered by the delta property tests.  The single tolerated
+/// asymmetry is a system whose Jacobi schedule would need more than
+/// AnalysisOptions::max_holistic_iterations sweeps to converge while the
+/// relaxation converges within them: the delta path then returns the
+/// exact fixed point the cap would have pinned to all-infinite — a
+/// strictly tighter sound bound (never observed in the test populations).
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flexopt/analysis/fps_analysis.hpp"
+#include "flexopt/analysis/system_analysis.hpp"
+
+namespace flexopt {
+
+/// Stable sub-hashes of the decision variables, one per component class.
+struct ConfigSubHashes {
+  /// Inputs of the static-segment schedule (ST knobs + cycle length).
+  std::uint64_t geometry_key = 0;
+  /// Non-jitter inputs of the DYN response-time analysis (segment
+  /// geometry + FrameID assignment; slot ownership excluded).
+  std::uint64_t dyn_key = 0;
+};
+
+[[nodiscard]] ConfigSubHashes config_subhashes(const BusConfig& config);
+
+/// Which decision variables a neighbour move touched, in analysis terms.
+/// Produced from core's DeltaMove; consumed by the seeded fixed point to
+/// bound the transitively invalidated component set.
+struct AnalysisInvalidation {
+  bool st_slot_count_changed = false;
+  bool st_slot_len_changed = false;
+  bool st_owner_changed = false;
+  bool minislot_count_changed = false;
+  /// MessageId indices whose FrameID changed.
+  std::vector<std::uint32_t> changed_messages;
+  /// FrameID window [min, max] spanned by the changed messages' base and
+  /// new FrameIDs.  Only DYN messages with a FrameID inside the window can
+  /// see a different lf()/hp() interference set: a message above it keeps
+  /// every changed message in lf() (both FrameIDs below its own, weights
+  /// and periods untouched), one below it never saw them.  [INT_MAX,
+  /// INT_MIN] when no FrameID changed.
+  int frame_id_window_min = std::numeric_limits<int>::max();
+  int frame_id_window_max = std::numeric_limits<int>::min();
+
+  [[nodiscard]] bool any_change() const {
+    return st_slot_count_changed || st_slot_len_changed || st_owner_changed ||
+           minislot_count_changed || !changed_messages.empty();
+  }
+  /// The static-segment table must be rebuilt (or fetched by a new key).
+  [[nodiscard]] bool schedule_invalidated() const {
+    return st_slot_count_changed || st_slot_len_changed || st_owner_changed ||
+           minislot_count_changed;
+  }
+  /// Every DYN recurrence is structurally invalidated (sigma, gdCycle,
+  /// pLatestTx or the ST segment length changed).
+  [[nodiscard]] bool dyn_geometry_invalidated() const {
+    return st_slot_count_changed || st_slot_len_changed || minislot_count_changed;
+  }
+};
+
+/// Cacheable static-segment component: the schedule table plus the TT
+/// completions it fixes.  Construction failures are cached too (negative
+/// caching), so a sweep over an unschedulable geometry pays once.
+struct ScheduleComponent {
+  // Geometry the component was built for — the hash-collision guard.
+  int static_slot_count = 0;
+  Time static_slot_len = 0;
+  std::vector<NodeId> static_slot_owner;
+  int minislot_count = 0;
+
+  bool valid = false;
+  std::string error;
+  StaticSchedule schedule{0, 0, 0, 0};
+  /// Indexed by TaskId / MessageId: table WCRT for TT activities, 0 for ET
+  /// (the fixed point's monotone-from-below seed).
+  std::vector<Time> tt_task_completion;
+  std::vector<Time> tt_message_completion;
+};
+
+/// Mapping-level component shared by every configuration of one
+/// application: FPS task groups per node, the DYN message list, and the
+/// response-time horizon.  Built once per evaluator.
+struct TaskStructure {
+  bool valid = false;
+  std::string error;
+  Time horizon = 0;
+  /// FPS task parameter templates per node (jitter slots are copied and
+  /// refreshed by each analysis; the structure itself is immutable).
+  std::vector<std::vector<FpsTaskParams>> fps_on_node;
+  /// Indices of DYN messages, ascending.
+  std::vector<std::uint32_t> dyn_messages;
+};
+
+/// Thread-safe store of the per-geometry schedule components and the
+/// per-mapping task structure.  Owned by CostEvaluator; one cache serves
+/// exactly one application.
+class AnalysisComponentCache {
+ public:
+  explicit AnalysisComponentCache(std::size_t max_entries = 4096);
+
+  /// Schedule component for the layout's geometry; built on a miss.
+  /// `counters` (optional) records the build or the reuse.
+  std::shared_ptr<const ScheduleComponent> schedule_for(const BusLayout& layout,
+                                                        const AnalysisOptions& options,
+                                                        AnalysisWorkCounters* counters);
+
+  /// Task-level structure of `app`; built on the first call.  Every call
+  /// must pass the same application.
+  std::shared_ptr<const TaskStructure> task_structure(const Application& app,
+                                                      const AnalysisOptions& options);
+
+  void clear();
+  [[nodiscard]] std::size_t schedule_entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::size_t entry_count_ = 0;  ///< total components across all buckets
+  std::shared_ptr<const TaskStructure> task_structure_;
+  /// geometry_key -> components (a bucket list: collisions are resolved by
+  /// comparing the stored geometry).
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<const ScheduleComponent>>>
+      schedules_;
+};
+
+/// Incremental analyze_system.  Without `base`, the result (values,
+/// iteration count, convergence) is bit-identical to analyze_system: the
+/// ET fixed point merely skips recomputing recurrences whose inputs did
+/// not change between iterations.  With `base` and `invalidation` — a
+/// *converged* previous result whose configuration differs from `layout`'s
+/// exactly by `invalidation` — only the transitively invalidated
+/// components are recomputed and everything else is seeded from `base`.
+/// Seeding falls back internally to the from-scratch path whenever it
+/// cannot be proven safe (non-converged base, iteration cap reached).
+Expected<AnalysisResult> analyze_system_incremental(
+    const BusLayout& layout, const AnalysisOptions& options, AnalysisComponentCache& cache,
+    AnalysisWorkCounters* counters = nullptr, const AnalysisResult* base = nullptr,
+    const AnalysisInvalidation* invalidation = nullptr);
+
+}  // namespace flexopt

@@ -6,6 +6,7 @@
 /// response-time analysis for FPS tasks and DYN messages with jitter
 /// propagation along the task graphs until a global fixed point.
 
+#include <cstdint>
 #include <vector>
 
 #include "flexopt/analysis/cost.hpp"
@@ -32,6 +33,36 @@ struct AnalysisOptions {
   bool debug_trace = false;
 };
 
+/// Recompute accounting of the evaluation pipeline.  One "analysis
+/// component" is one unit of real work: a static-schedule table build, one
+/// FPS response-time recurrence, or one DYN message WCRT recurrence.  The
+/// Fig. 9 runtime argument is about how many of these a search performs;
+/// bench_delta_eval gates the full-vs-delta ratio on components().
+struct AnalysisWorkCounters {
+  std::uint64_t schedule_builds = 0;  ///< static-segment tables built
+  std::uint64_t schedule_reuses = 0;  ///< tables served from the component cache
+  std::uint64_t fps_analyses = 0;     ///< fps_response_time calls (per task per pass)
+  std::uint64_t fps_skipped = 0;      ///< FPS recomputations skipped (inputs unchanged)
+  std::uint64_t dyn_analyses = 0;     ///< dyn_response_time calls (per message per pass)
+  std::uint64_t dyn_skipped = 0;      ///< DYN recomputations skipped (inputs unchanged)
+  std::uint64_t holistic_iterations = 0;
+
+  /// Total recomputed components (the delta-vs-full gate metric).
+  [[nodiscard]] std::uint64_t components() const {
+    return schedule_builds + fps_analyses + dyn_analyses;
+  }
+  AnalysisWorkCounters& operator+=(const AnalysisWorkCounters& o) {
+    schedule_builds += o.schedule_builds;
+    schedule_reuses += o.schedule_reuses;
+    fps_analyses += o.fps_analyses;
+    fps_skipped += o.fps_skipped;
+    dyn_analyses += o.dyn_analyses;
+    dyn_skipped += o.dyn_skipped;
+    holistic_iterations += o.holistic_iterations;
+    return *this;
+  }
+};
+
 /// Full analysis outcome for one (application, bus configuration) pair.
 struct AnalysisResult {
   /// Graph-relative worst-case completion bound per task / message
@@ -45,8 +76,17 @@ struct AnalysisResult {
   std::vector<Time> message_jitter;
   StaticSchedule schedule{0, 0, 0, 0};
   Cost cost;
+  /// False when the holistic iteration hit max_holistic_iterations and the
+  /// ET completions were pinned to infinity.  Incremental re-evaluation
+  /// (analyze_system_incremental) only seeds from converged results.
+  bool converged = true;
   [[nodiscard]] bool schedulable() const { return cost.schedulable; }
 };
+
+/// Response-time horizon shared by the full and incremental analyses:
+/// max(hyper-period, max effective deadline) * options.horizon_factor.
+/// Fails when the hyper-period overflows.
+Expected<Time> analysis_horizon(const Application& app, const AnalysisOptions& options);
 
 /// Runs GlobalSchedulingAlgorithm (Fig. 2) + holistic response-time
 /// analysis.  Fails only on structural errors (e.g. no ST slot placement
@@ -57,7 +97,10 @@ struct AnalysisResult {
 /// keeps all state on the stack — concurrent calls (the CostEvaluator
 /// worker pool fans candidate configurations across threads) are safe as
 /// long as each call gets its own BusLayout.
+/// `counters` (optional) accumulates the work performed — the baseline the
+/// incremental engine is measured against.
 Expected<AnalysisResult> analyze_system(const BusLayout& layout,
-                                        const AnalysisOptions& options = {});
+                                        const AnalysisOptions& options = {},
+                                        AnalysisWorkCounters* counters = nullptr);
 
 }  // namespace flexopt

@@ -1,0 +1,528 @@
+#include "flexopt/analysis/incremental.hpp"
+
+#include <algorithm>
+
+#include "flexopt/analysis/dyn_analysis.hpp"
+#include "flexopt/analysis/list_scheduler.hpp"
+#include "flexopt/analysis/sat_time.hpp"
+
+namespace flexopt {
+namespace {
+
+/// FNV-1a, the same construction hash_config uses for the whole-config key.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+};
+
+bool is_et(const Application& app, ActivityRef a) {
+  return a.is_task() ? app.task(a.as_task()).policy == TaskPolicy::Fps
+                     : app.message(a.as_message()).cls == MessageClass::Dynamic;
+}
+
+bool same_geometry(const ScheduleComponent& component, const BusConfig& config) {
+  return component.static_slot_count == config.static_slot_count &&
+         component.static_slot_len == config.static_slot_len &&
+         component.minislot_count == config.minislot_count &&
+         component.static_slot_owner == config.static_slot_owner;
+}
+
+ScheduleComponent build_schedule_component(const BusLayout& layout,
+                                           const AnalysisOptions& options) {
+  const Application& app = layout.application();
+  const BusConfig& config = layout.config();
+  ScheduleComponent component;
+  component.static_slot_count = config.static_slot_count;
+  component.static_slot_len = config.static_slot_len;
+  component.static_slot_owner = config.static_slot_owner;
+  component.minislot_count = config.minislot_count;
+
+  auto schedule_result = build_static_schedule(layout, options.scheduler);
+  if (!schedule_result.ok()) {
+    component.error = schedule_result.error().message;
+    return component;
+  }
+  component.valid = true;
+  component.schedule = std::move(schedule_result).value();
+  component.tt_task_completion.assign(app.task_count(), 0);
+  component.tt_message_completion.assign(app.message_count(), 0);
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    if (app.tasks()[t].policy == TaskPolicy::Scs) {
+      component.tt_task_completion[t] = component.schedule.task_wcrt(static_cast<TaskId>(t));
+    }
+  }
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls == MessageClass::Static) {
+      component.tt_message_completion[m] =
+          component.schedule.message_wcrt(static_cast<MessageId>(m));
+    }
+  }
+  return component;
+}
+
+bool same_profile(const BusyProfile& a, const BusyProfile& b) {
+  return a.period() == b.period() && a.intervals() == b.intervals();
+}
+
+}  // namespace
+
+ConfigSubHashes config_subhashes(const BusConfig& config) {
+  ConfigSubHashes keys;
+  Fnv geometry;
+  geometry.mix(static_cast<std::uint64_t>(config.static_slot_count));
+  geometry.mix(static_cast<std::uint64_t>(config.static_slot_len));
+  geometry.mix(static_cast<std::uint64_t>(config.minislot_count));
+  for (const NodeId owner : config.static_slot_owner) geometry.mix(index_of(owner));
+  keys.geometry_key = geometry.h;
+
+  Fnv dyn;
+  dyn.mix(static_cast<std::uint64_t>(config.static_slot_count));
+  dyn.mix(static_cast<std::uint64_t>(config.static_slot_len));
+  dyn.mix(static_cast<std::uint64_t>(config.minislot_count));
+  for (const int fid : config.frame_id) dyn.mix(static_cast<std::uint64_t>(fid));
+  keys.dyn_key = dyn.h;
+  return keys;
+}
+
+AnalysisComponentCache::AnalysisComponentCache(std::size_t max_entries)
+    : max_entries_(max_entries) {}
+
+std::shared_ptr<const ScheduleComponent> AnalysisComponentCache::schedule_for(
+    const BusLayout& layout, const AnalysisOptions& options, AnalysisWorkCounters* counters) {
+  const std::uint64_t key = config_subhashes(layout.config()).geometry_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = schedules_.find(key); it != schedules_.end()) {
+      for (const auto& component : it->second) {
+        if (same_geometry(*component, layout.config())) {
+          if (counters != nullptr) ++counters->schedule_reuses;
+          return component;
+        }
+      }
+    }
+  }
+  if (counters != nullptr) ++counters->schedule_builds;
+  auto component =
+      std::make_shared<const ScheduleComponent>(build_schedule_component(layout, options));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Concurrent misses of the same geometry build redundantly (the build
+    // is deterministic); keep whichever entry landed first so a race never
+    // grows the bucket, and bound the cache by total components, not
+    // hash-bucket count.
+    auto& bucket = schedules_[key];
+    for (const auto& existing : bucket) {
+      if (same_geometry(*existing, layout.config())) return existing;
+    }
+    if (entry_count_ < max_entries_) {
+      bucket.push_back(component);
+      ++entry_count_;
+    }
+  }
+  return component;
+}
+
+std::shared_ptr<const TaskStructure> AnalysisComponentCache::task_structure(
+    const Application& app, const AnalysisOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (task_structure_) return task_structure_;
+
+  auto structure = std::make_shared<TaskStructure>();
+  const auto horizon = analysis_horizon(app, options);
+  if (!horizon.ok()) {
+    structure->error = horizon.error().message;
+  } else {
+    structure->valid = true;
+    structure->horizon = horizon.value();
+    structure->fps_on_node.resize(app.node_count());
+    for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+      const Task& task = app.tasks()[t];
+      if (task.policy != TaskPolicy::Fps) continue;
+      structure->fps_on_node[index_of(task.node)].push_back(FpsTaskParams{
+          static_cast<TaskId>(t), task.wcet, app.graph(task.graph).period, 0, task.priority});
+    }
+    for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+      if (app.messages()[m].cls == MessageClass::Dynamic) structure->dyn_messages.push_back(m);
+    }
+  }
+  task_structure_ = std::move(structure);
+  return task_structure_;
+}
+
+void AnalysisComponentCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  schedules_.clear();
+  entry_count_ = 0;
+  // task_structure_ is configuration-independent: keep it.
+}
+
+std::size_t AnalysisComponentCache::schedule_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_count_;
+}
+
+Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
+                                                    const AnalysisOptions& options,
+                                                    AnalysisComponentCache& cache,
+                                                    AnalysisWorkCounters* counters,
+                                                    const AnalysisResult* base,
+                                                    const AnalysisInvalidation* invalidation) {
+  const Application& app = layout.application();
+  const auto structure = cache.task_structure(app, options);
+  if (!structure->valid) return make_error(structure->error);
+  const Time horizon = structure->horizon;
+
+  const auto schedule_component = cache.schedule_for(layout, options, counters);
+  if (!schedule_component->valid) return make_error(schedule_component->error);
+
+  const std::size_t n_tasks = app.task_count();
+  const std::size_t n_msgs = app.message_count();
+
+  AnalysisResult result;
+  result.schedule = schedule_component->schedule;
+  result.task_completion = schedule_component->tt_task_completion;
+  result.message_completion = schedule_component->tt_message_completion;
+  result.task_jitter.assign(n_tasks, 0);
+  result.message_jitter.assign(n_msgs, 0);
+
+  // ---- affected component set ----------------------------------------------
+  // Default (no usable base): everything is affected — the fixed point then
+  // reproduces analyze_system's trajectory exactly, skipping only
+  // recomputations whose inputs are unchanged between iterations.
+  std::vector<char> task_affected(n_tasks, 1);
+  std::vector<char> msg_affected(n_msgs, 1);
+  const bool seed_from_base = base != nullptr && invalidation != nullptr && base->converged &&
+                              base->task_completion.size() == n_tasks &&
+                              base->message_completion.size() == n_msgs &&
+                              base->task_jitter.size() == n_tasks &&
+                              base->message_jitter.size() == n_msgs;
+  if (seed_from_base) {
+    task_affected.assign(n_tasks, 0);
+    msg_affected.assign(n_msgs, 0);
+
+    // Closure over the dependency edges of the holistic fixed point:
+    //  completion(a) -> jitter(s) for every ET graph successor s;
+    //  jitter(t), t FPS      -> completions of every FPS task on node(t);
+    //  jitter(x), x DYN      -> completions of every DYN m, fid(m) >= fid(x)
+    //                           (x is in lf(m) / hp(m) / is m itself).
+    std::vector<ActivityRef> work;
+    auto mark_task = [&](std::uint32_t t) {
+      if (task_affected[t]) return;
+      task_affected[t] = 1;
+      work.push_back(ActivityRef::task(static_cast<TaskId>(t)));
+    };
+    auto mark_msg = [&](std::uint32_t m) {
+      if (msg_affected[m]) return;
+      msg_affected[m] = 1;
+      work.push_back(ActivityRef::message(static_cast<MessageId>(m)));
+    };
+    auto mark_node_fps = [&](std::size_t node) {
+      for (const FpsTaskParams& p : structure->fps_on_node[node]) {
+        mark_task(static_cast<std::uint32_t>(index_of(p.id)));
+      }
+    };
+    // "Every DYN message with a FrameID >= fid" — lazily lowered threshold
+    // so the marking stays O(|DYN|) overall.
+    int dyn_marked_from = std::numeric_limits<int>::max();
+    auto mark_dyn_from_fid = [&](int fid) {
+      if (fid >= dyn_marked_from) return;
+      for (const std::uint32_t m : structure->dyn_messages) {
+        const int f = layout.frame_id(static_cast<MessageId>(m));
+        if (f >= fid && f < dyn_marked_from) mark_msg(m);
+      }
+      dyn_marked_from = fid;
+    };
+    // Jitter of ET activity `s` may change: mark the components whose read
+    // set contains s's jitter.  FPS readers are exact (priority filter);
+    // DYN readers with higher FrameIDs must all be marked — a single-
+    // minislot lf member contributes through its jitter's infinity status,
+    // which cannot be bounded statically here.
+    const auto& app_messages = app.messages();
+    auto mark_jitter_consumers = [&](ActivityRef s) {
+      if (s.is_task()) {
+        const Task& task = app.task(s.as_task());
+        if (task.policy != TaskPolicy::Fps) return;
+        for (const FpsTaskParams& u : structure->fps_on_node[index_of(task.node)]) {
+          if (task.priority <= u.priority || index_of(u.id) == s.index) {
+            mark_task(static_cast<std::uint32_t>(index_of(u.id)));
+          }
+        }
+      } else if (app.message(s.as_message()).cls == MessageClass::Dynamic) {
+        const int s_fid = layout.frame_id(s.as_message());
+        mark_msg(s.index);
+        for (const std::uint32_t m : structure->dyn_messages) {
+          const int m_fid = layout.frame_id(static_cast<MessageId>(m));
+          if (m_fid == s_fid && app_messages[s.index].priority < app_messages[m].priority) {
+            mark_msg(m);
+          }
+        }
+        mark_dyn_from_fid(s_fid + 1);
+      }
+    };
+
+    // Roots: components whose response function itself changed.  FrameID
+    // changes only restructure the interference sets of messages whose
+    // FrameID falls inside the window the move touched (messages above it
+    // keep every changed message in lf() with identical weight/period;
+    // messages below never saw them).
+    if (invalidation->dyn_geometry_invalidated()) {
+      mark_dyn_from_fid(1);
+    } else if (!invalidation->changed_messages.empty()) {
+      for (const std::uint32_t m : structure->dyn_messages) {
+        const int f = layout.frame_id(static_cast<MessageId>(m));
+        if (f >= invalidation->frame_id_window_min &&
+            f <= invalidation->frame_id_window_max) {
+          mark_msg(m);
+        }
+      }
+    }
+    if (invalidation->schedule_invalidated()) {
+      // The table was rebuilt: FPS groups whose busy profile moved, and ET
+      // successors of TT activities whose table completion moved.
+      for (std::size_t n = 0; n < app.node_count(); ++n) {
+        if (structure->fps_on_node[n].empty()) continue;
+        if (!same_profile(base->schedule.node_profile(n), result.schedule.node_profile(n))) {
+          mark_node_fps(n);
+        }
+      }
+      for (std::uint32_t t = 0; t < n_tasks; ++t) {
+        if (app.tasks()[t].policy != TaskPolicy::Scs) continue;
+        if (base->task_completion[t] == result.task_completion[t]) continue;
+        for (const ActivityRef s :
+             app.successors(ActivityRef::task(static_cast<TaskId>(t)))) {
+          mark_jitter_consumers(s);
+        }
+      }
+      for (std::uint32_t m = 0; m < n_msgs; ++m) {
+        if (app.messages()[m].cls != MessageClass::Static) continue;
+        if (base->message_completion[m] == result.message_completion[m]) continue;
+        for (const ActivityRef s :
+             app.successors(ActivityRef::message(static_cast<MessageId>(m)))) {
+          mark_jitter_consumers(s);
+        }
+      }
+    }
+    while (!work.empty()) {
+      const ActivityRef a = work.back();
+      work.pop_back();
+      for (const ActivityRef s : app.successors(a)) mark_jitter_consumers(s);
+    }
+
+    // Seed everything unaffected with the base's converged values; they are
+    // already at the (unique) least fixed point and are never recomputed.
+    for (std::uint32_t t = 0; t < n_tasks; ++t) {
+      if (app.tasks()[t].policy != TaskPolicy::Fps) continue;
+      if (!task_affected[t]) {
+        result.task_completion[t] = base->task_completion[t];
+        result.task_jitter[t] = base->task_jitter[t];
+      }
+    }
+    for (std::uint32_t m = 0; m < n_msgs; ++m) {
+      if (app.messages()[m].cls != MessageClass::Dynamic) continue;
+      if (!msg_affected[m]) {
+        result.message_completion[m] = base->message_completion[m];
+        result.message_jitter[m] = base->message_jitter[m];
+      }
+    }
+  }
+
+  // ---- holistic fixed point over the affected components -------------------
+  // Dirty tracking is per *component* with its exact jitter read set:
+  //  * FPS task u reads the jitters of same-node tasks j with
+  //    j.priority <= u.priority, plus its own;
+  //  * DYN message m reads its own jitter, the jitters of hp(m) (same
+  //    FrameID, higher priority), and those of lf(m) (lower FrameIDs) —
+  //    where an lf member occupying a single minislot contributes through
+  //    its jitter's *infinity status* only (zero excess otherwise).
+  // A recomputation is skipped exactly when none of the component's read
+  // jitters moved since its last recomputation, so a skip can never change
+  // a value.
+
+  // Mutable copy of the FPS parameter groups (jitter slots are refreshed in
+  // place before each recomputation).
+  std::vector<std::vector<FpsTaskParams>> fps_on_node = structure->fps_on_node;
+  std::vector<char> task_dirty(n_tasks, 0);
+  std::vector<char> dyn_dirty(n_msgs, 0);
+  auto reset_dirty = [&]() {
+    for (std::uint32_t t = 0; t < n_tasks; ++t) {
+      task_dirty[t] = task_affected[t] != 0 && app.tasks()[t].policy == TaskPolicy::Fps;
+    }
+    for (const std::uint32_t m : structure->dyn_messages) dyn_dirty[m] = msg_affected[m];
+  };
+
+  // Reverse read sets, applied on the fly (|DYN| and nodes are small).
+  const auto& messages = app.messages();
+  auto dirty_dyn_readers = [&](std::uint32_t x, bool infinity_flipped) {
+    const int x_fid = layout.frame_id(static_cast<MessageId>(x));
+    const bool x_has_excess = layout.message_minislots(static_cast<MessageId>(x)) > 1;
+    for (const std::uint32_t m : structure->dyn_messages) {
+      if (!msg_affected[m] || dyn_dirty[m]) continue;
+      const int m_fid = layout.frame_id(static_cast<MessageId>(m));
+      const bool reads = m == x ||
+                         (m_fid == x_fid && messages[x].priority < messages[m].priority) ||
+                         (m_fid > x_fid && (x_has_excess || infinity_flipped));
+      if (reads) dyn_dirty[m] = 1;
+    }
+  };
+  auto dirty_fps_readers = [&](std::uint32_t t) {
+    const Task& task = app.tasks()[t];
+    for (const FpsTaskParams& u : fps_on_node[index_of(task.node)]) {
+      if (index_of(u.id) == t || task.priority <= u.priority) {
+        task_dirty[index_of(u.id)] = 1;
+      }
+    }
+  };
+
+  auto completion_of = [&](ActivityRef a) {
+    return a.is_task() ? result.task_completion[a.index] : result.message_completion[a.index];
+  };
+  // Recomputes the jitter of ET activity `a` from the current completions
+  // and marks the components that read it; returns true when it moved.
+  auto update_jitter = [&](ActivityRef a) {
+    Time jitter = a.is_task() ? app.task(a.as_task()).release_offset : 0;
+    for (const ActivityRef p : app.predecessors(a)) {
+      const Time pc = completion_of(p);
+      jitter = is_infinite(pc) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, pc);
+    }
+    auto& slot = a.is_task() ? result.task_jitter[a.index] : result.message_jitter[a.index];
+    if (slot == jitter) return false;
+    const bool infinity_flipped = is_infinite(slot) != is_infinite(jitter);
+    slot = jitter;
+    if (a.is_task()) {
+      dirty_fps_readers(a.index);
+    } else {
+      dirty_dyn_readers(a.index, infinity_flipped);
+    }
+    return true;
+  };
+  auto recompute_fps = [&](std::uint32_t t) {
+    if (counters != nullptr) ++counters->fps_analyses;
+    const std::size_t n = index_of(app.tasks()[t].node);
+    auto& params = fps_on_node[n];
+    const FpsTaskParams* self = nullptr;
+    for (auto& p : params) {
+      p.jitter = result.task_jitter[index_of(p.id)];
+      if (index_of(p.id) == t) self = &p;
+    }
+    const Time r = fps_response_time(*self, params, result.schedule.node_profile(n), horizon);
+    if (result.task_completion[t] == r) return false;
+    result.task_completion[t] = r;
+    return true;
+  };
+  auto recompute_dyn = [&](std::uint32_t m) {
+    if (counters != nullptr) ++counters->dyn_analyses;
+    const DynResponse r = dyn_response_time(layout, static_cast<MessageId>(m),
+                                            result.message_jitter, horizon,
+                                            options.dyn_bound);
+    if (result.message_completion[m] == r.response) return false;
+    result.message_completion[m] = r.response;
+    return true;
+  };
+
+  // ---- stage 1: chaotic relaxation ----------------------------------------
+  // One merged jitter+component pass per sweep, in topological order: a
+  // completion updated early in a sweep feeds the jitters computed later in
+  // the same sweep, so a dependency chain collapses into one sweep instead
+  // of one sweep per hop.  The iteration is monotone from below under any
+  // update order, so it converges to the same least fixed point the
+  // analyze_system (Jacobi) schedule reaches — only *faster*, which is the
+  // point.  When the sweep cap is hit, stage 2 below replays
+  // analyze_system's exact schedule, reproducing its cap pinning bit for
+  // bit (a sweep here dominates a Jacobi sweep pointwise, so hitting the
+  // cap here implies the full path would not have converged either).
+  bool converged = false;
+  reset_dirty();
+  for (int iter = 0; iter < options.max_holistic_iterations && !converged; ++iter) {
+    if (counters != nullptr) ++counters->holistic_iterations;
+    bool active = false;
+    for (const ActivityRef a : app.topological_order()) {
+      if (!is_et(app, a)) continue;
+      const bool affected = a.is_task() ? task_affected[a.index] != 0
+                                        : msg_affected[a.index] != 0;
+      if (!affected) continue;
+      active |= update_jitter(a);
+      if (a.is_task()) {
+        if (!task_dirty[a.index]) {
+          if (counters != nullptr) ++counters->fps_skipped;
+        } else {
+          task_dirty[a.index] = 0;
+          active |= recompute_fps(a.index);
+        }
+      } else {
+        if (!dyn_dirty[a.index]) {
+          if (counters != nullptr) ++counters->dyn_skipped;
+        } else {
+          dyn_dirty[a.index] = 0;
+          active |= recompute_dyn(a.index);
+        }
+      }
+    }
+    converged = !active;
+  }
+
+  // ---- stage 2: trajectory-exact fallback ----------------------------------
+  // Replays analyze_system's Jacobi schedule from scratch (every component
+  // affected), skipping only recomputations whose inputs are unchanged
+  // between sweeps — value- and iteration-trajectory preserving, including
+  // the iteration-cap pinning.
+  if (!converged) {
+    result.task_completion = schedule_component->tt_task_completion;
+    result.message_completion = schedule_component->tt_message_completion;
+    result.task_jitter.assign(n_tasks, 0);
+    result.message_jitter.assign(n_msgs, 0);
+    task_affected.assign(n_tasks, 1);
+    msg_affected.assign(n_msgs, 1);
+    reset_dirty();
+    for (int iter = 0; iter < options.max_holistic_iterations && !converged; ++iter) {
+      if (counters != nullptr) ++counters->holistic_iterations;
+      bool changed = false;
+      // 1. Jitters of every ET activity from last sweep's completions.
+      for (const ActivityRef a : app.topological_order()) {
+        if (is_et(app, a)) changed |= update_jitter(a);
+      }
+      // 2. FPS response times where a read jitter moved.
+      for (std::size_t n = 0; n < app.node_count(); ++n) {
+        for (const FpsTaskParams& p : fps_on_node[n]) {
+          const std::uint32_t t = static_cast<std::uint32_t>(index_of(p.id));
+          if (!task_dirty[t]) {
+            if (counters != nullptr) ++counters->fps_skipped;
+            continue;
+          }
+          task_dirty[t] = 0;
+          changed |= recompute_fps(t);
+        }
+      }
+      // 3. DYN response times where a read jitter moved.
+      for (const std::uint32_t m : structure->dyn_messages) {
+        if (!dyn_dirty[m]) {
+          if (counters != nullptr) ++counters->dyn_skipped;
+          continue;
+        }
+        dyn_dirty[m] = 0;
+        changed |= recompute_dyn(m);
+      }
+      converged = !changed;
+    }
+    if (!converged) {
+      for (std::uint32_t t = 0; t < n_tasks; ++t) {
+        if (app.tasks()[t].policy == TaskPolicy::Fps) {
+          result.task_completion[t] = kTimeInfinity;
+        }
+      }
+      for (std::uint32_t m = 0; m < n_msgs; ++m) {
+        if (app.messages()[m].cls == MessageClass::Dynamic) {
+          result.message_completion[m] = kTimeInfinity;
+        }
+      }
+    }
+  }
+
+  result.converged = converged;
+  result.cost = evaluate_cost(app, result.task_completion, result.message_completion);
+  return result;
+}
+
+}  // namespace flexopt

@@ -9,9 +9,7 @@
 
 namespace flexopt {
 
-Expected<AnalysisResult> analyze_system(const BusLayout& layout,
-                                        const AnalysisOptions& options) {
-  const Application& app = layout.application();
+Expected<Time> analysis_horizon(const Application& app, const AnalysisOptions& options) {
   const auto hp_result = app.hyperperiod();
   if (!hp_result.ok()) return hp_result.error();
   const Time H = hp_result.value();
@@ -22,8 +20,17 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout,
     max_deadline = std::max(max_deadline,
                             app.effective_deadline(ActivityRef::task(static_cast<TaskId>(t))));
   }
-  const Time horizon = std::max(H, max_deadline) * options.horizon_factor;
+  return std::max(H, max_deadline) * options.horizon_factor;
+}
 
+Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisOptions& options,
+                                        AnalysisWorkCounters* counters) {
+  const Application& app = layout.application();
+  const auto horizon_result = analysis_horizon(app, options);
+  if (!horizon_result.ok()) return horizon_result.error();
+  const Time horizon = horizon_result.value();
+
+  if (counters != nullptr) ++counters->schedule_builds;
   auto schedule_result = build_static_schedule(layout, options.scheduler);
   if (!schedule_result.ok()) return schedule_result.error();
 
@@ -71,6 +78,7 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout,
   // is pinned to infinity and the loop stabilises anyway).
   bool converged = false;
   for (int iter = 0; iter < options.max_holistic_iterations && !converged; ++iter) {
+    if (counters != nullptr) ++counters->holistic_iterations;
     bool changed = false;
 
     // 1. Jitters of ET activities from predecessor completions.
@@ -96,6 +104,7 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout,
       for (auto& p : params) p.jitter = result.task_jitter[index_of(p.id)];
       const BusyProfile& profile = result.schedule.node_profile(n);
       for (const auto& p : params) {
+        if (counters != nullptr) ++counters->fps_analyses;
         const Time r = fps_response_time(p, params, profile, horizon);
         if (result.task_completion[index_of(p.id)] != r) {
           result.task_completion[index_of(p.id)] = r;
@@ -107,6 +116,7 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout,
     // 3. DYN message response times on the bus.
     for (std::uint32_t m = 0; m < app.message_count(); ++m) {
       if (app.messages()[m].cls != MessageClass::Dynamic) continue;
+      if (counters != nullptr) ++counters->dyn_analyses;
       const DynResponse r = dyn_response_time(layout, static_cast<MessageId>(m),
                                               result.message_jitter, horizon,
                                               options.dyn_bound);
@@ -136,6 +146,7 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout,
     converged = !changed;
   }
 
+  result.converged = converged;
   if (!converged) {
     // The completions are monotone non-decreasing across iterations, so a
     // non-stabilised value is not a safe upper bound: pin every ET

@@ -17,6 +17,7 @@ template <typename Fn>
 SolveReport run_with_control(CostEvaluator& evaluator, const SolveRequest& request,
                              std::string_view algorithm, Fn&& run) {
   const EvaluatorCacheStats before = evaluator.cache_stats();
+  const EvaluatorWorkStats work_before = evaluator.work_stats();
   SolveControl control(request, evaluator, algorithm);
   SolveReport report;
   report.outcome = run(control);
@@ -24,6 +25,11 @@ SolveReport run_with_control(CostEvaluator& evaluator, const SolveRequest& reque
   const EvaluatorCacheStats after = evaluator.cache_stats();
   report.cache_hits = after.hits - before.hits;
   report.cache_misses = after.misses - before.misses;
+  const EvaluatorWorkStats work_after = evaluator.work_stats();
+  report.delta_evaluations = work_after.delta_evaluations - work_before.delta_evaluations;
+  report.components_recomputed =
+      work_after.analysis.components() - work_before.analysis.components();
+  report.components_reused = work_after.components_reused() - work_before.components_reused();
   return report;
 }
 

@@ -153,4 +153,18 @@ DynBounds dyn_segment_bounds(const Application& app, const BusParams& params, Ti
   return bounds;
 }
 
+StartConfig minimal_start_config(const Application& app, const BusParams& params) {
+  StartConfig start;
+  start.st_senders = st_sender_nodes(app);
+  start.config.frame_id = assign_frame_ids_by_criticality(app, params);
+  start.config.static_slot_count = static_cast<int>(start.st_senders.size());
+  start.config.static_slot_len = min_static_slot_len(app, params);
+  start.config.static_slot_owner = start.st_senders;
+  start.bounds = dyn_segment_bounds(
+      app, params,
+      static_cast<Time>(start.config.static_slot_count) * start.config.static_slot_len);
+  if (start.bounds.feasible()) start.config.minislot_count = start.bounds.min_minislots;
+  return start;
+}
+
 }  // namespace flexopt

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "flexopt/analysis/sat_time.hpp"
+#include "flexopt/core/delta_move.hpp"
 #include "flexopt/core/detail/batch_sweep.hpp"
 #include "flexopt/core/solve_types.hpp"
 #include "flexopt/math/interpolation.hpp"
@@ -18,29 +20,66 @@ int auto_stride(int span, int max_points) {
   return std::max(1, span / std::max(1, max_points - 1));
 }
 
+/// Evaluates `candidate` as a DeltaMove off the previously analysed
+/// configuration, advancing the chain on success.  The shared inner-sweep
+/// primitive of both DYN strategies' delta paths.
+CostEvaluator::Evaluation evaluate_chained(CostEvaluator& evaluator,
+                                           std::optional<BusConfig>& chain_base,
+                                           const BusConfig& candidate) {
+  CostEvaluator::Evaluation eval;
+  if (chain_base.has_value()) {
+    eval = evaluator.evaluate_delta(*chain_base, DeltaMove::between(*chain_base, candidate));
+  } else {
+    eval = evaluator.evaluate(candidate);
+  }
+  if (eval.valid) chain_base = candidate;
+  return eval;
+}
+
 }  // namespace
 
 DynSearchResult ExhaustiveDynSearch::search(CostEvaluator& evaluator, const BusConfig& base,
-                                            int dyn_min, int dyn_max, SolveControl* control) {
+                                            int dyn_min, int dyn_max, SolveControl* control,
+                                            const BusConfig* warm_base) {
   DynSearchResult best;
   const int stride = options_.stride_minislots > 0
                          ? options_.stride_minislots
                          : auto_stride(dyn_max - dyn_min, options_.max_sweep_points);
 
+  auto note = [&](int minislots, const CostEvaluator::Evaluation& eval) {
+    if (eval.valid && eval.cost.value < best.cost.value) {
+      best.cost = eval.cost;
+      best.minislots = minislots;
+      best.exact = true;
+      if (control != nullptr) control->note_best(best.cost);
+    }
+  };
+
+  if (options_.use_delta_evaluation && evaluator.worker_threads() <= 1) {
+    // No pool to fan candidates across: sweep sequentially, each point a
+    // DeltaMove off the previous one (only the DYN-dependent components
+    // are recomputed; results match the batched sweep bit for bit).
+    std::optional<BusConfig> chain_base;
+    if (warm_base != nullptr) chain_base = *warm_base;
+    for (int minislots = dyn_min; minislots <= dyn_max; minislots += stride) {
+      if (control != nullptr && control->should_stop(evaluator)) break;
+      BusConfig candidate = base;
+      candidate.minislot_count = minislots;
+      note(minislots, evaluate_chained(evaluator, chain_base, candidate));
+    }
+    return best;
+  }
+
   detail::batched_minislot_sweep(evaluator, base, dyn_min, dyn_max, stride, control,
                                  [&](int minislots, const CostEvaluator::Evaluation& eval) {
-                                   if (eval.cost.value < best.cost.value) {
-                                     best.cost = eval.cost;
-                                     best.minislots = minislots;
-                                     best.exact = true;
-                                     if (control != nullptr) control->note_best(best.cost);
-                                   }
+                                   note(minislots, eval);
                                  });
   return best;
 }
 
 DynSearchResult CurveFitDynSearch::search(CostEvaluator& evaluator, const BusConfig& base,
-                                          int dyn_min, int dyn_max, SolveControl* control) {
+                                          int dyn_min, int dyn_max, SolveControl* control,
+                                          const BusConfig* warm_base) {
   const Application& app = evaluator.application();
 
   // Completion bounds are fitted in microseconds; unbounded completions are
@@ -60,11 +99,18 @@ DynSearchResult CurveFitDynSearch::search(CostEvaluator& evaluator, const BusCon
   };
   std::map<int, PointData> points;
 
+  // Fig. 8's points are analysed one at a time: chain each off the
+  // previous one so only the DYN-dependent components are recomputed.
+  std::optional<BusConfig> chain_base;
+  if (options_.use_delta_evaluation && warm_base != nullptr) chain_base = *warm_base;
+
   auto analyse_point = [&](int minislots) -> const PointData* {
     if (const auto it = points.find(minislots); it != points.end()) return &it->second;
     BusConfig candidate = base;
     candidate.minislot_count = minislots;
-    const auto eval = evaluator.evaluate(candidate);
+    const auto eval = options_.use_delta_evaluation
+                          ? evaluate_chained(evaluator, chain_base, candidate)
+                          : evaluator.evaluate(candidate);
     if (!eval.valid) return nullptr;
     PointData data;
     data.cost = eval.cost;
@@ -74,8 +120,9 @@ DynSearchResult CurveFitDynSearch::search(CostEvaluator& evaluator, const BusCon
           ActivityRef::task(static_cast<TaskId>(t)), eval.analysis.task_completion[t]));
     }
     for (std::size_t m = 0; m < n_msgs; ++m) {
-      data.completions_us.push_back(completion_to_us(ActivityRef::message(static_cast<MessageId>(m)),
-                                                     eval.analysis.message_completion[m]));
+      data.completions_us.push_back(
+          completion_to_us(ActivityRef::message(static_cast<MessageId>(m)),
+                           eval.analysis.message_completion[m]));
     }
     return &points.emplace(minislots, std::move(data)).first->second;
   };

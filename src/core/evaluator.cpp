@@ -1,7 +1,9 @@
 #include "flexopt/core/evaluator.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <thread>
+#include <utility>
 
 namespace flexopt {
 
@@ -40,7 +42,13 @@ CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
     return out;
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
-  auto analysis = analyze_system(layout.value(), options_);
+  AnalysisWorkCounters counters;
+  auto analysis = analyze_system(layout.value(), options_, &counters);
+  add_work(counters);
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    ++work_.full_evaluations;
+  }
   if (!analysis.ok()) {
     out.error = analysis.error().message;
     return out;
@@ -51,29 +59,113 @@ CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
   return out;
 }
 
+std::shared_ptr<const CostEvaluator::Evaluation> CostEvaluator::cached(
+    const BusConfig& config) {
+  if (!evaluator_options_.cache_enabled) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(config);
+  return it != cache_.end() ? it->second : nullptr;
+}
+
+void CostEvaluator::insert_cache(const BusConfig& config,
+                                 std::shared_ptr<const Evaluation> entry) {
+  if (!evaluator_options_.cache_enabled) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_.size() < evaluator_options_.max_cache_entries) {
+    cache_.emplace(config, std::move(entry));
+  }
+}
+
+void CostEvaluator::add_work(const AnalysisWorkCounters& counters) {
+  std::lock_guard<std::mutex> lock(work_mutex_);
+  work_.analysis += counters;
+}
+
 CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
   if (!evaluator_options_.cache_enabled) return analyze(config);
 
-  std::shared_ptr<const Evaluation> hit;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (const auto it = cache_.find(config); it != cache_.end()) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      hit = it->second;  // entries are immutable: copy outside the lock
-    }
+  if (const auto hit = cached(config)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
   }
-  if (hit) return *hit;
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   // Concurrent misses of the same configuration analyse redundantly but
   // converge on identical values (the analysis is deterministic), so no
   // per-key coordination is needed.
   auto entry = std::make_shared<const Evaluation>(analyze(config));
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_.size() < evaluator_options_.max_cache_entries) {
-      cache_.emplace(config, entry);
-    }
+  insert_cache(config, entry);
+  return *entry;
+}
+
+CostEvaluator::Evaluation CostEvaluator::analyze_delta(
+    const std::shared_ptr<const Evaluation>& base_eval, const DeltaMove& move) {
+  Evaluation out;
+  auto layout = BusLayout::build(*app_, params_, move.config);
+  if (!layout.ok()) {
+    out.error = layout.error().message;
+    return out;
   }
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  // Seed from the base's fixed point only when it is a converged analysis
+  // of the configuration the move diffs against.
+  const AnalysisResult* base_analysis = nullptr;
+  if (base_eval && base_eval->valid && base_eval->analysis.converged) {
+    base_analysis = &base_eval->analysis;
+  }
+  const AnalysisInvalidation invalidation = move.invalidation();
+  AnalysisWorkCounters counters;
+  auto analysis = analyze_system_incremental(layout.value(), options_, components_, &counters,
+                                             base_analysis, &invalidation);
+  add_work(counters);
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    ++work_.delta_evaluations;
+    if (base_analysis != nullptr) ++work_.delta_seeded;
+  }
+  if (!analysis.ok()) {
+    out.error = analysis.error().message;
+    return out;
+  }
+  out.valid = true;
+  out.analysis = std::move(analysis).value();
+  out.cost = out.analysis.cost;
+
+#ifndef NDEBUG
+  // Debug builds cross-check the delta result against the always-correct
+  // full path, bit for bit.  (analyze_system is called directly so the
+  // verification does not perturb the evaluator's counters.)  The one
+  // tolerated asymmetry: when the full path's holistic iteration cap
+  // truncates a convergent system (never observed in the test
+  // populations), the delta schedule may reach the exact fixed point the
+  // cap pinned away — a strictly tighter sound bound (see incremental.hpp).
+  auto full = analyze_system(layout.value(), options_);
+  assert(full.ok() == out.valid);
+  if (full.ok() && !(out.analysis.converged && !full.value().converged)) {
+    const AnalysisResult& reference = full.value();
+    assert(out.analysis.converged == reference.converged);
+    assert(out.analysis.task_completion == reference.task_completion);
+    assert(out.analysis.message_completion == reference.message_completion);
+    assert(out.analysis.task_jitter == reference.task_jitter);
+    assert(out.analysis.message_jitter == reference.message_jitter);
+    assert(out.cost.value == reference.cost.value);
+    assert(out.cost.schedulable == reference.cost.schedulable);
+    assert(out.cost.unbounded_activities == reference.cost.unbounded_activities);
+  }
+#endif
+  return out;
+}
+
+CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
+                                                        const DeltaMove& move) {
+  if (const auto hit = cached(move.config)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
+  }
+  if (evaluator_options_.cache_enabled) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto entry = std::make_shared<const Evaluation>(analyze_delta(cached(base), move));
+  insert_cache(move.config, entry);
   return *entry;
 }
 
@@ -160,6 +252,11 @@ std::vector<CostEvaluator::Evaluation> CostEvaluator::evaluate_many(
   return out;
 }
 
+EvaluatorWorkStats CostEvaluator::work_stats() const {
+  std::lock_guard<std::mutex> lock(work_mutex_);
+  return work_;
+}
+
 EvaluatorCacheStats CostEvaluator::cache_stats() const {
   EvaluatorCacheStats stats;
   stats.hits = cache_hits_.load(std::memory_order_relaxed);
@@ -170,8 +267,11 @@ EvaluatorCacheStats CostEvaluator::cache_stats() const {
 }
 
 void CostEvaluator::clear_cache() {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.clear();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.clear();
+  }
+  components_.clear();
 }
 
 }  // namespace flexopt

@@ -54,4 +54,16 @@ struct DynBounds {
 };
 DynBounds dyn_segment_bounds(const Application& app, const BusParams& params, Time st_len);
 
+/// The per-sender minimal starting point every neighbourhood walk seeds
+/// from (SA's annealer, bench_delta_eval, the delta property tests):
+/// criticality FrameIDs, one minimal-length ST slot per ST sender, and
+/// `bounds.min_minislots` as the DYN length when the bounds are feasible
+/// (minislot_count is left 0 otherwise; check `bounds.feasible()`).
+struct StartConfig {
+  BusConfig config;
+  std::vector<NodeId> st_senders;
+  DynBounds bounds;
+};
+StartConfig minimal_start_config(const Application& app, const BusParams& params);
+
 }  // namespace flexopt

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file delta_move.hpp
+/// Description of one neighbour mutation in terms of the decision
+/// variables it changed.  Optimisers that walk the configuration space one
+/// move at a time (SA's neighbour loop, the OBC DYN-length sweeps) build a
+/// DeltaMove instead of handing the evaluator an opaque BusConfig, so
+/// CostEvaluator::evaluate_delta can reuse every analysis component the
+/// move did not invalidate.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "flexopt/analysis/incremental.hpp"
+#include "flexopt/flexray/bus_config.hpp"
+
+namespace flexopt {
+
+/// The neighbour configuration plus which decision variables differ from
+/// the base it was derived from.  Build one with DeltaMove::between — the
+/// flags are a diff, not a declaration, so they can never understate what
+/// changed.
+struct DeltaMove {
+  /// The post-move configuration.
+  BusConfig config;
+
+  bool st_slot_count_changed = false;
+  bool st_slot_len_changed = false;
+  bool st_owner_changed = false;
+  bool minislot_count_changed = false;
+  /// MessageId indices whose FrameID differs between base and `config`.
+  std::vector<std::uint32_t> frame_id_changed;
+  /// FrameID window [min, max] spanned by the changed messages' base and
+  /// new FrameIDs ([INT_MAX, INT_MIN] when no FrameID changed); the
+  /// interference sets of messages outside it are untouched by the move.
+  int frame_id_window_min = std::numeric_limits<int>::max();
+  int frame_id_window_max = std::numeric_limits<int>::min();
+
+  /// Diffs `next` against `base` (the configuration the move mutated).
+  [[nodiscard]] static DeltaMove between(const BusConfig& base, BusConfig next);
+
+  [[nodiscard]] bool any_change() const {
+    return st_slot_count_changed || st_slot_len_changed || st_owner_changed ||
+           minislot_count_changed || !frame_id_changed.empty();
+  }
+  /// The analysis-layer view of this move.
+  [[nodiscard]] AnalysisInvalidation invalidation() const;
+};
+
+}  // namespace flexopt

@@ -29,11 +29,15 @@ struct DynSearchResult {
 /// for `base` (a BusConfig with the ST segment and FrameIDs already fixed;
 /// minislot_count is overwritten by the search).  `control` (nullable)
 /// enforces SolveRequest budgets at the strategy's cancellation points.
+/// `warm_base` (nullable) is a configuration the evaluator has already
+/// analysed — typically the previous ST point of the OBC outer loop — that
+/// delta-capable strategies use as the base of their first DeltaMove.
 class DynSegmentStrategy {
  public:
   virtual ~DynSegmentStrategy() = default;
   virtual DynSearchResult search(CostEvaluator& evaluator, const BusConfig& base, int dyn_min,
-                                 int dyn_max, SolveControl* control = nullptr) = 0;
+                                 int dyn_max, SolveControl* control = nullptr,
+                                 const BusConfig* warm_base = nullptr) = 0;
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
@@ -41,6 +45,11 @@ struct ExhaustiveDynOptions {
   /// Candidate stride in minislots; 0 = auto from max_sweep_points.
   int stride_minislots = 0;
   int max_sweep_points = 96;
+  /// Sweep sequentially with CostEvaluator::evaluate_delta when the
+  /// evaluator has no worker pool to fan candidates across (results are
+  /// bit-identical either way; the parallel batch wins wall-clock when
+  /// threads are available, the delta path recomputes fewer components).
+  bool use_delta_evaluation = true;
 };
 
 /// Full analysis at every candidate length (OBC-EE).  Candidates are fanned
@@ -50,7 +59,8 @@ class ExhaustiveDynSearch final : public DynSegmentStrategy {
  public:
   explicit ExhaustiveDynSearch(ExhaustiveDynOptions options = {}) : options_(options) {}
   DynSearchResult search(CostEvaluator& evaluator, const BusConfig& base, int dyn_min,
-                         int dyn_max, SolveControl* control = nullptr) override;
+                         int dyn_max, SolveControl* control = nullptr,
+                         const BusConfig* warm_base = nullptr) override;
   [[nodiscard]] const char* name() const override { return "exhaustive"; }
 
  private:
@@ -66,13 +76,17 @@ struct CurveFitDynOptions {
   /// Candidate grid stride; 0 = auto from max_candidates.
   int stride_minislots = 0;
   int max_candidates = 128;
+  /// Analyse points through CostEvaluator::evaluate_delta, chaining each
+  /// point off the previously analysed one (bit-identical results).
+  bool use_delta_evaluation = true;
 };
 
 class CurveFitDynSearch final : public DynSegmentStrategy {
  public:
   explicit CurveFitDynSearch(CurveFitDynOptions options = {}) : options_(options) {}
   DynSearchResult search(CostEvaluator& evaluator, const BusConfig& base, int dyn_min,
-                         int dyn_max, SolveControl* control = nullptr) override;
+                         int dyn_max, SolveControl* control = nullptr,
+                         const BusConfig* warm_base = nullptr) override;
   [[nodiscard]] const char* name() const override { return "curve-fit"; }
 
  private:

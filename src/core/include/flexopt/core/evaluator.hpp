@@ -22,7 +22,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flexopt/analysis/incremental.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/core/delta_move.hpp"
 #include "flexopt/flexray/bus_config.hpp"
 #include "flexopt/flexray/params.hpp"
 
@@ -58,6 +60,19 @@ struct EvaluatorCacheStats {
   std::size_t entries = 0;
 };
 
+/// Work accounting across full and delta evaluations (monotonic over the
+/// evaluator's lifetime).  `analysis.components()` is the recomputed-work
+/// metric the perf-smoke CI gate compares between the two paths.
+struct EvaluatorWorkStats {
+  AnalysisWorkCounters analysis;
+  std::uint64_t full_evaluations = 0;   ///< evaluate() analyses (cache misses)
+  std::uint64_t delta_evaluations = 0;  ///< evaluate_delta() analyses
+  std::uint64_t delta_seeded = 0;       ///< delta analyses seeded from a converged base
+  std::uint64_t components_reused() const {
+    return analysis.schedule_reuses + analysis.fps_skipped + analysis.dyn_skipped;
+  }
+};
+
 class CostEvaluator {
  public:
   /// Shares ownership of `app`: the evaluator (and every Evaluation it
@@ -81,6 +96,15 @@ class CostEvaluator {
   /// Full scheduling + schedulability analysis of one candidate (served
   /// from the cache when the configuration was seen before).  Thread-safe.
   Evaluation evaluate(const BusConfig& config);
+
+  /// Incremental analysis of a neighbour: evaluates `move.config`
+  /// recomputing only the analysis components the move invalidated,
+  /// reusing the rest from the component caches and (when `base` is a
+  /// cached, converged evaluation) from the base's fixed point.  The
+  /// result is bit-identical to evaluate(move.config) — asserted against
+  /// the full path in Debug builds — and is entered into the same
+  /// configuration cache.  Thread-safe.
+  Evaluation evaluate_delta(const BusConfig& base, const DeltaMove& move);
 
   /// Evaluates a batch of candidates on the worker pool; results are in
   /// input order and identical to calling evaluate() serially.  The pool
@@ -109,11 +133,19 @@ class CostEvaluator {
   [[nodiscard]] int worker_threads() const;
 
   [[nodiscard]] EvaluatorCacheStats cache_stats() const;
+  [[nodiscard]] EvaluatorWorkStats work_stats() const;
   void clear_cache();
 
  private:
   /// The uncached path: BusLayout::build + analyze_system + Eq. 5.
   Evaluation analyze(const BusConfig& config);
+  /// The uncached delta path: BusLayout::build + analyze_system_incremental.
+  Evaluation analyze_delta(const std::shared_ptr<const Evaluation>& base_eval,
+                           const DeltaMove& move);
+  /// Cache lookup only (no analysis on miss); nullptr when absent.
+  std::shared_ptr<const Evaluation> cached(const BusConfig& config);
+  void insert_cache(const BusConfig& config, std::shared_ptr<const Evaluation> entry);
+  void add_work(const AnalysisWorkCounters& counters);
 
   struct ConfigHash {
     std::size_t operator()(const BusConfig& config) const { return hash_config(config); }
@@ -142,6 +174,10 @@ class CostEvaluator {
   std::atomic<std::uint64_t> cache_misses_{0};
   mutable std::mutex cache_mutex_;
   std::unordered_map<BusConfig, std::shared_ptr<const Evaluation>, ConfigHash> cache_;
+
+  AnalysisComponentCache components_;
+  mutable std::mutex work_mutex_;
+  EvaluatorWorkStats work_;  // guarded by work_mutex_
 
   std::mutex pool_mutex_;
   std::condition_variable pool_wake_;  ///< workers: a new batch was posted

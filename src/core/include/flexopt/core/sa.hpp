@@ -9,8 +9,10 @@
 /// measured against in Fig. 9.
 
 #include <cstdint>
+#include <vector>
 
 #include "flexopt/core/evaluator.hpp"
+#include "flexopt/util/rng.hpp"
 
 namespace flexopt {
 
@@ -28,7 +30,21 @@ struct SaOptions {
   /// Keep annealing after the first schedulable solution to minimise f2
   /// (the paper optimises the cost function, not mere feasibility).
   bool stop_at_first_feasible = false;
+  /// Evaluate neighbours through CostEvaluator::evaluate_delta (recompute
+  /// only the analysis components the move invalidated).  Results are
+  /// bit-identical to the full path; false forces full evaluations (the
+  /// bench_delta_eval baseline).
+  bool use_delta_evaluation = true;
 };
+
+/// Mutates `config` in place with one random SA neighbourhood move (+-ST
+/// slot, +-slot length, +-DYN length, slot reassignment, FrameID swap/move);
+/// returns false when the drawn move is inapplicable (caller re-rolls).
+/// Exposed for bench_delta_eval and the delta property tests, which replay
+/// SA's exact move distribution.
+bool random_neighbour_move(BusConfig& config, const Application& app, const BusParams& params,
+                           Rng& rng, const std::vector<NodeId>& st_senders, int dyn_min,
+                           int dyn_max);
 
 /// Runs simulated annealing.  `control` (optional) adds SolveRequest
 /// budgets / cancellation on top of the SaOptions evaluation budget.

@@ -73,6 +73,13 @@ struct SolveReport {
   /// Cache hits/misses incurred by this solve (deltas, not totals).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Incremental-evaluation accounting for this solve (deltas, not
+  /// totals): analyses served by evaluate_delta, and how many analysis
+  /// components (schedule builds + FPS/DYN recurrences) were recomputed
+  /// vs reused from the component caches / skipped as unchanged.
+  std::uint64_t delta_evaluations = 0;
+  std::uint64_t components_recomputed = 0;
+  std::uint64_t components_reused = 0;
 };
 
 /// Polled by algorithm implementations at their cancellation points.  A

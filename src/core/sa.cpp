@@ -12,12 +12,10 @@
 #include "flexopt/util/rng.hpp"
 
 namespace flexopt {
-namespace {
 
-/// Mutates `config` in place with one random neighbourhood move; returns
-/// false when the chosen move is inapplicable (caller re-rolls).
-bool random_move(BusConfig& config, const Application& app, const BusParams& params, Rng& rng,
-                 const std::vector<NodeId>& st_senders, int dyn_min, int dyn_max) {
+bool random_neighbour_move(BusConfig& config, const Application& app, const BusParams& params,
+                           Rng& rng, const std::vector<NodeId>& st_senders, int dyn_min,
+                           int dyn_max) {
   const Time payload_step = SpecLimits::kPayloadStepBits * params.gd_bit;
   const Time len_min = min_static_slot_len(app, params);
   const Time len_max = SpecLimits::kMaxStaticSlotMacroticks * params.gd_macrotick;
@@ -86,8 +84,6 @@ bool random_move(BusConfig& config, const Application& app, const BusParams& par
   }
 }
 
-}  // namespace
-
 OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& options,
                                 SolveControl* control) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -104,15 +100,11 @@ OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& optio
   // and FrameIDs around it.  The seeding evaluations count against the
   // budget, and SA keeps the best-ever solution, so it never reports worse
   // than the basic configuration.
-  const std::vector<NodeId> senders = st_sender_nodes(app);
-  BusConfig current;
-  current.frame_id = assign_frame_ids_by_criticality(app, params);
-  current.static_slot_count = static_cast<int>(senders.size());
-  current.static_slot_len = min_static_slot_len(app, params);
-  current.static_slot_owner = senders;
-  const Time st_len = static_cast<Time>(current.static_slot_count) * current.static_slot_len;
-  const DynBounds bounds = dyn_segment_bounds(app, params, st_len);
+  const StartConfig start = minimal_start_config(app, params);
+  const std::vector<NodeId>& senders = start.st_senders;
+  const DynBounds& bounds = start.bounds;
   if (!bounds.feasible()) return outcome;
+  BusConfig current = start.config;
 
   BbcOptions seed_options;
   seed_options.max_sweep_points =
@@ -160,16 +152,21 @@ OptimizationOutcome optimize_sa(CostEvaluator& evaluator, const SaOptions& optio
       BusConfig neighbour = current;
       bool moved = false;
       for (int attempt = 0; attempt < 8 && !moved; ++attempt) {
-        moved = random_move(neighbour, app, params, rng, senders, bounds.min_minislots,
-                            SpecLimits::kMaxMinislots);
+        moved = random_neighbour_move(neighbour, app, params, rng, senders,
+                                      bounds.min_minislots, SpecLimits::kMaxMinislots);
       }
       if (!moved) continue;
 
-      const auto eval = evaluator.evaluate(neighbour);
+      // The move touched one or two decision variables: the delta path
+      // reuses every analysis component of `current` it did not invalidate
+      // (bit-identical to the full evaluation either way).
+      DeltaMove move = DeltaMove::between(current, std::move(neighbour));
+      const auto eval = options.use_delta_evaluation ? evaluator.evaluate_delta(current, move)
+                                                     : evaluator.evaluate(move.config);
       const double cost = eval.valid ? eval.cost.value : kInvalidConfigCost;
       const double delta = cost - current_cost;
       if (delta <= 0.0 || rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature)) {
-        current = std::move(neighbour);
+        current = std::move(move.config);
         current_cost = cost;
       }
       if (eval.valid && eval.cost.value < outcome.cost.value) {

@@ -27,13 +27,17 @@ Expected<BusLayout> BusLayout::build(const Application& app, const BusParams& pa
     return make_error("BusLayout: minislot count outside [0, 7994]");
   }
   if (config.static_slot_count > 0) {
-    if (config.static_slot_len <= 0) return make_error("BusLayout: non-positive static slot length");
+    if (config.static_slot_len <= 0) {
+      return make_error("BusLayout: non-positive static slot length");
+    }
     if (config.static_slot_len > SpecLimits::kMaxStaticSlotMacroticks * params.gd_macrotick) {
       return make_error("BusLayout: static slot longer than 661 macroticks");
     }
   }
   for (const NodeId owner : config.static_slot_owner) {
-    if (index_of(owner) >= app.node_count()) return make_error("BusLayout: slot owned by unknown node");
+    if (index_of(owner) >= app.node_count()) {
+      return make_error("BusLayout: slot owned by unknown node");
+    }
   }
 
   BusLayout layout(app, params, std::move(config));

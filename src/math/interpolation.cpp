@@ -38,7 +38,8 @@ Expected<PiecewiseLinear> PiecewiseLinear::fit(std::vector<double> xs, std::vect
   if (xs.empty()) return make_error("PiecewiseLinear: no samples");
   std::vector<std::size_t> order(xs.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
   PiecewiseLinear out;
   out.xs_.reserve(xs.size());
   out.ys_.reserve(xs.size());

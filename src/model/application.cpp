@@ -86,9 +86,15 @@ Expected<bool> Application::finalize() {
   }
   for (const auto& t : tasks_) {
     if (t.wcet <= 0) return make_error("task '" + t.name + "' has non-positive WCET");
-    if (t.release_offset < 0) return make_error("task '" + t.name + "' has negative release offset");
-    if (index_of(t.node) >= nodes_.size()) return make_error("task '" + t.name + "' mapped to unknown node");
-    if (index_of(t.graph) >= graphs_.size()) return make_error("task '" + t.name + "' in unknown graph");
+    if (t.release_offset < 0) {
+      return make_error("task '" + t.name + "' has negative release offset");
+    }
+    if (index_of(t.node) >= nodes_.size()) {
+      return make_error("task '" + t.name + "' mapped to unknown node");
+    }
+    if (index_of(t.graph) >= graphs_.size()) {
+      return make_error("task '" + t.name + "' in unknown graph");
+    }
   }
   for (const auto& m : messages_) {
     if (m.size_bytes <= 0) return make_error("message '" + m.name + "' has non-positive size");
@@ -98,15 +104,15 @@ Expected<bool> Application::finalize() {
     const Task& snd = tasks_[index_of(m.sender)];
     const Task& rcv = tasks_[index_of(m.receiver)];
     if (snd.node == rcv.node) {
-      return make_error("message '" + m.name +
-                        "' connects tasks on the same node (intra-node comms are part of the WCET)");
+      return make_error("message '" + m.name + "' connects tasks on the same node " +
+                        "(intra-node comms are part of the WCET)");
     }
     if (snd.graph != m.graph || rcv.graph != m.graph) {
       return make_error("message '" + m.name + "' crosses task graphs");
     }
     if (m.cls == MessageClass::Static && snd.policy != TaskPolicy::Scs) {
-      return make_error("ST message '" + m.name +
-                        "' must be produced by an SCS task (its slot is fixed in the schedule table)");
+      return make_error("ST message '" + m.name + "' must be produced by an SCS task " +
+                        "(its slot is fixed in the schedule table)");
     }
   }
   for (const auto& [from, to] : task_deps_) {

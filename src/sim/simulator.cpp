@@ -136,7 +136,8 @@ Expected<SimResult> simulate(const BusLayout& layout, const StaticSchedule& sche
     for (int j = 0; j < options.hyperperiods; ++j) {
       const Time shift = static_cast<Time>(j) * H;
       for (const ScheduledTask& e : schedule.task_entries(static_cast<TaskId>(t))) {
-        const std::size_t job = static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
+        const std::size_t job =
+            static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
         push(Event{e.start + shift, EventType::ScsStart, 0, node, job, 0,
                    static_cast<std::int64_t>(t)});
         push(Event{e.finish + shift, EventType::ScsFinish, 0, node, job, 0,
@@ -162,7 +163,8 @@ Expected<SimResult> simulate(const BusLayout& layout, const StaticSchedule& sche
     for (int j = 0; j < options.hyperperiods; ++j) {
       const Time shift = static_cast<Time>(j) * H;
       for (const ScheduledMessage& e : schedule.message_entries(static_cast<MessageId>(m))) {
-        const std::size_t job = static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
+        const std::size_t job =
+            static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
         if (job >= msg_jobs[m].size()) continue;
         st_replay[m][job] = StReplay{e.start + shift, e.finish + shift,
                                      e.cycle + shift / cycle_len, e.slot};

@@ -30,15 +30,21 @@ std::string concat(Args&&... args) {
 
 template <typename... Args>
 void log_debug(Args&&... args) {
-  if (log_level() <= LogLevel::Debug) log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+  if (log_level() <= LogLevel::Debug) {
+    log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+  }
 }
 template <typename... Args>
 void log_info(Args&&... args) {
-  if (log_level() <= LogLevel::Info) log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+  if (log_level() <= LogLevel::Info) {
+    log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+  }
 }
 template <typename... Args>
 void log_warn(Args&&... args) {
-  if (log_level() <= LogLevel::Warn) log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+  if (log_level() <= LogLevel::Warn) {
+    log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+  }
 }
 
 }  // namespace flexopt

@@ -33,7 +33,9 @@ void Table::print(std::ostream& os) const {
 
   emit(header_);
   std::size_t total = 0;
-  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
   os << std::string(total, '-') << '\n';
   for (const auto& row : rows_) emit(row);
 }

@@ -60,10 +60,10 @@ TEST(HolisticRegression, InterleavedFrameIdsAcrossGraphsConverge) {
                                    TaskPolicy::Fps, prio_base + 1);
     const TaskId t2 = app.add_task(g, std::string(prefix) + "2", first, timeunits::us(10),
                                    TaskPolicy::Fps, prio_base + 2);
-    const MessageId ma =
-        app.add_message(g, std::string(prefix) + "ma", t0, t1, 8, MessageClass::Dynamic, prio_base);
-    const MessageId mb =
-        app.add_message(g, std::string(prefix) + "mb", t1, t2, 8, MessageClass::Dynamic, prio_base);
+    const MessageId ma = app.add_message(g, std::string(prefix) + "ma", t0, t1, 8,
+                                         MessageClass::Dynamic, prio_base);
+    const MessageId mb = app.add_message(g, std::string(prefix) + "mb", t1, t2, 8,
+                                         MessageClass::Dynamic, prio_base);
     return std::pair{ma, mb};
   };
   const auto [a1, b1] = chain(g1, "x", n0, n1, 0);

@@ -194,6 +194,11 @@ int solve_main(int argc, char** argv) {
             << fmt_double(outcome.cost.value, 1) << " us, " << outcome.evaluations
             << " analyses in " << fmt_double(outcome.wall_seconds, 3) << " s ("
             << to_string(report.status) << ", " << report.cache_hits << " cache hits)\n";
+  if (report.delta_evaluations > 0) {
+    std::cout << "incremental: " << report.delta_evaluations << " delta analyses, "
+              << report.components_recomputed << " components recomputed, "
+              << report.components_reused << " reused\n";
+  }
   if (outcome.cost.value >= kInvalidConfigCost) {
     std::cerr << "no analysable configuration found\n";
     return 1;
