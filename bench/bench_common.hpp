@@ -83,6 +83,8 @@ struct AlgorithmResult {
   bool ran = false;
   SolveStatus status = SolveStatus::Complete;
   std::uint64_t cache_hits = 0;
+  /// Winning member id of a "portfolio" run; empty otherwise.
+  std::string winner;
 };
 
 /// Creates the named optimizer with `params` and solves on a fresh
@@ -96,7 +98,7 @@ inline AlgorithmResult run_algorithm(const std::string& name, const Application&
   if (!optimizer.ok()) throw std::runtime_error(optimizer.error().message);
   CostEvaluator evaluator(app, params, optimizer_analysis_options());
   const SolveReport report = optimizer.value()->solve(evaluator, request);
-  return {report.outcome, true, report.status, report.cache_hits};
+  return {report.outcome, true, report.status, report.cache_hits, report.winner};
 }
 
 inline AlgorithmResult run_bbc(const Application& app, const BusParams& params) {

@@ -2,22 +2,12 @@
 
 #include <cmath>
 
+#include "flexopt/util/seed_mix.hpp"
+
 namespace flexopt {
-namespace {
-
-/// splitmix64 finalizer — decorrelates consecutive indices into
-/// independent-looking generator seeds.
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
-  return splitmix64(base_seed ^ splitmix64(static_cast<std::uint64_t>(index)));
+  return derive_seed(base_seed, static_cast<std::uint64_t>(index));
 }
 
 Expected<std::vector<ScenarioPlan>> expand_grid(const CampaignSpec& spec) {

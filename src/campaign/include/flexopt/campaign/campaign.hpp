@@ -64,7 +64,13 @@ struct CampaignSpec {
 
   // --- solving -----------------------------------------------------------
   /// OptimizerRegistry names, each run on every scenario (default params).
+  /// "portfolio" composes the members below.
   std::vector<std::string> algorithms{"obc-cf"};
+  /// Member list for "portfolio" runs (empty = PortfolioSpec's default).
+  /// The member-level worker budget comes from CampaignOptions::threads:
+  /// the runner splits it between scenario-level and member-level
+  /// parallelism so a campaign never oversubscribes the machine.
+  std::vector<std::string> portfolio_members;
   /// Per-solve budgets (0 = unlimited).  A wall-clock budget trades the
   /// determinism contract for bounded runtime.
   long max_evaluations = 0;
@@ -100,6 +106,8 @@ struct AlgorithmRun {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   SolveStatus status = SolveStatus::Complete;
+  /// Winning member id of a "portfolio" run ("sa#2"); empty otherwise.
+  std::string portfolio_winner;
   /// Wall-clock of this solve; non-deterministic, excluded from summaries
   /// unless timing output is requested.
   double wall_seconds = 0.0;

@@ -22,6 +22,7 @@
 ///   deadline_factor <float>
 ///   seed <uint64>
 ///   algorithms <registry-name>...
+///   portfolio_members <member>...      # e.g. 4xsa obc-ee (for "portfolio")
 ///   budget <max-evaluations-per-solve>
 ///   time_limit <seconds-per-solve>
 ///

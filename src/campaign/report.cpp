@@ -138,7 +138,7 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
   std::ostringstream out;
   out << "scenario,seed,nodes,topology,traffic,node_util_lo,node_util_hi,bus_util_lo,"
          "bus_util_hi,tasks,messages,graphs,bus_util_realized,algorithm,feasible,cost,"
-         "evaluations,status,cache_hits,cache_misses";
+         "evaluations,status,cache_hits,cache_misses,winner";
   if (include_timing) out << ",wall_seconds";
   out << "\n";
   for (const ScenarioRecord& record : result.scenarios) {
@@ -150,7 +150,7 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
            << json_double(plan.node_util.hi) << ',' << json_double(plan.bus_util.lo) << ','
            << json_double(plan.bus_util.hi);
     if (!record.generated) {
-      out << prefix.str() << ",0,0,0,0,-,0,,0,generation-error,0,0";
+      out << prefix.str() << ",0,0,0,0,-,0,,0,generation-error,0,0,";
       if (include_timing) out << ",0";
       out << "\n";
       continue;
@@ -160,7 +160,7 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
           << record.graph_count << ',' << json_double(record.bus_util_realized) << ','
           << run.algorithm << ',' << (run.feasible ? 1 : 0) << ',' << json_double(run.cost)
           << ',' << run.evaluations << ',' << to_string(run.status) << ',' << run.cache_hits
-          << ',' << run.cache_misses;
+          << ',' << run.cache_misses << ',' << run.portfolio_winner;
       if (include_timing) out << ',' << json_double(run.wall_seconds);
       out << "\n";
     }

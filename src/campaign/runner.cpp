@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "flexopt/core/portfolio.hpp"
+
 namespace flexopt {
 namespace {
 
@@ -24,6 +26,32 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
     }
   }
   if (options.threads < 0) return make_error("campaign: threads must be >= 0");
+
+  // Shared thread budget: scenario-level workers get first claim on the
+  // budget; whatever is left over per worker goes to member-level
+  // parallelism inside "portfolio" solves.  On wide grids that means
+  // portfolios run their members serially (scenario parallelism already
+  // saturates the machine); on narrow grids with many threads the members
+  // race.  Neither split changes any record (see the determinism
+  // contracts of CampaignRunner and PortfolioOptimizer).
+  const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t budget =
+      options.threads > 0 ? static_cast<std::size_t>(options.threads) : hardware;
+  const std::size_t scenario_threads =
+      std::min(budget, std::max<std::size_t>(1, plans.value().size()));
+  const int portfolio_jobs =
+      static_cast<int>(std::max<std::size_t>(1, budget / scenario_threads));
+
+  PortfolioSpec portfolio_params;
+  if (!spec_.portfolio_members.empty()) portfolio_params.members = spec_.portfolio_members;
+  portfolio_params.jobs = portfolio_jobs;
+  const bool uses_portfolio =
+      std::find_if(spec_.algorithms.begin(), spec_.algorithms.end(), is_portfolio_algorithm) !=
+      spec_.algorithms.end();
+  if (uses_portfolio) {  // validate the member list up front — spec-level, like algorithms
+    auto probe = OptimizerRegistry::create("portfolio", portfolio_params);
+    if (!probe.ok()) return probe.error();
+  }
 
   const auto started = std::chrono::steady_clock::now();
   CampaignResult result;
@@ -61,7 +89,9 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
         auto shared_app = std::make_shared<const Application>(std::move(app.value()));
         record.runs.reserve(spec_.algorithms.size());
         for (const std::string& name : spec_.algorithms) {
-          auto optimizer = OptimizerRegistry::create(name);
+          auto optimizer = is_portfolio_algorithm(name)
+                               ? OptimizerRegistry::create(name, portfolio_params)
+                               : OptimizerRegistry::create(name);
           if (!optimizer.ok()) {  // registered names were checked above
             record.error = optimizer.error().message;
             continue;
@@ -87,6 +117,7 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           run.cache_hits = report.cache_hits;
           run.cache_misses = report.cache_misses;
           run.status = report.status;
+          run.portfolio_winner = report.winner;
           run.wall_seconds = report.outcome.wall_seconds;
           record.runs.push_back(std::move(run));
         }
@@ -99,10 +130,7 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
     }
   };
 
-  const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
-  std::size_t threads = options.threads > 0 ? static_cast<std::size_t>(options.threads)
-                                            : hardware;
-  threads = std::min(threads, plans.value().size());
+  std::size_t threads = std::min(scenario_threads, plans.value().size());
   if (threads <= 1) {
     worker();
   } else {

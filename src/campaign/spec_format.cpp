@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "flexopt/core/portfolio.hpp"
 #include "flexopt/io/system_format.hpp"
 
 namespace flexopt {
@@ -104,7 +105,7 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
     const bool is_axis = keyword == "nodes" || keyword == "topology" || keyword == "traffic" ||
                          keyword == "node_util" || keyword == "bus_util" ||
                          keyword == "periods" || keyword == "message_bytes" ||
-                         keyword == "algorithms";
+                         keyword == "algorithms" || keyword == "portfolio_members";
     if (!is_axis && values.size() > 1) {
       return line_error(line_no, "'" + keyword + "' takes a single value");
     }
@@ -197,6 +198,18 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
       if (!algorithms_set) spec.algorithms.clear();
       algorithms_set = true;
       for (const std::string& v : values) spec.algorithms.push_back(v);
+    } else if (keyword == "portfolio_members") {
+      // Member tokens accept the CLI repetition syntax ("4xsa"); expansion
+      // and validation happen in parse_portfolio_members so the spec file
+      // and --members agree on spelling.
+      std::string joined;
+      for (const std::string& v : values) {
+        if (!joined.empty()) joined += ",";
+        joined += v;
+      }
+      auto members = parse_portfolio_members(joined);
+      if (!members.ok()) return line_error(line_no, members.error().message);
+      spec.portfolio_members = std::move(members).value();
     } else if (keyword == "budget") {
       auto v = parse_int(first);
       if (!v.ok()) return line_error(line_no, v.error().message);

@@ -1,6 +1,7 @@
 #include <memory>
 #include <utility>
 
+#include "flexopt/core/portfolio.hpp"
 #include "flexopt/core/solver.hpp"
 
 /// \file builtin_optimizers.cpp
@@ -135,6 +136,19 @@ void ensure_builtin_optimizers_registered() {
     OptimizerRegistry::register_optimizer(
         "sa", "Simulated annealing over the full configuration space (Section 7 baseline)",
         [](const OptimizerParams& p) { return make_from<SaOptions, SaOptimizer>(p, "sa"); });
+    OptimizerRegistry::register_optimizer(
+        "portfolio",
+        "Racing portfolio of registry members (seeds derived per member; deterministic winner)",
+        [](const OptimizerParams& p) -> Expected<std::unique_ptr<Optimizer>> {
+          if (std::holds_alternative<std::monostate>(p)) {
+            return make_portfolio_optimizer(PortfolioSpec{});
+          }
+          if (const PortfolioSpec* spec = std::get_if<PortfolioSpec>(&p)) {
+            return make_portfolio_optimizer(*spec);
+          }
+          return make_error(
+              "optimizer 'portfolio' was given a parameter payload of the wrong type");
+        });
     return true;
   }();
   (void)registered;

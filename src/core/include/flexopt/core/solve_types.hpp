@@ -14,7 +14,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "flexopt/core/evaluator.hpp"
 
@@ -55,6 +57,45 @@ struct SolveRequest {
   std::shared_ptr<std::atomic<bool>> cancel;
 };
 
+/// Composition of the "portfolio" optimizer (flexopt/core/portfolio.hpp):
+/// a racing pool of registry members sharing one incumbent.  Lives here —
+/// not in portfolio.hpp — so the OptimizerParams variant in solver.hpp can
+/// carry it without a header cycle.
+struct PortfolioSpec {
+  /// Registry keys, one solve per entry.  Repeating a stochastic key
+  /// ("sa") multi-starts it: member i solves with seed
+  /// derive_seed(base, i), so repeats explore different trajectories.
+  /// "portfolio" itself is rejected (no nesting).
+  std::vector<std::string> members{"sa", "sa", "sa", "sa", "obc-ee", "obc-cf"};
+  /// Worker threads racing the members; 0 = hardware concurrency.  Never
+  /// affects the winning configuration (see the determinism contract in
+  /// portfolio.hpp).
+  int jobs = 0;
+  /// Base seed for per-member seed derivation; SolveRequest::seed
+  /// overrides it, exactly like for "sa".
+  std::uint64_t seed = 1;
+  /// Cancel a member as soon as the shared incumbent is feasible and
+  /// strictly better than that member's own best (racing mode).  Spends
+  /// less work on losing members but — like a wall-clock budget — trades
+  /// the bit-identical determinism contract away, because which member
+  /// publishes the incumbent first depends on scheduling.  Off by default.
+  bool racing_cut = false;
+  /// Testing hook: the order in which workers claim members (a permutation
+  /// of 0..members.size()-1; empty = identity).  Results are independent
+  /// of it — the portfolio determinism property test proves exactly that
+  /// by shuffling it.
+  std::vector<int> claim_order;
+};
+
+/// One improvement of a member's own best, stamped with the member-local
+/// evaluation count (deterministic, unlike wall-clock).  The concatenated
+/// per-member lists are the portfolio's incumbent timeline.
+struct IncumbentEvent {
+  long evaluations = 0;
+  double cost = kInvalidConfigCost;
+  bool feasible = false;
+};
+
 /// Why a solve returned.
 enum class SolveStatus {
   Complete,         ///< the algorithm ran to its natural termination
@@ -64,6 +105,34 @@ enum class SolveStatus {
 };
 
 [[nodiscard]] const char* to_string(SolveStatus status);
+
+/// Sub-report of one portfolio member: everything a standalone SolveReport
+/// records, minus the winning configuration (the portfolio keeps only the
+/// winner's), plus the member identity and its improvement timeline.  Every
+/// field except wall_seconds is deterministic for a fixed base seed.
+struct MemberSolveReport {
+  /// "algorithm#index", e.g. "sa#2" — unique within the portfolio.
+  std::string member;
+  std::string algorithm;  ///< registry key this member ran
+  std::uint64_t seed = 0;
+  /// This member's share of SolveRequest::max_evaluations (0 = the
+  /// algorithm's own default).
+  long budget = 0;
+  bool winner = false;
+  double cost = kInvalidConfigCost;
+  bool feasible = false;
+  long evaluations = 0;
+  SolveStatus status = SolveStatus::Complete;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t delta_evaluations = 0;
+  std::uint64_t components_recomputed = 0;
+  std::uint64_t components_reused = 0;
+  /// Observational only — excluded from deterministic reports.
+  double wall_seconds = 0.0;
+  /// Member-local incumbent improvements, in evaluation order.
+  std::vector<IncumbentEvent> improvements;
+};
 
 /// Unified result of Optimizer::solve — the algorithm outcome plus how the
 /// run ended and what the evaluator's cache contributed.
@@ -80,6 +149,10 @@ struct SolveReport {
   std::uint64_t delta_evaluations = 0;
   std::uint64_t components_recomputed = 0;
   std::uint64_t components_reused = 0;
+  /// Portfolio solves only: the winning member id ("sa#2") and one
+  /// sub-report per member, in member order.  Empty otherwise.
+  std::string winner;
+  std::vector<MemberSolveReport> members;
 };
 
 /// Polled by algorithm implementations at their cancellation points.  A

@@ -44,9 +44,10 @@ struct ObcCfParams {
 };
 
 /// Per-algorithm tuning payload handed to OptimizerRegistry::create;
-/// monostate selects the algorithm's defaults.
-using OptimizerParams =
-    std::variant<std::monostate, BbcOptions, ObcEeParams, ObcCfParams, SaOptions>;
+/// monostate selects the algorithm's defaults.  PortfolioSpec (defined in
+/// solve_types.hpp) is the payload of the "portfolio" meta-optimizer.
+using OptimizerParams = std::variant<std::monostate, BbcOptions, ObcEeParams, ObcCfParams,
+                                     SaOptions, PortfolioSpec>;
 
 /// A bus-access optimisation algorithm behind the unified API.  Stateless
 /// across solves: one instance may serve any number of sequential solve()

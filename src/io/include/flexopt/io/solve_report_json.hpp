@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file solve_report_json.hpp
+/// Deterministic JSON serialization of a single solve — the machine
+/// counterpart of `flexopt_cli solve`'s human output, written with the
+/// byte-stable JsonWriter so the golden-file conformance tests can diff the
+/// report schema directly.  Wall-clock fields are included only with
+/// `include_timing`; everything else is deterministic for a fixed system,
+/// algorithm and seed (see the portfolio determinism contract).
+
+#include <string>
+#include <string_view>
+
+#include "flexopt/core/solve_types.hpp"
+#include "flexopt/model/application.hpp"
+
+namespace flexopt {
+
+/// Serializes `report` for `algorithm` (the registry key the front-end
+/// asked for) solved against `app`.  Schema (stable key order):
+/// schema/system/algorithm/status/feasible/cost/evaluations/cache/
+/// incremental/config/winner/members — `members` is empty for
+/// non-portfolio solves, and per-member `improvements` carry the
+/// evaluation-stamped incumbent timeline.
+[[nodiscard]] std::string write_solve_json(const Application& app, std::string_view algorithm,
+                                           const SolveReport& report,
+                                           bool include_timing = false);
+
+}  // namespace flexopt

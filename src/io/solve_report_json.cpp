@@ -1,0 +1,96 @@
+#include "flexopt/io/solve_report_json.hpp"
+
+#include "flexopt/io/json_writer.hpp"
+
+namespace flexopt {
+namespace {
+
+void write_member(JsonWriter& json, const MemberSolveReport& member, bool include_timing) {
+  json.begin_object()
+      .field("member", member.member)
+      .field("algorithm", member.algorithm)
+      .field("seed", member.seed)
+      .field("budget", member.budget)
+      .field("winner", member.winner)
+      .field("status", to_string(member.status))
+      .field("feasible", member.feasible)
+      .field("cost", member.cost)
+      .field("evaluations", member.evaluations)
+      .field("cache_hits", member.cache_hits)
+      .field("cache_misses", member.cache_misses)
+      .field("delta_evaluations", member.delta_evaluations)
+      .field("components_recomputed", member.components_recomputed)
+      .field("components_reused", member.components_reused);
+  if (include_timing) json.field("wall_seconds", member.wall_seconds);
+  json.key("improvements").begin_array();
+  for (const IncumbentEvent& event : member.improvements) {
+    json.begin_object()
+        .field("evaluations", event.evaluations)
+        .field("cost", event.cost)
+        .field("feasible", event.feasible)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string write_solve_json(const Application& app, std::string_view algorithm,
+                             const SolveReport& report, bool include_timing) {
+  const OptimizationOutcome& outcome = report.outcome;
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "flexopt-solve-report/1");
+  json.key("system")
+      .begin_object()
+      .field("tasks", app.task_count())
+      .field("messages", app.message_count())
+      .field("graphs", app.graph_count())
+      .field("nodes", app.node_count())
+      .end_object();
+  json.field("algorithm", algorithm);
+  json.field("algorithm_label", outcome.algorithm);
+  json.field("status", to_string(report.status));
+  json.field("feasible", outcome.feasible);
+  json.field("cost", outcome.cost.value);
+  json.field("schedulable", outcome.cost.schedulable);
+  json.field("unbounded_activities", outcome.cost.unbounded_activities);
+  json.field("evaluations", outcome.evaluations);
+  if (include_timing) json.field("wall_seconds", outcome.wall_seconds);
+  json.key("cache")
+      .begin_object()
+      .field("hits", report.cache_hits)
+      .field("misses", report.cache_misses)
+      .end_object();
+  json.key("incremental")
+      .begin_object()
+      .field("delta_evaluations", report.delta_evaluations)
+      .field("components_recomputed", report.components_recomputed)
+      .field("components_reused", report.components_reused)
+      .end_object();
+  json.key("config")
+      .begin_object()
+      .field("static_slot_count", outcome.config.static_slot_count)
+      .field("static_slot_len", outcome.config.static_slot_len)
+      .field("minislot_count", outcome.config.minislot_count);
+  json.key("static_slot_owner").begin_array();
+  for (const NodeId owner : outcome.config.static_slot_owner) {
+    json.value(static_cast<long long>(owner));
+  }
+  json.end_array();
+  json.key("frame_id").begin_array();
+  for (const int id : outcome.config.frame_id) json.value(id);
+  json.end_array();
+  json.end_object();
+  json.field("winner", report.winner);
+  json.key("members").begin_array();
+  for (const MemberSolveReport& member : report.members) {
+    write_member(json, member, include_timing);
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace flexopt

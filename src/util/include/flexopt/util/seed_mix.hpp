@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file seed_mix.hpp
+/// Seed derivation shared by every subsystem that fans one base seed out
+/// into independent deterministic streams (campaign scenario seeds,
+/// portfolio member seeds).  The derivation depends only on (base, index),
+/// never on thread count or completion order, which is what makes the
+/// campaign and portfolio determinism contracts possible.
+
+#include <cstdint>
+
+namespace flexopt {
+
+/// splitmix64 finalizer — decorrelates consecutive indices into
+/// independent-looking generator seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic child seed for stream `index` under `base`.  Distinct
+/// indices give decorrelated seeds even for consecutive/small bases.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  return splitmix64(base ^ splitmix64(index));
+}
+
+}  // namespace flexopt

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/portfolio.hpp"
 #include "flexopt/gen/synthetic.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "helpers.hpp"
@@ -100,6 +101,62 @@ TEST_P(SoundnessProperty, CostClassificationIsConsistent) {
     for (const Time c : analysis.task_completion) EXPECT_NE(c, kTimeInfinity);
   } else {
     EXPECT_GT(analysis.cost.value, 0.0);
+  }
+}
+
+TEST_P(SoundnessProperty, PortfolioWinnerIsAnalyzedAndSound) {
+  // The incumbent path must never return an unanalyzed configuration: the
+  // winner the portfolio reports has to re-analyze to the exact reported
+  // cost, and its holistic bounds must dominate everything the simulator
+  // observes — same contract as the hand-built configs above, but via the
+  // racing path (member evaluators, shared incumbent, winner selection).
+  const Scenario scenario = GetParam();
+  SyntheticSpec spec;
+  spec.nodes = scenario.nodes;
+  spec.seed = scenario.seed ^ 0x90f7f0110;
+  BusParams params;
+  params.gd_minislot = timeunits::us(5);
+
+  auto generated = generate_synthetic(spec, params);
+  ASSERT_TRUE(generated.ok()) << generated.error().message;
+  const Application& app = generated.value();
+
+  PortfolioSpec portfolio;
+  portfolio.members = {"bbc", "obc-cf", "sa"};
+  auto optimizer = OptimizerRegistry::create("portfolio", portfolio);
+  ASSERT_TRUE(optimizer.ok()) << optimizer.error().message;
+  CostEvaluator evaluator(app, params, AnalysisOptions{});
+  SolveRequest request;
+  request.seed = scenario.seed;
+  request.max_evaluations = 90;
+  const SolveReport report = optimizer.value()->solve(evaluator, request);
+
+  if (report.outcome.cost.value >= kInvalidConfigCost) {
+    GTEST_SKIP() << "no analysable configuration under this budget";
+  }
+  auto layout_or = BusLayout::build(app, params, report.outcome.config);
+  ASSERT_TRUE(layout_or.ok()) << "winner config does not build: "
+                              << layout_or.error().message;
+  const AnalysisResult analysis = analyze(layout_or.value());
+  EXPECT_EQ(analysis.cost.value, report.outcome.cost.value)
+      << "reported cost diverges from re-analysis (seed " << scenario.seed << ")";
+  EXPECT_EQ(analysis.cost.schedulable, report.outcome.feasible);
+
+  auto sim = simulate(layout_or.value(), analysis.schedule);
+  ASSERT_TRUE(sim.ok()) << sim.error().message;
+  const SimResult& observed = sim.value();
+  EXPECT_EQ(observed.precedence_violations, 0);
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    const Time o = observed.task_worst_completion[t];
+    if (o == kTimeNone) continue;
+    EXPECT_LE(o, analysis.task_completion[t])
+        << "task " << app.tasks()[t].name << " (seed " << scenario.seed << ")";
+  }
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    const Time o = observed.message_worst_completion[m];
+    if (o == kTimeNone) continue;
+    EXPECT_LE(o, analysis.message_completion[m])
+        << "message " << app.messages()[m].name << " (seed " << scenario.seed << ")";
   }
 }
 

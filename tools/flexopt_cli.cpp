@@ -3,11 +3,15 @@
 // Subcommands:
 //
 //   flexopt_cli solve <system-file> [--algorithm NAME] [--seed N] [--budget N]
-//               [--time-limit S] [--threads N] [--progress] [--no-cache]
-//               [--simulate] [--dump]
+//               [--time-limit S] [--threads N] [--members LIST] [--jobs N]
+//               [--json FILE] [--progress] [--no-cache] [--simulate] [--dump]
 //       Optimise one system described in the flexopt/io/system_format.hpp
 //       plain-text format; prints the chosen configuration and per-activity
-//       worst-case response times; exit code 0 iff schedulable.
+//       worst-case response times; exit code 0 iff schedulable.  With
+//       --algorithm portfolio, --members ("4xsa,obc-ee") composes the
+//       racing pool and --jobs caps its worker threads (results are
+//       independent of --jobs).  --json writes the deterministic
+//       machine-readable report of flexopt/io/solve_report_json.hpp.
 //
 //   flexopt_cli campaign <spec-file> [--threads N] [--json FILE] [--csv FILE]
 //               [--budget N] [--time-limit S] [--timing] [--quiet]
@@ -28,7 +32,9 @@
 
 #include "flexopt/campaign/report.hpp"
 #include "flexopt/campaign/spec_format.hpp"
+#include "flexopt/core/portfolio.hpp"
 #include "flexopt/core/solver.hpp"
+#include "flexopt/io/solve_report_json.hpp"
 #include "flexopt/io/system_format.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "flexopt/util/table.hpp"
@@ -41,8 +47,8 @@ int usage() {
   std::cerr
       << "usage: flexopt_cli [solve] <system-file> [--algorithm NAME|list] [--seed N]\n"
          "                   [--budget MAX_EVALUATIONS] [--time-limit SECONDS]\n"
-         "                   [--threads N] [--progress] [--no-cache]\n"
-         "                   [--simulate] [--dump]\n"
+         "                   [--threads N] [--members LIST] [--jobs N] [--json FILE]\n"
+         "                   [--progress] [--no-cache] [--simulate] [--dump]\n"
          "       flexopt_cli campaign <spec-file> [--threads N] [--json FILE]\n"
          "                   [--csv FILE] [--budget N] [--time-limit S]\n"
          "                   [--timing] [--quiet]\n";
@@ -97,11 +103,52 @@ int list_algorithms() {
   return 0;
 }
 
+/// A result file staged through a sibling temp file: opening probes
+/// writability before the solve/campaign runs, commit() renames over the
+/// target only on success, and the destructor cleans up the temp file
+/// otherwise — a failed run never clobbers previous results.
+class PendingOutput {
+ public:
+  bool open_for(const std::string& target) {
+    path_ = target;
+    tmp_ = target + ".tmp";
+    out_.open(tmp_, std::ios::binary);
+    return static_cast<bool>(out_);
+  }
+
+  [[nodiscard]] bool pending() const { return out_.is_open(); }
+
+  bool commit(const std::string& content) {
+    out_ << content;
+    out_.flush();
+    if (!out_) return false;
+    out_.close();
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) return false;
+    committed_ = true;
+    return true;
+  }
+
+  ~PendingOutput() {
+    if (!tmp_.empty() && !committed_) std::remove(tmp_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
 // ---- solve ----------------------------------------------------------------
 
 int solve_main(int argc, char** argv) {
   std::string path;
   std::string algorithm = "obc-cf";
+  std::string members_arg;
+  bool members_set = false;
+  bool jobs_set = false;
+  std::string json_path;
+  int jobs = 0;
   SolveRequest request;
   EvaluatorOptions evaluator_options;
   bool show_progress = false;
@@ -111,6 +158,14 @@ int solve_main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
       algorithm = argv[++i];
+    } else if (arg == "--members" && i + 1 < argc) {
+      members_arg = argv[++i];
+      members_set = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], jobs)) return numeric_arg_error(arg);
+      jobs_set = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       std::uint64_t seed = 0;
       if (!parse_u64_arg(argv[++i], seed)) return numeric_arg_error(arg);
@@ -136,16 +191,47 @@ int solve_main(int argc, char** argv) {
     }
   }
   if (request.max_evaluations < 0 || request.max_wall_seconds < 0.0 ||
-      evaluator_options.threads < 0) {
-    std::cerr << "--budget, --time-limit and --threads must be positive\n";
+      evaluator_options.threads < 0 || jobs < 0) {
+    std::cerr << "--budget, --time-limit, --threads and --jobs must be positive\n";
     return usage();
   }
   if (algorithm == "list") return list_algorithms();
   if (path.empty()) return usage();
 
-  auto optimizer = OptimizerRegistry::create(algorithm);
+  // --members/--jobs compose the portfolio payload; they are meaningless
+  // for the single algorithms, so passing them there must error, not be
+  // silently dropped.
+  OptimizerParams optimizer_params;
+  if (members_set || jobs_set) {
+    if (!is_portfolio_algorithm(algorithm)) {
+      std::cerr << "--members and --jobs require --algorithm portfolio\n";
+      return usage();
+    }
+    PortfolioSpec portfolio;
+    if (members_set) {
+      // An explicitly empty list errors in parse_portfolio_members —
+      // silently racing the default members instead would be the worst
+      // failure mode for a reproducible experiment.
+      auto members = parse_portfolio_members(members_arg);
+      if (!members.ok()) {
+        std::cerr << members.error().message << "\n";
+        return 2;
+      }
+      portfolio.members = std::move(members).value();
+    }
+    portfolio.jobs = jobs;
+    optimizer_params = std::move(portfolio);
+  }
+
+  auto optimizer = OptimizerRegistry::create(algorithm, optimizer_params);
   if (!optimizer.ok()) {
     std::cerr << optimizer.error().message << "\n";
+    return 2;
+  }
+
+  PendingOutput json_out;
+  if (!json_path.empty() && !json_out.open_for(json_path)) {
+    std::cerr << "cannot write '" << json_path << "'\n";
     return 2;
   }
 
@@ -189,6 +275,11 @@ int solve_main(int argc, char** argv) {
   const OptimizationOutcome& outcome = report.outcome;
   if (show_progress) std::cerr << "\n";
 
+  if (json_out.pending() && !json_out.commit(write_solve_json(app, algorithm, report) + "\n")) {
+    std::cerr << "cannot write '" << json_path << "'\n";
+    return 2;
+  }
+
   std::cout << "\n" << outcome.algorithm << ": "
             << (outcome.feasible ? "SCHEDULABLE" : "not schedulable") << ", cost "
             << fmt_double(outcome.cost.value, 1) << " us, " << outcome.evaluations
@@ -198,6 +289,19 @@ int solve_main(int argc, char** argv) {
     std::cout << "incremental: " << report.delta_evaluations << " delta analyses, "
               << report.components_recomputed << " components recomputed, "
               << report.components_reused << " reused\n";
+  }
+  if (!report.members.empty()) {
+    std::cout << "portfolio winner: " << report.winner << "\n";
+    Table members({"member", "status", "cost [us]", "feasible", "analyses", "cache hits",
+                   "improvements"});
+    for (const MemberSolveReport& member : report.members) {
+      members.add_row({member.member + (member.winner ? " *" : ""), to_string(member.status),
+                       member.cost >= kInvalidConfigCost ? "-" : fmt_double(member.cost, 1),
+                       member.feasible ? "yes" : "no", std::to_string(member.evaluations),
+                       std::to_string(member.cache_hits),
+                       std::to_string(member.improvements.size())});
+    }
+    members.print(std::cout);
   }
   if (outcome.cost.value >= kInvalidConfigCost) {
     std::cerr << "no analysable configuration found\n";
@@ -248,42 +352,6 @@ int solve_main(int argc, char** argv) {
 }
 
 // ---- campaign -------------------------------------------------------------
-
-/// A result file staged through a sibling temp file: opening probes
-/// writability before the campaign runs, commit() renames over the target
-/// only on success, and the destructor cleans up the temp file otherwise —
-/// a failed run never clobbers previous results.
-class PendingOutput {
- public:
-  bool open_for(const std::string& target) {
-    path_ = target;
-    tmp_ = target + ".tmp";
-    out_.open(tmp_, std::ios::binary);
-    return static_cast<bool>(out_);
-  }
-
-  [[nodiscard]] bool pending() const { return out_.is_open(); }
-
-  bool commit(const std::string& content) {
-    out_ << content;
-    out_.flush();
-    if (!out_) return false;
-    out_.close();
-    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) return false;
-    committed_ = true;
-    return true;
-  }
-
-  ~PendingOutput() {
-    if (!tmp_.empty() && !committed_) std::remove(tmp_.c_str());
-  }
-
- private:
-  std::string path_;
-  std::string tmp_;
-  std::ofstream out_;
-  bool committed_ = false;
-};
 
 int campaign_main(int argc, char** argv) {
   std::string spec_path;
