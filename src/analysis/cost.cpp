@@ -6,16 +6,12 @@
 
 namespace flexopt {
 
-Cost evaluate_cost(const Application& app, std::span<const Time> task_completions,
-                   std::span<const Time> message_completions) {
-  Cost cost;
-  double overshoot_us = 0.0;  // f1 accumulator
-  double laxity_us = 0.0;     // f2 accumulator
-
+void CostAccumulator::add(const Application& app, std::span<const Time> task_completions,
+                          std::span<const Time> message_completions) {
   auto account = [&](ActivityRef a, Time completion) {
     const Time deadline = app.effective_deadline(a);
     if (is_infinite(completion)) {
-      ++cost.unbounded_activities;
+      ++unbounded_activities;
       overshoot_us += to_us(deadline) * kUnboundedPenaltyFactor;
       return;
     }
@@ -30,8 +26,12 @@ Cost evaluate_cost(const Application& app, std::span<const Time> task_completion
   for (std::uint32_t m = 0; m < app.message_count(); ++m) {
     account(ActivityRef::message(static_cast<MessageId>(m)), message_completions[m]);
   }
+}
 
-  if (overshoot_us > 0.0 || cost.unbounded_activities > 0) {
+Cost CostAccumulator::finish() const {
+  Cost cost;
+  cost.unbounded_activities = unbounded_activities;
+  if (overshoot_us > 0.0 || unbounded_activities > 0) {
     cost.value = overshoot_us;
     cost.schedulable = false;
   } else {
@@ -39,6 +39,13 @@ Cost evaluate_cost(const Application& app, std::span<const Time> task_completion
     cost.schedulable = true;
   }
   return cost;
+}
+
+Cost evaluate_cost(const Application& app, std::span<const Time> task_completions,
+                   std::span<const Time> message_completions) {
+  CostAccumulator acc;
+  acc.add(app, task_completions, message_completions);
+  return acc.finish();
 }
 
 }  // namespace flexopt

@@ -31,6 +31,22 @@ struct Cost {
 /// Deadline-multiple charged for an activity with R = infinity.
 inline constexpr int kUnboundedPenaltyFactor = 10;
 
+/// Running Eq. 5 tallies, accumulable across several applications: the
+/// multi-cluster analysis sums one accumulation per cluster projection and
+/// applies the f1/f2 switch *globally* — a deadline miss in any cluster
+/// makes the whole system cost the (system-wide) overshoot sum.
+struct CostAccumulator {
+  double overshoot_us = 0.0;  ///< f1 accumulator
+  double laxity_us = 0.0;     ///< f2 accumulator
+  int unbounded_activities = 0;
+
+  /// Accumulates every activity of `app` (same accounting as
+  /// evaluate_cost, in the same order).
+  void add(const Application& app, std::span<const Time> task_completions,
+           std::span<const Time> message_completions);
+  [[nodiscard]] Cost finish() const;
+};
+
 /// Evaluate Eq. 5.  `task_completions` / `message_completions` are
 /// graph-relative worst-case completion bounds indexed by TaskId /
 /// MessageId (kTimeInfinity for unbounded).

@@ -40,6 +40,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -169,9 +170,13 @@ class AnalysisComponentCache {
 /// components are recomputed and everything else is seeded from `base`.
 /// Seeding falls back internally to the from-scratch path whenever it
 /// cannot be proven safe (non-converged base, iteration cap reached).
+/// `external_task_jitter` mirrors analyze_system's parameter (the
+/// cross-cluster jitter hook); a non-empty span disables base seeding —
+/// a base computed under different external jitter is not a valid seed.
 Expected<AnalysisResult> analyze_system_incremental(
     const BusLayout& layout, const AnalysisOptions& options, AnalysisComponentCache& cache,
     AnalysisWorkCounters* counters = nullptr, const AnalysisResult* base = nullptr,
-    const AnalysisInvalidation* invalidation = nullptr);
+    const AnalysisInvalidation* invalidation = nullptr,
+    std::span<const Time> external_task_jitter = {});
 
 }  // namespace flexopt

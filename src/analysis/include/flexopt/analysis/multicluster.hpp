@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file multicluster.hpp
+/// End-to-end schedulability analysis of a gateway-connected multi-cluster
+/// system: one holistic per-cluster analysis per FlexRay cluster, iterated
+/// to a cross-cluster fixed point.  The coupling between clusters is
+/// gateway forwarding jitter: the release jitter of a forwarding relay task
+/// (SystemModel's downstream `.tx` task) is floored at the completion bound
+/// of its upstream receive relay, so an inter-cluster message's end-to-end
+/// bound is the completion of its final delivery hop.
+///
+/// Soundness: each per-cluster analysis is monotone in the injected
+/// external jitter and the injected jitters are monotone in the per-cluster
+/// completions, so the cross iteration is monotone from below — it either
+/// stabilises at the least fixed point or crosses the horizon (pinned to
+/// infinity).  Hitting `max_cross_iterations` pins every event-triggered
+/// activity to infinity, exactly like analyze_system's own iteration cap.
+///
+/// The degenerate single-cluster case runs exactly one per-cluster analysis
+/// with no injected jitter and is bit-identical to analyze_system.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "flexopt/analysis/incremental.hpp"
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/flexray/system_config.hpp"
+#include "flexopt/model/system_model.hpp"
+
+namespace flexopt {
+
+struct MulticlusterOptions {
+  /// Cross-cluster sweeps before declaring divergence.  Each sweep runs
+  /// every cluster's holistic analysis once (Jacobi across clusters, so the
+  /// result is independent of cluster order).
+  int max_cross_iterations = 16;
+};
+
+struct MulticlusterResult {
+  /// One holistic result per cluster (indexed by cluster).  Per-cluster
+  /// `cost` fields are cluster-local diagnostics; the system-wide Eq. 5
+  /// cost below applies the f1/f2 switch globally.
+  std::vector<AnalysisResult> clusters;
+  Cost cost;
+  bool converged = true;
+  int cross_iterations = 0;
+
+  [[nodiscard]] bool schedulable() const { return cost.schedulable; }
+};
+
+/// Builds one validated BusLayout per cluster from the per-cluster
+/// projections and decision variables.  Fails on the first cluster whose
+/// configuration violates the protocol (the error names the cluster).
+Expected<std::vector<BusLayout>> build_system_layouts(const SystemModel& model,
+                                                      const BusParams& params,
+                                                      const SystemConfig& config);
+
+/// Runs the cross-cluster fixed point.  `caches` (optional) supplies one
+/// AnalysisComponentCache per cluster — static-schedule components are
+/// jitter-independent, so every cross iteration after the first reuses all
+/// of them; pass an empty span to analyse cache-free.  `counters`
+/// accumulates work across every per-cluster analysis of every sweep.
+Expected<MulticlusterResult> analyze_multicluster(
+    const SystemModel& model, std::span<const BusLayout> layouts,
+    const AnalysisOptions& options, const MulticlusterOptions& mc_options = {},
+    std::span<AnalysisComponentCache* const> caches = {},
+    AnalysisWorkCounters* counters = nullptr);
+
+}  // namespace flexopt

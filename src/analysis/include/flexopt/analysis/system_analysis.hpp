@@ -7,6 +7,7 @@
 /// propagation along the task graphs until a global fixed point.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "flexopt/analysis/cost.hpp"
@@ -99,8 +100,15 @@ Expected<Time> analysis_horizon(const Application& app, const AnalysisOptions& o
 /// long as each call gets its own BusLayout.
 /// `counters` (optional) accumulates the work performed — the baseline the
 /// incremental engine is measured against.
+/// `external_task_jitter` (optional, indexed by TaskId; empty = none) adds
+/// a release-jitter floor per task on top of precedence-induced jitter —
+/// the hook the cross-cluster fixed point (flexopt/analysis/
+/// multicluster.hpp) uses to feed gateway forwarding relays the completion
+/// bounds of their upstream hops.  An empty span leaves the analysis
+/// bit-identical to the pre-cluster behaviour.
 Expected<AnalysisResult> analyze_system(const BusLayout& layout,
                                         const AnalysisOptions& options = {},
-                                        AnalysisWorkCounters* counters = nullptr);
+                                        AnalysisWorkCounters* counters = nullptr,
+                                        std::span<const Time> external_task_jitter = {});
 
 }  // namespace flexopt

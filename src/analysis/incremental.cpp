@@ -169,7 +169,8 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
                                                     AnalysisComponentCache& cache,
                                                     AnalysisWorkCounters* counters,
                                                     const AnalysisResult* base,
-                                                    const AnalysisInvalidation* invalidation) {
+                                                    const AnalysisInvalidation* invalidation,
+                                                    std::span<const Time> external_task_jitter) {
   const Application& app = layout.application();
   const auto structure = cache.task_structure(app, options);
   if (!structure->valid) return make_error(structure->error);
@@ -195,6 +196,7 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
   std::vector<char> task_affected(n_tasks, 1);
   std::vector<char> msg_affected(n_msgs, 1);
   const bool seed_from_base = base != nullptr && invalidation != nullptr && base->converged &&
+                              external_task_jitter.empty() &&
                               base->task_completion.size() == n_tasks &&
                               base->message_completion.size() == n_msgs &&
                               base->task_jitter.size() == n_tasks &&
@@ -383,6 +385,10 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
   // and marks the components that read it; returns true when it moved.
   auto update_jitter = [&](ActivityRef a) {
     Time jitter = a.is_task() ? app.task(a.as_task()).release_offset : 0;
+    if (a.is_task() && a.index < external_task_jitter.size()) {
+      const Time ext = external_task_jitter[a.index];
+      jitter = is_infinite(ext) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, ext);
+    }
     for (const ActivityRef p : app.predecessors(a)) {
       const Time pc = completion_of(p);
       jitter = is_infinite(pc) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, pc);

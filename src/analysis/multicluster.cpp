@@ -1,0 +1,137 @@
+#include "flexopt/analysis/multicluster.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace flexopt {
+namespace {
+
+Expected<AnalysisResult> analyze_one(const BusLayout& layout, const AnalysisOptions& options,
+                                     AnalysisComponentCache* cache,
+                                     AnalysisWorkCounters* counters,
+                                     std::span<const Time> external_task_jitter) {
+  if (cache != nullptr) {
+    return analyze_system_incremental(layout, options, *cache, counters, nullptr, nullptr,
+                                      external_task_jitter);
+  }
+  return analyze_system(layout, options, counters, external_task_jitter);
+}
+
+}  // namespace
+
+Expected<std::vector<BusLayout>> build_system_layouts(const SystemModel& model,
+                                                      const BusParams& params,
+                                                      const SystemConfig& config) {
+  if (config.cluster_count() != model.cluster_count()) {
+    return make_error("system config has " + std::to_string(config.cluster_count()) +
+                      " cluster configs, the system model has " +
+                      std::to_string(model.cluster_count()) + " clusters");
+  }
+  std::vector<BusLayout> layouts;
+  layouts.reserve(model.cluster_count());
+  for (std::size_t c = 0; c < model.cluster_count(); ++c) {
+    auto layout = BusLayout::build(*model.cluster_app(c), params, config.clusters[c]);
+    if (!layout.ok()) {
+      return make_error("cluster " + std::to_string(c) + ": " + layout.error().message);
+    }
+    layouts.push_back(std::move(layout).value());
+  }
+  return layouts;
+}
+
+Expected<MulticlusterResult> analyze_multicluster(const SystemModel& model,
+                                                  std::span<const BusLayout> layouts,
+                                                  const AnalysisOptions& options,
+                                                  const MulticlusterOptions& mc_options,
+                                                  std::span<AnalysisComponentCache* const> caches,
+                                                  AnalysisWorkCounters* counters) {
+  const std::size_t C = model.cluster_count();
+  if (layouts.size() != C) {
+    return make_error("analyze_multicluster: layout count does not match cluster count");
+  }
+  auto cache_of = [&](std::size_t c) -> AnalysisComponentCache* {
+    return c < caches.size() ? caches[c] : nullptr;
+  };
+
+  MulticlusterResult result;
+  result.clusters.resize(C);
+
+  if (model.single_cluster()) {
+    auto analysis = analyze_one(layouts[0], options, cache_of(0), counters, {});
+    if (!analysis.ok()) return analysis.error();
+    result.clusters[0] = std::move(analysis).value();
+    result.cost = result.clusters[0].cost;
+    result.converged = result.clusters[0].converged;
+    result.cross_iterations = 1;
+    return result;
+  }
+
+  // Injected release-jitter floors, indexed [cluster][local TaskId]; only
+  // forwarding relays ever get a non-zero entry.
+  std::vector<std::vector<Time>> external(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    external[c].assign(model.cluster_app(c)->task_count(), 0);
+  }
+
+  bool stable = false;
+  // At least one sweep always runs: a non-positive cap would leave the
+  // per-cluster results empty and the pinning below out of bounds.
+  const int max_cross = std::max(1, mc_options.max_cross_iterations);
+  for (int iter = 0; iter < max_cross && !stable; ++iter) {
+    ++result.cross_iterations;
+    for (std::size_t c = 0; c < C; ++c) {
+      auto analysis = analyze_one(layouts[c], options, cache_of(c), counters, external[c]);
+      if (!analysis.ok()) {
+        return make_error("cluster " + std::to_string(c) + ": " + analysis.error().message);
+      }
+      result.clusters[c] = std::move(analysis).value();
+    }
+    // Jacobi update of the coupling jitters: all clusters are analysed
+    // against the previous sweep's bounds, so cluster order cannot matter.
+    stable = true;
+    for (const RelayLink& link : model.relay_links()) {
+      const Time upstream =
+          result.clusters[link.upstream_cluster].task_completion[index_of(link.upstream_recv)];
+      Time& slot = external[link.downstream_cluster][index_of(link.downstream_send)];
+      if (slot != upstream) {
+        slot = upstream;
+        stable = false;
+      }
+    }
+  }
+
+  result.converged = stable;
+  for (const AnalysisResult& cluster : result.clusters) {
+    result.converged = result.converged && cluster.converged;
+  }
+  if (!result.converged) {
+    // Same policy as analyze_system's iteration cap: a non-stabilised bound
+    // is not a safe upper bound, so pin every ET activity system-wide.
+    for (std::size_t c = 0; c < C; ++c) {
+      const Application& app = *model.cluster_app(c);
+      AnalysisResult& cluster = result.clusters[c];
+      for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+        if (app.tasks()[t].policy == TaskPolicy::Fps) {
+          cluster.task_completion[t] = kTimeInfinity;
+        }
+      }
+      for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+        if (app.messages()[m].cls == MessageClass::Dynamic) {
+          cluster.message_completion[m] = kTimeInfinity;
+        }
+      }
+      cluster.cost = evaluate_cost(app, cluster.task_completion, cluster.message_completion);
+    }
+  }
+
+  CostAccumulator acc;
+  for (std::size_t c = 0; c < C; ++c) {
+    acc.add(*model.cluster_app(c), result.clusters[c].task_completion,
+            result.clusters[c].message_completion);
+  }
+  result.cost = acc.finish();
+  return result;
+}
+
+}  // namespace flexopt

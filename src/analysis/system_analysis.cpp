@@ -24,7 +24,8 @@ Expected<Time> analysis_horizon(const Application& app, const AnalysisOptions& o
 }
 
 Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisOptions& options,
-                                        AnalysisWorkCounters* counters) {
+                                        AnalysisWorkCounters* counters,
+                                        std::span<const Time> external_task_jitter) {
   const Application& app = layout.application();
   const auto horizon_result = analysis_horizon(app, options);
   if (!horizon_result.ok()) return horizon_result.error();
@@ -87,6 +88,10 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
                                      : app.message(a.as_message()).cls == MessageClass::Dynamic;
       if (!is_et) continue;
       Time jitter = a.is_task() ? app.task(a.as_task()).release_offset : 0;
+      if (a.is_task() && a.index < external_task_jitter.size()) {
+        const Time ext = external_task_jitter[a.index];
+        jitter = is_infinite(ext) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, ext);
+      }
       for (const ActivityRef p : app.predecessors(a)) {
         const Time pc = completion_of(p);
         jitter = is_infinite(pc) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, pc);

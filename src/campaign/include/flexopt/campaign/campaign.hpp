@@ -43,6 +43,10 @@ struct CampaignSpec {
   // --- grid axes ---------------------------------------------------------
   std::vector<int> node_counts{3};
   std::vector<Topology> topologies{Topology::RandomDag};
+  /// Cluster counts for Topology::MultiCluster cells (the other families
+  /// are single-bus and ignore the value).  Values are validated to [1, 4];
+  /// the multicluster generator itself requires 2..4.
+  std::vector<int> cluster_counts{2};
   std::vector<TrafficMix> traffic_mixes{TrafficMix::Mixed};
   std::vector<UtilBand> node_util_bands{{0.25, 0.45}};
   std::vector<UtilBand> bus_util_bands{{0.10, 0.40}};
@@ -59,6 +63,8 @@ struct CampaignSpec {
   int tasks_per_graph = 5;
   /// TT share for TrafficMix::Mixed cells (St/DynOnly override it).
   double tt_share = 0.5;
+  /// Share of graphs that cross clusters in MultiCluster cells.
+  double inter_cluster_share = 0.25;
   double deadline_factor = 1.0;
   std::uint64_t base_seed = 1;
 
@@ -124,6 +130,8 @@ struct ScenarioRecord {
   std::size_t task_count = 0;
   std::size_t message_count = 0;
   std::size_t graph_count = 0;
+  /// FlexRay clusters of the generated system (1 for single-bus families).
+  std::size_t cluster_count = 1;
   /// Realised (post-scaling) bus utilisation of the generated system.
   double bus_util_realized = 0.0;
   std::vector<AlgorithmRun> runs;

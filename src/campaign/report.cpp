@@ -124,6 +124,9 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
     json.field("index", record.plan.index);
     json.field("nodes", record.plan.scenario.base.nodes);
     json.field("topology", to_string(record.plan.scenario.topology));
+    json.field("clusters", record.plan.scenario.topology == Topology::MultiCluster
+                               ? record.plan.scenario.clusters
+                               : 1);
     json.field("traffic", to_string(record.plan.scenario.traffic));
     json.field("seed", record.plan.scenario.base.seed);
     json.field("error", record.error);
@@ -136,7 +139,7 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
 
 std::string write_campaign_csv(const CampaignResult& result, bool include_timing) {
   std::ostringstream out;
-  out << "scenario,seed,nodes,topology,traffic,node_util_lo,node_util_hi,bus_util_lo,"
+  out << "scenario,seed,nodes,topology,clusters,traffic,node_util_lo,node_util_hi,bus_util_lo,"
          "bus_util_hi,tasks,messages,graphs,bus_util_realized,algorithm,feasible,cost,"
          "evaluations,status,cache_hits,cache_misses,winner";
   if (include_timing) out << ",wall_seconds";
@@ -146,7 +149,9 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
     std::ostringstream prefix;
     prefix << plan.index << ',' << plan.scenario.base.seed << ',' << plan.scenario.base.nodes
            << ',' << to_string(plan.scenario.topology) << ','
-           << to_string(plan.scenario.traffic) << ',' << json_double(plan.node_util.lo) << ','
+           << (plan.scenario.topology == Topology::MultiCluster ? plan.scenario.clusters : 1)
+           << ',' << to_string(plan.scenario.traffic) << ',' << json_double(plan.node_util.lo)
+           << ','
            << json_double(plan.node_util.hi) << ',' << json_double(plan.bus_util.lo) << ','
            << json_double(plan.bus_util.hi);
     if (!record.generated) {

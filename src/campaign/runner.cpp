@@ -73,20 +73,47 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
       ScenarioRecord& record = result.scenarios[i];
       record.plan = plan;
 
-      auto app = generate_scenario(plan.scenario, params_);
-      if (!app.ok()) {
-        // Skip-and-record: a degenerate grid cell must not sink the
-        // campaign (or crash it); the summary reports it as skipped.
-        record.generated = false;
-        record.error = app.error().message;
-      } else {
+      // Generate, then project: multi-cluster cells also need a valid
+      // system projection, and a failure in either step is a generation
+      // failure like any other (skip-and-record: a degenerate grid cell
+      // must not sink the campaign, or crash it).
+      SystemModel model;
+      {
+        auto app = generate_scenario(plan.scenario, params_);
+        if (!app.ok()) {
+          record.generated = false;
+          record.error = app.error().message;
+        } else {
+          auto built =
+              SystemModel::build(std::make_shared<const Application>(std::move(app).value()));
+          if (!built.ok()) {
+            record.generated = false;
+            record.error = built.error().message;
+          } else {
+            model = std::move(built).value();
+          }
+        }
+      }
+      if (model.global() != nullptr) {
+        const Application& generated = *model.global();
         record.generated = true;
-        record.task_count = app.value().task_count();
-        record.message_count = app.value().message_count();
-        record.graph_count = app.value().graph_count();
-        record.bus_util_realized = bus_utilization(app.value(), params_);
-
-        auto shared_app = std::make_shared<const Application>(std::move(app.value()));
+        record.task_count = generated.task_count();
+        record.message_count = generated.message_count();
+        record.graph_count = generated.graph_count();
+        record.cluster_count = generated.cluster_count();
+        // Multi-cluster systems report the most-loaded bus — the figure
+        // comparable to the per-bus utilisation band of the grid cell.
+        if (record.cluster_count > 1) {
+          double worst = 0.0;
+          for (std::size_t c = 0; c < record.cluster_count; ++c) {
+            worst = std::max(worst, bus_utilization(generated, params_,
+                                                    static_cast<ClusterId>(
+                                                        static_cast<std::uint32_t>(c))));
+          }
+          record.bus_util_realized = worst;
+        } else {
+          record.bus_util_realized = bus_utilization(generated, params_);
+        }
         record.runs.reserve(spec_.algorithms.size());
         for (const std::string& name : spec_.algorithms) {
           auto optimizer = is_portfolio_algorithm(name)
@@ -102,7 +129,7 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           // count and cost — is independent of CampaignOptions::threads.
           EvaluatorOptions evaluator_options;
           evaluator_options.threads = 1;
-          CostEvaluator evaluator(shared_app, params_, AnalysisOptions{}, evaluator_options);
+          CostEvaluator evaluator(model, params_, AnalysisOptions{}, evaluator_options);
           SolveRequest request;
           request.seed = plan.scenario.base.seed;
           request.max_evaluations = spec_.max_evaluations;

@@ -1,5 +1,6 @@
 #include "flexopt/campaign/spec_format.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <limits>
 #include <sstream>
@@ -63,6 +64,69 @@ Expected<std::uint64_t> parse_uint(const std::string& text) {
   }
 }
 
+/// Every keyword the parser understands, for the unknown-keyword
+/// diagnostic below.  Keep in sync with the dispatch chain in
+/// parse_campaign (a keyword added there but not here degrades the "did
+/// you mean" hint for its near-typos; spec_format_test's keyword tests
+/// cover the common spellings).
+constexpr const char* kKeywords[] = {
+    "name",
+    "nodes",
+    "topology",
+    "clusters",
+    "traffic",
+    "node_util",
+    "bus_util",
+    "periods",
+    "message_bytes",
+    "replicates",
+    "tasks_per_node",
+    "tasks_per_graph",
+    "tt_share",
+    "inter_share",
+    "deadline_factor",
+    "seed",
+    "algorithms",
+    "portfolio_members",
+    "budget",
+    "time_limit",
+};
+
+/// Edit distance for the "did you mean" hint on unknown keywords — typos in
+/// a checked-in spec must fail loudly AND helpfully.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next_diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = next_diagonal;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string unknown_keyword_message(const std::string& keyword) {
+  std::string message = "unknown keyword '" + keyword + "'";
+  std::size_t best = keyword.size();
+  const char* suggestion = nullptr;
+  for (const char* candidate : kKeywords) {
+    const std::size_t d = edit_distance(keyword, candidate);
+    if (d < best) {
+      best = d;
+      suggestion = candidate;
+    }
+  }
+  if (suggestion != nullptr && best <= 2) {
+    message += " (did you mean '" + std::string(suggestion) + "'?)";
+  }
+  return message;
+}
+
 Expected<UtilBand> parse_band(const std::string& text) {
   const std::size_t colon = text.find(':');
   if (colon == std::string::npos) {
@@ -84,8 +148,9 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
   // Axis keywords replace the built-in default on their first occurrence
   // and extend the axis afterwards (periods always extends: each line is
   // one period-set axis value).
-  bool nodes_set = false, topo_set = false, traffic_set = false, node_util_set = false,
-       bus_util_set = false, periods_set = false, bytes_set = false, algorithms_set = false;
+  bool nodes_set = false, topo_set = false, clusters_set = false, traffic_set = false,
+       node_util_set = false, bus_util_set = false, periods_set = false, bytes_set = false,
+       algorithms_set = false;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -102,7 +167,8 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
     // Scalar keywords take exactly one value; surplus tokens on a line that
     // is not an axis would otherwise vanish silently — the worst failure
     // mode for a reproducible-experiment spec.
-    const bool is_axis = keyword == "nodes" || keyword == "topology" || keyword == "traffic" ||
+    const bool is_axis = keyword == "nodes" || keyword == "topology" ||
+                         keyword == "clusters" || keyword == "traffic" ||
                          keyword == "node_util" || keyword == "bus_util" ||
                          keyword == "periods" || keyword == "message_bytes" ||
                          keyword == "algorithms" || keyword == "portfolio_members";
@@ -127,6 +193,14 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
         auto t = parse_topology(v);
         if (!t.ok()) return line_error(line_no, t.error().message);
         spec.topologies.push_back(t.value());
+      }
+    } else if (keyword == "clusters") {
+      if (!clusters_set) spec.cluster_counts.clear();
+      clusters_set = true;
+      for (const std::string& v : values) {
+        auto c = parse_int32(v);
+        if (!c.ok()) return line_error(line_no, c.error().message);
+        spec.cluster_counts.push_back(c.value());
       }
     } else if (keyword == "traffic") {
       if (!traffic_set) spec.traffic_mixes.clear();
@@ -186,6 +260,10 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
       auto v = parse_double(first);
       if (!v.ok()) return line_error(line_no, v.error().message);
       spec.tt_share = v.value();
+    } else if (keyword == "inter_share") {
+      auto v = parse_double(first);
+      if (!v.ok()) return line_error(line_no, v.error().message);
+      spec.inter_cluster_share = v.value();
     } else if (keyword == "deadline_factor") {
       auto v = parse_double(first);
       if (!v.ok()) return line_error(line_no, v.error().message);
@@ -221,7 +299,7 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
       if (v.value() < 0.0) return line_error(line_no, "time_limit must be >= 0");
       spec.max_wall_seconds = v.value();
     } else {
-      return line_error(line_no, "unknown keyword '" + keyword + "'");
+      return line_error(line_no, unknown_keyword_message(keyword));
     }
   }
   return spec;

@@ -38,7 +38,7 @@ class BbcOptimizer final : public Optimizer {
  public:
   explicit BbcOptimizer(BbcOptions options) : options_(options) {}
   [[nodiscard]] std::string_view name() const override { return "bbc"; }
-  SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request) override {
+  SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest& request) override {
     return run_with_control(evaluator, request, "BBC", [&](SolveControl& control) {
       return optimize_bbc(evaluator, options_, &control);
     });
@@ -52,7 +52,7 @@ class ObcEeOptimizer final : public Optimizer {
  public:
   explicit ObcEeOptimizer(ObcEeParams params) : params_(std::move(params)) {}
   [[nodiscard]] std::string_view name() const override { return "obc-ee"; }
-  SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request) override {
+  SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest& request) override {
     return run_with_control(evaluator, request, "OBC-EE", [&](SolveControl& control) {
       ExhaustiveDynSearch strategy(params_.dyn);
       return optimize_obc(evaluator, strategy, params_.obc, &control);
@@ -67,7 +67,7 @@ class ObcCfOptimizer final : public Optimizer {
  public:
   explicit ObcCfOptimizer(ObcCfParams params) : params_(std::move(params)) {}
   [[nodiscard]] std::string_view name() const override { return "obc-cf"; }
-  SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request) override {
+  SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest& request) override {
     return run_with_control(evaluator, request, "OBC-CF", [&](SolveControl& control) {
       CurveFitDynSearch strategy(params_.dyn);
       return optimize_obc(evaluator, strategy, params_.obc, &control);
@@ -82,7 +82,7 @@ class SaOptimizer final : public Optimizer {
  public:
   explicit SaOptimizer(SaOptions options) : options_(options) {}
   [[nodiscard]] std::string_view name() const override { return "sa"; }
-  SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request) override {
+  SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest& request) override {
     SaOptions options = options_;
     if (request.seed) options.seed = *request.seed;
     if (request.max_evaluations > 0) options.max_evaluations = request.max_evaluations;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -22,17 +23,113 @@ std::size_t hash_config(const BusConfig& config) {
   return static_cast<std::size_t>(h);
 }
 
-CostEvaluator::CostEvaluator(std::shared_ptr<const Application> app, const BusParams& params,
+std::size_t hash_system_config(const SystemConfig& config) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(config.clusters.size()));
+  for (const BusConfig& cluster : config.clusters) {
+    mix(static_cast<std::uint64_t>(hash_config(cluster)));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CostEvaluator::CostEvaluator(SystemModel model, const BusParams& params,
                              AnalysisOptions options, EvaluatorOptions evaluator_options)
-    : app_(std::move(app)),
+    : model_(std::move(model)),
+      app_(model_.global()),
       params_(params),
       options_(options),
-      evaluator_options_(evaluator_options) {}
+      evaluator_options_(evaluator_options) {
+  // Cluster 0 shares the long-standing components_ member (the whole
+  // single-cluster pipeline keys off it); the other clusters get their own
+  // cache so geometry components never alias across buses.  The pointer
+  // table is built once — the evaluator is immovable, so the addresses
+  // hold — keeping the per-candidate hot path allocation-free.
+  extra_components_.resize(model_.cluster_count());
+  cluster_caches_.resize(model_.cluster_count());
+  cluster_caches_[0] = &components_;
+  for (std::size_t c = 1; c < model_.cluster_count(); ++c) {
+    extra_components_[c] = std::make_unique<AnalysisComponentCache>();
+    cluster_caches_[c] = extra_components_[c].get();
+  }
+}
+
+namespace {
+
+/// Application-based construction must not silently flatten a clustered
+/// application onto one bus: project it properly, or (for the degenerate
+/// single-cluster case, and unfinalized apps whose topology is not yet
+/// known) wrap it as its own projection.  Projection failures are
+/// construction misuse, reported like other evaluator preconditions.
+SystemModel model_for_application(std::shared_ptr<const Application> app) {
+  if (app != nullptr && app->finalized() && app->cluster_count() > 1) {
+    auto model = SystemModel::build(std::move(app));
+    if (!model.ok()) {
+      throw std::invalid_argument("CostEvaluator: " + model.error().message);
+    }
+    return std::move(model).value();
+  }
+  return SystemModel::single(std::move(app));
+}
+
+}  // namespace
+
+CostEvaluator::CostEvaluator(std::shared_ptr<const Application> app, const BusParams& params,
+                             AnalysisOptions options, EvaluatorOptions evaluator_options)
+    : CostEvaluator(model_for_application(std::move(app)), params, options,
+                    evaluator_options) {}
 
 CostEvaluator::CostEvaluator(const Application& app, const BusParams& params,
                              AnalysisOptions options, EvaluatorOptions evaluator_options)
     : CostEvaluator(std::make_shared<const Application>(app), params, options,
                     evaluator_options) {}
+
+CostEvaluator::CostEvaluator(const CostEvaluator& parent, EvaluatorOptions evaluator_options)
+    : CostEvaluator(parent.model_, parent.params_, parent.options_, evaluator_options) {
+  focus_context_ = parent.focus_context_;
+  focus_cluster_ = parent.focus_cluster_;
+}
+
+void CostEvaluator::set_focus(SystemConfig context, int cluster) {
+  // Focus is a multi-cluster concept; any invalid request (single-cluster
+  // system, cluster out of range, context of the wrong width) degrades to
+  // "no focus" in every build type rather than risking an out-of-range
+  // substitution on the next evaluate() call.
+  if (model_.single_cluster() || cluster < 0 ||
+      static_cast<std::size_t>(cluster) >= model_.cluster_count() ||
+      context.cluster_count() != model_.cluster_count()) {
+    clear_focus();
+    return;
+  }
+  focus_context_ = std::move(context);
+  focus_cluster_ = cluster;
+}
+
+void CostEvaluator::clear_focus() {
+  focus_cluster_ = -1;
+  focus_context_ = SystemConfig{};
+}
+
+CostEvaluator::Evaluation CostEvaluator::focused_view(const Evaluation& full) const {
+  // Single-bus algorithms searching a focused cluster read per-activity
+  // completions off Evaluation::analysis (the OBC curve fit); hand them the
+  // focused cluster's holistic result and nothing else — copying all C
+  // cluster results out of the cache per candidate would dominate the
+  // descent's hottest path.
+  Evaluation out;
+  out.valid = full.valid;
+  out.cost = full.cost;
+  out.multicluster_converged = full.multicluster_converged;
+  out.error = full.error;
+  const auto focus = static_cast<std::size_t>(focus_cluster_);
+  if (full.valid && focused() && focus < full.cluster_analysis.size()) {
+    out.analysis = full.cluster_analysis[focus];
+  }
+  return out;
+}
 
 CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
   Evaluation out;
@@ -76,12 +173,39 @@ void CostEvaluator::insert_cache(const BusConfig& config,
   }
 }
 
+std::shared_ptr<const CostEvaluator::Evaluation> CostEvaluator::cached_system(
+    const SystemConfig& config) {
+  if (!evaluator_options_.cache_enabled) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = system_cache_.find(config);
+  return it != system_cache_.end() ? it->second : nullptr;
+}
+
+void CostEvaluator::insert_system_cache(const SystemConfig& config,
+                                        std::shared_ptr<const Evaluation> entry) {
+  if (!evaluator_options_.cache_enabled) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (system_cache_.size() < evaluator_options_.max_cache_entries) {
+    system_cache_.emplace(config, std::move(entry));
+  }
+}
+
 void CostEvaluator::add_work(const AnalysisWorkCounters& counters) {
   std::lock_guard<std::mutex> lock(work_mutex_);
   work_.analysis += counters;
 }
 
 CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
+  if (focused()) {
+    SystemConfig candidate = focus_context_;
+    candidate.clusters[static_cast<std::size_t>(focus_cluster_)] = config;
+    return evaluate_system_impl(candidate, /*count_as_delta=*/false, /*focused_view=*/true);
+  }
+  if (model_.cluster_count() > 1) {
+    Evaluation out;
+    out.error = "multi-cluster evaluator: use evaluate_system() or set_focus()";
+    return out;
+  }
   if (!evaluator_options_.cache_enabled) return analyze(config);
 
   if (const auto hit = cached(config)) {
@@ -157,6 +281,18 @@ CostEvaluator::Evaluation CostEvaluator::analyze_delta(
 
 CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
                                                         const DeltaMove& move) {
+  if (focused()) {
+    // The base is implicit (the focus context); deltas are not seeded
+    // across clusters, so only the substituted candidate matters.
+    SystemConfig next = focus_context_;
+    next.clusters[static_cast<std::size_t>(focus_cluster_)] = move.config;
+    return evaluate_system_impl(next, /*count_as_delta=*/true, /*focused_view=*/true);
+  }
+  if (model_.cluster_count() > 1) {
+    Evaluation out;
+    out.error = "multi-cluster evaluator: use the SystemConfig evaluate_delta overload";
+    return out;
+  }
   if (const auto hit = cached(move.config)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return *hit;
@@ -167,6 +303,103 @@ CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
   auto entry = std::make_shared<const Evaluation>(analyze_delta(cached(base), move));
   insert_cache(move.config, entry);
   return *entry;
+}
+
+CostEvaluator::Evaluation CostEvaluator::evaluate_system(const SystemConfig& config) {
+  if (model_.single_cluster() && config.cluster_count() == 1 && !focused()) {
+    // Degenerate case: exactly the pre-cluster pipeline (and its cache).
+    return evaluate(config.clusters[0]);
+  }
+  return evaluate_system_impl(config, /*count_as_delta=*/false);
+}
+
+CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const SystemConfig& base,
+                                                        const DeltaMove& move) {
+  if (model_.single_cluster() && base.cluster_count() == 1 && !focused()) {
+    return evaluate_delta(base.clusters[0], move);
+  }
+  if (move.cluster < 0 || static_cast<std::size_t>(move.cluster) >= base.cluster_count() ||
+      base.cluster_count() != model_.cluster_count()) {
+    Evaluation out;
+    out.error = "evaluate_delta: move cluster index or base config out of range";
+    return out;
+  }
+  SystemConfig next = base;
+  next.clusters[static_cast<std::size_t>(move.cluster)] = move.config;
+  return evaluate_system_impl(next, /*count_as_delta=*/true);
+}
+
+CostEvaluator::Evaluation CostEvaluator::evaluate_system_impl(const SystemConfig& config,
+                                                              bool count_as_delta,
+                                                              bool focused_result) {
+  if (!evaluator_options_.cache_enabled) {
+    Evaluation out = analyze_system_config(config, count_as_delta);
+    return focused_result ? focused_view(out) : out;
+  }
+  if (const auto hit = cached_system(config)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return focused_result ? focused_view(*hit) : *hit;
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto entry =
+      std::make_shared<const Evaluation>(analyze_system_config(config, count_as_delta));
+  insert_system_cache(config, entry);
+  return focused_result ? focused_view(*entry) : *entry;
+}
+
+CostEvaluator::Evaluation CostEvaluator::analyze_system_config(const SystemConfig& config,
+                                                               bool count_as_delta) {
+  Evaluation out;
+  auto layouts = build_system_layouts(model_, params_, config);
+  if (!layouts.ok()) {
+    out.error = layouts.error().message;
+    return out;
+  }
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  AnalysisWorkCounters counters;
+  auto analysis = analyze_multicluster(model_, layouts.value(), options_, MulticlusterOptions{},
+                                       cluster_caches_, &counters);
+  add_work(counters);
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    if (count_as_delta) {
+      ++work_.delta_evaluations;
+    } else {
+      ++work_.full_evaluations;
+    }
+  }
+  if (!analysis.ok()) {
+    out.error = analysis.error().message;
+    return out;
+  }
+  MulticlusterResult result = std::move(analysis).value();
+  out.valid = true;
+  out.cost = result.cost;
+  out.multicluster_converged = result.converged;
+  out.cluster_analysis = std::move(result.clusters);
+
+#ifndef NDEBUG
+  // Debug builds cross-check delta evaluations against a cache-free run of
+  // the same fixed point, bit for bit — the multi-cluster analogue of the
+  // single-cluster delta assertion.  Like there, the full path is not
+  // re-verified per call (it IS the reference construction), which keeps
+  // the sanitize lane's multicluster cost at ~2x instead of ~4x.
+  if (!count_as_delta) return out;
+  auto reference = analyze_multicluster(model_, layouts.value(), options_);
+  assert(reference.ok());
+  if (reference.ok()) {
+    const MulticlusterResult& ref = reference.value();
+    assert(ref.converged == out.multicluster_converged);
+    assert(ref.cost.value == out.cost.value);
+    assert(ref.cost.schedulable == out.cost.schedulable);
+    assert(ref.cost.unbounded_activities == out.cost.unbounded_activities);
+    for (std::size_t c = 0; c < ref.clusters.size(); ++c) {
+      assert(ref.clusters[c].task_completion == out.cluster_analysis[c].task_completion);
+      assert(ref.clusters[c].message_completion == out.cluster_analysis[c].message_completion);
+    }
+  }
+#endif
+  return out;
 }
 
 CostEvaluator::~CostEvaluator() {
@@ -262,7 +495,7 @@ EvaluatorCacheStats CostEvaluator::cache_stats() const {
   stats.hits = cache_hits_.load(std::memory_order_relaxed);
   stats.misses = cache_misses_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  stats.entries = cache_.size();
+  stats.entries = cache_.size() + system_cache_.size();
   return stats;
 }
 
@@ -270,8 +503,12 @@ void CostEvaluator::clear_cache() {
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.clear();
+    system_cache_.clear();
   }
   components_.clear();
+  for (const auto& cache : extra_components_) {
+    if (cache) cache->clear();
+  }
 }
 
 }  // namespace flexopt

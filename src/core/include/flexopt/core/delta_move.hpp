@@ -22,8 +22,14 @@ namespace flexopt {
 /// flags are a diff, not a declaration, so they can never understate what
 /// changed.
 struct DeltaMove {
-  /// The post-move configuration.
+  /// The post-move configuration (of one cluster's bus).
   BusConfig config;
+
+  /// Cluster whose BusConfig the move mutates.  0 for single-bus systems;
+  /// ignored (superseded by the focus cluster) when the evaluator is
+  /// focused via CostEvaluator::set_focus.  between() leaves it 0 — cluster
+  /// moves stamp it explicitly or are stamped by the evaluator.
+  int cluster = 0;
 
   bool st_slot_count_changed = false;
   bool st_slot_len_changed = false;

@@ -23,10 +23,13 @@
 #include <vector>
 
 #include "flexopt/analysis/incremental.hpp"
+#include "flexopt/analysis/multicluster.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/core/delta_move.hpp"
 #include "flexopt/flexray/bus_config.hpp"
 #include "flexopt/flexray/params.hpp"
+#include "flexopt/flexray/system_config.hpp"
+#include "flexopt/model/system_model.hpp"
 
 namespace flexopt {
 
@@ -38,6 +41,10 @@ inline constexpr double kInvalidConfigCost = 1e15;
 /// Stable hash of the decision variables; keys the evaluator's memoization
 /// cache (collisions are resolved by full BusConfig equality).
 [[nodiscard]] std::size_t hash_config(const BusConfig& config);
+
+/// Stable hash over the per-cluster configs; keys the evaluator's
+/// SystemConfig memoization cache.
+[[nodiscard]] std::size_t hash_system_config(const SystemConfig& config);
 
 /// Behaviour knobs of the evaluation service (cache + worker pool).
 struct EvaluatorOptions {
@@ -76,12 +83,22 @@ struct EvaluatorWorkStats {
 class CostEvaluator {
  public:
   /// Shares ownership of `app`: the evaluator (and every Evaluation it
-  /// hands out) remains valid after the caller drops its reference.
+  /// hands out) remains valid after the caller drops its reference.  The
+  /// application is wrapped as its own single-cluster SystemModel.
   CostEvaluator(std::shared_ptr<const Application> app, const BusParams& params,
                 AnalysisOptions options, EvaluatorOptions evaluator_options = {});
   /// Convenience overload: copies `app` into shared ownership.
   CostEvaluator(const Application& app, const BusParams& params, AnalysisOptions options,
                 EvaluatorOptions evaluator_options = {});
+  /// Multi-cluster evaluator over a projected system model (one bus per
+  /// cluster; all clusters share `params`).
+  CostEvaluator(SystemModel model, const BusParams& params, AnalysisOptions options,
+                EvaluatorOptions evaluator_options = {});
+  /// Sibling evaluator: shares `parent`'s system model, bus parameters,
+  /// analysis options, and focus context, with fresh caches/counters and
+  /// its own EvaluatorOptions.  The portfolio optimizer gives every racing
+  /// member one of these so member trajectories stay schedule-independent.
+  CostEvaluator(const CostEvaluator& parent, EvaluatorOptions evaluator_options);
   ~CostEvaluator();
   CostEvaluator(const CostEvaluator&) = delete;
   CostEvaluator& operator=(const CostEvaluator&) = delete;
@@ -89,13 +106,32 @@ class CostEvaluator {
   struct Evaluation {
     bool valid = false;
     Cost cost{kInvalidConfigCost, false, 0};
+    /// Single-cluster analyses, or — under set_focus — the focused
+    /// cluster's holistic result; default-constructed for unfocused
+    /// multi-cluster evaluations (use `cluster_analysis` there).
     AnalysisResult analysis;
+    /// Unfocused multi-cluster evaluations only: one holistic result per
+    /// cluster.  Focused returns carry only `cost` plus the focused
+    /// cluster's result in `analysis` (this vector stays empty).
+    std::vector<AnalysisResult> cluster_analysis;
+    /// Multi-cluster evaluations only: cross-cluster fixed point converged.
+    bool multicluster_converged = true;
     std::string error;
   };
 
   /// Full scheduling + schedulability analysis of one candidate (served
   /// from the cache when the configuration was seen before).  Thread-safe.
+  /// Single-cluster systems evaluate `config` directly; under set_focus the
+  /// candidate is substituted into the focus context's focused cluster and
+  /// the full system is evaluated.  A multi-cluster evaluator without a
+  /// focus reports an invalid Evaluation (use evaluate_system).
   Evaluation evaluate(const BusConfig& config);
+
+  /// Full system evaluation of one per-cluster configuration product
+  /// candidate (cross-cluster fixed point; cached on the SystemConfig
+  /// hash).  Thread-safe.  For single-cluster systems this is exactly
+  /// evaluate(config.clusters[0]).
+  Evaluation evaluate_system(const SystemConfig& config);
 
   /// Incremental analysis of a neighbour: evaluates `move.config`
   /// recomputing only the analysis components the move invalidated,
@@ -106,16 +142,46 @@ class CostEvaluator {
   /// configuration cache.  Thread-safe.
   Evaluation evaluate_delta(const BusConfig& base, const DeltaMove& move);
 
+  /// Multi-cluster delta: `move.cluster` names the cluster whose BusConfig
+  /// the move replaces within `base`.  Cross-cluster coupling invalidates
+  /// the seeded fast path, so the result is recomputed through the
+  /// per-cluster component caches (geometry components of untouched
+  /// clusters are reused) and is bit-identical to
+  /// evaluate_system(substituted) — asserted in Debug builds.
+  Evaluation evaluate_delta(const SystemConfig& base, const DeltaMove& move);
+
   /// Evaluates a batch of candidates on the worker pool; results are in
   /// input order and identical to calling evaluate() serially.  The pool
   /// is persistent: threads are spawned lazily on the first batch and
   /// reused across calls, so small per-batch sweeps stay cheap.
   std::vector<Evaluation> evaluate_many(std::span<const BusConfig> configs);
 
-  [[nodiscard]] const Application& application() const { return *app_; }
+  /// The application the current search runs over: the focused cluster's
+  /// projection when a focus is set, the (global) application otherwise.
+  /// Single-cluster systems always see the one application.
+  [[nodiscard]] const Application& application() const { return *search_app(); }
   [[nodiscard]] const std::shared_ptr<const Application>& application_ptr() const {
-    return app_;
+    return search_app();
   }
+
+  // ---- multi-cluster search context ---------------------------------------
+  [[nodiscard]] const SystemModel& system_model() const { return model_; }
+  [[nodiscard]] std::size_t cluster_count() const { return model_.cluster_count(); }
+  /// Focuses the evaluator on one cluster of a multi-cluster system:
+  /// subsequent evaluate(BusConfig)/evaluate_delta calls substitute the
+  /// candidate into `context` at `cluster` and evaluate the full system,
+  /// and application() returns that cluster's projection — which is what
+  /// lets every single-bus search algorithm optimise one coordinate of the
+  /// per-cluster configuration product unchanged.  Invalid requests
+  /// (single-cluster system, cluster out of range, wrong context width)
+  /// degrade to clear_focus().  Not thread-safe: set it between solves,
+  /// never while evaluations are in flight.
+  void set_focus(SystemConfig context, int cluster);
+  void clear_focus();
+  [[nodiscard]] bool focused() const { return focus_cluster_ >= 0; }
+  [[nodiscard]] int focus_cluster() const { return focus_cluster_; }
+  [[nodiscard]] const SystemConfig& focus_context() const { return focus_context_; }
+
   [[nodiscard]] const BusParams& params() const { return params_; }
   [[nodiscard]] const AnalysisOptions& analysis_options() const { return options_; }
   [[nodiscard]] const EvaluatorOptions& evaluator_options() const {
@@ -142,13 +208,30 @@ class CostEvaluator {
   /// The uncached delta path: BusLayout::build + analyze_system_incremental.
   Evaluation analyze_delta(const std::shared_ptr<const Evaluation>& base_eval,
                            const DeltaMove& move);
+  /// The uncached multi-cluster paths (full + delta-accounted).
+  Evaluation analyze_system_config(const SystemConfig& config, bool count_as_delta);
+  Evaluation evaluate_system_impl(const SystemConfig& config, bool count_as_delta,
+                                  bool focused_result = false);
+  /// Cost + the focused cluster's result only (the focused-search return
+  /// shape; avoids copying every cluster's analysis out of the cache).
+  [[nodiscard]] Evaluation focused_view(const Evaluation& full) const;
   /// Cache lookup only (no analysis on miss); nullptr when absent.
   std::shared_ptr<const Evaluation> cached(const BusConfig& config);
   void insert_cache(const BusConfig& config, std::shared_ptr<const Evaluation> entry);
+  std::shared_ptr<const Evaluation> cached_system(const SystemConfig& config);
+  void insert_system_cache(const SystemConfig& config, std::shared_ptr<const Evaluation> entry);
   void add_work(const AnalysisWorkCounters& counters);
+  [[nodiscard]] const std::shared_ptr<const Application>& search_app() const {
+    return focused() ? model_.cluster_app(static_cast<std::size_t>(focus_cluster_)) : app_;
+  }
 
   struct ConfigHash {
     std::size_t operator()(const BusConfig& config) const { return hash_config(config); }
+  };
+  struct SystemConfigHash {
+    std::size_t operator()(const SystemConfig& config) const {
+      return hash_system_config(config);
+    }
   };
 
   /// One evaluate_many call in flight: workers claim indices via `next`;
@@ -165,17 +248,31 @@ class CostEvaluator {
   void pool_worker();
   void drain(Batch& batch);
 
-  std::shared_ptr<const Application> app_;
+  SystemModel model_;
+  std::shared_ptr<const Application> app_;  ///< the global application
   BusParams params_;
   AnalysisOptions options_;
   EvaluatorOptions evaluator_options_;
+  /// Multi-cluster search context (see set_focus); -1 = unfocused.
+  SystemConfig focus_context_;
+  int focus_cluster_ = -1;
   std::atomic<long> evaluations_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   mutable std::mutex cache_mutex_;
+  /// Single-cluster configurations (the pre-cluster hot path, untouched).
   std::unordered_map<BusConfig, std::shared_ptr<const Evaluation>, ConfigHash> cache_;
+  /// Full per-cluster configuration products (multi-cluster systems).
+  std::unordered_map<SystemConfig, std::shared_ptr<const Evaluation>, SystemConfigHash>
+      system_cache_;
 
-  AnalysisComponentCache components_;
+  AnalysisComponentCache components_;  ///< cluster 0 / single-cluster
+  /// Clusters 1..C-1 of a multi-cluster system (index 0 unused; the shared
+  /// components_ serves cluster 0 so the single-cluster path stays as-is).
+  std::vector<std::unique_ptr<AnalysisComponentCache>> extra_components_;
+  /// Per-cluster cache pointer table ({&components_, extra...}), built once
+  /// at construction (the evaluator is immovable, so the addresses hold).
+  std::vector<AnalysisComponentCache*> cluster_caches_;
   mutable std::mutex work_mutex_;
   EvaluatorWorkStats work_;  // guarded by work_mutex_
 
@@ -190,7 +287,13 @@ class CostEvaluator {
 
 /// Outcome shared by all optimisation algorithms.
 struct OptimizationOutcome {
+  /// Single-cluster solves: the winning bus configuration.  Multi-cluster
+  /// solves: cluster 0's slice of `system` (kept filled so single-bus
+  /// consumers never see an empty config).
   BusConfig config;
+  /// The winning per-cluster configuration product; exactly one entry
+  /// (== config) for single-cluster solves.  Filled by Optimizer::solve.
+  SystemConfig system;
   Cost cost{kInvalidConfigCost, false, 0};
   bool feasible = false;
   /// Full analyses performed by this run.

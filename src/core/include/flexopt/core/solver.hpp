@@ -52,12 +52,25 @@ using OptimizerParams = std::variant<std::monostate, BbcOptions, ObcEeParams, Ob
 /// A bus-access optimisation algorithm behind the unified API.  Stateless
 /// across solves: one instance may serve any number of sequential solve()
 /// calls (on the same or different evaluators).
+///
+/// Implementations override solve_cluster(), which optimises ONE bus: the
+/// single cluster of a plain system, or — under CostEvaluator::set_focus —
+/// one coordinate of a multi-cluster configuration product (the evaluator
+/// then scores every candidate against the full cross-cluster system).
+/// Front-ends call solve(), which dispatches single-cluster systems
+/// straight to solve_cluster (bit-identical to the pre-cluster behaviour)
+/// and drives multi-cluster systems through a deterministic block-
+/// coordinate descent over the clusters.
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
   /// Registry name ("bbc", "obc-ee", "obc-cf", "sa", ...).
   [[nodiscard]] virtual std::string_view name() const = 0;
-  virtual SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request) = 0;
+  /// Algorithm hook: optimise the evaluator's (single or focused) cluster.
+  virtual SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest& request) = 0;
+  /// Unified entry point (see class comment).  Also guarantees
+  /// outcome.system is filled for every solve.
+  SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request);
   SolveReport solve(CostEvaluator& evaluator) { return solve(evaluator, SolveRequest{}); }
 };
 

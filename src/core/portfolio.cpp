@@ -55,13 +55,14 @@ class PortfolioOptimizer final : public Optimizer {
  public:
   explicit PortfolioOptimizer(PortfolioSpec spec) : spec_(std::move(spec)) {}
   [[nodiscard]] std::string_view name() const override { return "portfolio"; }
-  SolveReport solve(CostEvaluator& evaluator, const SolveRequest& request) override;
+  SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest& request) override;
 
  private:
   PortfolioSpec spec_;
 };
 
-SolveReport PortfolioOptimizer::solve(CostEvaluator& evaluator, const SolveRequest& request) {
+SolveReport PortfolioOptimizer::solve_cluster(CostEvaluator& evaluator,
+                                              const SolveRequest& request) {
   const auto started = std::chrono::steady_clock::now();
   const std::size_t n = spec_.members.size();
   const std::uint64_t base_seed = request.seed.value_or(spec_.seed);
@@ -101,13 +102,14 @@ SolveReport PortfolioOptimizer::solve(CostEvaluator& evaluator, const SolveReque
       return;
     }
 
-    // Own single-threaded evaluator: the member's evaluation sequence (and
-    // its budget accounting) must not observe the other members' work, or
-    // the trajectory would depend on scheduling.
+    // Own single-threaded sibling evaluator: the member's evaluation
+    // sequence (and its budget accounting) must not observe the other
+    // members' work, or the trajectory would depend on scheduling.  The
+    // sibling shares the system model and any multi-cluster focus, so a
+    // focused portfolio races its members on the same coordinate.
     EvaluatorOptions member_options = evaluator.evaluator_options();
     member_options.threads = 1;
-    CostEvaluator member_eval(evaluator.application_ptr(), evaluator.params(),
-                              evaluator.analysis_options(), member_options);
+    CostEvaluator member_eval(evaluator, member_options);
 
     SolveRequest member_request;
     member_request.seed = member.seed;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <climits>
 #include <map>
 #include <mutex>
+
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/util/seed_mix.hpp"
 
 namespace flexopt {
 
@@ -89,6 +93,183 @@ bool SolveControl::should_stop(const CostEvaluator& evaluator) {
     }
   }
   return false;
+}
+
+// ---- Optimizer::solve: multi-cluster coordinate descent --------------------
+
+namespace {
+
+/// Deterministic block-coordinate descent over the per-cluster
+/// configuration product: each pass focuses the evaluator on one cluster
+/// and lets the single-bus algorithm optimise that coordinate against the
+/// full cross-cluster cost; a cluster's best config is accepted only when
+/// it strictly improves the system cost.  Rounds repeat until a full round
+/// brings no improvement, the round cap is hit, or a budget/limit fires.
+/// Everything that feeds the result is a deterministic function of
+/// (system, algorithm, base seed) — worker threads inside a pass (portfolio
+/// members, evaluate_many) never change which configuration wins.
+SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
+                               const SolveRequest& request) {
+  constexpr int kMaxRounds = 3;
+  const auto started = std::chrono::steady_clock::now();
+  auto elapsed = [&started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  };
+  const SystemModel& model = evaluator.system_model();
+  const std::size_t C = model.cluster_count();
+  // Work accounting aggregates the per-pass reports, not the parent
+  // evaluator's counters: a portfolio pass races its members on sibling
+  // evaluators whose analyses the parent never sees.
+  long spent_evaluations = 0;
+  auto spent = [&] { return spent_evaluations; };
+
+  // Seed the incumbent with every cluster's minimal start configuration —
+  // the same per-sender minimal point every single-bus walk seeds from.
+  SystemConfig incumbent;
+  incumbent.clusters.resize(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    incumbent.clusters[c] =
+        minimal_start_config(*model.cluster_app(c), evaluator.params()).config;
+  }
+
+  SolveReport report;
+  Cost best{kInvalidConfigCost, false, 0};
+  {
+    // Charged by what actually ran: a repeat solve on the same evaluator
+    // serves this from the system cache and spends nothing.
+    const long evals_before = evaluator.evaluations();
+    const EvaluatorCacheStats cache_before = evaluator.cache_stats();
+    const auto initial = evaluator.evaluate_system(incumbent);
+    const EvaluatorCacheStats cache_after = evaluator.cache_stats();
+    spent_evaluations += evaluator.evaluations() - evals_before;
+    report.cache_hits += cache_after.hits - cache_before.hits;
+    report.cache_misses += cache_after.misses - cache_before.misses;
+    if (initial.valid) best = initial.cost;
+  }
+  const long total_budget = request.max_evaluations;
+  const long pass_share =
+      total_budget > 0
+          ? std::max(1L, total_budget / (static_cast<long>(kMaxRounds) * static_cast<long>(C)))
+          : 0;
+
+  SolveStatus status = SolveStatus::Complete;
+  int pass_index = 0;
+  for (int round = 0; round < kMaxRounds && status == SolveStatus::Complete; ++round) {
+    bool improved = false;
+    for (std::size_t c = 0; c < C && status == SolveStatus::Complete; ++c, ++pass_index) {
+      if (request.cancel && request.cancel->load(std::memory_order_relaxed)) {
+        status = SolveStatus::Cancelled;
+        break;
+      }
+      if (total_budget > 0 && spent() >= total_budget) {
+        status = SolveStatus::BudgetExhausted;
+        break;
+      }
+      if (request.max_wall_seconds > 0.0 && elapsed() >= request.max_wall_seconds) {
+        status = SolveStatus::TimeLimit;
+        break;
+      }
+
+      evaluator.set_focus(incumbent, static_cast<int>(c));
+      SolveRequest pass_request;
+      // SolveRequest::seed semantics carry over: a set seed is fanned out
+      // per pass (repeat passes explore different trajectories); unset
+      // keeps the per-algorithm payload's own seed, exactly like a
+      // single-cluster solve.
+      if (request.seed) {
+        pass_request.seed = derive_seed(*request.seed, static_cast<std::uint64_t>(pass_index));
+      }
+      if (total_budget > 0) {
+        pass_request.max_evaluations = std::min(pass_share, std::max(1L, total_budget - spent()));
+      }
+      if (request.max_wall_seconds > 0.0) {
+        pass_request.max_wall_seconds = std::max(1e-3, request.max_wall_seconds - elapsed());
+      }
+      if (request.progress) {
+        // Report descent-wide progress: pass-local counters are offset by
+        // the work already spent and shown against the caller's budget,
+        // so the CLI line advances monotonically instead of resetting per
+        // pass.
+        const long spent_before_pass = spent_evaluations;
+        pass_request.progress = [&request, spent_before_pass,
+                                 total_budget](const SolveProgress& p) {
+          SolveProgress overall = p;
+          overall.evaluations = spent_before_pass + p.evaluations;
+          overall.max_evaluations = total_budget;
+          return request.progress(overall);
+        };
+      }
+      pass_request.cancel = request.cancel;
+      SolveReport pass = algorithm.solve_cluster(evaluator, pass_request);
+      spent_evaluations += pass.outcome.evaluations;
+      report.cache_hits += pass.cache_hits;
+      report.cache_misses += pass.cache_misses;
+      report.delta_evaluations += pass.delta_evaluations;
+      report.components_recomputed += pass.components_recomputed;
+      report.components_reused += pass.components_reused;
+
+      // Built by append rather than operator+ chaining: GCC 12's inliner
+      // raises a spurious -Wrestrict on the temporary chain.
+      std::string prefix = "c";
+      prefix += std::to_string(c);
+      prefix += 'r';
+      prefix += std::to_string(round);
+      prefix += '/';
+      for (MemberSolveReport member : pass.members) {
+        member.member = prefix + member.member;
+        report.members.push_back(std::move(member));
+      }
+      if (pass.status == SolveStatus::Cancelled) {
+        status = SolveStatus::Cancelled;
+      } else if (pass.status == SolveStatus::TimeLimit && request.max_wall_seconds > 0.0) {
+        // The pass ran out of the caller's wall-clock budget mid-solve; a
+        // truncated descent must not report "complete".
+        status = SolveStatus::TimeLimit;
+      }
+      if (pass.outcome.cost.value < best.value) {
+        best = pass.outcome.cost;
+        incumbent.clusters[c] = pass.outcome.config;
+        improved = true;
+        if (!pass.winner.empty()) report.winner = prefix + pass.winner;
+      }
+    }
+    evaluator.clear_focus();
+    if (!improved && status == SolveStatus::Complete) break;  // coordinate-wise optimum
+  }
+  evaluator.clear_focus();
+  if (status == SolveStatus::Complete && total_budget > 0 && spent() >= total_budget) {
+    status = SolveStatus::BudgetExhausted;
+  }
+
+  report.status = status;
+  report.outcome.system = incumbent;
+  report.outcome.config = incumbent.clusters[0];
+  report.outcome.cost = best;
+  report.outcome.feasible = best.schedulable;
+  report.outcome.evaluations = spent();
+  report.outcome.wall_seconds = elapsed();
+  report.outcome.algorithm =
+      std::string(algorithm.name()) + " (" + std::to_string(C) + "-cluster descent)";
+  return report;
+}
+
+}  // namespace
+
+SolveReport Optimizer::solve(CostEvaluator& evaluator, const SolveRequest& request) {
+  if (evaluator.cluster_count() == 1 || evaluator.focused()) {
+    SolveReport report = solve_cluster(evaluator, request);
+    if (report.outcome.system.clusters.empty()) {
+      if (evaluator.focused()) {
+        report.outcome.system = evaluator.focus_context();
+        report.outcome.system.clusters[static_cast<std::size_t>(evaluator.focus_cluster())] =
+            report.outcome.config;
+      } else {
+        report.outcome.system = SystemConfig::single(report.outcome.config);
+      }
+    }
+    return report;
+  }
+  return solve_multicluster(*this, evaluator, request);
 }
 
 // ---- OptimizerRegistry -----------------------------------------------------

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file system_config.hpp
+/// The decision variables of a multi-cluster system: one BusConfig per
+/// FlexRay cluster, indexed by cluster.  The degenerate single-cluster
+/// SystemConfig wraps exactly one BusConfig and is what every pre-existing
+/// single-bus front-end implicitly searches.
+
+#include <utility>
+#include <vector>
+
+#include "flexopt/flexray/bus_config.hpp"
+
+namespace flexopt {
+
+struct SystemConfig {
+  /// One candidate bus configuration per cluster; frame_id vectors are
+  /// indexed by the *local* MessageIds of that cluster's projected
+  /// application (see flexopt/model/system_model.hpp).
+  std::vector<BusConfig> clusters;
+
+  [[nodiscard]] static SystemConfig single(BusConfig config) {
+    SystemConfig out;
+    out.clusters.push_back(std::move(config));
+    return out;
+  }
+
+  [[nodiscard]] std::size_t cluster_count() const { return clusters.size(); }
+
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
+};
+
+}  // namespace flexopt

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file placement.hpp
+/// Deterministic task-placement helpers shared by the scenario generator
+/// family (flexopt/gen/scenario.hpp).  Exposed in a header so placement
+/// invariants — every node capped at its `tasks_per_node` capacity — can be
+/// regression-tested directly.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "flexopt/model/ids.hpp"
+
+namespace flexopt {
+
+/// Task placement for the GatewayHeavy family: odd chain positions go to
+/// the designated gateway (node 0) while it has capacity, even positions to
+/// the fullest non-gateway node — so consecutive chain hops land on
+/// different nodes and almost every edge becomes a bus message.
+///
+/// Capacity contract: place() never assigns a node beyond `tasks_per_node`
+/// while any node still has capacity, and over-subscription (more place()
+/// calls than nodes * tasks_per_node) spills round-robin across all nodes.
+/// The pre-fix implementation silently dumped every surplus task on node 0
+/// once the non-gateway nodes were full, skewing the family's utilisation.
+class GatewayPlacer {
+ public:
+  GatewayPlacer(int nodes, int tasks_per_node)
+      : remaining_(static_cast<std::size_t>(nodes), tasks_per_node),
+        placed_(static_cast<std::size_t>(nodes), 0) {}
+
+  NodeId place(int chain_position) {
+    const bool want_gateway = chain_position % 2 == 1;
+    std::size_t best = 0;
+    if (!(want_gateway && remaining_[0] > 0)) {
+      for (std::size_t n = 1; n < remaining_.size(); ++n) {
+        if (remaining_[n] > remaining_[best] || (best == 0 && remaining_[n] > 0)) best = n;
+      }
+      if (remaining_[best] <= 0) best = 0;  // only the gateway has slots left
+    }
+    if (remaining_[best] <= 0) {
+      // Every node is full: spill round-robin instead of over-filling the
+      // gateway (capacity is a soft limit only under over-subscription).
+      best = spill_cursor_++ % remaining_.size();
+    } else {
+      --remaining_[best];
+    }
+    ++placed_[best];
+    return static_cast<NodeId>(static_cast<std::uint32_t>(best));
+  }
+
+  /// Tasks placed on `node` so far (regression hook).
+  [[nodiscard]] int placed(NodeId node) const { return placed_[index_of(node)]; }
+  [[nodiscard]] int capacity_left(NodeId node) const { return remaining_[index_of(node)]; }
+
+ private:
+  std::vector<int> remaining_;
+  std::vector<int> placed_;
+  std::size_t spill_cursor_ = 0;
+};
+
+/// Per-cluster capacity-aware placement for the MultiCluster family: picks
+/// the node of `cluster` with the most remaining capacity (lowest index on
+/// ties) and spills round-robin within the cluster when it is full.
+class ClusterPlacer {
+ public:
+  /// `cluster_nodes[c]` lists the NodeIds of cluster c's compute nodes.
+  ClusterPlacer(std::vector<std::vector<NodeId>> cluster_nodes, int tasks_per_node)
+      : cluster_nodes_(std::move(cluster_nodes)), spill_cursor_(cluster_nodes_.size(), 0) {
+    std::size_t max_node = 0;
+    for (const auto& nodes : cluster_nodes_) {
+      for (const NodeId n : nodes) max_node = std::max<std::size_t>(max_node, index_of(n));
+    }
+    remaining_.assign(max_node + 1, 0);
+    for (const auto& nodes : cluster_nodes_) {
+      for (const NodeId n : nodes) remaining_[index_of(n)] = tasks_per_node;
+    }
+  }
+
+  NodeId place(std::size_t cluster) {
+    const auto& nodes = cluster_nodes_[cluster];
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      if (remaining_[index_of(nodes[i])] > remaining_[index_of(nodes[best])]) best = i;
+    }
+    if (remaining_[index_of(nodes[best])] <= 0) {
+      return nodes[spill_cursor_[cluster]++ % nodes.size()];
+    }
+    --remaining_[index_of(nodes[best])];
+    return nodes[best];
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> cluster_nodes_;
+  std::vector<int> remaining_;
+  std::vector<std::size_t> spill_cursor_;
+};
+
+}  // namespace flexopt

@@ -29,6 +29,13 @@ enum class Topology {
   /// designated gateway node (node 0) so nearly every hop crosses nodes —
   /// the message-heavy worst case for bus optimisation.
   GatewayHeavy,
+  /// A gateway-connected cluster network (ScenarioSpec::clusters buses in a
+  /// chain, one gateway per adjacent pair): compute nodes are spread
+  /// round-robin over the clusters, an `inter_cluster_share` of the graphs
+  /// alternates its chain between two clusters so its messages hop through
+  /// gateways, and the rest stays cluster-local.  Cross graphs are always
+  /// event-triggered (gateway forwarding is ET-only, see application.hpp).
+  MultiCluster,
 };
 
 /// Which share of the graphs is time-triggered (SCS tasks + ST messages).
@@ -44,6 +51,11 @@ struct ScenarioSpec {
   SyntheticSpec base;
   Topology topology = Topology::RandomDag;
   TrafficMix traffic = TrafficMix::Mixed;
+  /// MultiCluster only: number of FlexRay clusters (validated to 2..4; the
+  /// other families ignore it and stay single-bus).
+  int clusters = 2;
+  /// MultiCluster only: share of graphs whose chain crosses two clusters.
+  double inter_cluster_share = 0.25;
 };
 
 /// Stable spelling used in spec files, CSV/JSON output and CLI errors.

@@ -54,7 +54,14 @@ struct SyntheticSpec {
 Expected<Application> generate_synthetic(const SyntheticSpec& spec, const BusParams& params);
 
 /// Realised (post-scaling) bus utilisation of an application, for test
-/// assertions and bench reporting.
+/// assertions and bench reporting.  Sums over every message, so for
+/// multi-cluster applications it is the sum across all buses — use the
+/// per-cluster overload to compare against a per-bus utilisation band.
 double bus_utilization(const Application& app, const BusParams& params);
+
+/// Realised utilisation of one cluster's bus: messages attributed to their
+/// sender's home cluster (their first hop; the relay hops a SystemModel
+/// projection adds downstream are not counted).
+double bus_utilization(const Application& app, const BusParams& params, ClusterId cluster);
 
 }  // namespace flexopt

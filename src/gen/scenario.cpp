@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "flexopt/gen/placement.hpp"
 #include "flexopt/util/rng.hpp"
 
 namespace flexopt {
@@ -14,34 +15,117 @@ std::string idx_name(const char* prefix, std::size_t i) {
   return std::string(prefix) + std::to_string(i);
 }
 
-/// Deterministic task placement for GatewayHeavy: odd chain positions go to
-/// the gateway (node 0) while it has capacity, even positions to the
-/// fullest non-gateway node — so consecutive chain hops land on different
-/// nodes and almost every edge becomes a bus message.  Keeps the "exactly
-/// tasks_per_node tasks per node" invariant of the family.
-class GatewayPlacer {
- public:
-  GatewayPlacer(int nodes, int tasks_per_node)
-      : remaining_(static_cast<std::size_t>(nodes), tasks_per_node) {}
+/// Task construction shared by every family member: placeholder WCET drawn
+/// from the rng (rescaled to the utilisation targets afterwards) and
+/// deadline-monotonic priorities — shorter-period graphs preempt longer
+/// ones; within a graph, upstream tasks run first (they gate the chain's
+/// jitter).  Do not reorder the rng draws: identical spec + seed must stay
+/// bit-identical across family members.
+TaskId add_family_task(Application& app, GraphId graph, NodeId node, int i,
+                       std::size_t period_rank, bool tt, Rng& rng) {
+  const Time wcet = timeunits::us(rng.uniform_int(200, 1200));
+  const int priority = static_cast<int>(period_rank) * 8 + std::min(i, 7);
+  return app.add_task(graph, idx_name("t", index_of(graph)) + "_" + std::to_string(i), node,
+                      wcet, tt ? TaskPolicy::Scs : TaskPolicy::Fps, priority);
+}
 
-  NodeId place(int chain_position) {
-    const bool want_gateway = chain_position % 2 == 1;
-    if (want_gateway && remaining_[0] > 0) {
-      --remaining_[0];
-      return static_cast<NodeId>(0);
-    }
-    std::size_t best = 0;
-    for (std::size_t n = 1; n < remaining_.size(); ++n) {
-      if (remaining_[n] > remaining_[best] || (best == 0 && remaining_[n] > 0)) best = n;
-    }
-    if (remaining_[best] == 0) best = 0;  // only the gateway has slots left
-    --remaining_[best];
-    return static_cast<NodeId>(static_cast<std::uint32_t>(best));
+/// Wires predecessor p -> consumer i: a direct dependency when both sit on
+/// the same node, a bus message otherwise (intra-node communication is
+/// folded into WCETs per Section 4).
+void connect_family_tasks(Application& app, GraphId graph, const std::vector<TaskId>& tasks,
+                          int p, int i, std::size_t period_rank, bool tt, Rng& rng) {
+  const TaskId from = tasks[static_cast<std::size_t>(p)];
+  const TaskId to = tasks[static_cast<std::size_t>(i)];
+  if (app.task(from).node == app.task(to).node) {
+    app.add_dependency(from, to);
+  } else {
+    app.add_message(graph,
+                    idx_name("m", index_of(graph)) + "_" + std::to_string(p) + "_" +
+                        std::to_string(i),
+                    from, to, /*size_bytes=*/static_cast<int>(rng.uniform_int(2, 16)),
+                    tt ? MessageClass::Static : MessageClass::Dynamic,
+                    /*priority=*/static_cast<int>(period_rank) * 8 + std::min(i, 7));
+  }
+}
+
+/// Graph/task construction of the MultiCluster family: `clusters` buses in
+/// a chain (gateway GWj bridges clusters j and j+1), compute nodes spread
+/// round-robin, an inter_cluster_share of the graphs alternating its chain
+/// between two clusters (possibly non-adjacent — routes then take several
+/// gateway hops).  WCET/size scaling happens in the shared tail of
+/// generate_scenario.
+Expected<Application> build_multicluster(const ScenarioSpec& scenario,
+                                         const SyntheticSpec& spec, Rng& rng) {
+  const int K = scenario.clusters;
+  if (K < 2 || K > 4) {
+    return make_error("multicluster: clusters must be in [2, 4]");
+  }
+  if (!(scenario.inter_cluster_share >= 0.0) || !(scenario.inter_cluster_share <= 1.0) ||
+      !std::isfinite(scenario.inter_cluster_share)) {
+    return make_error("multicluster: inter_cluster_share must be in [0, 1]");
+  }
+  if (spec.nodes < K) {
+    return make_error("multicluster: need at least one compute node per cluster");
   }
 
- private:
-  std::vector<int> remaining_;
-};
+  Application app;
+  std::vector<std::vector<NodeId>> cluster_nodes(static_cast<std::size_t>(K));
+  for (int n = 0; n < spec.nodes; ++n) {
+    const NodeId id = app.add_node(idx_name("N", static_cast<std::size_t>(n)));
+    const std::size_t c = static_cast<std::size_t>(n % K);
+    app.set_node_cluster(id, static_cast<ClusterId>(static_cast<std::uint32_t>(c)));
+    cluster_nodes[c].push_back(id);
+  }
+  for (int j = 0; j + 1 < K; ++j) {
+    const NodeId gw = app.add_node(idx_name("GW", static_cast<std::size_t>(j)));
+    app.set_node_cluster(gw, static_cast<ClusterId>(static_cast<std::uint32_t>(j)));
+    app.add_gateway(gw, {static_cast<ClusterId>(static_cast<std::uint32_t>(j + 1))});
+  }
+
+  const int total_tasks = spec.nodes * spec.tasks_per_node;
+  const int graph_count = total_tasks / spec.tasks_per_graph;
+  const int cross_graphs = std::clamp(
+      static_cast<int>(std::lround(graph_count * scenario.inter_cluster_share)), 0,
+      graph_count);
+  const int intra_graphs = graph_count - cross_graphs;
+  const int tt_graphs =
+      std::clamp(static_cast<int>(std::lround(intra_graphs * spec.tt_share)), 0, intra_graphs);
+
+  ClusterPlacer placer(cluster_nodes, spec.tasks_per_node);
+  for (int g = 0; g < graph_count; ++g) {
+    // Cross graphs are event-triggered end to end: gateway relays are FPS
+    // tasks and relay hops DYN messages, so a TT chain cannot cross buses.
+    const bool cross = g >= intra_graphs;
+    const bool tt = !cross && g < tt_graphs;
+    const std::size_t period_rank = rng.index(spec.period_choices.size());
+    const Time period = spec.period_choices[period_rank];
+    const Time deadline =
+        static_cast<Time>(std::llround(static_cast<double>(period) * spec.deadline_factor));
+    const GraphId graph = app.add_graph(
+        idx_name(cross ? "GX" : tt ? "GT" : "GE", static_cast<std::size_t>(g)), period,
+        deadline);
+
+    // Home cluster round-robin (keeps every cluster populated); the cross
+    // partner is any other cluster, so multi-hop routes get exercised too.
+    const std::size_t home = static_cast<std::size_t>(g % K);
+    const std::size_t partner =
+        cross ? (home + 1 + rng.index(static_cast<std::size_t>(K - 1))) %
+                    static_cast<std::size_t>(K)
+              : home;
+
+    std::vector<TaskId> tasks;
+    tasks.reserve(static_cast<std::size_t>(spec.tasks_per_graph));
+    for (int i = 0; i < spec.tasks_per_graph; ++i) {
+      const std::size_t cluster = i % 2 == 1 ? partner : home;
+      tasks.push_back(add_family_task(app, graph, placer.place(cluster), i, period_rank, tt,
+                                      rng));
+    }
+    for (int i = 1; i < spec.tasks_per_graph; ++i) {
+      connect_family_tasks(app, graph, tasks, i - 1, i, period_rank, tt, rng);
+    }
+  }
+  return app;
+}
 
 }  // namespace
 
@@ -51,6 +135,7 @@ const char* to_string(Topology topology) {
     case Topology::Pipeline: return "pipeline";
     case Topology::FanInFanOut: return "fan-in-out";
     case Topology::GatewayHeavy: return "gateway";
+    case Topology::MultiCluster: return "multicluster";
   }
   return "?";
 }
@@ -69,8 +154,9 @@ Expected<Topology> parse_topology(std::string_view text) {
   if (text == "pipeline" || text == "chain") return Topology::Pipeline;
   if (text == "fan-in-out" || text == "fan") return Topology::FanInFanOut;
   if (text == "gateway" || text == "gateway-heavy") return Topology::GatewayHeavy;
+  if (text == "multicluster" || text == "multi-cluster") return Topology::MultiCluster;
   return make_error("unknown topology '" + std::string(text) +
-                    "' (expected random-dag, pipeline, fan-in-out or gateway)");
+                    "' (expected random-dag, pipeline, fan-in-out, gateway or multicluster)");
 }
 
 Expected<TrafficMix> parse_traffic_mix(std::string_view text) {
@@ -133,99 +219,87 @@ Expected<Application> generate_scenario(const ScenarioSpec& scenario, const BusP
   Rng rng(spec.seed);
 
   Application app;
-  for (int n = 0; n < spec.nodes; ++n) app.add_node(idx_name("N", static_cast<std::size_t>(n)));
-
-  // Node assignment: exactly tasks_per_node tasks per node.  The random
-  // families interleave placement by shuffling; GatewayHeavy places
-  // deterministically so chain hops alternate through the gateway.
-  std::vector<NodeId> slots;
-  GatewayPlacer gateway(spec.nodes, spec.tasks_per_node);
-  if (scenario.topology != Topology::GatewayHeavy) {
-    slots.reserve(static_cast<std::size_t>(total_tasks));
+  if (scenario.topology == Topology::MultiCluster) {
+    auto built = build_multicluster(scenario, spec, rng);
+    if (!built.ok()) return built.error();
+    app = std::move(built).value();
+  } else {
     for (int n = 0; n < spec.nodes; ++n) {
-      for (int k = 0; k < spec.tasks_per_node; ++k) slots.push_back(static_cast<NodeId>(n));
-    }
-    rng.shuffle(slots);
-  }
-
-  // tt_share is validated to [0,1]; the clamp also shields against rounding
-  // at the interval ends.
-  const int tt_graphs = std::clamp(static_cast<int>(std::lround(graph_count * spec.tt_share)),
-                                   0, graph_count);
-  std::size_t slot_cursor = 0;
-
-  for (int g = 0; g < graph_count; ++g) {
-    const bool tt = g < tt_graphs;
-    const std::size_t period_rank = rng.index(spec.period_choices.size());
-    const Time period = spec.period_choices[period_rank];
-    const Time deadline = static_cast<Time>(
-        std::llround(static_cast<double>(period) * spec.deadline_factor));
-    const GraphId graph = app.add_graph(idx_name(tt ? "GT" : "GE", static_cast<std::size_t>(g)),
-                                        period, deadline);
-
-    std::vector<TaskId> tasks;
-    tasks.reserve(static_cast<std::size_t>(spec.tasks_per_graph));
-    for (int i = 0; i < spec.tasks_per_graph; ++i) {
-      const NodeId node = scenario.topology == Topology::GatewayHeavy ? gateway.place(i)
-                                                                      : slots[slot_cursor++];
-      // Placeholder WCET; scaled to the utilisation target below.
-      const Time wcet = timeunits::us(rng.uniform_int(200, 1200));
-      // Deadline-monotonic priorities: shorter-period graphs preempt longer
-      // ones; within a graph, upstream tasks run first (they gate the
-      // chain's jitter).
-      const int priority = static_cast<int>(period_rank) * 8 + std::min(i, 7);
-      tasks.push_back(app.add_task(graph, idx_name("t", index_of(graph)) + "_" +
-                                              std::to_string(i),
-                                   node, wcet, tt ? TaskPolicy::Scs : TaskPolicy::Fps,
-                                   priority));
+      app.add_node(idx_name("N", static_cast<std::size_t>(n)));
     }
 
-    // Wires predecessor p -> consumer i: a direct dependency when both sit
-    // on the same node, a bus message otherwise (intra-node communication
-    // is folded into WCETs per Section 4).
-    auto connect = [&](int p, int i) {
-      const TaskId from = tasks[static_cast<std::size_t>(p)];
-      const TaskId to = tasks[static_cast<std::size_t>(i)];
-      if (app.task(from).node == app.task(to).node) {
-        app.add_dependency(from, to);
-      } else {
-        app.add_message(graph,
-                        idx_name("m", index_of(graph)) + "_" + std::to_string(p) + "_" +
-                            std::to_string(i),
-                        from, to, /*size_bytes=*/static_cast<int>(rng.uniform_int(2, 16)),
-                        tt ? MessageClass::Static : MessageClass::Dynamic,
-                        /*priority=*/static_cast<int>(period_rank) * 8 + std::min(i, 7));
+    // Node assignment: exactly tasks_per_node tasks per node.  The random
+    // families interleave placement by shuffling; GatewayHeavy places
+    // deterministically so chain hops alternate through the gateway.
+    std::vector<NodeId> slots;
+    GatewayPlacer gateway(spec.nodes, spec.tasks_per_node);
+    if (scenario.topology != Topology::GatewayHeavy) {
+      slots.reserve(static_cast<std::size_t>(total_tasks));
+      for (int n = 0; n < spec.nodes; ++n) {
+        for (int k = 0; k < spec.tasks_per_node; ++k) slots.push_back(static_cast<NodeId>(n));
       }
-    };
+      rng.shuffle(slots);
+    }
 
-    switch (scenario.topology) {
-      case Topology::RandomDag:
-        // Every non-root picks 1-2 predecessors among earlier tasks (keeps
-        // the graph connected & acyclic; task 0 is the single source).
-        for (int i = 1; i < spec.tasks_per_graph; ++i) {
-          const int pred_count = rng.chance(0.3) && i >= 2 ? 2 : 1;
-          std::vector<int> preds;
-          while (static_cast<int>(preds.size()) < pred_count) {
-            const int p = static_cast<int>(rng.uniform_int(0, i - 1));
-            if (std::find(preds.begin(), preds.end(), p) == preds.end()) preds.push_back(p);
+    // tt_share is validated to [0,1]; the clamp also shields against
+    // rounding at the interval ends.
+    const int tt_graphs = std::clamp(static_cast<int>(std::lround(graph_count * spec.tt_share)),
+                                     0, graph_count);
+    std::size_t slot_cursor = 0;
+
+    for (int g = 0; g < graph_count; ++g) {
+      const bool tt = g < tt_graphs;
+      const std::size_t period_rank = rng.index(spec.period_choices.size());
+      const Time period = spec.period_choices[period_rank];
+      const Time deadline = static_cast<Time>(
+          std::llround(static_cast<double>(period) * spec.deadline_factor));
+      const GraphId graph = app.add_graph(
+          idx_name(tt ? "GT" : "GE", static_cast<std::size_t>(g)), period, deadline);
+
+      std::vector<TaskId> tasks;
+      tasks.reserve(static_cast<std::size_t>(spec.tasks_per_graph));
+      for (int i = 0; i < spec.tasks_per_graph; ++i) {
+        const NodeId node = scenario.topology == Topology::GatewayHeavy ? gateway.place(i)
+                                                                        : slots[slot_cursor++];
+        tasks.push_back(add_family_task(app, graph, node, i, period_rank, tt, rng));
+      }
+
+      auto connect = [&](int p, int i) {
+        connect_family_tasks(app, graph, tasks, p, i, period_rank, tt, rng);
+      };
+
+      switch (scenario.topology) {
+        case Topology::RandomDag:
+          // Every non-root picks 1-2 predecessors among earlier tasks
+          // (keeps the graph connected & acyclic; task 0 is the single
+          // source).
+          for (int i = 1; i < spec.tasks_per_graph; ++i) {
+            const int pred_count = rng.chance(0.3) && i >= 2 ? 2 : 1;
+            std::vector<int> preds;
+            while (static_cast<int>(preds.size()) < pred_count) {
+              const int p = static_cast<int>(rng.uniform_int(0, i - 1));
+              if (std::find(preds.begin(), preds.end(), p) == preds.end()) preds.push_back(p);
+            }
+            for (const int p : preds) connect(p, i);
           }
-          for (const int p : preds) connect(p, i);
-        }
-        break;
-      case Topology::Pipeline:
-      case Topology::GatewayHeavy:
-        for (int i = 1; i < spec.tasks_per_graph; ++i) connect(i - 1, i);
-        break;
-      case Topology::FanInFanOut:
-        if (spec.tasks_per_graph == 2) {
-          connect(0, 1);
-        } else {
-          for (int i = 1; i < spec.tasks_per_graph - 1; ++i) {
-            connect(0, i);
-            connect(i, spec.tasks_per_graph - 1);
+          break;
+        case Topology::Pipeline:
+        case Topology::GatewayHeavy:
+          for (int i = 1; i < spec.tasks_per_graph; ++i) connect(i - 1, i);
+          break;
+        case Topology::FanInFanOut:
+          if (spec.tasks_per_graph == 2) {
+            connect(0, 1);
+          } else {
+            for (int i = 1; i < spec.tasks_per_graph - 1; ++i) {
+              connect(0, i);
+              connect(i, spec.tasks_per_graph - 1);
+            }
           }
-        }
-        break;
+          break;
+        case Topology::MultiCluster:
+          break;  // handled above
+      }
     }
   }
 
@@ -248,7 +322,32 @@ Expected<Application> generate_scenario(const ScenarioSpec& scenario, const BusP
   }
 
   // --- scale message sizes to the bus utilisation target ------------------
-  if (app.message_count() > 0) {
+  if (app.message_count() > 0 && scenario.topology == Topology::MultiCluster) {
+    // Each FlexRay bus must hit the utilisation band individually — a
+    // system-wide sum would load every bus at roughly band/clusters.
+    // Messages are attributed to their sender's cluster (the first hop's
+    // bus; the relay hops the projection adds downstream load their buses
+    // slightly on top).
+    auto message_cluster = [&](std::uint32_t m) {
+      return index_of(app.cluster_of(app.messages()[m].sender));
+    };
+    for (int c = 0; c < scenario.clusters; ++c) {
+      const ClusterId cluster = static_cast<ClusterId>(static_cast<std::uint32_t>(c));
+      const double target = rng.uniform_real(spec.bus_util_min, spec.bus_util_max);
+      for (int pass = 0; pass < 2; ++pass) {
+        const double current = bus_utilization(app, params, cluster);
+        if (current <= 0.0) break;
+        const double factor = target / current;
+        for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+          if (message_cluster(m) != static_cast<std::uint32_t>(c)) continue;
+          const int scaled = std::clamp(
+              static_cast<int>(std::lround(app.messages()[m].size_bytes * factor)), 1,
+              spec.max_message_bytes);
+          app.set_message_size(static_cast<MessageId>(m), scaled);
+        }
+      }
+    }
+  } else if (app.message_count() > 0) {
     const double target = rng.uniform_real(spec.bus_util_min, spec.bus_util_max);
     // Two proportional passes: frame overhead makes utilisation affine in
     // the payload size, so one pass under/overshoots slightly.

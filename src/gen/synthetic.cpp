@@ -18,6 +18,18 @@ double bus_utilization(const Application& app, const BusParams& params) {
   return u;
 }
 
+double bus_utilization(const Application& app, const BusParams& params, ClusterId cluster) {
+  double u = 0.0;
+  for (const auto& m : app.messages()) {
+    if (app.cluster_of(m.sender) != cluster) continue;
+    const Time period = app.graph(m.graph).period;
+    if (period <= 0) continue;
+    u += static_cast<double>(params.frame_duration(m.size_bytes)) /
+         static_cast<double>(period);
+  }
+  return u;
+}
+
 Expected<Application> generate_synthetic(const SyntheticSpec& spec, const BusParams& params) {
   // The Section 7 recipe is the RandomDag/Mixed member of the scenario
   // generator family (flexopt/gen/scenario.hpp).

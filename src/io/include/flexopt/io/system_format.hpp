@@ -6,7 +6,8 @@
 ///
 /// Line-based; `#` starts a comment; keywords:
 ///
-///   node <name>
+///   node <name> [cluster=<int>]
+///   gateway <name> cluster=<int> bridges=<int>[,<int>...]
 ///   graph <name> tt|et period=<dur> deadline=<dur>
 ///   task <name> graph=<g> node=<n> wcet=<dur> [prio=<int>] [offset=<dur>]
 ///   message <name> from=<task> to=<task> bytes=<int> [prio=<int>]

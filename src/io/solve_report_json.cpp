@@ -5,6 +5,22 @@
 namespace flexopt {
 namespace {
 
+void write_config(JsonWriter& json, const BusConfig& config) {
+  json.begin_object()
+      .field("static_slot_count", config.static_slot_count)
+      .field("static_slot_len", config.static_slot_len)
+      .field("minislot_count", config.minislot_count);
+  json.key("static_slot_owner").begin_array();
+  for (const NodeId owner : config.static_slot_owner) {
+    json.value(static_cast<long long>(owner));
+  }
+  json.end_array();
+  json.key("frame_id").begin_array();
+  for (const int id : config.frame_id) json.value(id);
+  json.end_array();
+  json.end_object();
+}
+
 void write_member(JsonWriter& json, const MemberSolveReport& member, bool include_timing) {
   json.begin_object()
       .field("member", member.member)
@@ -39,16 +55,22 @@ void write_member(JsonWriter& json, const MemberSolveReport& member, bool includ
 std::string write_solve_json(const Application& app, std::string_view algorithm,
                              const SolveReport& report, bool include_timing) {
   const OptimizationOutcome& outcome = report.outcome;
+  // Schema v2 delta: the version bump itself, plus — for multi-cluster
+  // systems only — a `clusters` count in the system object and a
+  // `cluster_configs` array after `config`.  Single-cluster reports are
+  // byte-identical to v1 apart from the version field, which is what keeps
+  // the checked-in goldens honest across the refactor.
+  const bool multicluster = outcome.system.cluster_count() > 1;
   JsonWriter json;
   json.begin_object();
-  json.field("schema", "flexopt-solve-report/1");
-  json.key("system")
-      .begin_object()
-      .field("tasks", app.task_count())
+  json.field("schema", "flexopt-solve-report/2");
+  json.key("system").begin_object();
+  json.field("tasks", app.task_count())
       .field("messages", app.message_count())
       .field("graphs", app.graph_count())
-      .field("nodes", app.node_count())
-      .end_object();
+      .field("nodes", app.node_count());
+  if (multicluster) json.field("clusters", outcome.system.cluster_count());
+  json.end_object();
   json.field("algorithm", algorithm);
   json.field("algorithm_label", outcome.algorithm);
   json.field("status", to_string(report.status));
@@ -69,20 +91,15 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
       .field("components_recomputed", report.components_recomputed)
       .field("components_reused", report.components_reused)
       .end_object();
-  json.key("config")
-      .begin_object()
-      .field("static_slot_count", outcome.config.static_slot_count)
-      .field("static_slot_len", outcome.config.static_slot_len)
-      .field("minislot_count", outcome.config.minislot_count);
-  json.key("static_slot_owner").begin_array();
-  for (const NodeId owner : outcome.config.static_slot_owner) {
-    json.value(static_cast<long long>(owner));
+  json.key("config");
+  write_config(json, outcome.config);
+  if (multicluster) {
+    // One config per cluster; frame_id vectors index the *local* MessageIds
+    // of that cluster's projection (relay hops included).
+    json.key("cluster_configs").begin_array();
+    for (const BusConfig& cluster : outcome.system.clusters) write_config(json, cluster);
+    json.end_array();
   }
-  json.end_array();
-  json.key("frame_id").begin_array();
-  for (const int id : outcome.config.frame_id) json.value(id);
-  json.end_array();
-  json.end_object();
   json.field("winner", report.winner);
   json.key("members").begin_array();
   for (const MemberSolveReport& member : report.members) {

@@ -78,9 +78,59 @@ Expected<ParsedSystem> parse_system(std::istream& in) {
     for (std::string tok; ls >> tok;) args.push_back(tok);
 
     if (keyword == "node") {
-      if (args.size() != 1) return error_at("node expects exactly one name");
+      if (args.empty() || args.size() > 2) {
+        return error_at("node expects: <name> [cluster=<int>]");
+      }
       if (nodes.contains(args[0])) return error_at("duplicate node '" + args[0] + "'");
-      nodes[args[0]] = out.app.add_node(args[0]);
+      const NodeId id = out.app.add_node(args[0]);
+      nodes[args[0]] = id;
+      if (args.size() == 2) {
+        std::string key;
+        std::string value;
+        if (!split_kv(args[1], &key, &value) || key != "cluster") {
+          return error_at("node expects: <name> [cluster=<int>]");
+        }
+        auto cluster = parse_int(value);
+        if (!cluster.ok()) return error_at(cluster.error().message);
+        if (cluster.value() < 0) return error_at("cluster index must be >= 0");
+        out.app.set_node_cluster(
+            id, static_cast<ClusterId>(static_cast<std::uint32_t>(cluster.value())));
+      }
+    } else if (keyword == "gateway") {
+      // gateway <name> cluster=<int> bridges=<int>[,<int>...]
+      if (args.size() != 3) {
+        return error_at("gateway expects: <name> cluster=<int> bridges=<int>[,<int>...]");
+      }
+      if (nodes.contains(args[0])) return error_at("duplicate node '" + args[0] + "'");
+      const NodeId id = out.app.add_node(args[0]);
+      nodes[args[0]] = id;
+      int home = -1;
+      std::vector<ClusterId> bridges;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string key;
+        std::string value;
+        if (!split_kv(args[i], &key, &value)) return error_at("expected key=value: " + args[i]);
+        if (key == "cluster") {
+          auto parsed = parse_int(value);
+          if (!parsed.ok()) return error_at(parsed.error().message);
+          if (parsed.value() < 0) return error_at("cluster index must be >= 0");
+          home = parsed.value();
+        } else if (key == "bridges") {
+          std::istringstream list(value);
+          for (std::string item; std::getline(list, item, ',');) {
+            auto bridge = parse_int(item);
+            if (!bridge.ok()) return error_at(bridge.error().message);
+            if (bridge.value() < 0) return error_at("bridged cluster must be >= 0");
+            bridges.push_back(static_cast<ClusterId>(static_cast<std::uint32_t>(bridge.value())));
+          }
+        } else {
+          return error_at("unknown gateway attribute '" + key + "'");
+        }
+      }
+      if (home < 0) return error_at("gateway needs cluster=<int>");
+      if (bridges.empty()) return error_at("gateway needs bridges=<int>[,<int>...]");
+      out.app.set_node_cluster(id, static_cast<ClusterId>(static_cast<std::uint32_t>(home)));
+      out.app.add_gateway(id, std::move(bridges));
     } else if (keyword == "graph") {
       if (args.size() < 2) return error_at("graph expects: <name> tt|et period=.. deadline=..");
       const std::string& name = args[0];
@@ -234,7 +284,19 @@ std::string write_system(const Application& app, const BusParams& params) {
   os << "param gd_minislot=" << params.gd_minislot << "ns\n";
   os << "param overhead_bits=" << params.frame.overhead_bits << "\n";
   os << "param bits_per_byte=" << params.frame.bits_per_payload_byte << "\n";
-  for (const auto& n : app.nodes()) os << "node " << n.name << "\n";
+  for (const auto& n : app.nodes()) {
+    if (n.is_gateway()) {
+      os << "gateway " << n.name << " cluster=" << index_of(n.cluster) << " bridges=";
+      for (std::size_t i = 0; i < n.bridges.size(); ++i) {
+        os << (i > 0 ? "," : "") << index_of(n.bridges[i]);
+      }
+      os << "\n";
+    } else {
+      os << "node " << n.name;
+      if (index_of(n.cluster) != 0) os << " cluster=" << index_of(n.cluster);
+      os << "\n";
+    }
+  }
   std::vector<bool> graph_is_tt(app.graph_count(), true);
   for (const auto& t : app.tasks()) {
     if (t.policy == TaskPolicy::Fps) graph_is_tt[index_of(t.graph)] = false;

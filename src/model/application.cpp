@@ -8,9 +8,26 @@
 
 namespace flexopt {
 
+bool ProcessingNode::in_cluster(ClusterId c) const {
+  if (cluster == c) return true;
+  return std::find(bridges.begin(), bridges.end(), c) != bridges.end();
+}
+
 NodeId Application::add_node(std::string name) {
-  nodes_.push_back(ProcessingNode{std::move(name)});
+  ProcessingNode node;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Application::set_node_cluster(NodeId node, ClusterId cluster) {
+  nodes_[index_of(node)].cluster = cluster;
+  finalized_ = false;
+}
+
+void Application::add_gateway(NodeId node, std::vector<ClusterId> bridges) {
+  nodes_[index_of(node)].bridges = std::move(bridges);
+  finalized_ = false;
 }
 
 GraphId Application::add_graph(std::string name, Time period, Time deadline) {
@@ -124,6 +141,8 @@ Expected<bool> Application::finalize() {
     }
   }
 
+  if (auto routes = derive_routes(); !routes.ok()) return routes.error();
+
   // Build adjacency over activities.
   const std::size_t n = activity_count();
   preds_.assign(n, {});
@@ -180,6 +199,129 @@ Expected<bool> Application::finalize() {
   if (topo_order_.size() != n) return make_error("precedence constraints contain a cycle");
 
   finalized_ = true;
+  return true;
+}
+
+Expected<bool> Application::derive_routes() {
+  // Cluster universe from node homes and gateway bridges; indices must be
+  // contiguous from 0 so per-cluster containers can be plain vectors.
+  std::uint32_t max_cluster = 0;
+  for (const auto& node : nodes_) {
+    max_cluster = std::max(max_cluster, index_of(node.cluster));
+    for (const ClusterId b : node.bridges) max_cluster = std::max(max_cluster, index_of(b));
+  }
+  cluster_count_ = static_cast<std::size_t>(max_cluster) + 1;
+  std::vector<char> used(cluster_count_, 0);
+  for (const auto& node : nodes_) {
+    used[index_of(node.cluster)] = 1;
+    for (const ClusterId b : node.bridges) used[index_of(b)] = 1;
+  }
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    if (!used[c]) {
+      return make_error("cluster indices must be contiguous: cluster " + std::to_string(c) +
+                        " is unused while cluster " + std::to_string(cluster_count_ - 1) +
+                        " exists");
+    }
+  }
+
+  for (const auto& node : nodes_) {
+    for (std::size_t i = 0; i < node.bridges.size(); ++i) {
+      if (node.bridges[i] == node.cluster) {
+        return make_error("gateway '" + node.name + "' bridges its own home cluster");
+      }
+      for (std::size_t j = i + 1; j < node.bridges.size(); ++j) {
+        if (node.bridges[i] == node.bridges[j]) {
+          return make_error("gateway '" + node.name + "' lists a bridged cluster twice");
+        }
+      }
+    }
+  }
+  // Gateways host only the relay activities the system projection derives;
+  // application tasks on a bridging CPU would be analysed once per member
+  // cluster and double-count its load.
+  for (const auto& t : tasks_) {
+    if (nodes_[index_of(t.node)].is_gateway()) {
+      return make_error("task '" + t.name + "' is mapped onto gateway node '" +
+                        nodes_[index_of(t.node)].name + "' (gateways only forward messages)");
+    }
+  }
+
+  // Cluster adjacency: a gateway connects every pair of its member clusters;
+  // per pair the lowest-indexed gateway node forwards (deterministic).
+  const std::size_t C = cluster_count_;
+  std::vector<int> pair_gateway(C * C, -1);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    const auto& node = nodes_[n];
+    if (!node.is_gateway()) continue;
+    std::vector<std::uint32_t> members{index_of(node.cluster)};
+    for (const ClusterId b : node.bridges) members.push_back(index_of(b));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        int& slot = pair_gateway[members[i] * C + members[j]];
+        if (slot < 0) slot = static_cast<int>(n);
+      }
+    }
+  }
+
+  routes_.assign(messages_.size(), MessageRoute{});
+  cross_cluster_messages_ = false;
+  // Per-source BFS parents are deterministic (clusters visited in ascending
+  // index order), so routes never depend on container ordering.
+  std::vector<int> parent(C);
+  for (std::uint32_t m = 0; m < messages_.size(); ++m) {
+    const std::uint32_t from = index_of(cluster_of(messages_[m].sender));
+    const std::uint32_t to = index_of(cluster_of(messages_[m].receiver));
+    MessageRoute& route = routes_[m];
+    if (from == to) {
+      route.clusters = {static_cast<ClusterId>(from)};
+      continue;
+    }
+    std::fill(parent.begin(), parent.end(), -1);
+    parent[from] = static_cast<int>(from);
+    std::queue<std::uint32_t> frontier;
+    frontier.push(from);
+    while (!frontier.empty() && parent[to] < 0) {
+      const std::uint32_t c = frontier.front();
+      frontier.pop();
+      for (std::uint32_t next = 0; next < C; ++next) {
+        if (parent[next] >= 0 || pair_gateway[c * C + next] < 0) continue;
+        parent[next] = static_cast<int>(c);
+        frontier.push(next);
+      }
+    }
+    if (parent[to] < 0) {
+      return make_error("message '" + messages_[m].name + "' crosses from cluster " +
+                        std::to_string(from) + " to cluster " + std::to_string(to) +
+                        " but no gateway route connects them");
+    }
+    // Gateway forwarding is event-triggered (store-and-forward relays are
+    // FPS), so neither the message class nor the receiver may be
+    // time-triggered: a schedule table cannot honour a cross-bus arrival.
+    if (messages_[m].cls != MessageClass::Dynamic) {
+      return make_error("cross-cluster message '" + messages_[m].name +
+                        "' must use the dynamic segment (TT gateway forwarding is not "
+                        "modelled)");
+    }
+    if (tasks_[index_of(messages_[m].receiver)].policy == TaskPolicy::Scs) {
+      return make_error("cross-cluster message '" + messages_[m].name +
+                        "' is received by an SCS task (cross-cluster receivers must be FPS)");
+    }
+    std::vector<std::uint32_t> path;
+    for (std::uint32_t c = to; c != from; c = static_cast<std::uint32_t>(parent[c])) {
+      path.push_back(c);
+    }
+    path.push_back(from);
+    std::reverse(path.begin(), path.end());
+    route.clusters.reserve(path.size());
+    for (const std::uint32_t c : path) route.clusters.push_back(static_cast<ClusterId>(c));
+    route.gateways.reserve(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      route.gateways.push_back(
+          static_cast<NodeId>(static_cast<std::uint32_t>(pair_gateway[path[i] * C + path[i + 1]])));
+    }
+    cross_cluster_messages_ = true;
+  }
   return true;
 }
 

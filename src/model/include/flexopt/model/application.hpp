@@ -34,6 +34,30 @@ enum class MessageClass { Static, Dynamic };
 
 struct ProcessingNode {
   std::string name;
+  /// Home cluster (the FlexRay bus the node's controller is attached to).
+  /// Every node of a plain single-bus application lives in cluster 0.
+  ClusterId cluster{0};
+  /// Additional clusters this node bridges as a gateway (empty for regular
+  /// nodes).  A gateway has one controller per member cluster and forwards
+  /// cross-cluster messages between them (store-and-forward).
+  std::vector<ClusterId> bridges;
+
+  [[nodiscard]] bool is_gateway() const { return !bridges.empty(); }
+  /// Membership test over home cluster + bridged clusters.
+  [[nodiscard]] bool in_cluster(ClusterId c) const;
+};
+
+/// Cluster path of a message from its sender's cluster to its receiver's,
+/// derived by finalize(): `clusters` lists the visited clusters in order and
+/// `gateways[i]` is the gateway node forwarding between clusters[i] and
+/// clusters[i+1].  Intra-cluster messages have a single-element path.
+struct MessageRoute {
+  std::vector<ClusterId> clusters;
+  std::vector<NodeId> gateways;
+
+  [[nodiscard]] bool cross_cluster() const { return clusters.size() > 1; }
+  /// Number of bus hops the payload takes (1 for intra-cluster).
+  [[nodiscard]] std::size_t hop_count() const { return clusters.size(); }
 };
 
 struct Task {
@@ -92,6 +116,13 @@ class Application {
   /// Direct task->task precedence (tasks on the same node, or logical
   /// ordering without data transfer).
   void add_dependency(TaskId from, TaskId to);
+  /// Moves a node to another cluster (default: cluster 0).  Cluster indices
+  /// must be used contiguously from 0; finalize() validates that.
+  void set_node_cluster(NodeId node, ClusterId cluster);
+  /// Declares `node` a gateway bridging its home cluster and `bridges`.
+  /// Gateways host only the relay activities the system projection derives
+  /// (finalize() rejects application tasks mapped onto them).
+  void add_gateway(NodeId node, std::vector<ClusterId> bridges);
   void set_task_deadline(TaskId task, Time deadline);
   void set_task_release_offset(TaskId task, Time offset);
   /// Mutators used by generators for utilisation scaling.  Call before
@@ -103,9 +134,13 @@ class Application {
   void set_message_deadline(MessageId message, Time deadline);
 
   /// Validates the model and freezes derived structures (topological order,
-  /// adjacency, per-graph membership).  Checks: non-empty, acyclic graphs,
-  /// positive periods/WCETs, cross-node messaging, SCS tasks depend only on
-  /// time-triggered activities, ST messages have SCS senders.
+  /// adjacency, per-graph membership, message routes).  Checks: non-empty,
+  /// acyclic graphs, positive periods/WCETs, cross-node messaging, SCS tasks
+  /// depend only on time-triggered activities, ST messages have SCS senders.
+  /// Multi-cluster checks: contiguous cluster indices, no application tasks
+  /// on gateway nodes, every cross-cluster message has a gateway route, is
+  /// DYN-class, and is received by an FPS task (TT forwarding across
+  /// gateways is not modelled).
   Expected<bool> finalize();
   [[nodiscard]] bool finalized() const { return finalized_; }
 
@@ -123,6 +158,26 @@ class Application {
   [[nodiscard]] const Message& message(MessageId id) const { return messages_[index_of(id)]; }
   [[nodiscard]] const TaskGraph& graph(GraphId id) const { return graphs_[index_of(id)]; }
   [[nodiscard]] const ProcessingNode& node(NodeId id) const { return nodes_[index_of(id)]; }
+
+  // ---- cluster topology (finalized only for routes) -----------------------
+  /// Number of clusters (1 + highest cluster index in use); 1 until nodes
+  /// are assigned elsewhere.  Valid after finalize().
+  [[nodiscard]] std::size_t cluster_count() const { return cluster_count_; }
+  [[nodiscard]] ClusterId cluster_of(NodeId node) const {
+    return nodes_[index_of(node)].cluster;
+  }
+  /// Home cluster of a task's node.
+  [[nodiscard]] ClusterId cluster_of(TaskId task) const {
+    return cluster_of(tasks_[index_of(task)].node);
+  }
+  /// Derived cluster path of a message (single element when intra-cluster).
+  /// Valid after finalize().
+  [[nodiscard]] const MessageRoute& route_of(MessageId m) const {
+    return routes_[index_of(m)];
+  }
+  [[nodiscard]] bool has_cross_cluster_messages() const {
+    return cross_cluster_messages_;
+  }
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
@@ -176,11 +231,16 @@ class Application {
   /// Explicit task->task dependencies (message-induced edges are implicit).
   std::vector<std::pair<TaskId, TaskId>> task_deps_;
 
+  Expected<bool> derive_routes();
+
   // Derived, filled by finalize():
   bool finalized_ = false;
   std::vector<std::vector<ActivityRef>> preds_;
   std::vector<std::vector<ActivityRef>> succs_;
   std::vector<ActivityRef> topo_order_;
+  std::size_t cluster_count_ = 1;
+  bool cross_cluster_messages_ = false;
+  std::vector<MessageRoute> routes_;  ///< indexed by MessageId
 };
 
 }  // namespace flexopt

@@ -15,11 +15,15 @@ enum class NodeId : std::uint32_t {};
 enum class TaskId : std::uint32_t {};
 enum class MessageId : std::uint32_t {};
 enum class GraphId : std::uint32_t {};
+/// Index of a FlexRay cluster (one bus) in a multi-cluster system; plain
+/// single-bus applications live entirely in cluster 0.
+enum class ClusterId : std::uint32_t {};
 
 constexpr std::uint32_t index_of(NodeId id) { return static_cast<std::uint32_t>(id); }
 constexpr std::uint32_t index_of(TaskId id) { return static_cast<std::uint32_t>(id); }
 constexpr std::uint32_t index_of(MessageId id) { return static_cast<std::uint32_t>(id); }
 constexpr std::uint32_t index_of(GraphId id) { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t index_of(ClusterId id) { return static_cast<std::uint32_t>(id); }
 
 /// An activity is a task or a message; the precedence graphs, the list
 /// scheduler and the cost function all range over activities uniformly.

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file system_model.hpp
+/// The multi-cluster system representation: projects one clustered
+/// Application (nodes with cluster membership + gateway declarations, see
+/// application.hpp) into one self-contained single-bus Application per
+/// cluster.  A cross-cluster message becomes a chain of relay hops — per
+/// gateway transition a receive relay task in the upstream cluster and a
+/// forwarding relay task in the downstream cluster, per visited cluster one
+/// hop message with its own class and (through that cluster's BusConfig) its
+/// own FrameID.  The cross-cluster analysis
+/// (flexopt/analysis/multicluster.hpp) iterates the per-cluster analyses and
+/// feeds each forwarding relay's release jitter from the upstream receive
+/// relay's completion bound.
+///
+/// Degenerate case: a single-cluster application projects to *itself* (the
+/// same shared_ptr), which is what keeps the whole pre-cluster pipeline
+/// bit-identical.
+
+#include <memory>
+#include <vector>
+
+#include "flexopt/model/application.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+struct SystemModelOptions {
+  /// WCET of a forwarding relay task (the downstream store-and-forward
+  /// processing on the gateway CPU) — the per-hop gateway latency.
+  Time relay_forward_wcet = timeunits::us(50);
+  /// WCET of a receive relay task (frame reception bookkeeping upstream).
+  Time relay_receive_wcet = timeunits::us(1);
+};
+
+/// One gateway transition of a cross-cluster message: the upstream receive
+/// relay whose completion bound gates the downstream forwarding relay.
+struct RelayLink {
+  MessageId global_message{};
+  /// 0-based transition index along the message's route.
+  std::size_t transition = 0;
+  std::uint32_t upstream_cluster = 0;
+  std::uint32_t downstream_cluster = 0;
+  NodeId gateway{};
+  /// Local TaskId of the receive relay in the upstream cluster app.
+  TaskId upstream_recv{};
+  /// Local TaskId of the forwarding relay in the downstream cluster app.
+  TaskId downstream_send{};
+};
+
+/// Location of a global activity inside one cluster projection.
+struct LocalActivity {
+  std::uint32_t cluster = 0;
+  std::uint32_t index = 0;
+};
+
+class SystemModel {
+ public:
+  SystemModel() = default;
+
+  /// Wraps a finalized application as its own single-cluster projection
+  /// (no copies, no relays).  Never fails.
+  [[nodiscard]] static SystemModel single(std::shared_ptr<const Application> app);
+
+  /// Projects a finalized (possibly multi-cluster) application.  For
+  /// cluster_count() == 1 this is exactly single().  Fails when a cluster
+  /// ends up with no activities (its projection cannot be finalized).
+  [[nodiscard]] static Expected<SystemModel> build(std::shared_ptr<const Application> app,
+                                                   SystemModelOptions options = {});
+
+  [[nodiscard]] std::size_t cluster_count() const { return cluster_apps_.size(); }
+  [[nodiscard]] bool single_cluster() const { return cluster_apps_.size() == 1; }
+  [[nodiscard]] const std::shared_ptr<const Application>& global() const { return global_; }
+  [[nodiscard]] const std::shared_ptr<const Application>& cluster_app(std::size_t c) const {
+    return cluster_apps_[c];
+  }
+  [[nodiscard]] const SystemModelOptions& options() const { return options_; }
+
+  /// All gateway transitions, in (global message, transition) order — the
+  /// edge list of the cross-cluster fixed point.
+  [[nodiscard]] const std::vector<RelayLink>& relay_links() const { return relay_links_; }
+
+  /// Cluster-local location of a global task.
+  [[nodiscard]] const LocalActivity& local_task(TaskId global) const {
+    return task_map_[index_of(global)];
+  }
+  /// Cluster-local hop messages of a global message, in route order
+  /// (exactly one entry for intra-cluster messages).
+  [[nodiscard]] const std::vector<LocalActivity>& message_hops(MessageId global) const {
+    return hop_map_[index_of(global)];
+  }
+
+ private:
+  std::shared_ptr<const Application> global_;
+  std::vector<std::shared_ptr<const Application>> cluster_apps_;
+  SystemModelOptions options_;
+  std::vector<RelayLink> relay_links_;
+  std::vector<LocalActivity> task_map_;               ///< indexed by global TaskId
+  std::vector<std::vector<LocalActivity>> hop_map_;   ///< indexed by global MessageId
+};
+
+}  // namespace flexopt

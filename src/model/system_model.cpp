@@ -1,0 +1,138 @@
+#include "flexopt/model/system_model.hpp"
+
+#include <string>
+#include <utility>
+
+namespace flexopt {
+namespace {
+
+constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+}  // namespace
+
+SystemModel SystemModel::single(std::shared_ptr<const Application> app) {
+  SystemModel model;
+  model.global_ = std::move(app);
+  model.cluster_apps_.push_back(model.global_);
+  const Application& a = *model.global_;
+  model.task_map_.resize(a.task_count());
+  for (std::uint32_t t = 0; t < a.task_count(); ++t) model.task_map_[t] = {0, t};
+  model.hop_map_.resize(a.message_count());
+  for (std::uint32_t m = 0; m < a.message_count(); ++m) model.hop_map_[m] = {{0, m}};
+  return model;
+}
+
+Expected<SystemModel> SystemModel::build(std::shared_ptr<const Application> app,
+                                         SystemModelOptions options) {
+  if (!app || !app->finalized()) {
+    return make_error("SystemModel::build requires a finalized application");
+  }
+  if (app->cluster_count() == 1) return single(std::move(app));
+
+  SystemModel model;
+  model.global_ = std::move(app);
+  model.options_ = options;
+  const Application& global = *model.global_;
+  const std::size_t C = global.cluster_count();
+
+  std::vector<Application> projections(C);
+  // local_node[c][global node index] = local NodeId index (kAbsent outside c).
+  std::vector<std::vector<std::uint32_t>> local_node(
+      C, std::vector<std::uint32_t>(global.node_count(), kAbsent));
+
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::uint32_t n = 0; n < global.node_count(); ++n) {
+      if (!global.nodes()[n].in_cluster(static_cast<ClusterId>(c))) continue;
+      local_node[c][n] = index_of(projections[c].add_node(global.nodes()[n].name));
+    }
+    // Every projection carries every graph (same GraphIds everywhere), so
+    // hyper-period and response horizon agree across clusters.
+    for (const TaskGraph& g : global.graphs()) {
+      projections[c].add_graph(g.name, g.period, g.deadline);
+    }
+  }
+
+  model.task_map_.resize(global.task_count());
+  for (std::uint32_t t = 0; t < global.task_count(); ++t) {
+    const Task& task = global.tasks()[t];
+    const std::uint32_t c = index_of(global.cluster_of(task.node));
+    const TaskId local = projections[c].add_task(
+        task.graph, task.name, static_cast<NodeId>(local_node[c][index_of(task.node)]),
+        task.wcet, task.policy, task.priority);
+    if (task.deadline != kTimeNone) projections[c].set_task_deadline(local, task.deadline);
+    if (task.release_offset != 0) {
+      projections[c].set_task_release_offset(local, task.release_offset);
+    }
+    model.task_map_[t] = {c, index_of(local)};
+  }
+
+  model.hop_map_.resize(global.message_count());
+  for (std::uint32_t m = 0; m < global.message_count(); ++m) {
+    const Message& msg = global.messages()[m];
+    const MessageRoute& route = global.route_of(static_cast<MessageId>(m));
+    const std::size_t hops = route.hop_count();
+
+    // Relay tasks, one receive/forward pair per gateway transition.
+    std::vector<TaskId> recv_tasks(route.gateways.size());
+    std::vector<TaskId> send_tasks(route.gateways.size());
+    for (std::size_t i = 0; i < route.gateways.size(); ++i) {
+      const std::uint32_t up = index_of(route.clusters[i]);
+      const std::uint32_t down = index_of(route.clusters[i + 1]);
+      const std::uint32_t gw = index_of(route.gateways[i]);
+      const std::string stem = msg.name + "~gw" + std::to_string(i);
+      recv_tasks[i] = projections[up].add_task(
+          msg.graph, stem + ".rx", static_cast<NodeId>(local_node[up][gw]),
+          options.relay_receive_wcet, TaskPolicy::Fps, msg.priority);
+      send_tasks[i] = projections[down].add_task(
+          msg.graph, stem + ".tx", static_cast<NodeId>(local_node[down][gw]),
+          options.relay_forward_wcet, TaskPolicy::Fps, msg.priority);
+      RelayLink link;
+      link.global_message = static_cast<MessageId>(m);
+      link.transition = i;
+      link.upstream_cluster = up;
+      link.downstream_cluster = down;
+      link.gateway = route.gateways[i];
+      link.upstream_recv = recv_tasks[i];
+      link.downstream_send = send_tasks[i];
+      model.relay_links_.push_back(link);
+    }
+
+    std::vector<LocalActivity>& hop_refs = model.hop_map_[m];
+    hop_refs.reserve(hops);
+    for (std::size_t j = 0; j < hops; ++j) {
+      const std::uint32_t c = index_of(route.clusters[j]);
+      const TaskId sender =
+          j == 0 ? static_cast<TaskId>(model.task_map_[index_of(msg.sender)].index)
+                 : send_tasks[j - 1];
+      const TaskId receiver =
+          j + 1 == hops ? static_cast<TaskId>(model.task_map_[index_of(msg.receiver)].index)
+                        : recv_tasks[j];
+      const std::string name = hops == 1 ? msg.name : msg.name + "~h" + std::to_string(j);
+      // A single-hop projection keeps the declared class; relay hops are
+      // event-triggered by construction (cross-cluster messages are
+      // validated MessageClass::Dynamic at finalize()).
+      const MessageId local = projections[c].add_message(msg.graph, name, sender, receiver,
+                                                         msg.size_bytes, msg.cls, msg.priority);
+      if (msg.deadline != kTimeNone && j + 1 == hops) {
+        // The end-to-end individual deadline binds the final delivery hop;
+        // intermediate hops inherit the graph deadline.
+        projections[c].set_message_deadline(local, msg.deadline);
+      }
+      hop_refs.push_back({c, index_of(local)});
+    }
+  }
+
+  model.cluster_apps_.reserve(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    auto finalized = projections[c].finalize();
+    if (!finalized.ok()) {
+      return make_error("cluster " + std::to_string(c) +
+                        " projection is invalid: " + finalized.error().message);
+    }
+    model.cluster_apps_.push_back(
+        std::make_shared<const Application>(std::move(projections[c])));
+  }
+  return model;
+}
+
+}  // namespace flexopt

@@ -123,6 +123,45 @@ TEST(CampaignRunner, SummariesAreByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// The acceptance determinism check at campaign level: a multicluster grid
+// (2 and 3 clusters, portfolio included) is byte-identical between one
+// worker and a parallel run — campaign-, descent- and portfolio-level
+// parallelism all compose without leaking into the records.
+TEST(CampaignRunner, MulticlusterSweepIsByteIdenticalAcrossThreadCounts) {
+  CampaignSpec spec;
+  spec.name = "mc";
+  spec.node_counts = {4};
+  spec.topologies = {Topology::MultiCluster};
+  spec.cluster_counts = {2, 3};
+  spec.traffic_mixes = {TrafficMix::DynOnly};
+  spec.inter_cluster_share = 0.25;
+  spec.replicates = 2;
+  spec.tasks_per_node = 4;
+  spec.tasks_per_graph = 4;
+  spec.deadline_factor = 2.0;
+  spec.base_seed = 3;
+  spec.algorithms = {"bbc", "portfolio"};
+  spec.portfolio_members = {"sa", "obc-cf"};
+  spec.max_evaluations = 120;
+  CampaignRunner runner(spec, BusParams{});
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  auto a = runner.run(serial);
+  auto b = runner.run(parallel);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(write_campaign_json(a.value()), write_campaign_json(b.value()));
+  EXPECT_EQ(write_campaign_csv(a.value()), write_campaign_csv(b.value()));
+  ASSERT_EQ(a.value().scenarios.size(), 4u);
+  for (const ScenarioRecord& record : a.value().scenarios) {
+    EXPECT_TRUE(record.generated) << record.error;
+    EXPECT_GE(record.cluster_count, 2u);
+    ASSERT_EQ(record.runs.size(), 2u);
+  }
+}
+
 // A degenerate grid cell (divisibility violation for nodes=3) is recorded
 // as skipped; the campaign neither crashes nor aborts.
 TEST(CampaignRunner, SkipsAndRecordsDegenerateScenarios) {

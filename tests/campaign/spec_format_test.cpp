@@ -90,6 +90,36 @@ TEST(CampaignSpecFormat, ErrorsCarryTheLineNumber) {
   EXPECT_FALSE(parse_campaign_text("budget 600 800\n").ok());
 }
 
+TEST(CampaignSpecFormat, ParsesClusterKeywords) {
+  auto spec = parse_campaign_text(
+      "topology multicluster\n"
+      "clusters 2 3\n"
+      "inter_share 0.4\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().topologies, std::vector<Topology>{Topology::MultiCluster});
+  EXPECT_EQ(spec.value().cluster_counts, (std::vector<int>{2, 3}));
+  EXPECT_DOUBLE_EQ(spec.value().inter_cluster_share, 0.4);
+  // inter_share is a scalar: surplus values must error.
+  EXPECT_FALSE(parse_campaign_text("inter_share 0.2 0.3\n").ok());
+}
+
+TEST(CampaignSpecFormat, UnknownKeywordsSuggestTheNearestSpelling) {
+  // Typos fail loudly with the line number AND a "did you mean" hint.
+  auto typo = parse_campaign_text("name ok\nclustres 2\n");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(typo.error().message.find("did you mean 'clusters'"), std::string::npos);
+
+  auto near_scalar = parse_campaign_text("tt_shore 0.5\n");
+  ASSERT_FALSE(near_scalar.ok());
+  EXPECT_NE(near_scalar.error().message.find("did you mean 'tt_share'"), std::string::npos);
+
+  // Nothing close: no misleading suggestion.
+  auto far = parse_campaign_text("zzzzzzzzzz 1\n");
+  ASSERT_FALSE(far.ok());
+  EXPECT_EQ(far.error().message.find("did you mean"), std::string::npos);
+}
+
 TEST(CampaignSpecFormat, RejectsOutOfRangeIntegers) {
   // Values past int range must error, not wrap to a different experiment.
   EXPECT_FALSE(parse_campaign_text("replicates 4294967297\n").ok());

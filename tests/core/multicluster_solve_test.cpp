@@ -1,0 +1,188 @@
+// Multi-cluster evaluation and solving: the SystemConfig evaluator surface
+// (caching, focus substitution, cluster delta moves) and the coordinate-
+// descent driver behind Optimizer::solve, for every registry optimizer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/solver.hpp"
+#include "flexopt/gen/scenario.hpp"
+#include "flexopt/io/solve_report_json.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+SystemConfig start_configs(const SystemModel& model, const BusParams& params) {
+  SystemConfig config;
+  for (std::size_t c = 0; c < model.cluster_count(); ++c) {
+    config.clusters.push_back(minimal_start_config(*model.cluster_app(c), params).config);
+  }
+  return config;
+}
+
+struct Fixture {
+  testing::TwoClusterSystem sys;
+  SystemModel model;
+  SystemConfig config;
+
+  Fixture() {
+    auto built = SystemModel::build(std::make_shared<const Application>(sys.app));
+    if (!built.ok()) throw std::runtime_error(built.error().message);
+    model = std::move(built).value();
+    config = start_configs(model, sys.params);
+  }
+};
+
+TEST(MulticlusterEvaluator, EvaluateSystemCachesOnSystemConfig) {
+  Fixture f;
+  CostEvaluator evaluator(f.model, f.sys.params, AnalysisOptions{});
+  EXPECT_EQ(evaluator.cluster_count(), 2u);
+
+  const auto first = evaluator.evaluate_system(f.config);
+  ASSERT_TRUE(first.valid);
+  EXPECT_EQ(first.cluster_analysis.size(), 2u);
+  EXPECT_EQ(evaluator.evaluations(), 1);
+
+  const auto again = evaluator.evaluate_system(f.config);
+  EXPECT_EQ(again.cost.value, first.cost.value);
+  EXPECT_EQ(evaluator.evaluations(), 1);  // served from the cache
+  EXPECT_EQ(evaluator.cache_stats().hits, 1u);
+
+  // A raw BusConfig is ambiguous on a multi-cluster evaluator.
+  const auto ambiguous = evaluator.evaluate(f.config.clusters[0]);
+  EXPECT_FALSE(ambiguous.valid);
+  EXPECT_NE(ambiguous.error.find("set_focus"), std::string::npos);
+}
+
+TEST(MulticlusterEvaluator, FocusSubstitutesIntoContext) {
+  Fixture f;
+  CostEvaluator evaluator(f.model, f.sys.params, AnalysisOptions{});
+  evaluator.set_focus(f.config, 1);
+  EXPECT_TRUE(evaluator.focused());
+  // application() is the focused cluster's projection (relay task included).
+  EXPECT_EQ(evaluator.application().task_count(), f.model.cluster_app(1)->task_count());
+
+  const auto focused = evaluator.evaluate(f.config.clusters[1]);
+  ASSERT_TRUE(focused.valid);
+  // The focused evaluation scored the full substituted system: identical to
+  // evaluating the SystemConfig directly.
+  evaluator.clear_focus();
+  const auto direct = evaluator.evaluate_system(f.config);
+  EXPECT_EQ(focused.cost.value, direct.cost.value);
+  // And the focused view surfaced cluster 1's per-activity completions.
+  EXPECT_EQ(focused.analysis.task_completion,
+            direct.cluster_analysis[1].task_completion);
+}
+
+TEST(MulticlusterEvaluator, ClusterDeltaMatchesFullEvaluation) {
+  Fixture f;
+  CostEvaluator evaluator(f.model, f.sys.params, AnalysisOptions{});
+
+  // Mutate cluster 1's DYN segment length through a cluster-stamped move.
+  BusConfig next = f.config.clusters[1];
+  next.minislot_count += 5;
+  DeltaMove move = DeltaMove::between(f.config.clusters[1], next);
+  move.cluster = 1;
+  const auto delta = evaluator.evaluate_delta(f.config, move);
+  ASSERT_TRUE(delta.valid);
+
+  SystemConfig substituted = f.config;
+  substituted.clusters[1] = next;
+  CostEvaluator reference(f.model, f.sys.params, AnalysisOptions{});
+  const auto full = reference.evaluate_system(substituted);
+  ASSERT_TRUE(full.valid);
+  EXPECT_EQ(delta.cost.value, full.cost.value);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(delta.cluster_analysis[c].task_completion,
+              full.cluster_analysis[c].task_completion);
+    EXPECT_EQ(delta.cluster_analysis[c].message_completion,
+              full.cluster_analysis[c].message_completion);
+  }
+  EXPECT_EQ(evaluator.work_stats().delta_evaluations, 1u);
+
+  // Out-of-range cluster indices are rejected, not UB.
+  DeltaMove bad = move;
+  bad.cluster = 7;
+  EXPECT_FALSE(evaluator.evaluate_delta(f.config, bad).valid);
+}
+
+TEST(MulticlusterSolve, EveryRegistryOptimizerSolvesATwoClusterSystem) {
+  Fixture f;
+  for (const OptimizerInfo& info : OptimizerRegistry::list()) {
+    auto optimizer = OptimizerRegistry::create(info.name);
+    ASSERT_TRUE(optimizer.ok()) << info.name;
+    CostEvaluator evaluator(f.model, f.sys.params, AnalysisOptions{});
+    SolveRequest request;
+    request.seed = 7;
+    request.max_evaluations = 120;
+    const SolveReport report = optimizer.value()->solve(evaluator, request);
+    EXPECT_EQ(report.outcome.system.cluster_count(), 2u) << info.name;
+    EXPECT_TRUE(report.outcome.feasible) << info.name;
+    EXPECT_LT(report.outcome.cost.value, 0.0) << info.name;  // schedulable slack
+    EXPECT_EQ(report.outcome.config, report.outcome.system.clusters[0]) << info.name;
+    // The chosen product must re-evaluate to the reported cost.
+    CostEvaluator check(f.model, f.sys.params, AnalysisOptions{});
+    const auto eval = check.evaluate_system(report.outcome.system);
+    ASSERT_TRUE(eval.valid) << info.name;
+    EXPECT_EQ(eval.cost.value, report.outcome.cost.value) << info.name;
+  }
+}
+
+TEST(MulticlusterSolve, SingleClusterSolveFillsDegenerateSystemConfig) {
+  testing::TinySystem tiny;
+  auto optimizer = OptimizerRegistry::create("bbc");
+  ASSERT_TRUE(optimizer.ok());
+  CostEvaluator evaluator(tiny.app, tiny.params, AnalysisOptions{});
+  const SolveReport report = optimizer.value()->solve(evaluator);
+  ASSERT_EQ(report.outcome.system.cluster_count(), 1u);
+  EXPECT_EQ(report.outcome.system.clusters[0], report.outcome.config);
+}
+
+TEST(MulticlusterSolve, PortfolioJobsDoNotChangeTheReport) {
+  // The acceptance determinism check at solve level: a racing portfolio on
+  // a generated multicluster scenario is byte-identical between jobs=1 and
+  // a parallel run (the campaign test covers the campaign level).
+  ScenarioSpec scenario;
+  scenario.topology = Topology::MultiCluster;
+  scenario.traffic = TrafficMix::DynOnly;
+  scenario.clusters = 2;
+  scenario.inter_cluster_share = 0.3;
+  scenario.base.nodes = 4;
+  scenario.base.tasks_per_node = 4;
+  scenario.base.tasks_per_graph = 4;
+  scenario.base.deadline_factor = 2.0;
+  scenario.base.seed = 11;
+  BusParams params;
+  auto app = generate_scenario(scenario, params);
+  ASSERT_TRUE(app.ok());
+  auto model = SystemModel::build(std::make_shared<const Application>(std::move(app).value()));
+  ASSERT_TRUE(model.ok());
+
+  auto solve_with_jobs = [&](int jobs) {
+    PortfolioSpec spec;
+    spec.members = {"sa", "sa", "obc-cf", "bbc"};
+    spec.jobs = jobs;
+    auto optimizer = OptimizerRegistry::create("portfolio", spec);
+    if (!optimizer.ok()) throw std::runtime_error(optimizer.error().message);
+    EvaluatorOptions options;
+    options.threads = 1;
+    CostEvaluator evaluator(model.value(), params, AnalysisOptions{}, options);
+    SolveRequest request;
+    request.seed = 3;
+    request.max_evaluations = 160;
+    const SolveReport report = optimizer.value()->solve(evaluator, request);
+    return write_solve_json(*model.value().global(), "portfolio", report);
+  };
+
+  const std::string serial = solve_with_jobs(1);
+  const std::string parallel = solve_with_jobs(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("cluster_configs"), std::string::npos);
+  EXPECT_NE(serial.find("flexopt-solve-report/2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -241,7 +241,7 @@ TEST(OptimizerRegistry, SupportsExternalRegistration) {
   class FixedConfigOptimizer final : public Optimizer {
    public:
     [[nodiscard]] std::string_view name() const override { return "fixed"; }
-    SolveReport solve(CostEvaluator& evaluator, const SolveRequest&) override {
+    SolveReport solve_cluster(CostEvaluator& evaluator, const SolveRequest&) override {
       SolveReport report;
       TinySystem sys;
       const auto eval = evaluator.evaluate(sys.config);

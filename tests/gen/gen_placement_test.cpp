@@ -1,0 +1,131 @@
+// Placement regression tests: the GatewayPlacer capacity cap (satellite
+// fix — overflow used to dump every surplus task on node 0) and the
+// MultiCluster scenario family contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "flexopt/gen/placement.hpp"
+#include "flexopt/gen/scenario.hpp"
+#include "flexopt/io/system_format.hpp"
+#include "flexopt/model/system_model.hpp"
+
+namespace flexopt {
+namespace {
+
+TEST(GatewayPlacer, KeepsEveryNodeWithinCapacityAtExactLoad) {
+  // Exactly nodes * tasks_per_node placements: the family invariant.
+  constexpr int kNodes = 4;
+  constexpr int kPerNode = 5;
+  GatewayPlacer placer(kNodes, kPerNode);
+  for (int graph = 0; graph < kNodes; ++graph) {
+    for (int i = 0; i < kPerNode; ++i) placer.place(i);
+  }
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(placer.placed(static_cast<NodeId>(n)), kPerNode) << "node " << n;
+  }
+}
+
+TEST(GatewayPlacer, OverSubscriptionSpillsRoundRobinInsteadOfNodeZero) {
+  // Regression: drive the placer past total capacity.  The old code pushed
+  // every surplus task onto node 0 (remaining_[0] went negative); the fix
+  // spreads the overflow round-robin so no node degenerates alone.
+  constexpr int kNodes = 3;
+  constexpr int kPerNode = 2;
+  GatewayPlacer placer(kNodes, kPerNode);
+  const int capacity = kNodes * kPerNode;
+  const int surplus = 6;
+  for (int i = 0; i < capacity + surplus; ++i) placer.place(i % 4);
+  // The surplus lands evenly: capacity/kNodes + surplus/kNodes each.
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(placer.placed(static_cast<NodeId>(n)), kPerNode + surplus / kNodes)
+        << "node " << n;
+    EXPECT_GE(placer.capacity_left(static_cast<NodeId>(n)), 0) << "node " << n;
+  }
+}
+
+TEST(GatewayPlacer, OddPositionsPreferTheGatewayWhileItHasCapacity) {
+  GatewayPlacer placer(3, 2);
+  EXPECT_NE(index_of(placer.place(0)), 0u);  // even: fullest non-gateway
+  EXPECT_EQ(index_of(placer.place(1)), 0u);  // odd: gateway
+  EXPECT_EQ(index_of(placer.place(3)), 0u);  // odd: gateway (last slot)
+  EXPECT_NE(index_of(placer.place(5)), 0u);  // odd, but the gateway is full
+}
+
+ScenarioSpec multicluster_spec(int clusters, double share, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.topology = Topology::MultiCluster;
+  spec.traffic = TrafficMix::DynOnly;
+  spec.clusters = clusters;
+  spec.inter_cluster_share = share;
+  spec.base.nodes = 6;
+  spec.base.tasks_per_node = 4;
+  spec.base.tasks_per_graph = 4;
+  spec.base.deadline_factor = 2.0;
+  spec.base.seed = seed;
+  return spec;
+}
+
+TEST(MultiClusterFamily, GeneratesAChainOfGatewayBridgedClusters) {
+  const BusParams params;
+  auto app = generate_scenario(multicluster_spec(3, 0.3, 21), params);
+  ASSERT_TRUE(app.ok());
+  const Application& a = app.value();
+  EXPECT_EQ(a.cluster_count(), 3u);
+  EXPECT_TRUE(a.has_cross_cluster_messages());
+  // 6 compute nodes + 2 chain gateways.
+  EXPECT_EQ(a.node_count(), 8u);
+  int gateways = 0;
+  for (const auto& node : a.nodes()) gateways += node.is_gateway() ? 1 : 0;
+  EXPECT_EQ(gateways, 2);
+  // Every cluster hosts compute nodes and tasks (round-robin placement).
+  std::set<std::uint32_t> clusters_with_tasks;
+  for (const auto& task : a.tasks()) {
+    clusters_with_tasks.insert(index_of(a.cluster_of(task.node)));
+  }
+  EXPECT_EQ(clusters_with_tasks.size(), 3u);
+  // Cross-cluster messages are DYN with FPS receivers (validated by
+  // finalize, asserted here for the family contract).
+  int cross = 0;
+  for (std::uint32_t m = 0; m < a.message_count(); ++m) {
+    if (a.route_of(static_cast<MessageId>(m)).cross_cluster()) {
+      ++cross;
+      EXPECT_EQ(a.messages()[m].cls, MessageClass::Dynamic);
+    }
+  }
+  EXPECT_GT(cross, 0);
+  // And the projection is buildable — the campaign relies on that.
+  EXPECT_TRUE(SystemModel::build(std::make_shared<const Application>(a)).ok());
+}
+
+TEST(MultiClusterFamily, InterClusterShareZeroStaysClusterLocal) {
+  const BusParams params;
+  auto app = generate_scenario(multicluster_spec(2, 0.0, 5), params);
+  ASSERT_TRUE(app.ok());
+  EXPECT_FALSE(app.value().has_cross_cluster_messages());
+}
+
+TEST(MultiClusterFamily, IdenticalSpecsAreBitIdentical) {
+  const BusParams params;
+  auto a = generate_scenario(multicluster_spec(2, 0.4, 77), params);
+  auto b = generate_scenario(multicluster_spec(2, 0.4, 77), params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(write_system(a.value(), params), write_system(b.value(), params));
+}
+
+TEST(MultiClusterFamily, RejectsDegenerateSpecs) {
+  const BusParams params;
+  auto spec = multicluster_spec(5, 0.3, 1);
+  EXPECT_FALSE(generate_scenario(spec, params).ok());  // clusters > 4
+  spec = multicluster_spec(2, 1.5, 1);
+  EXPECT_FALSE(generate_scenario(spec, params).ok());  // share > 1
+  spec = multicluster_spec(3, 0.3, 1);
+  spec.base.nodes = 2;  // fewer compute nodes than clusters
+  EXPECT_FALSE(generate_scenario(spec, params).ok());
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -63,4 +63,36 @@ struct TinySystem {
   }
 };
 
+/// A minimal two-cluster system: cluster 0 hosts N0/N1, cluster 1 hosts N2,
+/// gateway GW bridges them.  One event-triggered chain src@N0 -> m_local ->
+/// mid@N1 -> m_cross -> sink@N2, so m_cross routes through GW; plus one
+/// local FPS task on N2 so cluster 1 has CPU interference.
+struct TwoClusterSystem {
+  Application app;
+  BusParams params;
+  NodeId n0{}, n1{}, n2{}, gw{};
+  TaskId src{}, mid{}, sink{}, local1{};
+  MessageId local_msg{}, cross_msg{};
+
+  TwoClusterSystem() {
+    params = didactic_params();
+    n0 = app.add_node("N0");
+    n1 = app.add_node("N1");
+    n2 = app.add_node("N2");
+    gw = app.add_node("GW");
+    app.set_node_cluster(n2, static_cast<ClusterId>(1));
+    app.add_gateway(gw, {static_cast<ClusterId>(1)});  // home 0, bridges 1
+    const GraphId g = app.add_graph("G", timeunits::ms(20), timeunits::ms(20));
+    src = app.add_task(g, "src", n0, timeunits::us(500), TaskPolicy::Fps, 1);
+    mid = app.add_task(g, "mid", n1, timeunits::us(400), TaskPolicy::Fps, 2);
+    sink = app.add_task(g, "sink", n2, timeunits::us(300), TaskPolicy::Fps, 3);
+    local_msg = app.add_message(g, "m_local", src, mid, 8, MessageClass::Dynamic, 1);
+    cross_msg = app.add_message(g, "m_cross", mid, sink, 8, MessageClass::Dynamic, 2);
+    const GraphId h = app.add_graph("H", timeunits::ms(40), timeunits::ms(40));
+    local1 = app.add_task(h, "local1", n2, timeunits::us(200), TaskPolicy::Fps, 5);
+    auto fin = app.finalize();
+    if (!fin.ok()) throw std::runtime_error(fin.error().message);
+  }
+};
+
 }  // namespace flexopt::testing

@@ -110,6 +110,38 @@ TEST(SystemFormat, WriteParseRoundTrip) {
   EXPECT_EQ(parsed.value().params.gd_minislot, reparsed.value().params.gd_minislot);
 }
 
+TEST(SystemFormat, ClusteredSystemRoundTrip) {
+  const char* text =
+      "node A\n"
+      "node B cluster=1\n"
+      "gateway GW cluster=0 bridges=1\n"
+      "graph G et period=20ms deadline=20ms\n"
+      "task t0 graph=G node=A wcet=500us prio=1\n"
+      "task t1 graph=G node=B wcet=400us prio=2\n"
+      "message m from=t0 to=t1 bytes=8 prio=1\n";
+  auto parsed = parse_system_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Application& a = parsed.value().app;
+  EXPECT_EQ(a.cluster_count(), 2u);
+  EXPECT_TRUE(a.has_cross_cluster_messages());
+  ASSERT_EQ(a.route_of(static_cast<MessageId>(0)).gateways.size(), 1u);
+
+  const std::string dumped = write_system(a, parsed.value().params);
+  EXPECT_NE(dumped.find("node B cluster=1"), std::string::npos);
+  EXPECT_NE(dumped.find("gateway GW cluster=0 bridges=1"), std::string::npos);
+  auto reparsed = parse_system_text(dumped);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message << "\n" << dumped;
+  EXPECT_EQ(reparsed.value().app.cluster_count(), 2u);
+
+  // Cluster-aware parse errors, including trailing garbage: a mistyped
+  // separator must fail loudly, not silently drop bridged clusters.
+  EXPECT_FALSE(parse_system_text("node A cluster=-1\n").ok());
+  EXPECT_FALSE(parse_system_text("node A cluster=1x\n").ok());
+  EXPECT_FALSE(parse_system_text("gateway GW cluster=0\n").ok());
+  EXPECT_FALSE(parse_system_text("gateway GW bridges=1\n").ok());
+  EXPECT_FALSE(parse_system_text("gateway GW cluster=0 bridges=1;2\n").ok());
+}
+
 TEST(SystemFormat, CruiseControllerRoundTrip) {
   const Application cc = build_cruise_controller();
   const std::string dumped = write_system(cc, cruise_controller_params());

@@ -1,0 +1,213 @@
+// Cluster membership, gateway declarations, route derivation, and the
+// SystemModel projection of a clustered Application.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flexopt/model/system_model.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::TwoClusterSystem;
+
+TEST(Cluster, SingleBusApplicationsStayInClusterZero) {
+  testing::TinySystem tiny;
+  EXPECT_EQ(tiny.app.cluster_count(), 1u);
+  EXPECT_FALSE(tiny.app.has_cross_cluster_messages());
+  for (std::uint32_t m = 0; m < tiny.app.message_count(); ++m) {
+    const MessageRoute& route = tiny.app.route_of(static_cast<MessageId>(m));
+    EXPECT_FALSE(route.cross_cluster());
+    EXPECT_EQ(route.hop_count(), 1u);
+  }
+}
+
+TEST(Cluster, DerivesDirectGatewayRoute) {
+  TwoClusterSystem sys;
+  EXPECT_EQ(sys.app.cluster_count(), 2u);
+  EXPECT_TRUE(sys.app.has_cross_cluster_messages());
+
+  const MessageRoute& local = sys.app.route_of(sys.local_msg);
+  EXPECT_FALSE(local.cross_cluster());
+
+  const MessageRoute& cross = sys.app.route_of(sys.cross_msg);
+  ASSERT_TRUE(cross.cross_cluster());
+  ASSERT_EQ(cross.clusters.size(), 2u);
+  EXPECT_EQ(index_of(cross.clusters[0]), 0u);
+  EXPECT_EQ(index_of(cross.clusters[1]), 1u);
+  ASSERT_EQ(cross.gateways.size(), 1u);
+  EXPECT_EQ(cross.gateways[0], sys.gw);
+}
+
+TEST(Cluster, DerivesMultiHopRouteThroughChain) {
+  // Three clusters in a chain; a message from cluster 0 to cluster 2 must
+  // route through both gateways.
+  Application app;
+  const NodeId a = app.add_node("A");
+  const NodeId b = app.add_node("B");
+  const NodeId c = app.add_node("C");
+  const NodeId gw0 = app.add_node("GW0");
+  const NodeId gw1 = app.add_node("GW1");
+  app.set_node_cluster(b, static_cast<ClusterId>(1));
+  app.set_node_cluster(c, static_cast<ClusterId>(2));
+  app.set_node_cluster(gw1, static_cast<ClusterId>(1));
+  app.add_gateway(gw0, {static_cast<ClusterId>(1)});
+  app.add_gateway(gw1, {static_cast<ClusterId>(2)});
+  const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+  const TaskId t0 = app.add_task(g, "t0", a, timeunits::us(100), TaskPolicy::Fps, 1);
+  const TaskId t1 = app.add_task(g, "t1", b, timeunits::us(100), TaskPolicy::Fps, 2);
+  const TaskId t2 = app.add_task(g, "t2", c, timeunits::us(100), TaskPolicy::Fps, 3);
+  app.add_message(g, "m01", t0, t1, 4, MessageClass::Dynamic, 1);
+  const MessageId far = app.add_message(g, "m02", t1, t2, 4, MessageClass::Dynamic, 2);
+  ASSERT_TRUE(app.finalize().ok());
+
+  const MessageRoute& route = app.route_of(far);
+  ASSERT_EQ(route.clusters.size(), 2u);  // 1 -> 2 is one gateway transition
+  EXPECT_EQ(index_of(route.clusters[0]), 1u);
+  EXPECT_EQ(index_of(route.clusters[1]), 2u);
+  ASSERT_EQ(route.gateways.size(), 1u);
+  EXPECT_EQ(route.gateways[0], gw1);
+}
+
+TEST(Cluster, RejectsUnroutableCrossClusterMessage) {
+  TwoClusterSystem sys;  // valid; now build a variant without the gateway
+  Application app;
+  const NodeId a = app.add_node("A");
+  const NodeId b = app.add_node("B");
+  app.set_node_cluster(b, static_cast<ClusterId>(1));
+  const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+  const TaskId t0 = app.add_task(g, "t0", a, timeunits::us(100), TaskPolicy::Fps, 1);
+  const TaskId t1 = app.add_task(g, "t1", b, timeunits::us(100), TaskPolicy::Fps, 2);
+  app.add_message(g, "m", t0, t1, 4, MessageClass::Dynamic, 1);
+  const auto fin = app.finalize();
+  ASSERT_FALSE(fin.ok());
+  EXPECT_NE(fin.error().message.find("no gateway route"), std::string::npos);
+}
+
+TEST(Cluster, RejectsTimeTriggeredCrossClusterTraffic) {
+  // A Static cross-cluster message is rejected (TT gateway forwarding is
+  // not modelled) ...
+  {
+    Application app;
+    const NodeId a = app.add_node("A");
+    const NodeId b = app.add_node("B");
+    const NodeId gw = app.add_node("GW");
+    app.set_node_cluster(b, static_cast<ClusterId>(1));
+    app.add_gateway(gw, {static_cast<ClusterId>(1)});
+    const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+    const TaskId t0 = app.add_task(g, "t0", a, timeunits::us(100), TaskPolicy::Scs);
+    const TaskId t1 = app.add_task(g, "t1", b, timeunits::us(100), TaskPolicy::Scs);
+    app.add_message(g, "m", t0, t1, 4, MessageClass::Static);
+    const auto fin = app.finalize();
+    ASSERT_FALSE(fin.ok());
+    EXPECT_NE(fin.error().message.find("dynamic segment"), std::string::npos);
+  }
+  // ... and so is a DYN cross-cluster message delivered to an SCS receiver.
+  {
+    Application app;
+    const NodeId a = app.add_node("A");
+    const NodeId b = app.add_node("B");
+    const NodeId gw = app.add_node("GW");
+    app.set_node_cluster(b, static_cast<ClusterId>(1));
+    app.add_gateway(gw, {static_cast<ClusterId>(1)});
+    const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+    const TaskId t0 = app.add_task(g, "t0", a, timeunits::us(100), TaskPolicy::Fps, 1);
+    const TaskId t1 = app.add_task(g, "t1", b, timeunits::us(100), TaskPolicy::Scs);
+    app.add_message(g, "m", t0, t1, 4, MessageClass::Dynamic, 1);
+    const auto fin = app.finalize();
+    ASSERT_FALSE(fin.ok());
+    EXPECT_NE(fin.error().message.find("SCS task"), std::string::npos);
+  }
+}
+
+TEST(Cluster, RejectsTasksOnGatewaysAndBadDeclarations) {
+  {
+    Application app;
+    const NodeId a = app.add_node("A");
+    const NodeId gw = app.add_node("GW");
+    app.add_node("B");  // unused regular node keeps cluster 1 populated
+    app.set_node_cluster(static_cast<NodeId>(2), static_cast<ClusterId>(1));
+    app.add_gateway(gw, {static_cast<ClusterId>(1)});
+    const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+    app.add_task(g, "t0", a, timeunits::us(100), TaskPolicy::Fps, 1);
+    app.add_task(g, "t1", gw, timeunits::us(100), TaskPolicy::Fps, 2);
+    const auto fin = app.finalize();
+    ASSERT_FALSE(fin.ok());
+    EXPECT_NE(fin.error().message.find("gateway node"), std::string::npos);
+  }
+  {
+    Application app;
+    const NodeId a = app.add_node("A");
+    const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+    app.add_task(g, "t0", a, timeunits::us(100), TaskPolicy::Fps, 1);
+    app.set_node_cluster(a, static_cast<ClusterId>(2));  // cluster 1 unused
+    const auto fin = app.finalize();
+    ASSERT_FALSE(fin.ok());
+    EXPECT_NE(fin.error().message.find("contiguous"), std::string::npos);
+  }
+}
+
+TEST(SystemModel, SingleClusterProjectsToItself) {
+  testing::TinySystem tiny;
+  auto app = std::make_shared<const Application>(tiny.app);
+  auto model = SystemModel::build(app);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model.value().single_cluster());
+  // The projection IS the global application — the bit-identity guarantee.
+  EXPECT_EQ(model.value().cluster_app(0).get(), app.get());
+  EXPECT_TRUE(model.value().relay_links().empty());
+  const LocalActivity& hop = model.value().message_hops(tiny.dyn_msg)[0];
+  EXPECT_EQ(hop.cluster, 0u);
+  EXPECT_EQ(hop.index, index_of(tiny.dyn_msg));
+}
+
+TEST(SystemModel, ProjectsTwoClustersWithRelayChain) {
+  TwoClusterSystem sys;
+  auto model = SystemModel::build(std::make_shared<const Application>(sys.app));
+  ASSERT_TRUE(model.ok());
+  const SystemModel& m = model.value();
+  ASSERT_EQ(m.cluster_count(), 2u);
+
+  const Application& c0 = *m.cluster_app(0);
+  const Application& c1 = *m.cluster_app(1);
+  // Cluster 0: N0, N1, GW; tasks src, mid + the cross message's receive
+  // relay; messages m_local and the first hop of m_cross.
+  EXPECT_EQ(c0.node_count(), 3u);
+  EXPECT_EQ(c0.task_count(), 3u);
+  EXPECT_EQ(c0.message_count(), 2u);
+  // Cluster 1: N2, GW; tasks sink, local1 + the forwarding relay; one hop.
+  EXPECT_EQ(c1.node_count(), 2u);
+  EXPECT_EQ(c1.task_count(), 3u);
+  EXPECT_EQ(c1.message_count(), 1u);
+  // Both carry every graph so horizons agree.
+  EXPECT_EQ(c0.graph_count(), sys.app.graph_count());
+  EXPECT_EQ(c1.graph_count(), sys.app.graph_count());
+
+  ASSERT_EQ(m.relay_links().size(), 1u);
+  const RelayLink& link = m.relay_links()[0];
+  EXPECT_EQ(link.global_message, sys.cross_msg);
+  EXPECT_EQ(link.upstream_cluster, 0u);
+  EXPECT_EQ(link.downstream_cluster, 1u);
+  EXPECT_EQ(link.gateway, sys.gw);
+  EXPECT_EQ(c0.tasks()[index_of(link.upstream_recv)].policy, TaskPolicy::Fps);
+  EXPECT_EQ(c1.tasks()[index_of(link.downstream_send)].policy, TaskPolicy::Fps);
+
+  // The cross message became two hops: one local DYN message per cluster.
+  const auto& hops = m.message_hops(sys.cross_msg);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].cluster, 0u);
+  EXPECT_EQ(hops[1].cluster, 1u);
+  EXPECT_EQ(c0.messages()[hops[0].index].cls, MessageClass::Dynamic);
+  EXPECT_EQ(c1.messages()[hops[1].index].cls, MessageClass::Dynamic);
+  // Hop 0 goes sender -> receive relay, hop 1 forwarding relay -> sink.
+  EXPECT_EQ(c0.messages()[hops[0].index].receiver, link.upstream_recv);
+  EXPECT_EQ(c1.messages()[hops[1].index].sender, link.downstream_send);
+  EXPECT_EQ(m.local_task(sys.sink).cluster, 1u);
+  EXPECT_EQ(c1.messages()[hops[1].index].receiver,
+            static_cast<TaskId>(m.local_task(sys.sink).index));
+}
+
+}  // namespace
+}  // namespace flexopt

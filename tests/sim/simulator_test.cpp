@@ -1,10 +1,14 @@
 // Unit tests of the discrete-event simulator on the tiny two-node system:
 // delivery, completion accounting, FPS preemption in SCS slack, trace
-// recording, and multi-hyperperiod alignment rules.
+// recording, multi-hyperperiod alignment rules, and a 25-scenario
+// soundness cross-check (simulated latencies never exceed analysed bounds).
 
 #include <gtest/gtest.h>
 
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/gen/scenario.hpp"
 #include "flexopt/sim/simulator.hpp"
+#include "flexopt/util/rng.hpp"
 #include "helpers.hpp"
 
 namespace flexopt {
@@ -121,6 +125,90 @@ TEST(Simulator, FpsTaskPreemptedByScsTableEntries) {
   auto sim = simulate(layout, analysis.schedule);
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_GE(sim.value().task_worst_completion[index_of(fps)], timeunits::us(70));
+}
+
+TEST(Simulator, MultiHyperperiodWorstCasesAreMonotone) {
+  // Simulating a longer horizon can only observe worse (or equal) worst
+  // cases, and both horizons stay within the analysed bounds.
+  TinySystem sys;
+  sys.config.minislot_count = 10;  // cycle 20 us divides the 100 us hyper-period
+  const BusLayout layout = make_layout(sys.app, sys.params, sys.config);
+  const AnalysisResult analysis = analyze(layout);
+  SimOptions one;
+  one.hyperperiods = 1;
+  SimOptions four;
+  four.hyperperiods = 4;
+  auto short_run = simulate(layout, analysis.schedule, one);
+  auto long_run = simulate(layout, analysis.schedule, four);
+  ASSERT_TRUE(short_run.ok());
+  ASSERT_TRUE(long_run.ok());
+  EXPECT_EQ(long_run.value().unfinished_jobs, 0);
+  for (std::uint32_t t = 0; t < sys.app.task_count(); ++t) {
+    const Time s = short_run.value().task_worst_completion[t];
+    const Time l = long_run.value().task_worst_completion[t];
+    ASSERT_NE(l, kTimeNone);
+    if (s != kTimeNone) {
+      EXPECT_GE(l, s) << sys.app.tasks()[t].name;
+    }
+    EXPECT_LE(l, analysis.task_completion[t]) << sys.app.tasks()[t].name;
+  }
+  for (std::uint32_t m = 0; m < sys.app.message_count(); ++m) {
+    const Time s = short_run.value().message_worst_completion[m];
+    const Time l = long_run.value().message_worst_completion[m];
+    if (s != kTimeNone && l != kTimeNone) {
+      EXPECT_GE(l, s);
+    }
+    if (l != kTimeNone) {
+      EXPECT_LE(l, analysis.message_completion[m]);
+    }
+  }
+}
+
+TEST(Simulator, SimulatedLatenciesNeverExceedAnalysedBoundsOn25Scenarios) {
+  // Soundness cross-check over 25 random scenarios spanning every
+  // single-bus topology family: for every activity the observed worst
+  // graph-relative completion is dominated by the analysed bound.
+  Rng rng(87251);
+  const BusParams params;
+  int simulated = 0;
+  for (int i = 0; i < 25; ++i) {
+    ScenarioSpec spec;
+    spec.topology = static_cast<Topology>(rng.index(4));
+    spec.traffic = static_cast<TrafficMix>(rng.index(3));
+    spec.base.nodes = static_cast<int>(rng.uniform_int(2, 4));
+    spec.base.tasks_per_graph = 3;
+    spec.base.tasks_per_node = 3 * static_cast<int>(rng.uniform_int(1, 2));
+    spec.base.tt_share = rng.uniform_real(0.2, 0.8);
+    spec.base.deadline_factor = rng.uniform_real(1.0, 2.0);
+    spec.base.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+    auto app = generate_scenario(spec, params);
+    ASSERT_TRUE(app.ok()) << app.error().message;
+
+    const StartConfig start = minimal_start_config(app.value(), params);
+    if (!start.bounds.feasible()) continue;
+    auto layout_or = BusLayout::build(app.value(), params, start.config);
+    if (!layout_or.ok()) continue;
+    const AnalysisResult analysis = analyze(layout_or.value());
+    auto sim = simulate(layout_or.value(), analysis.schedule);
+    ASSERT_TRUE(sim.ok()) << sim.error().message;
+    ++simulated;
+    const SimResult& observed = sim.value();
+    EXPECT_EQ(observed.precedence_violations, 0) << "seed " << spec.base.seed;
+    for (std::uint32_t t = 0; t < app.value().task_count(); ++t) {
+      const Time o = observed.task_worst_completion[t];
+      if (o == kTimeNone) continue;
+      EXPECT_LE(o, analysis.task_completion[t])
+          << app.value().tasks()[t].name << " seed " << spec.base.seed;
+    }
+    for (std::uint32_t m = 0; m < app.value().message_count(); ++m) {
+      const Time o = observed.message_worst_completion[m];
+      if (o == kTimeNone) continue;
+      EXPECT_LE(o, analysis.message_completion[m])
+          << app.value().messages()[m].name << " seed " << spec.base.seed;
+    }
+  }
+  // The population must actually exercise the cross-check.
+  EXPECT_GE(simulated, 15);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "flexopt/campaign/report.hpp"
@@ -249,10 +250,17 @@ int solve_main(int argc, char** argv) {
   const BusParams& params = parsed.value().params;
   std::cout << "system: " << app.task_count() << " tasks, " << app.message_count()
             << " messages, " << app.graph_count() << " graphs, " << app.node_count()
-            << " nodes\n";
+            << " nodes";
+  if (app.cluster_count() > 1) std::cout << ", " << app.cluster_count() << " clusters";
+  std::cout << "\n";
   if (dump) {
     std::cout << write_system(app, params);
     return 0;
+  }
+  auto model = SystemModel::build(std::make_shared<const Application>(app));
+  if (!model.ok()) {
+    std::cerr << "system projection: " << model.error().message << "\n";
+    return 2;
   }
 
   if (show_progress) {
@@ -270,7 +278,7 @@ int solve_main(int argc, char** argv) {
     };
   }
 
-  CostEvaluator evaluator(app, params, AnalysisOptions{}, evaluator_options);
+  CostEvaluator evaluator(model.value(), params, AnalysisOptions{}, evaluator_options);
   const SolveReport report = optimizer.value()->solve(evaluator, request);
   const OptimizationOutcome& outcome = report.outcome;
   if (show_progress) std::cerr << "\n";
@@ -307,6 +315,50 @@ int solve_main(int argc, char** argv) {
     std::cerr << "no analysable configuration found\n";
     return 1;
   }
+
+  if (evaluator.cluster_count() > 1) {
+    // Per-cluster reporting: each cluster has its own bus configuration and
+    // its projection's WCRTs already include cross-cluster relay jitter.
+    // Usually a cache hit (descent passes evaluate on this evaluator);
+    // portfolio descents race members on sibling evaluators, so the winning
+    // product may be analysed once more here.
+    const SystemModel& sys = evaluator.system_model();
+    const auto evaluation = evaluator.evaluate_system(outcome.system);
+    if (!evaluation.valid) {
+      std::cerr << "analysis: " << evaluation.error << "\n";
+      return 1;
+    }
+    for (std::size_t c = 0; c < sys.cluster_count(); ++c) {
+      const Application& capp = *sys.cluster_app(c);
+      const BusConfig& cfg = outcome.system.clusters[c];
+      std::cout << "\ncluster " << c << ": " << cfg.static_slot_count << " ST slots x "
+                << format_time(cfg.static_slot_len) << ", DYN " << cfg.minislot_count
+                << " minislots\n";
+      Table wcrt({"activity", "kind", "WCRT", "deadline", "status"});
+      const AnalysisResult& cluster = evaluation.cluster_analysis[c];
+      auto add_row = [&](const std::string& name, const char* kind, Time r, Time d) {
+        wcrt.add_row({name, kind, format_time(r), format_time(d), r <= d ? "ok" : "MISS"});
+      };
+      for (std::uint32_t t = 0; t < capp.task_count(); ++t) {
+        add_row(capp.tasks()[t].name,
+                capp.tasks()[t].policy == TaskPolicy::Scs ? "SCS" : "FPS",
+                cluster.task_completion[t],
+                capp.effective_deadline(ActivityRef::task(static_cast<TaskId>(t))));
+      }
+      for (std::uint32_t m = 0; m < capp.message_count(); ++m) {
+        add_row(capp.messages()[m].name,
+                capp.messages()[m].cls == MessageClass::Static ? "ST" : "DYN",
+                cluster.message_completion[m],
+                capp.effective_deadline(ActivityRef::message(static_cast<MessageId>(m))));
+      }
+      wcrt.print(std::cout);
+    }
+    if (run_sim) {
+      std::cerr << "simulation: multi-cluster simulation is not supported yet\n";
+    }
+    return outcome.feasible ? 0 : 1;
+  }
+
   std::cout << "configuration: " << outcome.config.static_slot_count << " ST slots x "
             << format_time(outcome.config.static_slot_len) << ", DYN "
             << outcome.config.minislot_count << " minislots\n";
