@@ -45,14 +45,17 @@ int main() {
             [](const TransmissionRecord& a, const TransmissionRecord& b) {
               return a.start < b.start;
             });
-  Table table({"t (us)", "message", "segment", "slot/FrameID", "cycle", "finish (us)"});
+  Table table({"t (us)", "message", "segment", "slot/FrameID", "cycle", "cl:hop",
+               "finish (us)"});
   for (const TransmissionRecord& r : trace) {
     if (r.instance != 0) continue;  // first period only, like the figure
     table.add_row({fmt_double(to_us(r.start), 0),
                    bundle.app.messages()[index_of(r.message)].name,
                    r.dynamic ? "DYN" : "ST",
                    std::to_string(r.dynamic ? r.slot : r.slot + 1),
-                   std::to_string(r.cycle), fmt_double(to_us(r.finish), 0)});
+                   std::to_string(r.cycle),
+                   std::to_string(r.cluster) + ":" + std::to_string(r.hop_index),
+                   fmt_double(to_us(r.finish), 0)});
   }
   table.print(std::cout);
   std::cout << "\nNote mh (FrameID 5): ready before cycle 1 but deferred to cycle 2 by the\n"

@@ -49,13 +49,14 @@ int main() {
             });
 
   std::cout << "\nBus timeline (first period):\n";
-  Table table({"start", "end", "cycle", "segment", "slot", "message", "sender"});
+  Table table({"start", "end", "cycle", "segment", "slot", "cl:hop", "message", "sender"});
   for (const TransmissionRecord& r : trace) {
     if (r.instance != 0) continue;
     const Message& msg = bundle.app.messages()[index_of(r.message)];
     table.add_row({format_time(r.start), format_time(r.finish), std::to_string(r.cycle),
                    r.dynamic ? "DYN" : "ST",
-                   std::to_string(r.dynamic ? r.slot : r.slot + 1), msg.name,
+                   std::to_string(r.dynamic ? r.slot : r.slot + 1),
+                   std::to_string(r.cluster) + ":" + std::to_string(r.hop_index), msg.name,
                    bundle.app.node(bundle.app.task(msg.sender).node).name});
   }
   table.print(std::cout);

@@ -81,6 +81,10 @@ struct CampaignSpec {
   /// determinism contract for bounded runtime.
   long max_evaluations = 0;
   double max_wall_seconds = 0.0;
+  /// Re-simulate every analysable winner on the discrete-event network
+  /// simulator (flexopt/netsim) for one hyper-period and record the
+  /// observed-vs-bound verdict and pessimism gap per run.
+  bool sim_check = false;
 };
 
 /// One expanded grid cell instance: the fully resolved generator spec plus
@@ -114,6 +118,15 @@ struct AlgorithmRun {
   SolveStatus status = SolveStatus::Complete;
   /// Winning member id of a "portfolio" run ("sa#2"); empty otherwise.
   std::string portfolio_winner;
+  /// CampaignSpec::sim_check results: true when the winning configuration
+  /// was re-simulated on the network simulator (analysable winners only).
+  bool simulated = false;
+  /// Observed <= bound for every simulated activity (vacuously true when
+  /// not simulated).
+  bool sim_sound = true;
+  /// Mean pessimism gap (bound - observed) / bound over the simulated
+  /// activities with finite bounds; 0 when not simulated.
+  double sim_gap = 0.0;
   /// Wall-clock of this solve; non-deterministic, excluded from summaries
   /// unless timing output is requested.
   double wall_seconds = 0.0;

@@ -36,6 +36,12 @@ struct AlgorithmAggregate {
   long evaluations_total = 0;
   double evaluations_mean = 0.0;
   std::uint64_t cache_hits_total = 0;
+  /// sim_check lane: winners replayed on the network simulator, how many
+  /// broke the observed <= bound invariant, and the mean pessimism gap
+  /// over the simulated winners.
+  std::size_t simulated = 0;
+  std::size_t sim_unsound = 0;
+  double sim_gap_mean = 0.0;
   double wall_seconds_total = 0.0;  ///< timing output only
 };
 

@@ -40,6 +40,9 @@ void write_aggregate_fields(JsonWriter& json, const AlgorithmAggregate& agg,
   json.field("evaluations_total", agg.evaluations_total);
   json.field("evaluations_mean", agg.evaluations_mean);
   json.field("cache_hits_total", agg.cache_hits_total);
+  json.field("simulated", agg.simulated);
+  json.field("sim_unsound", agg.sim_unsound);
+  json.field("sim_gap_mean", agg.sim_gap_mean);
   if (include_timing) json.field("wall_seconds_total", agg.wall_seconds_total);
 }
 
@@ -63,8 +66,14 @@ AlgorithmAggregate aggregate_runs(const CampaignResult& result, const std::strin
     }
     agg.evaluations_total += run->evaluations;
     agg.cache_hits_total += run->cache_hits;
+    if (run->simulated) {
+      ++agg.simulated;
+      if (!run->sim_sound) ++agg.sim_unsound;
+      agg.sim_gap_mean += run->sim_gap;
+    }
     agg.wall_seconds_total += run->wall_seconds;
   }
+  if (agg.simulated > 0) agg.sim_gap_mean /= static_cast<double>(agg.simulated);
   if (agg.scenarios > 0) {
     agg.schedulable_fraction =
         static_cast<double>(agg.schedulable) / static_cast<double>(agg.scenarios);
@@ -141,7 +150,7 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
   std::ostringstream out;
   out << "scenario,seed,nodes,topology,clusters,traffic,node_util_lo,node_util_hi,bus_util_lo,"
          "bus_util_hi,tasks,messages,graphs,bus_util_realized,algorithm,feasible,cost,"
-         "evaluations,status,cache_hits,cache_misses,winner";
+         "evaluations,status,cache_hits,cache_misses,winner,simulated,sim_sound,sim_gap";
   if (include_timing) out << ",wall_seconds";
   out << "\n";
   for (const ScenarioRecord& record : result.scenarios) {
@@ -155,7 +164,7 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
            << json_double(plan.node_util.hi) << ',' << json_double(plan.bus_util.lo) << ','
            << json_double(plan.bus_util.hi);
     if (!record.generated) {
-      out << prefix.str() << ",0,0,0,0,-,0,,0,generation-error,0,0,";
+      out << prefix.str() << ",0,0,0,0,-,0,,0,generation-error,0,0,,0,1,0";
       if (include_timing) out << ",0";
       out << "\n";
       continue;
@@ -165,7 +174,9 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
           << record.graph_count << ',' << json_double(record.bus_util_realized) << ','
           << run.algorithm << ',' << (run.feasible ? 1 : 0) << ',' << json_double(run.cost)
           << ',' << run.evaluations << ',' << to_string(run.status) << ',' << run.cache_hits
-          << ',' << run.cache_misses << ',' << run.portfolio_winner;
+          << ',' << run.cache_misses << ',' << run.portfolio_winner << ','
+          << (run.simulated ? 1 : 0) << ',' << (run.sim_sound ? 1 : 0) << ','
+          << json_double(run.sim_gap);
       if (include_timing) out << ',' << json_double(run.wall_seconds);
       out << "\n";
     }

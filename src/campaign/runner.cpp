@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "flexopt/core/portfolio.hpp"
+#include "flexopt/netsim/netsim.hpp"
 
 namespace flexopt {
 namespace {
@@ -146,6 +147,29 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           run.status = report.status;
           run.portfolio_winner = report.winner;
           run.wall_seconds = report.outcome.wall_seconds;
+          // sim_check: replay the winner on the network simulator for one
+          // hyper-period.  The simulation is single-threaded and seeded by
+          // nothing but the winning configuration, so it preserves the
+          // thread-count determinism contract.  A layout/analysis failure
+          // on the winner leaves the run unsimulated rather than failing
+          // the scenario (the solve itself already succeeded).
+          if (spec_.sim_check && report.outcome.cost.value < kInvalidConfigCost) {
+            auto layouts = build_system_layouts(model, params_, report.outcome.system);
+            auto analysis = layouts.ok()
+                                ? analyze_multicluster(model, layouts.value(),
+                                                       AnalysisOptions{})
+                                : Expected<MulticlusterResult>(layouts.error());
+            auto sim = analysis.ok()
+                           ? simulate_network(model, layouts.value(), analysis.value())
+                           : Expected<NetSimResult>(analysis.error());
+            if (sim.ok()) {
+              const SoundnessReport verdict =
+                  check_soundness(model, analysis.value(), sim.value());
+              run.simulated = true;
+              run.sim_sound = verdict.sound;
+              run.sim_gap = verdict.mean_gap;
+            }
+          }
           record.runs.push_back(std::move(run));
         }
       }

@@ -90,6 +90,7 @@ constexpr const char* kKeywords[] = {
     "portfolio_members",
     "budget",
     "time_limit",
+    "sim_check",
 };
 
 /// Edit distance for the "did you mean" hint on unknown keywords — typos in
@@ -298,6 +299,14 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
       if (!v.ok()) return line_error(line_no, v.error().message);
       if (v.value() < 0.0) return line_error(line_no, "time_limit must be >= 0");
       spec.max_wall_seconds = v.value();
+    } else if (keyword == "sim_check") {
+      if (first == "on" || first == "true" || first == "1") {
+        spec.sim_check = true;
+      } else if (first == "off" || first == "false" || first == "0") {
+        spec.sim_check = false;
+      } else {
+        return line_error(line_no, "sim_check expects on/off, got '" + first + "'");
+      }
     } else {
       return line_error(line_no, unknown_keyword_message(keyword));
     }

@@ -1,0 +1,544 @@
+#include "flexopt/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "flexopt/math/hyperperiod.hpp"
+
+namespace flexopt {
+namespace {
+
+/// Event kinds, in tie-break order at equal timestamps: completions and
+/// deliveries first (they enable work), then releases, then CPU/bus slot
+/// boundaries that consume the enabled state.
+enum class EventType : int {
+  ScsFinish = 0,
+  FpsFinish = 1,
+  StDelivery = 2,
+  DynDelivery = 3,
+  GraphRelease = 4,
+  TaskRelease = 5,
+  ScsStart = 6,
+  DynSlot = 7,
+};
+
+struct Event {
+  Time time = 0;
+  EventType type{};
+  std::uint64_t seq = 0;
+  std::size_t a = 0;   // node / graph index
+  std::size_t b = 0;   // job index
+  std::int64_t c = 0;  // generation / counter / cycle
+  std::int64_t d = 0;  // extra payload (FrameID, …)
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    if (type != other.type) return type > other.type;
+    return seq > other.seq;
+  }
+};
+
+struct TaskJob {
+  Time release = 0;
+  std::size_t preds_pending = 0;  // predecessor jobs + the release token
+  Time ready_time = kTimeNone;
+  Time remaining = 0;  // FPS only
+  bool done = false;
+  Time completion = kTimeNone;
+};
+
+struct MsgJob {
+  Time release = 0;
+  bool sender_done = false;
+  Time ready_time = kTimeNone;  // DYN: when handed to the CHI
+  bool delivered = false;
+  Time completion = kTimeNone;
+};
+
+/// Entry in a CHI dynamic send queue.
+struct ChiEntry {
+  int priority = 0;
+  Time ready = 0;
+  std::uint32_t message = 0;
+  std::size_t job = 0;
+
+  bool operator<(const ChiEntry& o) const {
+    if (priority != o.priority) return priority < o.priority;
+    if (ready != o.ready) return ready < o.ready;
+    return job < o.job;
+  }
+};
+
+/// Replayed ST transmission window (for trace records).
+struct StReplay {
+  Time start = 0;
+  Time finish = 0;
+  std::int64_t cycle = 0;
+  int slot = 0;
+};
+
+struct NodeState {
+  std::multiset<ChiEntry> ready_fps;  // ordered by priority / ready / job
+  bool fps_running = false;
+  std::uint32_t running_task = 0;
+  std::size_t running_job = 0;
+  Time burst_start = 0;
+  Time scs_busy_until = 0;
+  std::int64_t generation = 0;
+};
+
+}  // namespace
+
+struct ClusterEngine::Impl {
+  const BusLayout* layout = nullptr;
+  const Application* app = nullptr;
+  EngineOptions options;
+  EngineHooks hooks;
+  Time horizon = 0;
+  Time cycle_len = 0;
+
+  std::vector<std::vector<TaskJob>> task_jobs;
+  std::vector<std::vector<MsgJob>> msg_jobs;
+  std::vector<std::vector<StReplay>> st_replay;
+  std::vector<std::vector<Time>> scs_starts;  // for next-SCS lookup
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  std::uint64_t processed = 0;
+
+  std::vector<NodeState> cpus;
+  std::map<int, std::multiset<ChiEntry>> chi;  // CHI queues keyed by FrameID
+
+  SimResult result;
+  std::vector<Event> recompute_stack;   // deferred burst projections
+  std::vector<std::size_t> touched_nodes;
+
+  void push(Event e) {
+    if (e.time >= horizon) return;
+    e.seq = seq++;
+    events.push(e);
+  }
+
+  int hop_of(std::uint32_t m) const {
+    return m < options.message_hop_index.size() ? options.message_hop_index[m] : 0;
+  }
+
+  std::size_t node_of_task(std::uint32_t t) const { return index_of(app->tasks()[t].node); }
+
+  Time next_scs_start(std::size_t node, Time now) const {
+    const auto& starts = scs_starts[node];
+    const auto it = std::upper_bound(starts.begin(), starts.end(), now);
+    return it == starts.end() ? kTimeInfinity : *it;
+  }
+
+  void recompute_cpu(std::size_t node, Time now) {
+    NodeState& cpu = cpus[node];
+    ++cpu.generation;
+    // Preempt whatever FPS job is in a burst; account executed time.
+    if (cpu.fps_running) {
+      TaskJob& job = task_jobs[cpu.running_task][cpu.running_job];
+      job.remaining -= now - cpu.burst_start;
+      assert(job.remaining >= 0);
+      if (job.remaining > 0) {
+        cpu.ready_fps.insert(ChiEntry{app->tasks()[cpu.running_task].priority, job.ready_time,
+                                      cpu.running_task, cpu.running_job});
+      }
+      cpu.fps_running = false;
+    }
+    if (now < cpu.scs_busy_until) return;  // CPU held by the static table
+    if (cpu.ready_fps.empty()) return;
+    const ChiEntry top = *cpu.ready_fps.begin();
+    cpu.ready_fps.erase(cpu.ready_fps.begin());
+    TaskJob& job = task_jobs[top.message][top.job];
+    cpu.fps_running = true;
+    cpu.running_task = top.message;
+    cpu.running_job = top.job;
+    cpu.burst_start = now;
+    const Time finish = now + job.remaining;
+    if (finish <= next_scs_start(node, now)) {
+      recompute_stack.push_back(Event{finish, EventType::FpsFinish, 0, node, top.job,
+                                      cpu.generation, static_cast<std::int64_t>(top.message)});
+    }
+    // Otherwise the burst is cut by the next SCS start; that ScsStart event
+    // triggers the next recompute.
+  }
+
+  void record_completion(ActivityRef a, std::size_t job, Time when) {
+    const Time release =
+        a.is_task() ? task_jobs[a.index][job].release : msg_jobs[a.index][job].release;
+    const Time relative = when - release;
+    Time& slot = a.is_task() ? result.task_worst_completion[a.index]
+                             : result.message_worst_completion[a.index];
+    slot = slot == kTimeNone ? relative : std::max(slot, relative);
+  }
+
+  /// Records the completion and propagates readiness to successor jobs.
+  void complete_activity(ActivityRef a, std::size_t job, Time when) {
+    record_completion(a, job, when);
+    for (const ActivityRef s : app->successors(a)) {
+      if (s.is_task()) {
+        TaskJob& sj = task_jobs[s.index][job];
+        assert(sj.preds_pending > 0);
+        if (--sj.preds_pending == 0) {
+          sj.ready_time = std::max(when, sj.release);
+          if (app->tasks()[s.index].policy == TaskPolicy::Fps) {
+            const std::size_t node = node_of_task(s.index);
+            cpus[node].ready_fps.insert(
+                ChiEntry{app->tasks()[s.index].priority, sj.ready_time, s.index, job});
+            touched_nodes.push_back(node);
+          }
+        }
+      } else {
+        MsgJob& mj = msg_jobs[s.index][job];
+        mj.sender_done = true;
+        mj.ready_time = when;
+        if (app->messages()[s.index].cls == MessageClass::Dynamic) {
+          const int fid = layout->frame_id(static_cast<MessageId>(s.index));
+          chi[fid].insert(ChiEntry{app->messages()[s.index].priority, when, s.index, job});
+        }
+        // ST messages are replayed from the table; readiness is only used
+        // for the precedence check at transmission time.
+      }
+    }
+  }
+
+  /// Applies deferred CPU recomputations and burst projections at `now`.
+  void flush(Time now) {
+    std::sort(touched_nodes.begin(), touched_nodes.end());
+    touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
+                        touched_nodes.end());
+    for (const std::size_t node : touched_nodes) recompute_cpu(node, now);
+    touched_nodes.clear();
+    for (Event& e : recompute_stack) push(e);
+    recompute_stack.clear();
+  }
+
+  void mark_task_ready(std::uint32_t t, std::size_t job_index, Time now) {
+    TaskJob& job = task_jobs[t][job_index];
+    assert(job.preds_pending > 0);
+    if (--job.preds_pending == 0) {
+      job.ready_time = std::max(now, job.release);
+      if (app->tasks()[t].policy == TaskPolicy::Fps) {
+        const std::size_t node = node_of_task(t);
+        cpus[node].ready_fps.insert(
+            ChiEntry{app->tasks()[t].priority, job.ready_time, t, job_index});
+        touched_nodes.push_back(node);
+      }
+    }
+  }
+
+  void process(const Event& ev) {
+    const Time now = ev.time;
+    switch (ev.type) {
+      case EventType::GraphRelease: {
+        for (std::uint32_t t = 0; t < app->task_count(); ++t) {
+          if (index_of(app->tasks()[t].graph) != ev.a) continue;
+          const Time offset = app->tasks()[t].release_offset;
+          if (offset > 0) {
+            // Individual release time: the release token arrives later.
+            push(Event{now + offset, EventType::TaskRelease, 0, 0, ev.b, 0,
+                       static_cast<std::int64_t>(t)});
+            continue;
+          }
+          mark_task_ready(t, ev.b, now);
+        }
+        break;
+      }
+      case EventType::TaskRelease: {
+        mark_task_ready(static_cast<std::uint32_t>(ev.d), ev.b, now);
+        break;
+      }
+      case EventType::ScsStart: {
+        const auto t = static_cast<std::uint32_t>(ev.d);
+        TaskJob& job = task_jobs[t][ev.b];
+        if (job.preds_pending != 0) ++result.precedence_violations;
+        NodeState& cpu = cpus[ev.a];
+        const Time finish = now + app->tasks()[t].wcet;
+        cpu.scs_busy_until = std::max(cpu.scs_busy_until, finish);
+        touched_nodes.push_back(ev.a);
+        break;
+      }
+      case EventType::ScsFinish: {
+        const auto t = static_cast<std::uint32_t>(ev.d);
+        TaskJob& job = task_jobs[t][ev.b];
+        job.done = true;
+        job.completion = now;
+        complete_activity(ActivityRef::task(static_cast<TaskId>(t)), ev.b, now);
+        touched_nodes.push_back(ev.a);
+        if (hooks.task_completed) hooks.task_completed(static_cast<TaskId>(t), ev.b, now);
+        break;
+      }
+      case EventType::FpsFinish: {
+        NodeState& cpu = cpus[ev.a];
+        if (ev.c != cpu.generation) break;  // stale burst projection
+        const auto t = static_cast<std::uint32_t>(ev.d);
+        TaskJob& job = task_jobs[t][ev.b];
+        job.remaining = 0;
+        job.done = true;
+        job.completion = now;
+        cpu.fps_running = false;
+        ++cpu.generation;  // invalidate any other projection
+        complete_activity(ActivityRef::task(static_cast<TaskId>(t)), ev.b, now);
+        touched_nodes.push_back(ev.a);
+        if (hooks.task_completed) hooks.task_completed(static_cast<TaskId>(t), ev.b, now);
+        break;
+      }
+      case EventType::StDelivery: {
+        const auto m = static_cast<std::uint32_t>(ev.d);
+        MsgJob& job = msg_jobs[m][ev.b];
+        if (!job.sender_done) ++result.precedence_violations;
+        job.delivered = true;
+        job.completion = now;
+        if (options.record_trace) {
+          const StReplay& r = st_replay[m][ev.b];
+          result.trace.push_back(TransmissionRecord{static_cast<MessageId>(m),
+                                                    static_cast<int>(ev.b), false, r.slot,
+                                                    r.cycle, r.start, r.finish, options.cluster,
+                                                    hop_of(m)});
+        }
+        complete_activity(ActivityRef::message(static_cast<MessageId>(m)), ev.b, now);
+        if (hooks.message_delivered) {
+          hooks.message_delivered(static_cast<MessageId>(m), ev.b, now);
+        }
+        break;
+      }
+      case EventType::DynDelivery: {
+        const auto m = static_cast<std::uint32_t>(ev.d);
+        MsgJob& job = msg_jobs[m][ev.b];
+        job.delivered = true;
+        job.completion = now;
+        complete_activity(ActivityRef::message(static_cast<MessageId>(m)), ev.b, now);
+        if (hooks.message_delivered) {
+          hooks.message_delivered(static_cast<MessageId>(m), ev.b, now);
+        }
+        break;
+      }
+      case EventType::DynSlot: {
+        const int fid = static_cast<int>(ev.d);
+        const std::int64_t counter = ev.c;
+        if (fid > layout->max_frame_id() || counter > layout->config().minislot_count) {
+          break;  // segment exhausted
+        }
+        std::int64_t advance = 1;
+        NodeId owner{};
+        if (layout->frame_id_owner(fid, &owner) && counter <= layout->p_latest_tx(owner)) {
+          auto& queue = chi[fid];
+          // Pick the highest-priority message that reached the CHI before
+          // this slot started.
+          auto best = queue.end();
+          for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (it->ready <= now) {
+              best = it;
+              break;  // multiset order = (priority, ready, job)
+            }
+          }
+          if (best != queue.end()) {
+            const std::uint32_t m = best->message;
+            const std::size_t job_index = best->job;
+            const int slots = layout->message_minislots(static_cast<MessageId>(m));
+            const Time delivery = now + layout->message_occupancy(static_cast<MessageId>(m));
+            push(Event{delivery, EventType::DynDelivery, 0, 0, job_index, 0,
+                       static_cast<std::int64_t>(m)});
+            if (options.record_trace) {
+              result.trace.push_back(TransmissionRecord{static_cast<MessageId>(m),
+                                                        static_cast<int>(job_index), true, fid,
+                                                        now / cycle_len, now, delivery,
+                                                        options.cluster, hop_of(m)});
+            }
+            queue.erase(best);
+            advance = slots;
+          }
+        }
+        push(Event{now + advance * layout->params().gd_minislot, EventType::DynSlot, 0, 0, 0,
+                   counter + advance, static_cast<std::int64_t>(fid) + 1});
+        break;
+      }
+    }
+    flush(now);
+  }
+};
+
+ClusterEngine::ClusterEngine() : impl_(new Impl) {}
+ClusterEngine::~ClusterEngine() = default;
+
+Expected<std::unique_ptr<ClusterEngine>> ClusterEngine::create(const BusLayout& layout,
+                                                               const StaticSchedule& schedule,
+                                                               EngineOptions options,
+                                                               EngineHooks hooks) {
+  const Application& app = layout.application();
+  const Time H = schedule.hyperperiod();
+  const Time cycle_len = layout.cycle_len();
+
+  Time horizon = options.horizon;
+  if (horizon == 0) {
+    if (options.hyperperiods < 1) return make_error("simulate: hyperperiods must be >= 1");
+    horizon = H * options.hyperperiods;
+    if (options.hyperperiods > 1 && H % cycle_len != 0) {
+      // The ST table repeats every hyper-period while the DYN minislot grid
+      // repeats every bus cycle; when the cycle does not divide the
+      // hyper-period the two only co-terminate every lcm.  Round the
+      // requested horizon up to that block so neither pattern is truncated.
+      auto block = checked_lcm(H, cycle_len);
+      if (!block.ok()) return block.error();
+      horizon = (horizon + block.value() - 1) / block.value() * block.value();
+    }
+  }
+  if (horizon <= 0 || horizon % H != 0) {
+    return make_error("simulate: horizon must be a positive multiple of the hyper-period");
+  }
+  const Time hyper_count = horizon / H;
+
+  std::unique_ptr<ClusterEngine> engine(new ClusterEngine);
+  Impl& im = *engine->impl_;
+  im.layout = &layout;
+  im.app = &app;
+  im.options = std::move(options);
+  im.hooks = std::move(hooks);
+  im.horizon = horizon;
+  im.cycle_len = cycle_len;
+
+  // ---- job tables ----------------------------------------------------------
+  auto instances_of = [&](Time period) { return static_cast<std::size_t>(horizon / period); };
+  im.task_jobs.resize(app.task_count());
+  im.msg_jobs.resize(app.message_count());
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    const Time period = app.period_of(ActivityRef::task(static_cast<TaskId>(t)));
+    auto& vec = im.task_jobs[t];
+    vec.resize(instances_of(period));
+    const std::size_t preds = app.predecessors(ActivityRef::task(static_cast<TaskId>(t))).size();
+    for (std::size_t k = 0; k < vec.size(); ++k) {
+      vec[k].release = static_cast<Time>(k) * period;
+      vec[k].preds_pending = preds + 1;  // +1: the graph-release token
+      vec[k].remaining = app.tasks()[t].wcet;
+    }
+  }
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    const Time period = app.period_of(ActivityRef::message(static_cast<MessageId>(m)));
+    auto& vec = im.msg_jobs[m];
+    vec.resize(instances_of(period));
+    for (std::size_t k = 0; k < vec.size(); ++k) {
+      vec[k].release = static_cast<Time>(k) * period;
+    }
+  }
+
+  // ---- initial event population -------------------------------------------
+  // Graph releases.
+  for (std::uint32_t g = 0; g < app.graph_count(); ++g) {
+    const Time period = app.graphs()[g].period;
+    for (Time r = 0; r < horizon; r += period) {
+      im.push(Event{r, EventType::GraphRelease, 0, g, static_cast<std::size_t>(r / period), 0, 0});
+    }
+  }
+
+  // SCS table entries, repeated every hyper-period.
+  im.scs_starts.resize(app.node_count());
+  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    if (app.tasks()[t].policy != TaskPolicy::Scs) continue;
+    const std::size_t node = index_of(app.tasks()[t].node);
+    const std::size_t per_h = schedule.task_entries(static_cast<TaskId>(t)).size();
+    for (Time j = 0; j < hyper_count; ++j) {
+      const Time shift = j * H;
+      for (const ScheduledTask& e : schedule.task_entries(static_cast<TaskId>(t))) {
+        const std::size_t job =
+            static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
+        im.push(Event{e.start + shift, EventType::ScsStart, 0, node, job, 0,
+                      static_cast<std::int64_t>(t)});
+        im.push(Event{e.finish + shift, EventType::ScsFinish, 0, node, job, 0,
+                      static_cast<std::int64_t>(t)});
+        im.scs_starts[node].push_back(e.start + shift);
+      }
+    }
+  }
+  for (auto& starts : im.scs_starts) std::sort(starts.begin(), starts.end());
+
+  // ST message deliveries replayed from the table (hyper-period-periodic,
+  // exactly the analysis model of the static segment).
+  im.st_replay.resize(app.message_count());
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls != MessageClass::Static) continue;
+    const std::size_t per_h = schedule.message_entries(static_cast<MessageId>(m)).size();
+    im.st_replay[m].resize(im.msg_jobs[m].size());
+    for (Time j = 0; j < hyper_count; ++j) {
+      const Time shift = j * H;
+      for (const ScheduledMessage& e : schedule.message_entries(static_cast<MessageId>(m))) {
+        const std::size_t job =
+            static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
+        if (job >= im.msg_jobs[m].size()) continue;
+        im.st_replay[m][job] =
+            StReplay{e.start + shift, e.finish + shift, (e.start + shift) / cycle_len, e.slot};
+        im.push(Event{e.finish + shift, EventType::StDelivery, 0, 0, job, 0,
+                      static_cast<std::int64_t>(m)});
+      }
+    }
+  }
+
+  // DYN segment walkers: one chain of DynSlot events per bus cycle.
+  if (layout.max_frame_id() > 0) {
+    for (Time c = 0; c * cycle_len < horizon; ++c) {
+      im.push(Event{c * cycle_len + layout.st_segment_len(), EventType::DynSlot, 0, 0, 0,
+                    /*counter=*/1, /*fid=*/1});
+    }
+  }
+
+  im.cpus.resize(app.node_count());
+  im.result.task_worst_completion.assign(app.task_count(), kTimeNone);
+  im.result.message_worst_completion.assign(app.message_count(), kTimeNone);
+  return engine;
+}
+
+bool ClusterEngine::done() const { return impl_->events.empty(); }
+
+Time ClusterEngine::next_time() const {
+  return impl_->events.empty() ? kTimeInfinity : impl_->events.top().time;
+}
+
+int ClusterEngine::next_order() const {
+  return impl_->events.empty() ? static_cast<int>(EventType::DynSlot) + 1
+                               : static_cast<int>(impl_->events.top().type);
+}
+
+void ClusterEngine::process_next() {
+  Impl& im = *impl_;
+  assert(!im.events.empty());
+  const Event ev = im.events.top();
+  im.events.pop();
+  ++im.processed;
+  im.process(ev);
+}
+
+void ClusterEngine::gate_task(TaskId task) {
+  for (TaskJob& job : impl_->task_jobs[index_of(task)]) ++job.preds_pending;
+}
+
+void ClusterEngine::release_gated(TaskId task, std::size_t job, Time now) {
+  Impl& im = *impl_;
+  if (job >= im.task_jobs[index_of(task)].size()) return;
+  im.mark_task_ready(static_cast<std::uint32_t>(index_of(task)), job, now);
+  im.flush(now);
+}
+
+Time ClusterEngine::horizon() const { return impl_->horizon; }
+
+std::uint64_t ClusterEngine::events_processed() const { return impl_->processed; }
+
+SimResult ClusterEngine::finish() {
+  Impl& im = *impl_;
+  for (const auto& vec : im.task_jobs) {
+    for (const auto& j : vec) {
+      if (!j.done) ++im.result.unfinished_jobs;
+    }
+  }
+  for (const auto& vec : im.msg_jobs) {
+    for (const auto& j : vec) {
+      if (!j.delivered) ++im.result.unfinished_jobs;
+    }
+  }
+  return std::move(im.result);
+}
+
+}  // namespace flexopt

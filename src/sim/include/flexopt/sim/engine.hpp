@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file engine.hpp
+/// The steppable per-cluster simulation kernel behind simulate(): one
+/// FlexRay bus (ST replay + FTDMA minislot arbitration) plus the two-
+/// scheduler CPUs of the nodes attached to it, exposed as a ClusterEngine
+/// that an external coordinator can advance one event at a time.
+///
+/// simulate() (simulator.hpp) wraps exactly one engine and drains it — the
+/// single-bus behaviour is bit-identical to the pre-refactor simulator.
+/// The network simulator (flexopt/netsim/netsim.hpp) instantiates one
+/// engine per cluster, merges their event queues on global time order, and
+/// uses the gating hooks to couple them: a gateway forwarding relay in the
+/// downstream cluster is held back (gate_task) until its upstream receive
+/// relay completes (release_gated).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "flexopt/analysis/static_schedule.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
+#include "flexopt/sim/simulator.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+/// Construction-time knobs of one cluster kernel.
+struct EngineOptions {
+  /// Number of hyper-periods to simulate (ignored when `horizon` is set).
+  int hyperperiods = 1;
+  /// Explicit horizon override (0 = derive from hyperperiods).  Must be a
+  /// positive multiple of the hyper-period; a network coordinator passes
+  /// the same lcm-aligned horizon to every cluster engine so job tables
+  /// stay index-compatible across clusters.
+  Time horizon = 0;
+  /// Record every bus transmission in the result trace.
+  bool record_trace = false;
+  /// Cluster ordinal stamped into every TransmissionRecord.
+  std::uint32_t cluster = 0;
+  /// Route hop ordinal per local message (indexed by local MessageId;
+  /// empty = all zero) stamped into TransmissionRecord::hop_index.
+  std::vector<int> message_hop_index;
+};
+
+/// Per-completion callbacks, fired while the engine processes events.  A
+/// hook may call gate/release on *other* engines (cross-cluster coupling)
+/// but must not re-enter the engine that fired it.
+struct EngineHooks {
+  /// A task job completed (SCS table finish or FPS burst end).
+  std::function<void(TaskId, std::size_t job, Time when)> task_completed;
+  /// A message job was delivered on this cluster's bus.
+  std::function<void(MessageId, std::size_t job, Time when)> message_delivered;
+};
+
+/// One cluster's discrete-event kernel, advanced one event at a time.
+class ClusterEngine {
+ public:
+  /// Validates options and builds job tables, the static replay and the
+  /// initial event population.  `layout` and `schedule` must outlive the
+  /// engine.  When `options.hyperperiods > 1` and the bus cycle does not
+  /// divide the hyper-period, the horizon is aligned up to a multiple of
+  /// lcm(cycle, hyper-period) so both the ST table (hyper-period-periodic,
+  /// matching the analysis model) and the DYN cycle grid co-terminate.
+  [[nodiscard]] static Expected<std::unique_ptr<ClusterEngine>> create(
+      const BusLayout& layout, const StaticSchedule& schedule, EngineOptions options = {},
+      EngineHooks hooks = {});
+
+  ~ClusterEngine();
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  /// True when no events remain (the horizon has been drained).
+  [[nodiscard]] bool done() const;
+  /// Timestamp of the next pending event (kTimeInfinity when done).
+  [[nodiscard]] Time next_time() const;
+  /// Tie-break rank of the next pending event at equal timestamps — the
+  /// engine-internal EventType order, exposed so a coordinator merging
+  /// several engines preserves the single-engine ordering semantics.
+  [[nodiscard]] int next_order() const;
+  /// Processes exactly one event (the queue head) and every CPU
+  /// recomputation it triggers.
+  void process_next();
+
+  /// Adds one extra pending-predecessor token to every job of `task`,
+  /// holding it back until release_gated().  Call before processing any
+  /// event.  Used for gateway forwarding relays whose trigger lives in
+  /// another cluster.
+  void gate_task(TaskId task);
+  /// Releases the gate token of one job of `task` at time `now` (>= the
+  /// time of the last processed event).  When this was the final pending
+  /// predecessor the job becomes ready and the CPU is recomputed.
+  void release_gated(TaskId task, std::size_t job, Time now);
+
+  /// Simulated horizon (after any lcm alignment).
+  [[nodiscard]] Time horizon() const;
+  /// Events processed so far (throughput metric for benches).
+  [[nodiscard]] std::uint64_t events_processed() const;
+  /// Finalizes unfinished-job accounting and surrenders the result.  The
+  /// engine must not be stepped afterwards.
+  [[nodiscard]] SimResult finish();
+
+ private:
+  ClusterEngine();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace flexopt

@@ -12,7 +12,13 @@
 ///    analysis bounds (property tests);
 ///  * the didactic walkthroughs of Figs. 1, 3 and 4 (message timelines);
 ///  * letting example programs show a configured system actually running.
+///
+/// The event kernel itself lives in flexopt/sim/engine.hpp (ClusterEngine);
+/// simulate() drains exactly one engine.  The multi-cluster network
+/// simulator (flexopt/netsim/netsim.hpp) runs one engine per cluster on a
+/// merged event order.
 
+#include <cstdint>
 #include <vector>
 
 #include "flexopt/analysis/static_schedule.hpp"
@@ -22,15 +28,19 @@
 namespace flexopt {
 
 struct SimOptions {
-  /// Number of hyper-periods to simulate.  Values > 1 require the bus cycle
-  /// to divide the hyper-period (otherwise the ST schedule table does not
-  /// repeat coherently and simulation is refused).
+  /// Number of hyper-periods to simulate.  When the bus cycle does not
+  /// divide the hyper-period, values > 1 align the horizon up to a multiple
+  /// of lcm(cycle, hyper-period) so the ST table replay and the DYN cycle
+  /// grid co-terminate (the run then covers at least the requested span).
   int hyperperiods = 1;
   /// Record every bus transmission in SimResult::trace.
   bool record_trace = false;
 };
 
 /// One bus transmission (ST frame part or DYN frame) for trace inspection.
+/// The same record shape is shared by the single-bus simulator and the
+/// multi-cluster network simulator: single-bus runs leave `cluster` and
+/// `hop_index` at 0.
 struct TransmissionRecord {
   MessageId message{};
   int instance = 0;
@@ -40,6 +50,10 @@ struct TransmissionRecord {
   std::int64_t cycle = 0;
   Time start = 0;
   Time finish = 0;
+  /// Cluster whose bus carried the transmission (0 for single-bus runs).
+  std::uint32_t cluster = 0;
+  /// Hop ordinal along the message's cluster route (0 = source cluster).
+  int hop_index = 0;
 };
 
 struct SimResult {
@@ -53,6 +67,9 @@ struct SimResult {
   /// (indicates an inconsistent table; 0 for schedules from the list
   /// scheduler run over an aligned horizon).
   int precedence_violations = 0;
+  /// Simulated horizon — hyperperiods * hyper-period, possibly rounded up
+  /// by the lcm alignment described at SimOptions::hyperperiods.
+  Time horizon = 0;
   std::vector<TransmissionRecord> trace;
 };
 

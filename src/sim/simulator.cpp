@@ -1,468 +1,22 @@
 #include "flexopt/sim/simulator.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <functional>
-#include <map>
-#include <queue>
-#include <set>
-#include <vector>
+#include <memory>
+#include <utility>
+
+#include "flexopt/sim/engine.hpp"
 
 namespace flexopt {
-namespace {
-
-/// Event kinds, in tie-break order at equal timestamps: completions and
-/// deliveries first (they enable work), then releases, then CPU/bus slot
-/// boundaries that consume the enabled state.
-enum class EventType : int {
-  ScsFinish = 0,
-  FpsFinish = 1,
-  StDelivery = 2,
-  DynDelivery = 3,
-  GraphRelease = 4,
-  TaskRelease = 5,
-  ScsStart = 6,
-  DynSlot = 7,
-};
-
-struct Event {
-  Time time = 0;
-  EventType type{};
-  std::uint64_t seq = 0;
-  std::size_t a = 0;  // node / graph index
-  std::size_t b = 0;  // job index
-  std::int64_t c = 0;  // generation / counter / cycle
-  std::int64_t d = 0;  // extra payload (FrameID, …)
-
-  bool operator>(const Event& other) const {
-    if (time != other.time) return time > other.time;
-    if (type != other.type) return type > other.type;
-    return seq > other.seq;
-  }
-};
-
-struct TaskJob {
-  Time release = 0;
-  std::size_t preds_pending = 0;  // predecessor jobs + the release token
-  Time ready_time = kTimeNone;
-  Time remaining = 0;  // FPS only
-  bool done = false;
-  Time completion = kTimeNone;
-};
-
-struct MsgJob {
-  Time release = 0;
-  bool sender_done = false;
-  Time ready_time = kTimeNone;  // DYN: when handed to the CHI
-  bool delivered = false;
-  Time completion = kTimeNone;
-};
-
-/// Entry in a CHI dynamic send queue.
-struct ChiEntry {
-  int priority = 0;
-  Time ready = 0;
-  std::uint32_t message = 0;
-  std::size_t job = 0;
-
-  bool operator<(const ChiEntry& o) const {
-    if (priority != o.priority) return priority < o.priority;
-    if (ready != o.ready) return ready < o.ready;
-    return job < o.job;
-  }
-};
-
-}  // namespace
 
 Expected<SimResult> simulate(const BusLayout& layout, const StaticSchedule& schedule,
                              const SimOptions& options) {
-  const Application& app = layout.application();
-  const Time H = schedule.hyperperiod();
-  const Time cycle_len = layout.cycle_len();
-  if (options.hyperperiods < 1) return make_error("simulate: hyperperiods must be >= 1");
-  if (options.hyperperiods > 1 && H % cycle_len != 0) {
-    return make_error(
-        "simulate: multi-hyperperiod runs require the bus cycle to divide the hyper-period");
-  }
-  const Time horizon = H * options.hyperperiods;
-
-  // ---- job tables ----------------------------------------------------------
-  auto instances_of = [&](Time period) { return static_cast<std::size_t>(horizon / period); };
-  std::vector<std::vector<TaskJob>> task_jobs(app.task_count());
-  std::vector<std::vector<MsgJob>> msg_jobs(app.message_count());
-  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
-    const Time period = app.period_of(ActivityRef::task(static_cast<TaskId>(t)));
-    auto& vec = task_jobs[t];
-    vec.resize(instances_of(period));
-    const std::size_t preds = app.predecessors(ActivityRef::task(static_cast<TaskId>(t))).size();
-    for (std::size_t k = 0; k < vec.size(); ++k) {
-      vec[k].release = static_cast<Time>(k) * period;
-      vec[k].preds_pending = preds + 1;  // +1: the graph-release token
-      vec[k].remaining = app.tasks()[t].wcet;
-    }
-  }
-  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
-    const Time period = app.period_of(ActivityRef::message(static_cast<MessageId>(m)));
-    auto& vec = msg_jobs[m];
-    vec.resize(instances_of(period));
-    for (std::size_t k = 0; k < vec.size(); ++k) {
-      vec[k].release = static_cast<Time>(k) * period;
-    }
-  }
-
-  // ---- event queue ---------------------------------------------------------
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  std::uint64_t seq = 0;
-  auto push = [&](Event e) {
-    if (e.time >= horizon) return;
-    e.seq = seq++;
-    events.push(e);
-  };
-
-  // Graph releases.
-  for (std::uint32_t g = 0; g < app.graph_count(); ++g) {
-    const Time period = app.graphs()[g].period;
-    for (Time r = 0; r < horizon; r += period) {
-      push(Event{r, EventType::GraphRelease, 0, g, static_cast<std::size_t>(r / period), 0, 0});
-    }
-  }
-
-  // SCS table entries, repeated every hyper-period.
-  std::vector<std::vector<Time>> scs_starts(app.node_count());  // for next-SCS lookup
-  for (std::uint32_t t = 0; t < app.task_count(); ++t) {
-    if (app.tasks()[t].policy != TaskPolicy::Scs) continue;
-    const std::size_t node = index_of(app.tasks()[t].node);
-    const std::size_t per_h = schedule.task_entries(static_cast<TaskId>(t)).size();
-    for (int j = 0; j < options.hyperperiods; ++j) {
-      const Time shift = static_cast<Time>(j) * H;
-      for (const ScheduledTask& e : schedule.task_entries(static_cast<TaskId>(t))) {
-        const std::size_t job =
-            static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
-        push(Event{e.start + shift, EventType::ScsStart, 0, node, job, 0,
-                   static_cast<std::int64_t>(t)});
-        push(Event{e.finish + shift, EventType::ScsFinish, 0, node, job, 0,
-                   static_cast<std::int64_t>(t)});
-        scs_starts[node].push_back(e.start + shift);
-      }
-    }
-  }
-  for (auto& starts : scs_starts) std::sort(starts.begin(), starts.end());
-
-  // ST message deliveries replayed from the table.
-  struct StReplay {
-    Time start;
-    Time finish;
-    std::int64_t cycle;
-    int slot;
-  };
-  std::vector<std::vector<StReplay>> st_replay(app.message_count());
-  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
-    if (app.messages()[m].cls != MessageClass::Static) continue;
-    const std::size_t per_h = schedule.message_entries(static_cast<MessageId>(m)).size();
-    st_replay[m].resize(msg_jobs[m].size());
-    for (int j = 0; j < options.hyperperiods; ++j) {
-      const Time shift = static_cast<Time>(j) * H;
-      for (const ScheduledMessage& e : schedule.message_entries(static_cast<MessageId>(m))) {
-        const std::size_t job =
-            static_cast<std::size_t>(e.instance) + per_h * static_cast<std::size_t>(j);
-        if (job >= msg_jobs[m].size()) continue;
-        st_replay[m][job] = StReplay{e.start + shift, e.finish + shift,
-                                     e.cycle + shift / cycle_len, e.slot};
-        push(Event{e.finish + shift, EventType::StDelivery, 0, 0, job, 0,
-                   static_cast<std::int64_t>(m)});
-      }
-    }
-  }
-
-  // DYN segment walkers: one chain of DynSlot events per bus cycle.
-  const bool has_dyn = layout.max_frame_id() > 0;
-  if (has_dyn) {
-    for (Time c = 0; c * cycle_len < horizon; ++c) {
-      push(Event{c * cycle_len + layout.st_segment_len(), EventType::DynSlot, 0, 0, 0,
-                 /*counter=*/1, /*fid=*/1});
-    }
-  }
-
-  // ---- CPU state -----------------------------------------------------------
-  struct NodeState {
-    std::multiset<ChiEntry> ready_fps;  // ordered by priority / ready / job
-    bool fps_running = false;
-    std::uint32_t running_task = 0;
-    std::size_t running_job = 0;
-    Time burst_start = 0;
-    Time scs_busy_until = 0;
-    std::int64_t generation = 0;
-  };
-  std::vector<NodeState> cpus(app.node_count());
-
-  SimResult result;
-  result.task_worst_completion.assign(app.task_count(), kTimeNone);
-  result.message_worst_completion.assign(app.message_count(), kTimeNone);
-
-  // CHI dynamic send queues, keyed by FrameID (owner node is implicit).
-  std::map<int, std::multiset<ChiEntry>> chi;
-
-  // ---- propagation helpers -------------------------------------------------
-  auto node_of_task = [&](std::uint32_t t) { return index_of(app.tasks()[t].node); };
-
-  std::vector<Event> recompute_stack;  // defer to avoid recursion
-
-  auto next_scs_start = [&](std::size_t node, Time now) -> Time {
-    const auto& starts = scs_starts[node];
-    const auto it = std::upper_bound(starts.begin(), starts.end(), now);
-    return it == starts.end() ? kTimeInfinity : *it;
-  };
-
-  auto recompute_cpu = [&](std::size_t node, Time now) {
-    NodeState& cpu = cpus[node];
-    ++cpu.generation;
-    // Preempt whatever FPS job is in a burst; account executed time.
-    if (cpu.fps_running) {
-      TaskJob& job = task_jobs[cpu.running_task][cpu.running_job];
-      job.remaining -= now - cpu.burst_start;
-      assert(job.remaining >= 0);
-      if (job.remaining > 0) {
-        cpu.ready_fps.insert(ChiEntry{app.tasks()[cpu.running_task].priority, job.ready_time,
-                                      cpu.running_task, cpu.running_job});
-      }
-      cpu.fps_running = false;
-    }
-    if (now < cpu.scs_busy_until) return;  // CPU held by the static table
-    if (cpu.ready_fps.empty()) return;
-    const ChiEntry top = *cpu.ready_fps.begin();
-    cpu.ready_fps.erase(cpu.ready_fps.begin());
-    TaskJob& job = task_jobs[top.message][top.job];
-    cpu.fps_running = true;
-    cpu.running_task = top.message;
-    cpu.running_job = top.job;
-    cpu.burst_start = now;
-    const Time finish = now + job.remaining;
-    if (finish <= next_scs_start(node, now)) {
-      recompute_stack.push_back(Event{finish, EventType::FpsFinish, 0, node, top.job,
-                                      cpu.generation, static_cast<std::int64_t>(top.message)});
-    }
-    // Otherwise the burst is cut by the next SCS start; that ScsStart event
-    // triggers the next recompute.
-  };
-
-  // Forward declarations via std::function-free recursion: completions are
-  // processed iteratively through a small work list.
-  struct Completion {
-    ActivityRef activity;
-    std::size_t job;
-    Time when;
-  };
-  std::vector<Completion> work;
-
-  auto record_completion = [&](ActivityRef a, std::size_t job, Time when) {
-    const Time release = a.is_task() ? task_jobs[a.index][job].release
-                                     : msg_jobs[a.index][job].release;
-    const Time relative = when - release;
-    Time& slot = a.is_task() ? result.task_worst_completion[a.index]
-                             : result.message_worst_completion[a.index];
-    slot = slot == kTimeNone ? relative : std::max(slot, relative);
-  };
-
-  std::vector<std::size_t> touched_nodes;
-  auto complete_activity = [&](ActivityRef a, std::size_t job, Time when) {
-    work.push_back(Completion{a, job, when});
-    while (!work.empty()) {
-      const Completion c = work.back();
-      work.pop_back();
-      record_completion(c.activity, c.job, c.when);
-      for (const ActivityRef s : app.successors(c.activity)) {
-        if (s.is_task()) {
-          TaskJob& sj = task_jobs[s.index][c.job];
-          assert(sj.preds_pending > 0);
-          if (--sj.preds_pending == 0) {
-            sj.ready_time = std::max(c.when, sj.release);
-            if (app.tasks()[s.index].policy == TaskPolicy::Fps) {
-              const std::size_t node = node_of_task(s.index);
-              cpus[node].ready_fps.insert(ChiEntry{app.tasks()[s.index].priority, sj.ready_time,
-                                                   s.index, c.job});
-              touched_nodes.push_back(node);
-            }
-          }
-        } else {
-          MsgJob& mj = msg_jobs[s.index][c.job];
-          mj.sender_done = true;
-          mj.ready_time = c.when;
-          if (app.messages()[s.index].cls == MessageClass::Dynamic) {
-            const int fid = layout.frame_id(static_cast<MessageId>(s.index));
-            chi[fid].insert(ChiEntry{app.messages()[s.index].priority, c.when, s.index, c.job});
-          }
-          // ST messages are replayed from the table; readiness is only used
-          // for the precedence check at transmission time.
-        }
-      }
-    }
-  };
-
-  // ---- main loop -----------------------------------------------------------
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    const Time now = ev.time;
-    touched_nodes.clear();
-
-    switch (ev.type) {
-      case EventType::GraphRelease: {
-        for (std::uint32_t t = 0; t < app.task_count(); ++t) {
-          if (index_of(app.tasks()[t].graph) != ev.a) continue;
-          const Time offset = app.tasks()[t].release_offset;
-          if (offset > 0) {
-            // Individual release time: the release token arrives later.
-            push(Event{now + offset, EventType::TaskRelease, 0, 0, ev.b, 0,
-                       static_cast<std::int64_t>(t)});
-            continue;
-          }
-          TaskJob& job = task_jobs[t][ev.b];
-          assert(job.preds_pending > 0);
-          if (--job.preds_pending == 0) {
-            job.ready_time = now;
-            if (app.tasks()[t].policy == TaskPolicy::Fps) {
-              const std::size_t node = node_of_task(t);
-              cpus[node].ready_fps.insert(
-                  ChiEntry{app.tasks()[t].priority, now, t, ev.b});
-              touched_nodes.push_back(node);
-            }
-          }
-        }
-        break;
-      }
-      case EventType::TaskRelease: {
-        const auto t = static_cast<std::uint32_t>(ev.d);
-        TaskJob& job = task_jobs[t][ev.b];
-        assert(job.preds_pending > 0);
-        if (--job.preds_pending == 0) {
-          job.ready_time = now;
-          if (app.tasks()[t].policy == TaskPolicy::Fps) {
-            const std::size_t node = node_of_task(t);
-            cpus[node].ready_fps.insert(ChiEntry{app.tasks()[t].priority, now, t, ev.b});
-            touched_nodes.push_back(node);
-          }
-        }
-        break;
-      }
-      case EventType::ScsStart: {
-        const auto t = static_cast<std::uint32_t>(ev.d);
-        TaskJob& job = task_jobs[t][ev.b];
-        if (job.preds_pending != 0) ++result.precedence_violations;
-        NodeState& cpu = cpus[ev.a];
-        const Time finish = now + app.tasks()[t].wcet;
-        cpu.scs_busy_until = std::max(cpu.scs_busy_until, finish);
-        touched_nodes.push_back(ev.a);
-        break;
-      }
-      case EventType::ScsFinish: {
-        const auto t = static_cast<std::uint32_t>(ev.d);
-        TaskJob& job = task_jobs[t][ev.b];
-        job.done = true;
-        job.completion = now;
-        complete_activity(ActivityRef::task(static_cast<TaskId>(t)), ev.b, now);
-        touched_nodes.push_back(ev.a);
-        break;
-      }
-      case EventType::FpsFinish: {
-        NodeState& cpu = cpus[ev.a];
-        if (ev.c != cpu.generation) break;  // stale burst projection
-        const auto t = static_cast<std::uint32_t>(ev.d);
-        TaskJob& job = task_jobs[t][ev.b];
-        job.remaining = 0;
-        job.done = true;
-        job.completion = now;
-        cpu.fps_running = false;
-        ++cpu.generation;  // invalidate any other projection
-        complete_activity(ActivityRef::task(static_cast<TaskId>(t)), ev.b, now);
-        touched_nodes.push_back(ev.a);
-        break;
-      }
-      case EventType::StDelivery: {
-        const auto m = static_cast<std::uint32_t>(ev.d);
-        MsgJob& job = msg_jobs[m][ev.b];
-        if (!job.sender_done) ++result.precedence_violations;
-        job.delivered = true;
-        job.completion = now;
-        if (options.record_trace) {
-          const StReplay& r = st_replay[m][ev.b];
-          result.trace.push_back(TransmissionRecord{static_cast<MessageId>(m),
-                                                    static_cast<int>(ev.b), false, r.slot,
-                                                    r.cycle, r.start, r.finish});
-        }
-        complete_activity(ActivityRef::message(static_cast<MessageId>(m)), ev.b, now);
-        break;
-      }
-      case EventType::DynDelivery: {
-        const auto m = static_cast<std::uint32_t>(ev.d);
-        MsgJob& job = msg_jobs[m][ev.b];
-        job.delivered = true;
-        job.completion = now;
-        complete_activity(ActivityRef::message(static_cast<MessageId>(m)), ev.b, now);
-        break;
-      }
-      case EventType::DynSlot: {
-        const int fid = static_cast<int>(ev.d);
-        const std::int64_t counter = ev.c;
-        if (fid > layout.max_frame_id() ||
-            counter > layout.config().minislot_count) {
-          break;  // segment exhausted
-        }
-        std::int64_t advance = 1;
-        NodeId owner{};
-        if (layout.frame_id_owner(fid, &owner) &&
-            counter <= layout.p_latest_tx(owner)) {
-          auto& queue = chi[fid];
-          // Pick the highest-priority message that reached the CHI before
-          // this slot started.
-          auto best = queue.end();
-          for (auto it = queue.begin(); it != queue.end(); ++it) {
-            if (it->ready <= now) {
-              best = it;
-              break;  // multiset order = (priority, ready, job)
-            }
-          }
-          if (best != queue.end()) {
-            const std::uint32_t m = best->message;
-            const std::size_t job_index = best->job;
-            const int slots = layout.message_minislots(static_cast<MessageId>(m));
-            const Time delivery = now + layout.message_occupancy(static_cast<MessageId>(m));
-            push(Event{delivery, EventType::DynDelivery, 0, 0, job_index, 0,
-                       static_cast<std::int64_t>(m)});
-            if (options.record_trace) {
-              result.trace.push_back(TransmissionRecord{
-                  static_cast<MessageId>(m), static_cast<int>(job_index), true, fid,
-                  now / cycle_len, now, delivery});
-            }
-            queue.erase(best);
-            advance = slots;
-          }
-        }
-        push(Event{now + advance * layout.params().gd_minislot, EventType::DynSlot, 0, 0, 0,
-                   counter + advance, static_cast<std::int64_t>(fid) + 1});
-        break;
-      }
-    }
-
-    // Apply deferred CPU recomputations and burst projections.
-    std::sort(touched_nodes.begin(), touched_nodes.end());
-    touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
-                        touched_nodes.end());
-    for (const std::size_t node : touched_nodes) recompute_cpu(node, now);
-    for (Event& e : recompute_stack) push(e);
-    recompute_stack.clear();
-  }
-
-  // ---- unfinished accounting ------------------------------------------------
-  for (const auto& vec : task_jobs) {
-    for (const auto& j : vec) {
-      if (!j.done) ++result.unfinished_jobs;
-    }
-  }
-  for (const auto& vec : msg_jobs) {
-    for (const auto& j : vec) {
-      if (!j.delivered) ++result.unfinished_jobs;
-    }
-  }
+  EngineOptions engine_options;
+  engine_options.hyperperiods = options.hyperperiods;
+  engine_options.record_trace = options.record_trace;
+  auto engine = ClusterEngine::create(layout, schedule, std::move(engine_options));
+  if (!engine.ok()) return engine.error();
+  while (!engine.value()->done()) engine.value()->process_next();
+  SimResult result = engine.value()->finish();
+  result.horizon = engine.value()->horizon();
   return result;
 }
 

@@ -193,6 +193,62 @@ TEST(CampaignRunner, SkipsAndRecordsDegenerateScenarios) {
   EXPECT_NE(json.find("skipped_scenarios"), std::string::npos);
 }
 
+// sim_check replays every analysable winner on the network simulator and
+// records the observed-vs-bound verdict and pessimism gap per run — and the
+// extra lane keeps the byte-identical thread-count contract.
+TEST(CampaignRunner, SimCheckRecordsSoundnessAndGap) {
+  CampaignSpec spec;
+  spec.name = "simcheck";
+  spec.node_counts = {4};
+  spec.topologies = {Topology::MultiCluster};
+  spec.cluster_counts = {2};
+  spec.traffic_mixes = {TrafficMix::DynOnly};
+  spec.replicates = 2;
+  spec.tasks_per_node = 4;
+  spec.tasks_per_graph = 4;
+  spec.deadline_factor = 2.0;
+  spec.base_seed = 3;
+  spec.algorithms = {"bbc"};
+  spec.max_evaluations = 120;
+  spec.sim_check = true;
+  CampaignRunner runner(spec, BusParams{});
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  auto a = runner.run(serial);
+  auto b = runner.run(parallel);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(write_campaign_json(a.value()), write_campaign_json(b.value()));
+  EXPECT_EQ(write_campaign_csv(a.value()), write_campaign_csv(b.value()));
+
+  std::size_t simulated = 0;
+  for (const ScenarioRecord& record : a.value().scenarios) {
+    if (!record.generated) continue;
+    for (const AlgorithmRun& run : record.runs) {
+      if (run.cost < kInvalidConfigCost) {
+        EXPECT_TRUE(run.simulated);
+        EXPECT_TRUE(run.sim_sound);
+        EXPECT_GE(run.sim_gap, 0.0);
+        ++simulated;
+      } else {
+        EXPECT_FALSE(run.simulated);
+      }
+    }
+  }
+  EXPECT_GT(simulated, 0u);
+
+  const AlgorithmAggregate agg = aggregate_runs(a.value(), "bbc");
+  EXPECT_EQ(agg.simulated, simulated);
+  EXPECT_EQ(agg.sim_unsound, 0u);
+  EXPECT_GE(agg.sim_gap_mean, 0.0);
+  const std::string csv = write_campaign_csv(a.value());
+  EXPECT_NE(csv.find(",simulated,sim_sound,sim_gap"), std::string::npos);
+  const std::string json = write_campaign_json(a.value());
+  EXPECT_NE(json.find("\"sim_unsound\": 0"), std::string::npos);
+}
+
 TEST(CampaignReport, AggregatesPerAlgorithmAndNodeCount) {
   CampaignRunner runner(tiny_campaign(), BusParams{});
   auto result = runner.run();

@@ -28,7 +28,8 @@ TEST(CampaignSpecFormat, ParsesEveryKeyword) {
       "seed 99\n"
       "algorithms bbc obc-cf\n"
       "budget 500\n"
-      "time_limit 1.5\n");
+      "time_limit 1.5\n"
+      "sim_check on\n");
   ASSERT_TRUE(spec.ok()) << spec.error().message;
   const CampaignSpec& s = spec.value();
   EXPECT_EQ(s.name, "demo");
@@ -52,6 +53,18 @@ TEST(CampaignSpecFormat, ParsesEveryKeyword) {
   EXPECT_EQ(s.algorithms, (std::vector<std::string>{"bbc", "obc-cf"}));
   EXPECT_EQ(s.max_evaluations, 500);
   EXPECT_DOUBLE_EQ(s.max_wall_seconds, 1.5);
+  EXPECT_TRUE(s.sim_check);
+}
+
+TEST(CampaignSpecFormat, SimCheckIsAStrictBoolean) {
+  EXPECT_FALSE(parse_campaign_text("sim_check maybe\n").ok());
+  EXPECT_FALSE(parse_campaign_text("sim_check on off\n").ok());  // scalar keyword
+  auto off = parse_campaign_text("sim_check off\n");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().sim_check);
+  auto numeric = parse_campaign_text("sim_check 1\n");
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_TRUE(numeric.value().sim_check);
 }
 
 TEST(CampaignSpecFormat, FirstAxisUseReplacesTheDefault) {

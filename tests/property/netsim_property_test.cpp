@@ -1,0 +1,145 @@
+// Property suite for the network simulator: across random MultiCluster
+// scenarios (2-4 clusters, every traffic mix) the observed completions of
+// simulate_network never exceed the analyze_multicluster bounds — the
+// executable soundness check behind the paper's holistic-analysis claims —
+// and the serialized flexopt-netsim-trace/1 document is invariant under the
+// portfolio's member-parallelism (jobs=1 vs jobs=8), mirroring the solver
+// determinism suites.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "flexopt/analysis/multicluster.hpp"
+#include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/portfolio.hpp"
+#include "flexopt/gen/scenario.hpp"
+#include "flexopt/netsim/netsim.hpp"
+#include "flexopt/netsim/trace_json.hpp"
+#include "flexopt/util/rng.hpp"
+
+namespace flexopt {
+namespace {
+
+ScenarioSpec random_spec(Rng& rng, TrafficMix traffic) {
+  ScenarioSpec spec;
+  spec.topology = Topology::MultiCluster;
+  spec.traffic = traffic;
+  spec.clusters = static_cast<int>(rng.uniform_int(2, 4));
+  spec.inter_cluster_share = rng.uniform_real(0.1, 0.5);
+  SyntheticSpec& base = spec.base;
+  base.nodes = spec.clusters * static_cast<int>(rng.uniform_int(1, 2));
+  base.tasks_per_graph = 4;
+  base.tasks_per_node = 4 * static_cast<int>(rng.uniform_int(1, 2));
+  base.deadline_factor = rng.uniform_real(1.5, 2.5);
+  base.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  return spec;
+}
+
+/// Per-cluster minimal start configurations; nullopt-style empty config
+/// when any cluster is infeasible under the minimal bounds.
+bool start_configs(const SystemModel& model, const BusParams& params, SystemConfig* out) {
+  for (std::size_t c = 0; c < model.cluster_count(); ++c) {
+    const StartConfig start = minimal_start_config(*model.cluster_app(c), params);
+    if (!start.bounds.feasible()) return false;
+    out->clusters.push_back(start.config);
+  }
+  return true;
+}
+
+TEST(NetsimProperty, ObservedCompletionsNeverExceedMulticlusterBounds) {
+  Rng rng(57213);
+  const BusParams params;
+  int simulated = 0;
+  for (int i = 0; i < 40 && simulated < 30; ++i) {
+    // Cycle through every traffic mix so ST-, DYN- and mixed-segment
+    // traffic all hit the cross-check.
+    const ScenarioSpec spec = random_spec(rng, static_cast<TrafficMix>(i % 3));
+    auto app = generate_scenario(spec, params);
+    if (!app.ok()) continue;
+    auto model =
+        SystemModel::build(std::make_shared<const Application>(std::move(app).value()));
+    ASSERT_TRUE(model.ok()) << model.error().message;
+    SystemConfig config;
+    if (!start_configs(model.value(), params, &config)) continue;
+    auto layouts = build_system_layouts(model.value(), params, config);
+    if (!layouts.ok()) continue;
+    auto analysis = analyze_multicluster(model.value(), layouts.value(), AnalysisOptions{});
+    ASSERT_TRUE(analysis.ok()) << analysis.error().message;
+
+    auto result = simulate_network(model.value(), layouts.value(), analysis.value());
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    ++simulated;
+    EXPECT_EQ(result.value().precedence_violations, 0) << "seed " << spec.base.seed;
+
+    const SoundnessReport report =
+        check_soundness(model.value(), analysis.value(), result.value());
+    EXPECT_GT(report.checked, 0u);
+    EXPECT_TRUE(report.sound) << "seed " << spec.base.seed;
+    for (const SoundnessViolation& v : report.violations) {
+      ADD_FAILURE() << "cluster " << v.cluster << (v.task ? " task " : " message ") << v.name
+                    << " observed " << v.observed << " > bound " << v.bound << " (seed "
+                    << spec.base.seed << ")";
+    }
+  }
+  // The population must actually exercise the cross-check (>= 25 scenarios
+  // per the netsim acceptance bar).
+  EXPECT_GE(simulated, 25);
+}
+
+TEST(NetsimProperty, TraceJsonIsPortfolioJobCountInvariant) {
+  // The winner a racing portfolio reports is jobs-invariant; re-simulating
+  // that winner must therefore produce byte-identical netsim trace JSON
+  // whatever the member parallelism was.
+  Rng rng(99173);
+  const BusParams params;
+  int compared = 0;
+  for (int i = 0; i < 8 && compared < 3; ++i) {
+    const ScenarioSpec spec = random_spec(rng, TrafficMix::Mixed);
+    auto app = generate_scenario(spec, params);
+    if (!app.ok()) continue;
+    auto model =
+        SystemModel::build(std::make_shared<const Application>(std::move(app).value()));
+    ASSERT_TRUE(model.ok());
+    const SystemModel& m = model.value();
+
+    auto trace_json = [&](int jobs) -> std::string {
+      PortfolioSpec portfolio;
+      portfolio.members = {"sa", "obc-cf", "bbc"};
+      portfolio.jobs = jobs;
+      auto optimizer = OptimizerRegistry::create("portfolio", portfolio);
+      if (!optimizer.ok()) throw std::runtime_error(optimizer.error().message);
+      EvaluatorOptions evaluator_options;
+      evaluator_options.threads = 1;
+      CostEvaluator evaluator(m, params, AnalysisOptions{}, evaluator_options);
+      SolveRequest request;
+      request.seed = spec.base.seed;
+      request.max_evaluations = 60;
+      const SolveReport report = optimizer.value()->solve(evaluator, request);
+      if (report.outcome.cost.value >= kInvalidConfigCost) return std::string();
+      auto layouts = build_system_layouts(m, params, report.outcome.system);
+      if (!layouts.ok()) return std::string();
+      auto analysis = analyze_multicluster(m, layouts.value(), AnalysisOptions{});
+      if (!analysis.ok()) return std::string();
+      NetSimOptions options;
+      options.record_trace = true;
+      auto result = simulate_network(m, layouts.value(), analysis.value(), options);
+      if (!result.ok()) throw std::runtime_error(result.error().message);
+      const SoundnessReport soundness = check_soundness(m, analysis.value(), result.value());
+      EXPECT_TRUE(soundness.sound) << "seed " << spec.base.seed << " jobs " << jobs;
+      return write_netsim_trace_json(m, analysis.value(), result.value(), soundness,
+                                     options.hyperperiods);
+    };
+
+    const std::string serial = trace_json(1);
+    if (serial.empty()) continue;
+    EXPECT_EQ(serial, trace_json(8)) << "scenario " << i << " seed " << spec.base.seed;
+    ++compared;
+  }
+  EXPECT_GE(compared, 1);
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -13,6 +13,17 @@
 //       independent of --jobs).  --json writes the deterministic
 //       machine-readable report of flexopt/io/solve_report_json.hpp.
 //
+//   flexopt_cli simulate <system-file> [--algorithm NAME] [--seed N] [--budget N]
+//               [--time-limit S] [--threads N] [--hyperperiods N] [--trace FILE]
+//               [--no-cache]
+//       Optimise the system, then replay the winning configuration on the
+//       discrete-event network simulator (flexopt/netsim/netsim.hpp):
+//       per-cluster observed-vs-bound tables, gateway queue statistics and
+//       the soundness verdict (every observed completion dominated by the
+//       analyze_multicluster bound).  --trace writes the deterministic
+//       flexopt-netsim-trace/1 JSON document with per-hop latency traces.
+//       Exit code 0 iff the verdict is sound.
+//
 //   flexopt_cli campaign <spec-file> [--threads N] [--json FILE] [--csv FILE]
 //               [--budget N] [--time-limit S] [--timing] [--quiet]
 //       Expand the sweep grid of a campaign spec file
@@ -31,12 +42,15 @@
 #include <memory>
 #include <string>
 
+#include "flexopt/analysis/multicluster.hpp"
 #include "flexopt/campaign/report.hpp"
 #include "flexopt/campaign/spec_format.hpp"
 #include "flexopt/core/portfolio.hpp"
 #include "flexopt/core/solver.hpp"
 #include "flexopt/io/solve_report_json.hpp"
 #include "flexopt/io/system_format.hpp"
+#include "flexopt/netsim/netsim.hpp"
+#include "flexopt/netsim/trace_json.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "flexopt/util/table.hpp"
 
@@ -50,6 +64,9 @@ int usage() {
          "                   [--budget MAX_EVALUATIONS] [--time-limit SECONDS]\n"
          "                   [--threads N] [--members LIST] [--jobs N] [--json FILE]\n"
          "                   [--progress] [--no-cache] [--simulate] [--dump]\n"
+         "       flexopt_cli simulate <system-file> [--algorithm NAME] [--seed N]\n"
+         "                   [--budget N] [--time-limit S] [--threads N]\n"
+         "                   [--hyperperiods N] [--trace FILE] [--no-cache]\n"
          "       flexopt_cli campaign <spec-file> [--threads N] [--json FILE]\n"
          "                   [--csv FILE] [--budget N] [--time-limit S]\n"
          "                   [--timing] [--quiet]\n";
@@ -354,7 +371,23 @@ int solve_main(int argc, char** argv) {
       wcrt.print(std::cout);
     }
     if (run_sim) {
-      std::cerr << "simulation: multi-cluster simulation is not supported yet\n";
+      auto layouts = build_system_layouts(sys, params, outcome.system);
+      auto mc = layouts.ok()
+                    ? analyze_multicluster(sys, layouts.value(), AnalysisOptions{})
+                    : Expected<MulticlusterResult>(layouts.error());
+      auto sim = mc.ok() ? simulate_network(sys, layouts.value(), mc.value())
+                         : Expected<NetSimResult>(mc.error());
+      if (!sim.ok()) {
+        std::cerr << "simulation: " << sim.error().message << "\n";
+      } else {
+        const SoundnessReport verdict = check_soundness(sys, mc.value(), sim.value());
+        std::cout << "\nsimulated one hyper-period across " << sys.cluster_count()
+                  << " clusters: " << sim.value().unfinished_jobs << " unfinished jobs, "
+                  << sim.value().precedence_violations << " precedence violations, "
+                  << (verdict.sound ? "observed <= bound for all "
+                                    : "BOUND VIOLATIONS among ")
+                  << verdict.checked << " checked activities\n";
+      }
     }
     return outcome.feasible ? 0 : 1;
   }
@@ -401,6 +434,188 @@ int solve_main(int argc, char** argv) {
     }
   }
   return outcome.feasible ? 0 : 1;
+}
+
+// ---- simulate -------------------------------------------------------------
+
+std::string fmt_observed(Time t) { return t == kTimeNone ? "-" : format_time(t); }
+
+std::string fmt_gap(Time observed, Time bound) {
+  if (observed == kTimeNone || bound <= 0 || bound == kTimeInfinity) return "-";
+  return fmt_percent(static_cast<double>(bound - observed) / static_cast<double>(bound));
+}
+
+int simulate_main(int argc, char** argv) {
+  std::string path;
+  std::string algorithm = "obc-cf";
+  std::string trace_path;
+  SolveRequest request;
+  EvaluatorOptions evaluator_options;
+  NetSimOptions sim_options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--algorithm" && i + 1 < argc) {
+      algorithm = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      std::uint64_t seed = 0;
+      if (!parse_u64_arg(argv[++i], seed)) return numeric_arg_error(arg);
+      request.seed = seed;
+    } else if (arg == "--budget" && i + 1 < argc) {
+      if (!parse_long_arg(argv[++i], request.max_evaluations)) return numeric_arg_error(arg);
+    } else if (arg == "--time-limit" && i + 1 < argc) {
+      if (!parse_double_arg(argv[++i], request.max_wall_seconds)) return numeric_arg_error(arg);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], evaluator_options.threads)) return numeric_arg_error(arg);
+    } else if (arg == "--hyperperiods" && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], sim_options.hyperperiods)) return numeric_arg_error(arg);
+    } else if (arg == "--no-cache") {
+      evaluator_options.cache_enabled = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (request.max_evaluations < 0 || request.max_wall_seconds < 0.0 ||
+      evaluator_options.threads < 0) {
+    std::cerr << "--budget, --time-limit and --threads must be positive\n";
+    return usage();
+  }
+  if (sim_options.hyperperiods < 1) {
+    std::cerr << "--hyperperiods must be >= 1\n";
+    return usage();
+  }
+  if (algorithm == "list") return list_algorithms();
+  if (path.empty()) return usage();
+
+  auto optimizer = OptimizerRegistry::create(algorithm, OptimizerParams{});
+  if (!optimizer.ok()) {
+    std::cerr << optimizer.error().message << "\n";
+    return 2;
+  }
+
+  PendingOutput trace_out;
+  if (!trace_path.empty() && !trace_out.open_for(trace_path)) {
+    std::cerr << "cannot write '" << trace_path << "'\n";
+    return 2;
+  }
+  sim_options.record_trace = trace_out.pending();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open '" << path << "'\n";
+    return 2;
+  }
+  auto parsed = parse_system(in);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error().message << "\n";
+    return 2;
+  }
+  const Application& app = parsed.value().app;
+  const BusParams& params = parsed.value().params;
+  auto model = SystemModel::build(std::make_shared<const Application>(app));
+  if (!model.ok()) {
+    std::cerr << "system projection: " << model.error().message << "\n";
+    return 2;
+  }
+  const SystemModel& sys = model.value();
+  std::cout << "system: " << app.task_count() << " tasks, " << app.message_count()
+            << " messages, " << sys.cluster_count() << " cluster"
+            << (sys.cluster_count() > 1 ? "s" : "") << "\n";
+
+  CostEvaluator evaluator(sys, params, AnalysisOptions{}, evaluator_options);
+  const SolveReport report = optimizer.value()->solve(evaluator, request);
+  const OptimizationOutcome& outcome = report.outcome;
+  std::cout << outcome.algorithm << ": "
+            << (outcome.feasible ? "SCHEDULABLE" : "not schedulable") << ", cost "
+            << fmt_double(outcome.cost.value, 1) << " us, " << outcome.evaluations
+            << " analyses\n";
+  if (outcome.cost.value >= kInvalidConfigCost) {
+    std::cerr << "no analysable configuration found; nothing to simulate\n";
+    return 1;
+  }
+
+  auto layouts = build_system_layouts(sys, params, outcome.system);
+  if (!layouts.ok()) {
+    std::cerr << "layout: " << layouts.error().message << "\n";
+    return 2;
+  }
+  auto analysis = analyze_multicluster(sys, layouts.value(), AnalysisOptions{});
+  if (!analysis.ok()) {
+    std::cerr << "analysis: " << analysis.error().message << "\n";
+    return 2;
+  }
+  auto result = simulate_network(sys, layouts.value(), analysis.value(), sim_options);
+  if (!result.ok()) {
+    std::cerr << "simulation: " << result.error().message << "\n";
+    return 2;
+  }
+  const NetSimResult& net = result.value();
+  const SoundnessReport verdict = check_soundness(sys, analysis.value(), net);
+
+  std::cout << "\nsimulated " << sim_options.hyperperiods << " hyper-period"
+            << (sim_options.hyperperiods > 1 ? "s" : "") << " (horizon "
+            << format_time(net.horizon) << ", " << net.events << " events): "
+            << net.unfinished_jobs << " unfinished jobs, " << net.precedence_violations
+            << " precedence violations\n";
+
+  for (std::size_t c = 0; c < sys.cluster_count(); ++c) {
+    const Application& capp = *sys.cluster_app(c);
+    const AnalysisResult& bounds = analysis.value().clusters[c];
+    const SimResult& observed = net.clusters[c];
+    std::cout << "\ncluster " << c << " (observed worst vs analysed bound):\n";
+    Table table({"activity", "kind", "observed", "bound", "gap", "status"});
+    auto add = [&](const std::string& name, const char* kind, Time seen, Time bound) {
+      table.add_row({name, kind, fmt_observed(seen), format_time(bound), fmt_gap(seen, bound),
+                     seen != kTimeNone && seen > bound ? "VIOLATION" : "ok"});
+    };
+    for (std::uint32_t t = 0; t < capp.task_count(); ++t) {
+      add(capp.tasks()[t].name, capp.tasks()[t].policy == TaskPolicy::Scs ? "SCS" : "FPS",
+          observed.task_worst_completion[t], bounds.task_completion[t]);
+    }
+    for (std::uint32_t m = 0; m < capp.message_count(); ++m) {
+      add(capp.messages()[m].name,
+          capp.messages()[m].cls == MessageClass::Static ? "ST" : "DYN",
+          observed.message_worst_completion[m], bounds.message_completion[m]);
+    }
+    table.print(std::cout);
+  }
+
+  if (!net.gateways.empty()) {
+    std::cout << "\ngateway queues:\n";
+    Table gw({"gateway", "route", "forwarded", "max depth", "overflows"});
+    for (const GatewayStats& g : net.gateways) {
+      gw.add_row({app.node(g.gateway).name,
+                  std::to_string(g.from_cluster) + " -> " + std::to_string(g.to_cluster),
+                  std::to_string(g.forwarded), std::to_string(g.max_queue_depth),
+                  std::to_string(g.overflows)});
+    }
+    gw.print(std::cout);
+  }
+
+  std::cout << "\nsoundness: "
+            << (verdict.sound ? "observed <= bound for all " : "BOUND VIOLATIONS among ")
+            << verdict.checked << " checked activities";
+  if (verdict.gap_samples > 0) {
+    std::cout << " (pessimism gap mean " << fmt_percent(verdict.mean_gap) << ", min "
+              << fmt_percent(verdict.min_gap) << ")";
+  }
+  std::cout << "\n";
+  for (const SoundnessViolation& v : verdict.violations) {
+    std::cerr << "violation: cluster " << v.cluster << (v.task ? " task " : " message ")
+              << v.name << " observed " << format_time(v.observed) << " > bound "
+              << format_time(v.bound) << "\n";
+  }
+
+  if (trace_out.pending() &&
+      !trace_out.commit(write_netsim_trace_json(sys, analysis.value(), net, verdict,
+                                                sim_options.hyperperiods))) {
+    std::cerr << "cannot write '" << trace_path << "'\n";
+    return 2;
+  }
+  return verdict.sound ? 0 : 1;
 }
 
 // ---- campaign -------------------------------------------------------------
@@ -551,6 +766,7 @@ int main(int argc, char** argv) {
   if (argc >= 2) {
     const std::string first = argv[1];
     if (first == "campaign") return campaign_main(argc - 2, argv + 2);
+    if (first == "simulate") return simulate_main(argc - 2, argv + 2);
     if (first == "solve") return solve_main(argc - 2, argv + 2);
     if (first == "--help" || first == "-h") return usage();
   }
