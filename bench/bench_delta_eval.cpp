@@ -1,4 +1,6 @@
-// Delta-evaluation bench and perf-regression gate.  Replays an SA-style
+// Delta-evaluation bench and perf-regression gate, in two phases.
+//
+// Phase 1 (conformance + component ratio): replays an SA-style
 // neighbour-move workload over the Fig. 9 smoke population twice in
 // lockstep — every proposal evaluated by the full path
 // (CostEvaluator::evaluate) and by the incremental path
@@ -6,11 +8,23 @@
 // and counts recomputed analysis components (schedule builds + FPS/DYN
 // response-time recurrences) on each side.
 //
+// Phase 2 (steady-state throughput + allocation contract): replays the
+// same move distribution through the arena-backed hot path
+// (evaluate_delta_fast with an explicit base Evaluation) twice on one
+// evaluator — a recording pass that warms the component cache, binds the
+// arena and grows scratch to capacity, then a measured warm-replay pass
+// over the bit-identical RNG stream.  The replay is the steady state: it
+// reports moves/sec and — when the operator new interposer of
+// src/util/alloc_probe.cpp is linked and active — asserts that
+// steady-state delta evaluations perform ZERO heap allocations per move.
+//
 // The CI perf-smoke job runs this with --check: the run fails unless the
 // delta path recomputes at least --min-ratio (default 3) times fewer
-// components than the full path, which is the Fig. 9 runtime argument in
-// machine-checkable form.  --out writes the machine-readable
-// BENCH_delta.json (schema documented in README.md).
+// components than the full path, steady-state allocations per move are
+// exactly zero (Release builds with the probe installed), and — when
+// --min-moves-per-sec is given — aggregate steady-state throughput
+// clears the floor.  --out writes the machine-readable BENCH_delta.json
+// (schema documented in README.md).
 
 #include <chrono>
 #include <cstring>
@@ -23,6 +37,7 @@
 #include "flexopt/core/config_builder.hpp"
 #include "flexopt/core/sa.hpp"
 #include "flexopt/io/json_writer.hpp"
+#include "flexopt/util/alloc_probe.hpp"
 #include "flexopt/util/rng.hpp"
 #include "flexopt/util/table.hpp"
 
@@ -30,6 +45,15 @@ using namespace flexopt;
 using namespace flexopt::bench;
 
 namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+#else
+// Debug builds cross-check every delta against a full analysis (which
+// allocates); the zero-allocation contract only holds — and is only
+// gated — in Release.
+constexpr bool kReleaseBuild = false;
+#endif
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -44,6 +68,16 @@ struct SystemResult {
   EvaluatorWorkStats delta;
   double full_wall = 0.0;
   double delta_wall = 0.0;
+};
+
+struct SteadyResult {
+  int nodes = 0;
+  long measured = 0;   ///< valid delta evaluations inside the counted window
+  long invalid = 0;    ///< error-path evaluations (excluded from the alloc gate)
+  long accepted = 0;
+  double eval_wall = 0.0;        ///< wall time inside evaluate_delta_fast only
+  std::uint64_t allocations = 0; ///< heap allocations inside measured evaluations
+  EvaluatorWorkStats work;
 };
 
 void write_work(JsonWriter& json, const EvaluatorWorkStats& work, double wall) {
@@ -62,12 +96,102 @@ void write_work(JsonWriter& json, const EvaluatorWorkStats& work, double wall) {
       .end_object();
 }
 
+/// Phase 2 driver: the arena hot path under the SA move distribution, with
+/// the base threaded explicitly as the last accepted Evaluation — the shape
+/// SA itself uses.
+///
+/// The trajectory is replayed twice through the SAME evaluator.  The first
+/// (recording) pass is pure warm-up: every move geometry lands in the
+/// component cache, the thread slot's arena binds, and scratch containers
+/// grow to their high-water capacity.  The second pass re-seeds the RNGs
+/// and replays the bit-identical move/acceptance stream — by then every
+/// schedule lookup is a cache hit and every fixed point runs inside the
+/// arena, which is the steady state the zero-allocation contract covers
+/// (a long SA run revisits move geometries the same way).  Only the second
+/// pass is measured.
+SteadyResult run_steady_state(const Application& app, const BusParams& params, int nodes,
+                              long moves) {
+  SteadyResult r;
+  r.nodes = nodes;
+
+  // Whole-config memoization off: a memo hit would skip the analysis
+  // entirely and measure a hash lookup instead of the hot path.  The
+  // per-cluster COMPONENT caches (schedule geometries) are evaluator
+  // members and stay on — they are what the recording pass warms.
+  EvaluatorOptions eopts;
+  eopts.cache_enabled = false;
+  CostEvaluator evaluator(app, params, optimizer_analysis_options(), eopts);
+
+  const StartConfig start = minimal_start_config(app, params);
+  const std::vector<NodeId>& senders = start.st_senders;
+  const DynBounds& bounds = start.bounds;
+
+  const auto run_pass = [&](bool measured) {
+    BusConfig current = start.config;
+    CostEvaluator::Evaluation accepted_eval = evaluator.evaluate(current);
+    double current_cost = accepted_eval.valid ? accepted_eval.cost.value : kInvalidConfigCost;
+
+    // Same seeds as phase 1 (and as the recording pass) => bit-identical
+    // move distribution and acceptance decisions on every pass.
+    Rng move_rng(0x5eedu + static_cast<std::uint64_t>(nodes));
+    Rng accept_rng(0xaccu + static_cast<std::uint64_t>(nodes));
+    const double temperature = std::max(1.0, std::abs(current_cost) * 0.1);
+
+    for (long i = 0; i < moves; ++i) {
+      BusConfig neighbour = current;
+      bool moved = false;
+      for (int attempt = 0; attempt < 8 && !moved; ++attempt) {
+        moved = random_neighbour_move(neighbour, app, params, move_rng, senders,
+                                      bounds.min_minislots, SpecLimits::kMaxMinislots);
+      }
+      if (!moved) continue;
+      DeltaMove move = DeltaMove::between(current, std::move(neighbour));
+
+      const std::uint64_t a0 = alloc_probe::thread_allocations();
+      const auto t0 = std::chrono::steady_clock::now();
+      const CostEvaluator::Evaluation& eval =
+          evaluator.evaluate_delta_fast(accepted_eval, move);
+      const double elapsed = seconds_since(t0);
+      const std::uint64_t evaluation_allocs = alloc_probe::thread_allocations() - a0;
+
+      if (measured) {
+        r.eval_wall += elapsed;
+        if (eval.valid) {
+          ++r.measured;
+          r.allocations += evaluation_allocs;
+        } else {
+          ++r.invalid;  // error strings allocate; outside the contract
+        }
+      }
+
+      const double cost = eval.valid ? eval.cost.value : kInvalidConfigCost;
+      const double delta = cost - current_cost;
+      if (delta <= 0.0 ||
+          accept_rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature)) {
+        // Copies out of the thread slot (outside the measured region, and
+        // capacity-reusing after the first few accepts).
+        accepted_eval = eval;
+        current = std::move(move.config);
+        current_cost = cost;
+        if (measured) ++r.accepted;
+      }
+    }
+  };
+
+  run_pass(/*measured=*/false);  // recording pass: warm caches, arena, scratch
+  const EvaluatorWorkStats before_replay = evaluator.work_stats();
+  run_pass(/*measured=*/true);  // warm replay: the measured steady state
+  r.work = evaluator.work_stats().since(before_replay);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path;
   bool check = false;
   double min_ratio = 3.0;
+  double min_moves_per_sec = 0.0;  // 0 = throughput floor disabled
   long moves = full_scale() ? 1200 : 300;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,11 +208,13 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--min-ratio") {
       min_ratio = std::stod(next());
+    } else if (arg == "--min-moves-per-sec") {
+      min_moves_per_sec = std::stod(next());
     } else if (arg == "--moves") {
       moves = std::stol(next());
     } else {
       std::cerr << "usage: bench_delta_eval [--out FILE] [--check] [--min-ratio R] "
-                   "[--moves N]\n";
+                   "[--min-moves-per-sec M] [--moves N]\n";
       return 2;
     }
   }
@@ -100,6 +226,7 @@ int main(int argc, char** argv) {
   Table table({"nodes", "proposed", "accepted", "full comps", "delta comps", "ratio",
                "full (s)", "delta (s)", "identical"});
   std::vector<SystemResult> results;
+  std::vector<SteadyResult> steady_results;
 
   for (const int nodes : node_counts) {
     const auto app_result = section7_system(nodes, 0);
@@ -185,8 +312,36 @@ int main(int argc, char** argv) {
                    fmt_double(r.full_wall, 3), fmt_double(r.delta_wall, 3),
                    r.identical ? "yes" : "NO"});
     results.push_back(std::move(r));
+
+    steady_results.push_back(run_steady_state(app, params, nodes, moves));
   }
   table.print(std::cout);
+
+  const bool probe = alloc_probe::installed();
+  std::cout << "\n== Steady-state arena hot path (evaluate_delta_fast, cache off) ==\n";
+  std::cout << "alloc probe: " << (probe ? "installed" : "absent (sanitizer build)")
+            << ", build: " << (kReleaseBuild ? "Release" : "Debug") << "\n";
+  Table steady_table(
+      {"nodes", "measured", "accepted", "eval (s)", "moves/s", "allocs", "allocs/move"});
+  long steady_moves = 0;
+  double steady_wall = 0.0;
+  std::uint64_t steady_allocs = 0;
+  for (const SteadyResult& r : steady_results) {
+    const double mps = r.eval_wall > 0.0 ? static_cast<double>(r.measured) / r.eval_wall : 0.0;
+    const double apm =
+        r.measured > 0 ? static_cast<double>(r.allocations) / static_cast<double>(r.measured)
+                       : 0.0;
+    steady_table.add_row({std::to_string(r.nodes), std::to_string(r.measured),
+                          std::to_string(r.accepted), fmt_double(r.eval_wall, 3),
+                          fmt_double(mps, 0), std::to_string(r.allocations),
+                          fmt_double(apm, 3)});
+    steady_moves += r.measured;
+    steady_wall += r.eval_wall;
+    steady_allocs += r.allocations;
+  }
+  steady_table.print(std::cout);
+  const double steady_mps =
+      steady_wall > 0.0 ? static_cast<double>(steady_moves) / steady_wall : 0.0;
 
   std::uint64_t full_components = 0;
   std::uint64_t delta_components = 0;
@@ -204,12 +359,23 @@ int main(int argc, char** argv) {
                            ? static_cast<double>(full_components) /
                                  static_cast<double>(delta_components)
                            : 0.0;
-  const bool pass = identical && ratio >= min_ratio;
+  // The allocation gate is exact — zero per steady-state move — but only
+  // binds when the interposer is linked and active and the hot path is not
+  // carrying the Debug cross-check.
+  const bool alloc_gate_active = probe && kReleaseBuild;
+  const bool alloc_pass = !alloc_gate_active || steady_allocs == 0;
+  const bool throughput_pass = min_moves_per_sec <= 0.0 || steady_mps >= min_moves_per_sec;
+  const bool pass = identical && ratio >= min_ratio && alloc_pass && throughput_pass;
+
   std::cout << "\ntotals: " << proposed << " proposed / " << accepted << " accepted moves, "
             << full_components << " full vs " << delta_components
             << " delta components (ratio " << fmt_double(ratio, 2) << "x, gate "
             << fmt_double(min_ratio, 1) << "x, costs "
             << (identical ? "identical" : "MISMATCH") << ")\n";
+  std::cout << "steady state: " << steady_moves << " measured moves in "
+            << fmt_double(steady_wall, 3) << " s (" << fmt_double(steady_mps, 0)
+            << " moves/s), " << steady_allocs << " allocations"
+            << (alloc_gate_active ? "" : " [gate inactive]") << "\n";
 
   if (!out_path.empty()) {
     JsonWriter json;
@@ -218,7 +384,8 @@ int main(int argc, char** argv) {
         .field("workload", "fig9-smoke")
         .field("moves_per_system", moves);
     json.key("systems").begin_array();
-    for (const SystemResult& r : results) {
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      const SystemResult& r = results[s];
       json.begin_object()
           .field("nodes", r.nodes)
           .field("proposed_moves", r.proposed)
@@ -233,7 +400,26 @@ int main(int argc, char** argv) {
               ? static_cast<double>(r.full.analysis.components()) /
                     static_cast<double>(r.delta.analysis.components())
               : 0.0;
-      json.field("component_ratio", system_ratio).end_object();
+      json.field("component_ratio", system_ratio);
+      const SteadyResult& st = steady_results[s];
+      const double mps =
+          st.eval_wall > 0.0 ? static_cast<double>(st.measured) / st.eval_wall : 0.0;
+      json.key("steady")
+          .begin_object()
+          .field("measured_moves", st.measured)
+          .field("invalid_moves", st.invalid)
+          .field("accepted_moves", st.accepted)
+          .field("eval_wall_seconds", st.eval_wall)
+          .field("moves_per_sec", mps)
+          .field("allocations", st.allocations)
+          .field("allocations_per_move",
+                 st.measured > 0 ? static_cast<double>(st.allocations) /
+                                       static_cast<double>(st.measured)
+                                 : 0.0)
+          .field("arena_binds", st.work.arena_binds)
+          .field("arena_reuses", st.work.arena_reuses)
+          .end_object();
+      json.end_object();
     }
     json.end_array();
     json.key("totals")
@@ -248,10 +434,21 @@ int main(int argc, char** argv) {
                accepted > 0 ? static_cast<double>(delta_components) / accepted : 0.0)
         .field("component_ratio", ratio)
         .field("identical", identical)
+        .field("steady_measured_moves", steady_moves)
+        .field("steady_eval_wall_seconds", steady_wall)
+        .field("steady_moves_per_sec", steady_mps)
+        .field("steady_allocations", steady_allocs)
+        .field("steady_allocations_per_move",
+               steady_moves > 0 ? static_cast<double>(steady_allocs) /
+                                      static_cast<double>(steady_moves)
+                                : 0.0)
         .end_object();
     json.key("gate")
         .begin_object()
         .field("min_ratio", min_ratio)
+        .field("min_moves_per_sec", min_moves_per_sec)
+        .field("alloc_probe_installed", probe)
+        .field("alloc_gate_active", alloc_gate_active)
         .field("pass", pass)
         .end_object();
     json.end_object();
@@ -265,9 +462,21 @@ int main(int argc, char** argv) {
   }
 
   if (check && !pass) {
-    std::cerr << "perf gate FAILED: delta/full component ratio " << fmt_double(ratio, 2)
-              << "x below " << fmt_double(min_ratio, 1) << "x"
-              << (identical ? "" : " (and costs diverged)") << "\n";
+    std::cerr << "perf gate FAILED:";
+    if (!identical) std::cerr << " costs diverged between full and delta paths;";
+    if (ratio < min_ratio) {
+      std::cerr << " delta/full component ratio " << fmt_double(ratio, 2) << "x below "
+                << fmt_double(min_ratio, 1) << "x;";
+    }
+    if (!alloc_pass) {
+      std::cerr << " steady-state hot path allocated " << steady_allocs
+                << " times (contract: 0);";
+    }
+    if (!throughput_pass) {
+      std::cerr << " steady-state throughput " << fmt_double(steady_mps, 0)
+                << " moves/s below floor " << fmt_double(min_moves_per_sec, 0) << ";";
+    }
+    std::cerr << "\n";
     return 1;
   }
   return 0;

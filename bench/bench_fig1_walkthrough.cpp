@@ -30,7 +30,7 @@ int main() {
   }
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout.value(), analysis.value().schedule, options);
+  auto sim = simulate(layout.value(), analysis.value().schedule(), options);
   if (!sim.ok()) {
     std::cerr << "sim: " << sim.error().message << "\n";
     return 1;

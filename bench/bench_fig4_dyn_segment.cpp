@@ -34,7 +34,7 @@ int main() {
       std::cerr << "analysis error: " << analysis.error().message << "\n";
       return 1;
     }
-    auto sim = simulate(layout.value(), analysis.value().schedule);
+    auto sim = simulate(layout.value(), analysis.value().schedule());
     if (!sim.ok()) {
       std::cerr << "sim error: " << sim.error().message << "\n";
       return 1;

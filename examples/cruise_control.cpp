@@ -51,7 +51,7 @@ int main() {
   // Analyse + simulate the best configuration.
   auto layout = BusLayout::build(app, params, best.config);
   auto analysis = analyze_system(layout.value());
-  auto sim = simulate(layout.value(), analysis.value().schedule);
+  auto sim = simulate(layout.value(), analysis.value().schedule());
   if (!sim.ok()) {
     std::cerr << "sim: " << sim.error().message << "\n";
     return 1;

@@ -23,7 +23,7 @@ int main() {
   auto analysis = analyze_system(layout.value(), analysis_options);
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout.value(), analysis.value().schedule, options);
+  auto sim = simulate(layout.value(), analysis.value().schedule(), options);
   if (!sim.ok()) {
     std::cerr << sim.error().message << "\n";
     return 1;

@@ -85,7 +85,7 @@ int main() {
   wcrt.print(std::cout);
 
   // ---- 4. Cross-check with the simulator ----------------------------------
-  auto sim = simulate(layout.value(), analysis.value().schedule);
+  auto sim = simulate(layout.value(), analysis.value().schedule());
   std::cout << "\nsimulated one hyper-period: " << sim.value().unfinished_jobs
             << " unfinished jobs, " << sim.value().precedence_violations
             << " precedence violations (both should be 0).\n";

@@ -27,7 +27,25 @@ BusyProfile::BusyProfile(std::vector<Interval> intervals, Time period) : period_
     iv.end = std::clamp<Time>(iv.end, 0, period);
   }
   intervals_ = normalize_intervals(std::move(intervals));
+  rebuild_derived();
+}
 
+void BusyProfile::assign_normalized(std::span<const Interval> merged, Time period) {
+  assert(period > 0);
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    assert(merged[i].start >= 0 && merged[i].end <= period && merged[i].length() > 0);
+    // Strictly separated: normalize_intervals merges adjacency too.
+    assert(i == 0 || merged[i].start > merged[i - 1].end);
+  }
+#endif
+  period_ = period;
+  intervals_.assign(merged.begin(), merged.end());
+  rebuild_derived();
+}
+
+void BusyProfile::rebuild_derived() {
+  prefix_at_start_.clear();
   prefix_at_start_.reserve(intervals_.size());
   Time acc = 0;
   for (const Interval& iv : intervals_) {
@@ -74,9 +92,21 @@ Time BusyProfile::busy_between(Time from, Time to) const {
 
 Time BusyProfile::max_busy_in_window(Time w) const {
   if (w <= 0 || intervals_.empty()) return 0;
+  // Inlined busy_between(iv.start, iv.start + w): the window always starts
+  // at an interval start, whose prefix is prefix_at_start_[i] — no lookup —
+  // so only the window end needs a binary search.  This is the innermost
+  // loop of the FPS fixed point; halving the upper_bound count matters.
   Time best = 0;
-  for (const Interval& iv : intervals_) {
-    best = std::max(best, busy_between(iv.start, iv.start + w));
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const Time to = intervals_[i].start + w;
+    const std::int64_t to_period = to / period_;
+    const Time to_local = to % period_;
+    const Time busy =
+        to_period == 0
+            ? prefix(to_local) - prefix_at_start_[i]
+            : (total_busy_ - prefix_at_start_[i]) + (to_period - 1) * total_busy_ +
+                  prefix(to_local);
+    best = std::max(best, busy);
   }
   return best;
 }

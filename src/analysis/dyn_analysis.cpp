@@ -45,66 +45,63 @@ std::int64_t multiplicity_capped_fill(std::span<const std::int64_t> counts,
 
 }  // namespace
 
-DynResponse dyn_response_time(const BusLayout& layout, MessageId m,
-                              std::span<const Time> jitters, Time horizon,
-                              DynCyclesBound bound) {
+DynResponse dyn_response_time_prepared(const DynPrepared& in, std::span<const DynInterferer> hp,
+                                       std::span<const DynInterferer> lf,
+                                       std::span<const Time> msg_jitter, Time own_jitter,
+                                       Time horizon, DynCyclesBound bound, DynScratch& scratch,
+                                       int* fp_iterations) {
   DynResponse out;
-  const Application& app = layout.application();
-  const Message& msg = app.message(m);
-  const int fid = layout.frame_id(m);
-  const NodeId sender_node = app.task(msg.sender).node;
-  const int p_latest = layout.p_latest_tx(sender_node);
 
   // With all lower slots empty the counter reads `fid` at m's slot; if that
   // already exceeds pLatestTx the message can never be transmitted.
-  if (fid > p_latest) return out;
+  if (in.fid > in.p_latest) return out;
   out.transmittable = true;
 
-  const Time own_jitter = jitters[index_of(m)];
   if (is_infinite(own_jitter)) return out;
 
-  struct Interferer {
-    Time jitter;
-    Time period;
-    std::int64_t weight;  // excess minislots (lf) or 1 (hp cycle fill)
-  };
-  std::vector<Interferer> hp_set;
-  std::vector<Interferer> lf_set;
-  for (const MessageId j : layout.hp(m)) {
-    const Time jj = jitters[index_of(j)];
+  // Gather the interference inputs into the reusable scratch arrays
+  // (clear() keeps capacity: no allocation at steady state).
+  scratch.hp_jitter.clear();
+  scratch.hp_period.clear();
+  for (const DynInterferer& i : hp) {
+    const Time jj = msg_jitter[i.msg];
     if (is_infinite(jj)) return out;  // unbounded interference
-    hp_set.push_back({jj, app.period_of(ActivityRef::message(j)), 1});
+    scratch.hp_jitter.push_back(jj);
+    scratch.hp_period.push_back(i.period);
   }
-  for (const MessageId j : layout.lf(m)) {
-    const Time jj = jitters[index_of(j)];
+  scratch.lf_jitter.clear();
+  scratch.lf_period.clear();
+  scratch.lf_weights.clear();
+  for (const DynInterferer& i : lf) {
+    const Time jj = msg_jitter[i.msg];
     if (is_infinite(jj)) return out;
-    const std::int64_t excess = layout.message_minislots(j) - 1;
-    if (excess <= 0) continue;  // single-minislot frames never exceed the baseline
-    lf_set.push_back({jj, app.period_of(ActivityRef::message(j)), excess});
+    if (i.weight <= 0) continue;  // single-minislot frames never exceed the baseline
+    scratch.lf_jitter.push_back(jj);
+    scratch.lf_period.push_back(i.period);
+    scratch.lf_weights.push_back(i.weight);
   }
 
-  const Time cycle = layout.cycle_len();
-  const Time minislot = layout.params().gd_minislot;
-  const Time sigma = dyn_sigma(layout, m);
-  const std::int64_t need = p_latest - fid + 1;  // >= 1 here
+  const std::size_t n_hp_set = scratch.hp_jitter.size();
+  const std::size_t n_lf_set = scratch.lf_jitter.size();
+  const std::int64_t need = in.p_latest - in.fid + 1;  // >= 1 here
 
   std::int64_t fixed_cycles = 0;
-  std::vector<std::int64_t> lf_counts(lf_set.size());
-  std::vector<std::int64_t> lf_weights(lf_set.size());
-  for (std::size_t j = 0; j < lf_set.size(); ++j) lf_weights[j] = lf_set[j].weight;
+  scratch.lf_counts.assign(n_lf_set, 0);
 
   const auto body = [&](Time t) -> Time {
     std::int64_t n_hp = 0;
-    for (const Interferer& i : hp_set) n_hp += ceil_div(t + i.jitter, i.period);
+    for (std::size_t j = 0; j < n_hp_set; ++j) {
+      n_hp += ceil_div(t + scratch.hp_jitter[j], scratch.hp_period[j]);
+    }
     std::int64_t excess = 0;
-    for (std::size_t j = 0; j < lf_set.size(); ++j) {
-      lf_counts[j] = ceil_div(t + lf_set[j].jitter, lf_set[j].period);
-      excess += lf_counts[j] * lf_set[j].weight;
+    for (std::size_t j = 0; j < n_lf_set; ++j) {
+      scratch.lf_counts[j] = ceil_div(t + scratch.lf_jitter[j], scratch.lf_period[j]);
+      excess += scratch.lf_counts[j] * scratch.lf_weights[j];
     }
 
     const std::int64_t lf_fill =
         bound == DynCyclesBound::MultiplicityCapped
-            ? multiplicity_capped_fill(lf_counts, lf_weights, need)
+            ? multiplicity_capped_fill(scratch.lf_counts, scratch.lf_weights, need)
             : excess / need;
     const std::int64_t filled = n_hp + lf_fill;
     const std::int64_t leftover = std::min<std::int64_t>(
@@ -114,22 +111,55 @@ DynResponse dyn_response_time(const BusLayout& layout, MessageId m,
     // Final-cycle delay from the cycle start to the start of m's frame:
     // the ST segment, the baseline minislots of the f-1 lower slots, and
     // whatever excess remains without filling the cycle.
-    const Time w_last = layout.st_segment_len() +
-                        (static_cast<Time>(fid - 1) + static_cast<Time>(std::min(
-                                                          leftover, need - 1))) *
-                            minislot;
-    return sat_add(sigma, sat_add(sat_mul(cycle, filled), w_last));
+    const Time w_last = in.st_segment_len +
+                        (static_cast<Time>(in.fid - 1) + static_cast<Time>(std::min(
+                                                             leftover, need - 1))) *
+                            in.minislot;
+    return sat_add(in.sigma, sat_add(sat_mul(in.cycle, filled), w_last));
   };
 
   const FixedPointResult fp = iterate_to_fixed_point(body, horizon);
+  if (fp_iterations != nullptr) *fp_iterations += fp.iterations;
   if (!fp.converged) return out;
   out.converged = true;
   out.w = fp.value;
   out.bus_cycles = fixed_cycles;
   // C_m rounded up to the frame's minislot footprint: delivery happens at
   // the end of the last occupied minislot.
-  out.response = sat_add(own_jitter, sat_add(fp.value, layout.message_occupancy(m)));
+  out.response = sat_add(own_jitter, sat_add(fp.value, in.occupancy));
   return out;
+}
+
+DynResponse dyn_response_time(const BusLayout& layout, MessageId m,
+                              std::span<const Time> jitters, Time horizon,
+                              DynCyclesBound bound, int* fp_iterations) {
+  const Application& app = layout.application();
+  const Message& msg = app.message(m);
+  const NodeId sender_node = app.task(msg.sender).node;
+
+  DynPrepared in;
+  in.fid = layout.frame_id(m);
+  in.p_latest = layout.p_latest_tx(sender_node);
+  in.cycle = layout.cycle_len();
+  in.minislot = layout.params().gd_minislot;
+  in.st_segment_len = layout.st_segment_len();
+  in.sigma = dyn_sigma(layout, m);
+  in.occupancy = layout.message_occupancy(m);
+
+  std::vector<DynInterferer> hp;
+  for (const MessageId j : layout.hp(m)) {
+    hp.push_back({static_cast<std::uint32_t>(index_of(j)),
+                  app.period_of(ActivityRef::message(j)), 1});
+  }
+  std::vector<DynInterferer> lf;
+  for (const MessageId j : layout.lf(m)) {
+    lf.push_back({static_cast<std::uint32_t>(index_of(j)),
+                  app.period_of(ActivityRef::message(j)), layout.message_minislots(j) - 1});
+  }
+
+  DynScratch scratch;
+  return dyn_response_time_prepared(in, hp, lf, jitters, jitters[index_of(m)], horizon, bound,
+                                    scratch, fp_iterations);
 }
 
 }  // namespace flexopt

@@ -8,7 +8,7 @@
 namespace flexopt {
 
 Time fps_response_time(const FpsTaskParams& task, std::span<const FpsTaskParams> same_node,
-                       const BusyProfile& scs, Time horizon) {
+                       const BusyProfile& scs, Time horizon, int* fp_iterations, Time seed) {
   if (is_infinite(task.jitter)) return kTimeInfinity;
   // Level-i load including the SCS share: if it exceeds 1, the level-i busy
   // period never ends and the least fixed point below (which only bounds
@@ -36,16 +36,25 @@ Time fps_response_time(const FpsTaskParams& task, std::span<const FpsTaskParams>
     return total;
   };
 
-  const FixedPointResult fp = iterate_to_fixed_point(body, horizon);
+  const FixedPointResult fp = iterate_to_fixed_point(body, horizon, 10'000, seed);
+  if (fp_iterations != nullptr) *fp_iterations += fp.iterations;
   if (!fp.converged) return kTimeInfinity;
   return sat_add(task.jitter, fp.value);
 }
 
 Time fps_response_time_sum(std::span<const FpsTaskParams> same_node, const BusyProfile& scs,
-                           Time horizon) {
+                           Time horizon, std::span<const Time> seeds) {
   Time sum = 0;
-  for (const FpsTaskParams& t : same_node) {
-    const Time r = fps_response_time(t, same_node, scs, horizon);
+  for (std::size_t i = 0; i < same_node.size(); ++i) {
+    Time r;
+    if (!seeds.empty() && is_infinite(seeds[i])) {
+      // The seed diverged against a *subset* of this profile's
+      // interference, so this task's recurrence diverges here too.
+      r = kTimeInfinity;
+    } else {
+      r = fps_response_time(same_node[i], same_node, scs, horizon, nullptr,
+                            seeds.empty() ? 0 : seeds[i]);
+    }
     sum = sat_add(sum, is_infinite(r) ? horizon : r);
   }
   return sum;

@@ -6,6 +6,7 @@
 /// so their response-time analysis needs "the maximum SCS busy time inside
 /// any window of length w" — `max_busy_in_window`.
 
+#include <span>
 #include <vector>
 
 #include "flexopt/util/time.hpp"
@@ -24,14 +25,27 @@ struct Interval {
 std::vector<Interval> normalize_intervals(std::vector<Interval> intervals);
 
 /// A set of busy intervals within [0, period), repeating forever with
-/// `period`.  Immutable after construction.
+/// `period`.  Value-semantic: construct once, or re-`assign_normalized`
+/// into the same object to reuse its buffers in hot loops.
 class BusyProfile {
  public:
+  /// Empty profile with period 1; meaningful only as the target of a later
+  /// assign_normalized (the list scheduler's per-candidate scratch).
+  BusyProfile() = default;
+
   /// `intervals` may be unsorted/overlapping (they are normalized) but must
   /// lie within [0, period).  Intervals that spill past the period are
   /// clamped (the list scheduler never produces them for feasible systems;
   /// clamping keeps the profile sound for infeasible candidates too).
   BusyProfile(std::vector<Interval> intervals, Time period);
+
+  /// Rebuilds this profile from intervals that are ALREADY clamped to
+  /// [0, period], sorted by start, positive-length, and merged (no overlap
+  /// or adjacency) — i.e. exactly the output shape of normalize_intervals.
+  /// Produces the same profile as the normalizing constructor would for an
+  /// equivalent interval set, reusing this object's buffers (no allocation
+  /// once capacity is warm).
+  void assign_normalized(std::span<const Interval> merged, Time period);
 
   /// Total busy time within one period.
   [[nodiscard]] Time busy_per_period() const { return total_busy_; }
@@ -58,9 +72,12 @@ class BusyProfile {
   /// Busy time in [0, t) for t in [0, period].
   [[nodiscard]] Time prefix(Time t) const;
 
+  /// Rebuilds prefix_at_start_/total_busy_/largest_gap_ from intervals_.
+  void rebuild_derived();
+
   std::vector<Interval> intervals_;
   std::vector<Time> prefix_at_start_;  // busy in [0, intervals_[i].start)
-  Time period_;
+  Time period_ = 1;
   Time total_busy_ = 0;
   Time largest_gap_ = 0;
 };

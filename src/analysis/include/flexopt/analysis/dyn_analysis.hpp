@@ -62,9 +62,55 @@ struct DynResponse {
 /// WCRT of DYN message `m`.  `jitters` is indexed by MessageId and supplies
 /// the holistic release jitters of every DYN message (entries for ST
 /// messages are ignored).  `horizon` bounds the fixed-point iteration.
+/// `fp_iterations` (optional) accumulates the inner fixed-point iteration
+/// count (the profiling counters' work axis).
 DynResponse dyn_response_time(const BusLayout& layout, MessageId m,
                               std::span<const Time> jitters, Time horizon,
-                              DynCyclesBound bound = DynCyclesBound::Greedy);
+                              DynCyclesBound bound = DynCyclesBound::Greedy,
+                              int* fp_iterations = nullptr);
+
+/// One hp(m) / lf(m) interference-set member in prebuilt (arena) form:
+/// enough to evaluate the recurrence without touching BusLayout.
+struct DynInterferer {
+  std::uint32_t msg = 0;     ///< MessageId index (jitter lookup)
+  Time period = 0;
+  std::int64_t weight = 0;   ///< excess minislots (lf) — may be <= 0; unused for hp
+};
+
+/// Reusable buffers of dyn_response_time_prepared (one per analysis arena;
+/// capacity persists across calls, so the steady state is allocation-free).
+struct DynScratch {
+  std::vector<Time> hp_jitter;
+  std::vector<Time> hp_period;
+  std::vector<Time> lf_jitter;
+  std::vector<Time> lf_period;
+  std::vector<std::int64_t> lf_counts;
+  std::vector<std::int64_t> lf_weights;
+};
+
+/// Configuration-dependent scalars of one DYN message's recurrence,
+/// precomputed once per evaluation (flexopt/analysis/arena.hpp).
+struct DynPrepared {
+  int fid = 0;
+  int p_latest = 0;
+  Time cycle = 0;
+  Time minislot = 0;
+  Time st_segment_len = 0;
+  Time sigma = 0;
+  Time occupancy = 0;
+};
+
+/// dyn_response_time over prebuilt inputs: `hp` / `lf` are the interference
+/// sets (lf must contain EVERY lower-FrameID DYN message, zero-excess
+/// members included — an infinite jitter on one of them unbounds the
+/// response even though it contributes no excess), `msg_jitter` is indexed
+/// by MessageId, `own_jitter` is m's own release jitter.  Bit-identical to
+/// dyn_response_time on the same inputs.
+DynResponse dyn_response_time_prepared(const DynPrepared& in, std::span<const DynInterferer> hp,
+                                       std::span<const DynInterferer> lf,
+                                       std::span<const Time> msg_jitter, Time own_jitter,
+                                       Time horizon, DynCyclesBound bound, DynScratch& scratch,
+                                       int* fp_iterations = nullptr);
 
 /// sigma_m of Eq. 3: the longest in-cycle delay when m is produced just
 /// after its slot went by — the slot passes earliest when all lower slots

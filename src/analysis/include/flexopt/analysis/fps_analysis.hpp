@@ -44,14 +44,26 @@ struct FpsTaskParams {
 /// interfere (equal priorities are mutually interfering — conservative
 /// FIFO-agnostic treatment).  Returns kTimeInfinity if the recurrence
 /// exceeds `horizon` or any contributing jitter is infinite.
+/// `fp_iterations` (optional) accumulates the fixed-point iteration count
+/// (the profiling counters' work axis).  `seed` is a pre-jitter seed for
+/// the busy-window iteration (see iterate_to_fixed_point): it must be a
+/// least-fixed-point lower bound, e.g. the converged busy value of the
+/// same task against a subset of the SCS interference.  The returned
+/// response is identical to the unseeded call; only the iteration count
+/// shrinks.
 Time fps_response_time(const FpsTaskParams& task, std::span<const FpsTaskParams> same_node,
-                       const BusyProfile& scs, Time horizon);
+                       const BusyProfile& scs, Time horizon, int* fp_iterations = nullptr,
+                       Time seed = 0);
 
 /// Sum of response times of all tasks in `same_node` (infinite responses
 /// are added as `horizon` each, keeping the sum finite and comparable).
 /// Used by the list scheduler to rank candidate SCS placements
-/// (Fig. 2, line 11).
+/// (Fig. 2, line 11).  `seeds` (optional, parallel to `same_node`) carries
+/// per-task busy-value seeds computed against an interference *subset* —
+/// the base placement profile; an infinite seed short-circuits that task
+/// to an infinite response (exact: more interference can only grow a
+/// diverged recurrence).  The sum is bit-identical with and without seeds.
 Time fps_response_time_sum(std::span<const FpsTaskParams> same_node, const BusyProfile& scs,
-                           Time horizon);
+                           Time horizon, std::span<const Time> seeds = {});
 
 }  // namespace flexopt

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flexopt/analysis/arena.hpp"
 #include "flexopt/analysis/fps_analysis.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
 
@@ -69,8 +70,10 @@ struct AnalysisInvalidation {
   bool st_slot_len_changed = false;
   bool st_owner_changed = false;
   bool minislot_count_changed = false;
-  /// MessageId indices whose FrameID changed.
-  std::vector<std::uint32_t> changed_messages;
+  /// Number of messages whose FrameID changed.  The invalidation closure
+  /// only needs the FrameID *window* below, so the struct stays scalar —
+  /// producing one per candidate move is allocation-free.
+  std::uint32_t changed_message_count = 0;
   /// FrameID window [min, max] spanned by the changed messages' base and
   /// new FrameIDs.  Only DYN messages with a FrameID inside the window can
   /// see a different lf()/hp() interference set: a message above it keeps
@@ -82,7 +85,7 @@ struct AnalysisInvalidation {
 
   [[nodiscard]] bool any_change() const {
     return st_slot_count_changed || st_slot_len_changed || st_owner_changed ||
-           minislot_count_changed || !changed_messages.empty();
+           minislot_count_changed || changed_message_count != 0;
   }
   /// The static-segment table must be rebuilt (or fetched by a new key).
   [[nodiscard]] bool schedule_invalidated() const {
@@ -108,7 +111,9 @@ struct ScheduleComponent {
 
   bool valid = false;
   std::string error;
-  StaticSchedule schedule{0, 0, 0, 0};
+  /// Immutable table shared into every AnalysisResult that reuses this
+  /// component (no deep copy on the delta-evaluation hot path).
+  std::shared_ptr<const StaticSchedule> schedule;
   /// Indexed by TaskId / MessageId: table WCRT for TT activities, 0 for ET
   /// (the fixed point's monotone-from-below seed).
   std::vector<Time> tt_task_completion;
@@ -116,17 +121,46 @@ struct ScheduleComponent {
 };
 
 /// Mapping-level component shared by every configuration of one
-/// application: FPS task groups per node, the DYN message list, and the
-/// response-time horizon.  Built once per evaluator.
+/// application, flattened into structure-of-arrays form so the analysis
+/// hot path iterates contiguous memory.  Built once per evaluator.
+///
+/// The "aid" (activity index) space is the dense index the arena state is
+/// keyed by: aid = t for task t, aid = n_tasks + m for message m.
 struct TaskStructure {
   bool valid = false;
   std::string error;
   Time horizon = 0;
-  /// FPS task parameter templates per node (jitter slots are copied and
-  /// refreshed by each analysis; the structure itself is immutable).
-  std::vector<std::vector<FpsTaskParams>> fps_on_node;
-  /// Indices of DYN messages, ascending.
+  std::uint32_t n_tasks = 0;
+  std::uint32_t n_msgs = 0;
+  std::uint32_t n_nodes = 0;
+  std::uint32_t n_acts = 0;  ///< n_tasks + n_msgs
+
+  /// FPS task parameter templates, one flat array grouped by node:
+  /// node n's group is fps_params[fps_node_begin[n] .. fps_node_begin[n+1]).
+  /// (Jitter slots are copied into the arena and refreshed per analysis;
+  /// the structure itself is immutable.)
+  std::vector<FpsTaskParams> fps_params;
+  std::vector<std::uint32_t> fps_node_begin;   ///< size n_nodes + 1
+  std::vector<std::int32_t> fps_slot_of_task;  ///< per task; -1 when not FPS
+
+  /// Indices of DYN messages, ascending — the dense DYN index space.
   std::vector<std::uint32_t> dyn_messages;
+  std::vector<std::int32_t> dyn_slot_of_msg;  ///< per message; -1 when not DYN
+  std::vector<Time> dyn_period;               ///< per dense DYN index
+  std::vector<NodeId> dyn_sender_node;        ///< per dense DYN index
+  std::vector<std::int32_t> msg_priority;     ///< per message
+
+  /// ET activities (FPS tasks + DYN messages) in topological order, as aids.
+  std::vector<std::uint32_t> et_topo;
+  /// Graph edges as CSR over the aid space, preserving Application's
+  /// adjacency order.
+  std::vector<std::uint32_t> pred_begin;  ///< size n_acts + 1
+  std::vector<std::uint32_t> pred;
+  std::vector<std::uint32_t> succ_begin;  ///< size n_acts + 1
+  std::vector<std::uint32_t> succ;
+  std::vector<Time> release_offset;     ///< per aid (messages: 0)
+  std::vector<std::uint8_t> act_is_et;  ///< per aid (FPS task / DYN message)
+  std::vector<std::uint32_t> task_node;  ///< per task
 };
 
 /// Thread-safe store of the per-geometry schedule components and the
@@ -177,6 +211,19 @@ Expected<AnalysisResult> analyze_system_incremental(
     const BusLayout& layout, const AnalysisOptions& options, AnalysisComponentCache& cache,
     AnalysisWorkCounters* counters = nullptr, const AnalysisResult* base = nullptr,
     const AnalysisInvalidation* invalidation = nullptr,
+    std::span<const Time> external_task_jitter = {});
+
+/// Arena-based analyze_system_incremental: identical semantics and
+/// bit-identical results, but all fixed-point state lives in `arena`
+/// (reused across calls) and the outcome is written into `out` (whose
+/// vectors are reused too), so a steady-state call performs zero heap
+/// allocations.  This is the hot entry CostEvaluator's worker threads
+/// drive; the wrapper above allocates a one-shot arena for cold callers.
+/// On error, `out` is left unspecified and must not be read.
+Expected<bool> analyze_system_incremental_into(
+    const BusLayout& layout, const AnalysisOptions& options, AnalysisComponentCache& cache,
+    AnalysisArena& arena, AnalysisResult& out, AnalysisWorkCounters* counters = nullptr,
+    const AnalysisResult* base = nullptr, const AnalysisInvalidation* invalidation = nullptr,
     std::span<const Time> external_task_jitter = {});
 
 }  // namespace flexopt

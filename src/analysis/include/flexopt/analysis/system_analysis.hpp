@@ -7,6 +7,7 @@
 /// propagation along the task graphs until a global fixed point.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct AnalysisWorkCounters {
   std::uint64_t dyn_analyses = 0;     ///< dyn_response_time calls (per message per pass)
   std::uint64_t dyn_skipped = 0;      ///< DYN recomputations skipped (inputs unchanged)
   std::uint64_t holistic_iterations = 0;
+  /// Inner fixed-point iterations summed over every FPS/DYN recurrence —
+  /// the "how hard did each recomputed component work" axis the coarse
+  /// per-component counters cannot see.
+  std::uint64_t fixed_point_iterations = 0;
 
   /// Total recomputed components (the delta-vs-full gate metric).
   [[nodiscard]] std::uint64_t components() const {
@@ -60,7 +65,21 @@ struct AnalysisWorkCounters {
     dyn_analyses += o.dyn_analyses;
     dyn_skipped += o.dyn_skipped;
     holistic_iterations += o.holistic_iterations;
+    fixed_point_iterations += o.fixed_point_iterations;
     return *this;
+  }
+  /// Field-wise delta against an earlier snapshot of the same counters.
+  [[nodiscard]] AnalysisWorkCounters since(const AnalysisWorkCounters& before) const {
+    AnalysisWorkCounters d;
+    d.schedule_builds = schedule_builds - before.schedule_builds;
+    d.schedule_reuses = schedule_reuses - before.schedule_reuses;
+    d.fps_analyses = fps_analyses - before.fps_analyses;
+    d.fps_skipped = fps_skipped - before.fps_skipped;
+    d.dyn_analyses = dyn_analyses - before.dyn_analyses;
+    d.dyn_skipped = dyn_skipped - before.dyn_skipped;
+    d.holistic_iterations = holistic_iterations - before.holistic_iterations;
+    d.fixed_point_iterations = fixed_point_iterations - before.fixed_point_iterations;
+    return d;
   }
 };
 
@@ -75,13 +94,22 @@ struct AnalysisResult {
   /// Release jitter used in the final iteration (diagnostics / tests).
   std::vector<Time> task_jitter;
   std::vector<Time> message_jitter;
-  StaticSchedule schedule{0, 0, 0, 0};
+  /// The static-segment schedule table, shared with (not copied from) the
+  /// component cache: every analysis whose configuration maps to the same
+  /// table geometry holds a reference to one immutable instance, so
+  /// delta evaluation never deep-copies slot tables in its hot path.
+  std::shared_ptr<const StaticSchedule> schedule_ptr;
   Cost cost;
   /// False when the holistic iteration hit max_holistic_iterations and the
   /// ET completions were pinned to infinity.  Incremental re-evaluation
   /// (analyze_system_incremental) only seeds from converged results.
   bool converged = true;
   [[nodiscard]] bool schedulable() const { return cost.schedulable; }
+  /// The schedule table (an empty table when analysis never built one).
+  [[nodiscard]] const StaticSchedule& schedule() const {
+    static const StaticSchedule empty{0, 0, 0, 0};
+    return schedule_ptr ? *schedule_ptr : empty;
+  }
 };
 
 /// Response-time horizon shared by the full and incremental analyses:

@@ -18,11 +18,6 @@ struct Fnv {
   }
 };
 
-bool is_et(const Application& app, ActivityRef a) {
-  return a.is_task() ? app.task(a.as_task()).policy == TaskPolicy::Fps
-                     : app.message(a.as_message()).cls == MessageClass::Dynamic;
-}
-
 bool same_geometry(const ScheduleComponent& component, const BusConfig& config) {
   return component.static_slot_count == config.static_slot_count &&
          component.static_slot_len == config.static_slot_len &&
@@ -46,18 +41,18 @@ ScheduleComponent build_schedule_component(const BusLayout& layout,
     return component;
   }
   component.valid = true;
-  component.schedule = std::move(schedule_result).value();
+  component.schedule = std::make_shared<const StaticSchedule>(std::move(schedule_result).value());
   component.tt_task_completion.assign(app.task_count(), 0);
   component.tt_message_completion.assign(app.message_count(), 0);
   for (std::uint32_t t = 0; t < app.task_count(); ++t) {
     if (app.tasks()[t].policy == TaskPolicy::Scs) {
-      component.tt_task_completion[t] = component.schedule.task_wcrt(static_cast<TaskId>(t));
+      component.tt_task_completion[t] = component.schedule->task_wcrt(static_cast<TaskId>(t));
     }
   }
   for (std::uint32_t m = 0; m < app.message_count(); ++m) {
     if (app.messages()[m].cls == MessageClass::Static) {
       component.tt_message_completion[m] =
-          component.schedule.message_wcrt(static_cast<MessageId>(m));
+          component.schedule->message_wcrt(static_cast<MessageId>(m));
     }
   }
   return component;
@@ -135,17 +130,77 @@ std::shared_ptr<const TaskStructure> AnalysisComponentCache::task_structure(
   if (!horizon.ok()) {
     structure->error = horizon.error().message;
   } else {
-    structure->valid = true;
-    structure->horizon = horizon.value();
-    structure->fps_on_node.resize(app.node_count());
-    for (std::uint32_t t = 0; t < app.task_count(); ++t) {
+    TaskStructure& ts = *structure;
+    ts.valid = true;
+    ts.horizon = horizon.value();
+    ts.n_tasks = static_cast<std::uint32_t>(app.task_count());
+    ts.n_msgs = static_cast<std::uint32_t>(app.message_count());
+    ts.n_nodes = static_cast<std::uint32_t>(app.node_count());
+    ts.n_acts = ts.n_tasks + ts.n_msgs;
+
+    // FPS templates as CSR grouped by node, ascending task index within a
+    // node (the order the per-node vectors used to hold).
+    ts.fps_node_begin.assign(ts.n_nodes + 1, 0);
+    ts.fps_slot_of_task.assign(ts.n_tasks, -1);
+    ts.task_node.resize(ts.n_tasks);
+    for (std::uint32_t t = 0; t < ts.n_tasks; ++t) {
+      const Task& task = app.tasks()[t];
+      ts.task_node[t] = static_cast<std::uint32_t>(index_of(task.node));
+      if (task.policy == TaskPolicy::Fps) ++ts.fps_node_begin[ts.task_node[t] + 1];
+    }
+    for (std::uint32_t n = 0; n < ts.n_nodes; ++n) {
+      ts.fps_node_begin[n + 1] += ts.fps_node_begin[n];
+    }
+    ts.fps_params.resize(ts.fps_node_begin[ts.n_nodes]);
+    std::vector<std::uint32_t> cursor(ts.fps_node_begin.begin(), ts.fps_node_begin.end() - 1);
+    for (std::uint32_t t = 0; t < ts.n_tasks; ++t) {
       const Task& task = app.tasks()[t];
       if (task.policy != TaskPolicy::Fps) continue;
-      structure->fps_on_node[index_of(task.node)].push_back(FpsTaskParams{
-          static_cast<TaskId>(t), task.wcet, app.graph(task.graph).period, 0, task.priority});
+      const std::uint32_t slot = cursor[ts.task_node[t]]++;
+      ts.fps_params[slot] = FpsTaskParams{static_cast<TaskId>(t), task.wcet,
+                                          app.graph(task.graph).period, 0, task.priority};
+      ts.fps_slot_of_task[t] = static_cast<std::int32_t>(slot);
     }
-    for (std::uint32_t m = 0; m < app.message_count(); ++m) {
-      if (app.messages()[m].cls == MessageClass::Dynamic) structure->dyn_messages.push_back(m);
+
+    // Dense DYN index space, ascending message index.
+    ts.dyn_slot_of_msg.assign(ts.n_msgs, -1);
+    ts.msg_priority.resize(ts.n_msgs);
+    for (std::uint32_t m = 0; m < ts.n_msgs; ++m) {
+      const Message& msg = app.messages()[m];
+      ts.msg_priority[m] = msg.priority;
+      if (msg.cls != MessageClass::Dynamic) continue;
+      ts.dyn_slot_of_msg[m] = static_cast<std::int32_t>(ts.dyn_messages.size());
+      ts.dyn_messages.push_back(m);
+      ts.dyn_period.push_back(app.period_of(ActivityRef::message(static_cast<MessageId>(m))));
+      ts.dyn_sender_node.push_back(app.task(msg.sender).node);
+    }
+
+    // aid-space arrays and the graph CSR, preserving Application's orders.
+    ts.release_offset.assign(ts.n_acts, 0);
+    ts.act_is_et.assign(ts.n_acts, 0);
+    for (std::uint32_t t = 0; t < ts.n_tasks; ++t) {
+      ts.release_offset[t] = app.tasks()[t].release_offset;
+      ts.act_is_et[t] = app.tasks()[t].policy == TaskPolicy::Fps ? 1 : 0;
+    }
+    for (std::uint32_t m = 0; m < ts.n_msgs; ++m) {
+      ts.act_is_et[ts.n_tasks + m] = app.messages()[m].cls == MessageClass::Dynamic ? 1 : 0;
+    }
+    const auto aid_of = [&ts](ActivityRef a) {
+      return a.is_task() ? a.index : ts.n_tasks + a.index;
+    };
+    for (const ActivityRef a : app.topological_order()) {
+      if (ts.act_is_et[aid_of(a)]) ts.et_topo.push_back(aid_of(a));
+    }
+    ts.pred_begin.assign(ts.n_acts + 1, 0);
+    ts.succ_begin.assign(ts.n_acts + 1, 0);
+    for (std::uint32_t aid = 0; aid < ts.n_acts; ++aid) {
+      const ActivityRef ref = aid < ts.n_tasks
+                                  ? ActivityRef::task(static_cast<TaskId>(aid))
+                                  : ActivityRef::message(static_cast<MessageId>(aid - ts.n_tasks));
+      for (const ActivityRef p : app.predecessors(ref)) ts.pred.push_back(aid_of(p));
+      ts.pred_begin[aid + 1] = static_cast<std::uint32_t>(ts.pred.size());
+      for (const ActivityRef s : app.successors(ref)) ts.succ.push_back(aid_of(s));
+      ts.succ_begin[aid + 1] = static_cast<std::uint32_t>(ts.succ.size());
     }
   }
   task_structure_ = std::move(structure);
@@ -164,13 +219,14 @@ std::size_t AnalysisComponentCache::schedule_entries() const {
   return entry_count_;
 }
 
-Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
-                                                    const AnalysisOptions& options,
-                                                    AnalysisComponentCache& cache,
-                                                    AnalysisWorkCounters* counters,
-                                                    const AnalysisResult* base,
-                                                    const AnalysisInvalidation* invalidation,
-                                                    std::span<const Time> external_task_jitter) {
+Expected<bool> analyze_system_incremental_into(const BusLayout& layout,
+                                               const AnalysisOptions& options,
+                                               AnalysisComponentCache& cache,
+                                               AnalysisArena& arena, AnalysisResult& out,
+                                               AnalysisWorkCounters* counters,
+                                               const AnalysisResult* base,
+                                               const AnalysisInvalidation* invalidation,
+                                               std::span<const Time> external_task_jitter) {
   const Application& app = layout.application();
   const auto structure = cache.task_structure(app, options);
   if (!structure->valid) return make_error(structure->error);
@@ -179,51 +235,59 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
   const auto schedule_component = cache.schedule_for(layout, options, counters);
   if (!schedule_component->valid) return make_error(schedule_component->error);
 
-  const std::size_t n_tasks = app.task_count();
-  const std::size_t n_msgs = app.message_count();
+  arena.bind(structure);
+  arena.prepare_dyn_geometry(layout);
+  const TaskStructure& ts = *arena.structure;
+  const std::uint32_t n_tasks = ts.n_tasks;
+  const std::uint32_t n_acts = ts.n_acts;
+  const std::size_t n_dyn = ts.dyn_messages.size();
+  const StaticSchedule& schedule = *schedule_component->schedule;
 
-  AnalysisResult result;
-  result.schedule = schedule_component->schedule;
-  result.task_completion = schedule_component->tt_task_completion;
-  result.message_completion = schedule_component->tt_message_completion;
-  result.task_jitter.assign(n_tasks, 0);
-  result.message_jitter.assign(n_msgs, 0);
+  int fp_iterations = 0;
+  int* const fp_out = counters != nullptr ? &fp_iterations : nullptr;
+
+  out.schedule_ptr = schedule_component->schedule;
+
+  // Unified per-aid state: completions seeded from the component's table
+  // values (ET entries are 0, the monotone-from-below seed), jitters 0.
+  std::vector<Time>& comp = arena.completion;
+  std::vector<Time>& jit = arena.jitter;
+  std::copy(schedule_component->tt_task_completion.begin(),
+            schedule_component->tt_task_completion.end(), comp.begin());
+  std::copy(schedule_component->tt_message_completion.begin(),
+            schedule_component->tt_message_completion.end(), comp.begin() + n_tasks);
+  std::fill(jit.begin(), jit.end(), 0);
+
+  const std::span<const Time> msg_jitter{jit.data() + n_tasks, ts.n_msgs};
 
   // ---- affected component set ----------------------------------------------
   // Default (no usable base): everything is affected — the fixed point then
   // reproduces analyze_system's trajectory exactly, skipping only
   // recomputations whose inputs are unchanged between iterations.
-  std::vector<char> task_affected(n_tasks, 1);
-  std::vector<char> msg_affected(n_msgs, 1);
+  IndexBitset& affected = arena.affected;
   const bool seed_from_base = base != nullptr && invalidation != nullptr && base->converged &&
                               external_task_jitter.empty() &&
                               base->task_completion.size() == n_tasks &&
-                              base->message_completion.size() == n_msgs &&
+                              base->message_completion.size() == ts.n_msgs &&
                               base->task_jitter.size() == n_tasks &&
-                              base->message_jitter.size() == n_msgs;
+                              base->message_jitter.size() == ts.n_msgs;
   if (seed_from_base) {
-    task_affected.assign(n_tasks, 0);
-    msg_affected.assign(n_msgs, 0);
+    affected.clear();
 
     // Closure over the dependency edges of the holistic fixed point:
     //  completion(a) -> jitter(s) for every ET graph successor s;
     //  jitter(t), t FPS      -> completions of every FPS task on node(t);
     //  jitter(x), x DYN      -> completions of every DYN m, fid(m) >= fid(x)
     //                           (x is in lf(m) / hp(m) / is m itself).
-    std::vector<ActivityRef> work;
-    auto mark_task = [&](std::uint32_t t) {
-      if (task_affected[t]) return;
-      task_affected[t] = 1;
-      work.push_back(ActivityRef::task(static_cast<TaskId>(t)));
+    std::vector<std::uint32_t>& work = arena.work;
+    work.clear();
+    auto mark = [&](std::uint32_t aid) {
+      if (arena.affected.test_set(aid)) return;
+      work.push_back(aid);
     };
-    auto mark_msg = [&](std::uint32_t m) {
-      if (msg_affected[m]) return;
-      msg_affected[m] = 1;
-      work.push_back(ActivityRef::message(static_cast<MessageId>(m)));
-    };
-    auto mark_node_fps = [&](std::size_t node) {
-      for (const FpsTaskParams& p : structure->fps_on_node[node]) {
-        mark_task(static_cast<std::uint32_t>(index_of(p.id)));
+    auto mark_node_fps = [&](std::uint32_t node) {
+      for (std::uint32_t i = ts.fps_node_begin[node]; i < ts.fps_node_begin[node + 1]; ++i) {
+        mark(static_cast<std::uint32_t>(index_of(ts.fps_params[i].id)));
       }
     };
     // "Every DYN message with a FrameID >= fid" — lazily lowered threshold
@@ -231,9 +295,9 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
     int dyn_marked_from = std::numeric_limits<int>::max();
     auto mark_dyn_from_fid = [&](int fid) {
       if (fid >= dyn_marked_from) return;
-      for (const std::uint32_t m : structure->dyn_messages) {
-        const int f = layout.frame_id(static_cast<MessageId>(m));
-        if (f >= fid && f < dyn_marked_from) mark_msg(m);
+      for (std::size_t d = 0; d < n_dyn; ++d) {
+        const int f = arena.dyn_prepared[d].fid;
+        if (f >= fid && f < dyn_marked_from) mark(n_tasks + ts.dyn_messages[d]);
       }
       dyn_marked_from = fid;
     };
@@ -242,23 +306,29 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
     // DYN readers with higher FrameIDs must all be marked — a single-
     // minislot lf member contributes through its jitter's infinity status,
     // which cannot be bounded statically here.
-    const auto& app_messages = app.messages();
-    auto mark_jitter_consumers = [&](ActivityRef s) {
-      if (s.is_task()) {
-        const Task& task = app.task(s.as_task());
-        if (task.policy != TaskPolicy::Fps) return;
-        for (const FpsTaskParams& u : structure->fps_on_node[index_of(task.node)]) {
-          if (task.priority <= u.priority || index_of(u.id) == s.index) {
-            mark_task(static_cast<std::uint32_t>(index_of(u.id)));
+    auto mark_jitter_consumers = [&](std::uint32_t s) {
+      if (s < n_tasks) {
+        const std::int32_t slot = ts.fps_slot_of_task[s];
+        if (slot < 0) return;
+        const int s_priority = ts.fps_params[static_cast<std::uint32_t>(slot)].priority;
+        const std::uint32_t node = ts.task_node[s];
+        for (std::uint32_t i = ts.fps_node_begin[node]; i < ts.fps_node_begin[node + 1]; ++i) {
+          const FpsTaskParams& u = ts.fps_params[i];
+          if (s_priority <= u.priority || index_of(u.id) == s) {
+            mark(static_cast<std::uint32_t>(index_of(u.id)));
           }
         }
-      } else if (app.message(s.as_message()).cls == MessageClass::Dynamic) {
-        const int s_fid = layout.frame_id(s.as_message());
-        mark_msg(s.index);
-        for (const std::uint32_t m : structure->dyn_messages) {
-          const int m_fid = layout.frame_id(static_cast<MessageId>(m));
-          if (m_fid == s_fid && app_messages[s.index].priority < app_messages[m].priority) {
-            mark_msg(m);
+      } else {
+        const std::uint32_t sm = s - n_tasks;
+        const std::int32_t sd = ts.dyn_slot_of_msg[sm];
+        if (sd < 0) return;
+        const int s_fid = arena.dyn_prepared[static_cast<std::uint32_t>(sd)].fid;
+        mark(s);
+        for (std::size_t d = 0; d < n_dyn; ++d) {
+          const std::uint32_t m = ts.dyn_messages[d];
+          if (arena.dyn_prepared[d].fid == s_fid &&
+              ts.msg_priority[sm] < ts.msg_priority[m]) {
+            mark(n_tasks + m);
           }
         }
         mark_dyn_from_fid(s_fid + 1);
@@ -272,63 +342,59 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
     // messages below never saw them).
     if (invalidation->dyn_geometry_invalidated()) {
       mark_dyn_from_fid(1);
-    } else if (!invalidation->changed_messages.empty()) {
-      for (const std::uint32_t m : structure->dyn_messages) {
-        const int f = layout.frame_id(static_cast<MessageId>(m));
-        if (f >= invalidation->frame_id_window_min &&
-            f <= invalidation->frame_id_window_max) {
-          mark_msg(m);
+    } else if (invalidation->changed_message_count != 0) {
+      for (std::size_t d = 0; d < n_dyn; ++d) {
+        const int f = arena.dyn_prepared[d].fid;
+        if (f >= invalidation->frame_id_window_min && f <= invalidation->frame_id_window_max) {
+          mark(n_tasks + ts.dyn_messages[d]);
         }
       }
     }
     if (invalidation->schedule_invalidated()) {
       // The table was rebuilt: FPS groups whose busy profile moved, and ET
       // successors of TT activities whose table completion moved.
-      for (std::size_t n = 0; n < app.node_count(); ++n) {
-        if (structure->fps_on_node[n].empty()) continue;
-        if (!same_profile(base->schedule.node_profile(n), result.schedule.node_profile(n))) {
+      for (std::uint32_t n = 0; n < ts.n_nodes; ++n) {
+        if (ts.fps_node_begin[n] == ts.fps_node_begin[n + 1]) continue;
+        if (base->schedule_ptr != out.schedule_ptr &&
+            !same_profile(base->schedule().node_profile(n), schedule.node_profile(n))) {
           mark_node_fps(n);
         }
       }
-      for (std::uint32_t t = 0; t < n_tasks; ++t) {
-        if (app.tasks()[t].policy != TaskPolicy::Scs) continue;
-        if (base->task_completion[t] == result.task_completion[t]) continue;
-        for (const ActivityRef s :
-             app.successors(ActivityRef::task(static_cast<TaskId>(t)))) {
-          mark_jitter_consumers(s);
-        }
-      }
-      for (std::uint32_t m = 0; m < n_msgs; ++m) {
-        if (app.messages()[m].cls != MessageClass::Static) continue;
-        if (base->message_completion[m] == result.message_completion[m]) continue;
-        for (const ActivityRef s :
-             app.successors(ActivityRef::message(static_cast<MessageId>(m)))) {
-          mark_jitter_consumers(s);
+      for (std::uint32_t aid = 0; aid < n_acts; ++aid) {
+        if (ts.act_is_et[aid]) continue;  // roots are the TT activities
+        const Time base_completion = aid < n_tasks
+                                         ? base->task_completion[aid]
+                                         : base->message_completion[aid - n_tasks];
+        if (base_completion == comp[aid]) continue;
+        for (std::uint32_t i = ts.succ_begin[aid]; i < ts.succ_begin[aid + 1]; ++i) {
+          mark_jitter_consumers(ts.succ[i]);
         }
       }
     }
     while (!work.empty()) {
-      const ActivityRef a = work.back();
+      const std::uint32_t aid = work.back();
       work.pop_back();
-      for (const ActivityRef s : app.successors(a)) mark_jitter_consumers(s);
+      for (std::uint32_t i = ts.succ_begin[aid]; i < ts.succ_begin[aid + 1]; ++i) {
+        mark_jitter_consumers(ts.succ[i]);
+      }
     }
 
     // Seed everything unaffected with the base's converged values; they are
     // already at the (unique) least fixed point and are never recomputed.
     for (std::uint32_t t = 0; t < n_tasks; ++t) {
-      if (app.tasks()[t].policy != TaskPolicy::Fps) continue;
-      if (!task_affected[t]) {
-        result.task_completion[t] = base->task_completion[t];
-        result.task_jitter[t] = base->task_jitter[t];
+      if (ts.act_is_et[t] != 0 && !affected.test(t)) {
+        comp[t] = base->task_completion[t];
+        jit[t] = base->task_jitter[t];
       }
     }
-    for (std::uint32_t m = 0; m < n_msgs; ++m) {
-      if (app.messages()[m].cls != MessageClass::Dynamic) continue;
-      if (!msg_affected[m]) {
-        result.message_completion[m] = base->message_completion[m];
-        result.message_jitter[m] = base->message_jitter[m];
+    for (std::uint32_t m = 0; m < ts.n_msgs; ++m) {
+      if (ts.act_is_et[n_tasks + m] != 0 && !affected.test(n_tasks + m)) {
+        comp[n_tasks + m] = base->message_completion[m];
+        jit[n_tasks + m] = base->message_jitter[m];
       }
     }
+  } else {
+    affected.fill();
   }
 
   // ---- holistic fixed point over the affected components -------------------
@@ -342,89 +408,98 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
   // A recomputation is skipped exactly when none of the component's read
   // jitters moved since its last recomputation, so a skip can never change
   // a value.
-
-  // Mutable copy of the FPS parameter groups (jitter slots are refreshed in
-  // place before each recomputation).
-  std::vector<std::vector<FpsTaskParams>> fps_on_node = structure->fps_on_node;
-  std::vector<char> task_dirty(n_tasks, 0);
-  std::vector<char> dyn_dirty(n_msgs, 0);
+  IndexBitset& dirty = arena.dirty;
   auto reset_dirty = [&]() {
-    for (std::uint32_t t = 0; t < n_tasks; ++t) {
-      task_dirty[t] = task_affected[t] != 0 && app.tasks()[t].policy == TaskPolicy::Fps;
+    dirty.clear();
+    for (const FpsTaskParams& p : ts.fps_params) {
+      const auto t = static_cast<std::uint32_t>(index_of(p.id));
+      if (affected.test(t)) dirty.set(t);
     }
-    for (const std::uint32_t m : structure->dyn_messages) dyn_dirty[m] = msg_affected[m];
+    for (const std::uint32_t m : ts.dyn_messages) {
+      if (affected.test(n_tasks + m)) dirty.set(n_tasks + m);
+    }
   };
 
-  // Reverse read sets, applied on the fly (|DYN| and nodes are small).
-  const auto& messages = app.messages();
+  // Reverse read sets, applied on the fly (|DYN| and node groups are small).
   auto dirty_dyn_readers = [&](std::uint32_t x, bool infinity_flipped) {
-    const int x_fid = layout.frame_id(static_cast<MessageId>(x));
-    const bool x_has_excess = layout.message_minislots(static_cast<MessageId>(x)) > 1;
-    for (const std::uint32_t m : structure->dyn_messages) {
-      if (!msg_affected[m] || dyn_dirty[m]) continue;
-      const int m_fid = layout.frame_id(static_cast<MessageId>(m));
+    const auto xd = static_cast<std::uint32_t>(ts.dyn_slot_of_msg[x]);
+    const int x_fid = arena.dyn_prepared[xd].fid;
+    const bool x_has_excess = arena.dyn_excess[xd] > 0;
+    for (std::size_t d = 0; d < n_dyn; ++d) {
+      const std::uint32_t m = ts.dyn_messages[d];
+      const std::uint32_t aid = n_tasks + m;
+      if (!affected.test(aid) || dirty.test(aid)) continue;
+      const int m_fid = arena.dyn_prepared[d].fid;
       const bool reads = m == x ||
-                         (m_fid == x_fid && messages[x].priority < messages[m].priority) ||
+                         (m_fid == x_fid && ts.msg_priority[x] < ts.msg_priority[m]) ||
                          (m_fid > x_fid && (x_has_excess || infinity_flipped));
-      if (reads) dyn_dirty[m] = 1;
+      if (reads) dirty.set(aid);
     }
   };
   auto dirty_fps_readers = [&](std::uint32_t t) {
-    const Task& task = app.tasks()[t];
-    for (const FpsTaskParams& u : fps_on_node[index_of(task.node)]) {
-      if (index_of(u.id) == t || task.priority <= u.priority) {
-        task_dirty[index_of(u.id)] = 1;
+    const std::uint32_t node = ts.task_node[t];
+    const int t_priority =
+        ts.fps_params[static_cast<std::uint32_t>(ts.fps_slot_of_task[t])].priority;
+    for (std::uint32_t i = ts.fps_node_begin[node]; i < ts.fps_node_begin[node + 1]; ++i) {
+      const FpsTaskParams& u = ts.fps_params[i];
+      if (index_of(u.id) == t || t_priority <= u.priority) {
+        dirty.set(static_cast<std::uint32_t>(index_of(u.id)));
       }
     }
   };
 
-  auto completion_of = [&](ActivityRef a) {
-    return a.is_task() ? result.task_completion[a.index] : result.message_completion[a.index];
-  };
-  // Recomputes the jitter of ET activity `a` from the current completions
+  // Recomputes the jitter of ET activity `aid` from the current completions
   // and marks the components that read it; returns true when it moved.
-  auto update_jitter = [&](ActivityRef a) {
-    Time jitter = a.is_task() ? app.task(a.as_task()).release_offset : 0;
-    if (a.is_task() && a.index < external_task_jitter.size()) {
-      const Time ext = external_task_jitter[a.index];
+  auto update_jitter = [&](std::uint32_t aid) {
+    Time jitter = ts.release_offset[aid];
+    if (aid < n_tasks && aid < external_task_jitter.size()) {
+      const Time ext = external_task_jitter[aid];
       jitter = is_infinite(ext) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, ext);
     }
-    for (const ActivityRef p : app.predecessors(a)) {
-      const Time pc = completion_of(p);
+    for (std::uint32_t i = ts.pred_begin[aid]; i < ts.pred_begin[aid + 1]; ++i) {
+      const Time pc = comp[ts.pred[i]];
       jitter = is_infinite(pc) || is_infinite(jitter) ? kTimeInfinity : std::max(jitter, pc);
     }
-    auto& slot = a.is_task() ? result.task_jitter[a.index] : result.message_jitter[a.index];
+    Time& slot = jit[aid];
     if (slot == jitter) return false;
     const bool infinity_flipped = is_infinite(slot) != is_infinite(jitter);
     slot = jitter;
-    if (a.is_task()) {
-      dirty_fps_readers(a.index);
+    if (aid < n_tasks) {
+      dirty_fps_readers(aid);
     } else {
-      dirty_dyn_readers(a.index, infinity_flipped);
+      dirty_dyn_readers(aid - n_tasks, infinity_flipped);
     }
     return true;
   };
   auto recompute_fps = [&](std::uint32_t t) {
     if (counters != nullptr) ++counters->fps_analyses;
-    const std::size_t n = index_of(app.tasks()[t].node);
-    auto& params = fps_on_node[n];
+    const std::uint32_t node = ts.task_node[t];
+    const std::uint32_t begin = ts.fps_node_begin[node];
+    const std::uint32_t end = ts.fps_node_begin[node + 1];
     const FpsTaskParams* self = nullptr;
-    for (auto& p : params) {
-      p.jitter = result.task_jitter[index_of(p.id)];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      FpsTaskParams& p = arena.fps_params[i];
+      p.jitter = jit[index_of(p.id)];
       if (index_of(p.id) == t) self = &p;
     }
-    const Time r = fps_response_time(*self, params, result.schedule.node_profile(n), horizon);
-    if (result.task_completion[t] == r) return false;
-    result.task_completion[t] = r;
+    const std::span<const FpsTaskParams> group{arena.fps_params.data() + begin, end - begin};
+    const Time r = fps_response_time(*self, group, schedule.node_profile(node), horizon, fp_out);
+    if (comp[t] == r) return false;
+    comp[t] = r;
     return true;
   };
   auto recompute_dyn = [&](std::uint32_t m) {
     if (counters != nullptr) ++counters->dyn_analyses;
-    const DynResponse r = dyn_response_time(layout, static_cast<MessageId>(m),
-                                            result.message_jitter, horizon,
-                                            options.dyn_bound);
-    if (result.message_completion[m] == r.response) return false;
-    result.message_completion[m] = r.response;
+    const auto d = static_cast<std::uint32_t>(ts.dyn_slot_of_msg[m]);
+    const std::span<const DynInterferer> hp{arena.hp_entries.data() + arena.hp_begin[d],
+                                            arena.hp_begin[d + 1] - arena.hp_begin[d]};
+    const std::span<const DynInterferer> lf{arena.lf_entries.data() + arena.lf_begin[d],
+                                            arena.lf_begin[d + 1] - arena.lf_begin[d]};
+    const DynResponse r =
+        dyn_response_time_prepared(arena.dyn_prepared[d], hp, lf, msg_jitter, jit[n_tasks + m],
+                                   horizon, options.dyn_bound, arena.scratch, fp_out);
+    if (comp[n_tasks + m] == r.response) return false;
+    comp[n_tasks + m] = r.response;
     return true;
   };
 
@@ -444,25 +519,22 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
   for (int iter = 0; iter < options.max_holistic_iterations && !converged; ++iter) {
     if (counters != nullptr) ++counters->holistic_iterations;
     bool active = false;
-    for (const ActivityRef a : app.topological_order()) {
-      if (!is_et(app, a)) continue;
-      const bool affected = a.is_task() ? task_affected[a.index] != 0
-                                        : msg_affected[a.index] != 0;
-      if (!affected) continue;
-      active |= update_jitter(a);
-      if (a.is_task()) {
-        if (!task_dirty[a.index]) {
+    for (const std::uint32_t aid : ts.et_topo) {
+      if (!affected.test(aid)) continue;
+      active |= update_jitter(aid);
+      if (aid < n_tasks) {
+        if (!dirty.test(aid)) {
           if (counters != nullptr) ++counters->fps_skipped;
         } else {
-          task_dirty[a.index] = 0;
-          active |= recompute_fps(a.index);
+          dirty.reset_bit(aid);
+          active |= recompute_fps(aid);
         }
       } else {
-        if (!dyn_dirty[a.index]) {
+        if (!dirty.test(aid)) {
           if (counters != nullptr) ++counters->dyn_skipped;
         } else {
-          dyn_dirty[a.index] = 0;
-          active |= recompute_dyn(a.index);
+          dirty.reset_bit(aid);
+          active |= recompute_dyn(aid - n_tasks);
         }
       }
     }
@@ -475,60 +547,75 @@ Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
   // between sweeps — value- and iteration-trajectory preserving, including
   // the iteration-cap pinning.
   if (!converged) {
-    result.task_completion = schedule_component->tt_task_completion;
-    result.message_completion = schedule_component->tt_message_completion;
-    result.task_jitter.assign(n_tasks, 0);
-    result.message_jitter.assign(n_msgs, 0);
-    task_affected.assign(n_tasks, 1);
-    msg_affected.assign(n_msgs, 1);
+    std::copy(schedule_component->tt_task_completion.begin(),
+              schedule_component->tt_task_completion.end(), comp.begin());
+    std::copy(schedule_component->tt_message_completion.begin(),
+              schedule_component->tt_message_completion.end(), comp.begin() + n_tasks);
+    std::fill(jit.begin(), jit.end(), 0);
+    affected.fill();
     reset_dirty();
     for (int iter = 0; iter < options.max_holistic_iterations && !converged; ++iter) {
       if (counters != nullptr) ++counters->holistic_iterations;
       bool changed = false;
       // 1. Jitters of every ET activity from last sweep's completions.
-      for (const ActivityRef a : app.topological_order()) {
-        if (is_et(app, a)) changed |= update_jitter(a);
-      }
-      // 2. FPS response times where a read jitter moved.
-      for (std::size_t n = 0; n < app.node_count(); ++n) {
-        for (const FpsTaskParams& p : fps_on_node[n]) {
-          const std::uint32_t t = static_cast<std::uint32_t>(index_of(p.id));
-          if (!task_dirty[t]) {
-            if (counters != nullptr) ++counters->fps_skipped;
-            continue;
-          }
-          task_dirty[t] = 0;
-          changed |= recompute_fps(t);
+      for (const std::uint32_t aid : ts.et_topo) changed |= update_jitter(aid);
+      // 2. FPS response times where a read jitter moved (per node, in
+      //    group order — the Jacobi sweep order).
+      for (const FpsTaskParams& p : ts.fps_params) {
+        const auto t = static_cast<std::uint32_t>(index_of(p.id));
+        if (!dirty.test(t)) {
+          if (counters != nullptr) ++counters->fps_skipped;
+          continue;
         }
+        dirty.reset_bit(t);
+        changed |= recompute_fps(t);
       }
       // 3. DYN response times where a read jitter moved.
-      for (const std::uint32_t m : structure->dyn_messages) {
-        if (!dyn_dirty[m]) {
+      for (const std::uint32_t m : ts.dyn_messages) {
+        if (!dirty.test(n_tasks + m)) {
           if (counters != nullptr) ++counters->dyn_skipped;
           continue;
         }
-        dyn_dirty[m] = 0;
+        dirty.reset_bit(n_tasks + m);
         changed |= recompute_dyn(m);
       }
       converged = !changed;
     }
     if (!converged) {
-      for (std::uint32_t t = 0; t < n_tasks; ++t) {
-        if (app.tasks()[t].policy == TaskPolicy::Fps) {
-          result.task_completion[t] = kTimeInfinity;
-        }
-      }
-      for (std::uint32_t m = 0; m < n_msgs; ++m) {
-        if (app.messages()[m].cls == MessageClass::Dynamic) {
-          result.message_completion[m] = kTimeInfinity;
-        }
+      // Pin every ET completion to "unbounded" (analyze_system's cap
+      // behaviour): a non-stabilised monotone value is not a safe bound.
+      for (std::uint32_t aid = 0; aid < n_acts; ++aid) {
+        if (ts.act_is_et[aid]) comp[aid] = kTimeInfinity;
       }
     }
   }
 
-  result.converged = converged;
-  result.cost = evaluate_cost(app, result.task_completion, result.message_completion);
-  return result;
+  out.converged = converged;
+  out.task_completion.assign(comp.begin(), comp.begin() + n_tasks);
+  out.message_completion.assign(comp.begin() + n_tasks, comp.end());
+  out.task_jitter.assign(jit.begin(), jit.begin() + n_tasks);
+  out.message_jitter.assign(jit.begin() + n_tasks, jit.end());
+  out.cost = evaluate_cost(app, out.task_completion, out.message_completion);
+  if (counters != nullptr) {
+    counters->fixed_point_iterations += static_cast<std::uint64_t>(fp_iterations);
+  }
+  return true;
+}
+
+Expected<AnalysisResult> analyze_system_incremental(const BusLayout& layout,
+                                                    const AnalysisOptions& options,
+                                                    AnalysisComponentCache& cache,
+                                                    AnalysisWorkCounters* counters,
+                                                    const AnalysisResult* base,
+                                                    const AnalysisInvalidation* invalidation,
+                                                    std::span<const Time> external_task_jitter) {
+  AnalysisArena arena;
+  AnalysisResult out;
+  const auto status = analyze_system_incremental_into(layout, options, cache, arena, out,
+                                                      counters, base, invalidation,
+                                                      external_task_jitter);
+  if (!status.ok()) return status.error();
+  return out;
 }
 
 }  // namespace flexopt

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "flexopt/analysis/fps_analysis.hpp"
@@ -23,21 +23,21 @@ struct Job {
 class Timeline {
  public:
   /// Up to `max_candidates` gap start times >= asap where a job of length
-  /// `len` fits.  The final candidate list always contains at least one
-  /// entry (the gap after the last interval is unbounded).
-  [[nodiscard]] std::vector<Time> gap_candidates(Time asap, Time len, int max_candidates) const {
-    std::vector<Time> out;
+  /// `len` fits, written into `out` (cleared first; caller-owned scratch).
+  /// The final candidate list always contains at least one entry (the gap
+  /// after the last interval is unbounded).
+  void gap_candidates(Time asap, Time len, int max_candidates, std::vector<Time>& out) const {
+    out.clear();
     Time cursor = asap;
     for (const Interval& iv : busy_) {
       if (iv.end <= cursor) continue;
       if (iv.start >= cursor + len) {
         out.push_back(cursor);
-        if (static_cast<int>(out.size()) >= max_candidates) return out;
+        if (static_cast<int>(out.size()) >= max_candidates) return;
       }
       cursor = std::max(cursor, iv.end);
     }
     out.push_back(cursor);
-    return out;
   }
 
   /// Earliest start >= from where a job of length `len` fits.
@@ -161,7 +161,14 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
       return instance < o.instance;
     }
   };
-  std::set<ReadyKey> ready;
+  // Binary heap (keys are unique, so pop order matches the old std::set
+  // iteration order exactly) — avoids a node allocation per push.
+  std::vector<ReadyKey> ready;
+  const auto ready_after = [](const ReadyKey& a, const ReadyKey& b) { return b < a; };
+  auto ready_push = [&](const ReadyKey& k) {
+    ready.push_back(k);
+    std::push_heap(ready.begin(), ready.end(), ready_after);
+  };
   auto make_key = [&](const JobState& js) {
     return ReadyKey{priority[slot_of(js.job.activity)], js.job.release,
                     slot_of(js.job.activity), js.job.instance};
@@ -170,7 +177,7 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
   for (auto& vec : jobs) {
     for (auto& js : vec) {
       ++total_jobs;
-      if (js.unscheduled_tt_preds == 0) ready.insert(make_key(js));
+      if (js.unscheduled_tt_preds == 0) ready_push(make_key(js));
     }
   }
 
@@ -190,6 +197,51 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
   const Time cycle_len = layout.cycle_len();
   const Time slot_len = layout.config().static_slot_len;
 
+  // Scratch for the candidate ranking below, reused across all jobs of this
+  // build so the hot loop allocates only while growing to its high-water
+  // capacity.
+  std::vector<Time> starts;
+  std::vector<Interval> base_merged;
+  std::vector<Interval> cand_merged;
+  BusyProfile base_profile;
+  BusyProfile cand_profile;
+  std::vector<Time> base_seeds;
+
+  // Clamps `sorted` (busy intervals ordered by start) to [0, H], drops empty
+  // intervals, merges overlap/adjacency, and splices in the optional `extra`
+  // interval at its sorted position — producing exactly the interval list
+  // that BusyProfile's normalizing constructor would for the same input,
+  // without the per-candidate copy + sort.
+  const auto clamp_merge_into = [H](std::span<const Interval> sorted,
+                                    std::vector<Interval>& out, const Interval* extra) {
+    out.clear();
+    const auto clamped = [H](Interval iv) {
+      iv.start = std::clamp<Time>(iv.start, 0, H);
+      iv.end = std::clamp<Time>(iv.end, 0, H);
+      return iv;
+    };
+    const auto emit = [&out](const Interval& iv) {
+      if (iv.length() <= 0) return;
+      if (!out.empty() && iv.start <= out.back().end) {
+        out.back().end = std::max(out.back().end, iv.end);
+      } else {
+        out.push_back(iv);
+      }
+    };
+    Interval pending{};
+    bool has_pending = extra != nullptr;
+    if (has_pending) pending = clamped(*extra);
+    for (const Interval& raw : sorted) {
+      const Interval iv = clamped(raw);
+      if (has_pending && pending.start <= iv.start) {
+        emit(pending);
+        has_pending = false;
+      }
+      emit(iv);
+    }
+    if (has_pending) emit(pending);
+  };
+
   auto schedule_tt_task = [&](JobState& js) {
     const Task& task = app.task(js.job.activity.as_task());
     const std::size_t node = index_of(task.node);
@@ -197,7 +249,7 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
 
     const int candidates = options.placement == Placement::Asap ? 1
                                                                 : options.placement_candidates;
-    std::vector<Time> starts = tl.gap_candidates(js.asap, task.wcet, candidates);
+    tl.gap_candidates(js.asap, task.wcet, candidates, starts);
     if (options.placement == Placement::MinimizeFpsImpact && !fps_on_node[node].empty()) {
       // The first-fit gaps all hug the existing SCS clump, which is exactly
       // what hurts FPS tasks (one long busy window).  Add deliberately
@@ -228,12 +280,27 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
     Time chosen = starts.front();
     if (options.placement == Placement::MinimizeFpsImpact && starts.size() > 1 &&
         !fps_on_node[node].empty()) {
+      const std::span<const FpsTaskParams> fps(fps_on_node[node]);
+      // Every candidate profile is the base timeline plus one interval, so
+      // each task's converged busy value against the *base* profile is a
+      // least-fixed-point lower bound for its candidate recurrence — a safe
+      // seed (see fps_analysis.hpp).  Computing the base responses once per
+      // job lets each candidate's fixed point start near its answer instead
+      // of at zero: bit-identical costs, a fraction of the iterations.
+      // (fps_on_node jitters are all zero here, so the returned response
+      // equals the pre-jitter busy value the seed contract requires.)
+      clamp_merge_into(tl.intervals(), base_merged, nullptr);
+      base_profile.assign_normalized(base_merged, H);
+      base_seeds.clear();
+      for (const FpsTaskParams& t : fps) {
+        base_seeds.push_back(fps_response_time(t, fps, base_profile, 4 * H));
+      }
       Time best_cost = kTimeInfinity;
       for (const Time s : starts) {
-        std::vector<Interval> busy = tl.intervals();
-        busy.push_back({s % H, s % H + task.wcet});
-        const BusyProfile profile(std::move(busy), H);
-        const Time cost = fps_response_time_sum(fps_on_node[node], profile, 4 * H);
+        const Interval extra{s % H, s % H + task.wcet};
+        clamp_merge_into(tl.intervals(), cand_merged, &extra);
+        cand_profile.assign_normalized(cand_merged, H);
+        const Time cost = fps_response_time_sum(fps, cand_profile, 4 * H, base_seeds);
         // Prefer lower FPS impact; ties go to the earlier start so the
         // schedule stays as compact as ASAP placement allows.
         if (cost < best_cost) {
@@ -285,8 +352,9 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
 
   std::size_t scheduled = 0;
   while (!ready.empty()) {
-    const ReadyKey key = *ready.begin();
-    ready.erase(ready.begin());
+    std::pop_heap(ready.begin(), ready.end(), ready_after);
+    const ReadyKey key = ready.back();
+    ready.pop_back();
     JobState& js = jobs[key.slot][static_cast<std::size_t>(key.instance)];
 
     const bool ok = js.job.activity.is_task() ? schedule_tt_task(js) : schedule_st_msg(js);
@@ -302,7 +370,7 @@ Expected<StaticSchedule> build_static_schedule(const BusLayout& layout,
       if (svec.empty()) continue;  // ET successor: not part of the table
       JobState& sjs = svec[static_cast<std::size_t>(js.job.instance)];
       sjs.asap = std::max(sjs.asap, js.finish);
-      if (--sjs.unscheduled_tt_preds == 0) ready.insert(make_key(sjs));
+      if (--sjs.unscheduled_tt_preds == 0) ready_push(make_key(sjs));
     }
   }
 

@@ -36,7 +36,8 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
   if (!schedule_result.ok()) return schedule_result.error();
 
   AnalysisResult result;
-  result.schedule = std::move(schedule_result).value();
+  result.schedule_ptr = std::make_shared<const StaticSchedule>(std::move(schedule_result).value());
+  const StaticSchedule& schedule = *result.schedule_ptr;
   // ET completions start at 0: the holistic iteration is monotone from
   // below and converges to the least fixed point.  Seeding with infinity
   // would create self-sustaining "mutually unbounded" groups whenever a
@@ -50,12 +51,12 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
   // TT activities: completions come straight from the table and never move.
   for (std::uint32_t t = 0; t < app.task_count(); ++t) {
     if (app.tasks()[t].policy == TaskPolicy::Scs) {
-      result.task_completion[t] = result.schedule.task_wcrt(static_cast<TaskId>(t));
+      result.task_completion[t] = schedule.task_wcrt(static_cast<TaskId>(t));
     }
   }
   for (std::uint32_t m = 0; m < app.message_count(); ++m) {
     if (app.messages()[m].cls == MessageClass::Static) {
-      result.message_completion[m] = result.schedule.message_wcrt(static_cast<MessageId>(m));
+      result.message_completion[m] = schedule.message_wcrt(static_cast<MessageId>(m));
     }
   }
 
@@ -78,6 +79,8 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
   // loop either stabilises or some completion crosses the horizon (then it
   // is pinned to infinity and the loop stabilises anyway).
   bool converged = false;
+  int fp_iterations = 0;
+  int* const fp_out = counters != nullptr ? &fp_iterations : nullptr;
   for (int iter = 0; iter < options.max_holistic_iterations && !converged; ++iter) {
     if (counters != nullptr) ++counters->holistic_iterations;
     bool changed = false;
@@ -107,10 +110,10 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
     for (std::size_t n = 0; n < app.node_count(); ++n) {
       auto& params = fps_on_node[n];
       for (auto& p : params) p.jitter = result.task_jitter[index_of(p.id)];
-      const BusyProfile& profile = result.schedule.node_profile(n);
+      const BusyProfile& profile = schedule.node_profile(n);
       for (const auto& p : params) {
         if (counters != nullptr) ++counters->fps_analyses;
-        const Time r = fps_response_time(p, params, profile, horizon);
+        const Time r = fps_response_time(p, params, profile, horizon, fp_out);
         if (result.task_completion[index_of(p.id)] != r) {
           result.task_completion[index_of(p.id)] = r;
           changed = true;
@@ -124,7 +127,7 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
       if (counters != nullptr) ++counters->dyn_analyses;
       const DynResponse r = dyn_response_time(layout, static_cast<MessageId>(m),
                                               result.message_jitter, horizon,
-                                              options.dyn_bound);
+                                              options.dyn_bound, fp_out);
       if (result.message_completion[m] != r.response) {
         result.message_completion[m] = r.response;
         changed = true;
@@ -152,6 +155,9 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
   }
 
   result.converged = converged;
+  if (counters != nullptr) {
+    counters->fixed_point_iterations += static_cast<std::uint64_t>(fp_iterations);
+  }
   if (!converged) {
     // The completions are monotone non-decreasing across iterations, so a
     // non-stabilised value is not a safe upper bound: pin every ET

@@ -31,6 +31,7 @@ SolveReport run_with_control(CostEvaluator& evaluator, const SolveRequest& reque
   report.components_recomputed =
       work_after.analysis.components() - work_before.analysis.components();
   report.components_reused = work_after.components_reused() - work_before.components_reused();
+  report.profile = work_after.since(work_before);
   return report;
 }
 

@@ -39,7 +39,7 @@ AnalysisInvalidation DeltaMove::invalidation() const {
   inv.st_slot_len_changed = st_slot_len_changed;
   inv.st_owner_changed = st_owner_changed;
   inv.minislot_count_changed = minislot_count_changed;
-  inv.changed_messages = frame_id_changed;
+  inv.changed_message_count = static_cast<std::uint32_t>(frame_id_changed.size());
   inv.frame_id_window_min = frame_id_window_min;
   inv.frame_id_window_max = frame_id_window_max;
   return inv;

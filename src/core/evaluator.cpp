@@ -8,6 +8,53 @@
 
 namespace flexopt {
 
+/// Per-thread evaluation state (see the declaration in evaluator.hpp).
+/// `mutex` only guards `stats`: the owner thread takes it briefly when
+/// flushing counters (uncontended), work_stats() takes it when summing.
+/// Everything else is touched by the owning thread exclusively.
+struct CostEvaluator::ThreadSlot {
+  std::mutex mutex;
+  EvaluatorWorkStats stats;       // guarded by mutex
+  AnalysisArena arena;            ///< fixed-point state, reused per evaluation
+  BusLayout layout;               ///< rebuilt in place per candidate
+  Evaluation eval;                ///< evaluate_delta_fast's return storage
+  AnalysisResult base_scratch;    ///< staging for an aliased base
+};
+
+namespace {
+
+/// Thread-local (evaluator id -> slot) cache.  The raw pointer is only ever
+/// dereferenced when the id matches a live evaluator — ids are monotonic
+/// and never reused, so an entry left behind by a destroyed evaluator can
+/// never be hit.  Bounded: with more than kSlotCacheMax live evaluators on
+/// one thread the oldest entry is evicted (that evaluator then re-creates
+/// a slot on its next use here; only its arena warm-up is lost).
+struct SlotCacheEntry {
+  std::uint64_t evaluator = 0;
+  void* slot = nullptr;
+};
+constexpr std::size_t kSlotCacheMax = 16;
+thread_local std::vector<SlotCacheEntry> t_slot_cache;
+
+std::atomic<std::uint64_t> g_next_evaluator_id{1};
+
+}  // namespace
+
+CostEvaluator::ThreadSlot& CostEvaluator::slot() {
+  for (const SlotCacheEntry& entry : t_slot_cache) {
+    if (entry.evaluator == id_) return *static_cast<ThreadSlot*>(entry.slot);
+  }
+  auto owned = std::make_unique<ThreadSlot>();
+  ThreadSlot* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    slots_.push_back(std::move(owned));
+  }
+  if (t_slot_cache.size() >= kSlotCacheMax) t_slot_cache.erase(t_slot_cache.begin());
+  t_slot_cache.push_back({id_, raw});
+  return *raw;
+}
+
 std::size_t hash_config(const BusConfig& config) {
   // FNV-1a over the six decision variables.
   std::uint64_t h = 1469598103934665603ull;
@@ -42,7 +89,8 @@ CostEvaluator::CostEvaluator(SystemModel model, const BusParams& params,
       app_(model_.global()),
       params_(params),
       options_(options),
-      evaluator_options_(evaluator_options) {
+      evaluator_options_(evaluator_options),
+      id_(g_next_evaluator_id.fetch_add(1, std::memory_order_relaxed)) {
   // Cluster 0 shares the long-standing components_ member (the whole
   // single-cluster pipeline keys off it); the other clusters get their own
   // cache so geometry components never alias across buses.  The pointer
@@ -133,19 +181,17 @@ CostEvaluator::Evaluation CostEvaluator::focused_view(const Evaluation& full) co
 
 CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
   Evaluation out;
-  auto layout = BusLayout::build(*app_, params_, config);
+  ThreadSlot& s = slot();
+  auto layout = s.layout.assign(*app_, params_, config);
   if (!layout.ok()) {
     out.error = layout.error().message;
     return out;
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   AnalysisWorkCounters counters;
-  auto analysis = analyze_system(layout.value(), options_, &counters);
+  auto analysis = analyze_system(s.layout, options_, &counters);
   add_work(counters);
-  {
-    std::lock_guard<std::mutex> lock(work_mutex_);
-    ++work_.full_evaluations;
-  }
+  count_evaluation(/*delta=*/false, /*seeded=*/false);
   if (!analysis.ok()) {
     out.error = analysis.error().message;
     return out;
@@ -191,8 +237,20 @@ void CostEvaluator::insert_system_cache(const SystemConfig& config,
 }
 
 void CostEvaluator::add_work(const AnalysisWorkCounters& counters) {
-  std::lock_guard<std::mutex> lock(work_mutex_);
-  work_.analysis += counters;
+  ThreadSlot& s = slot();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.stats.analysis += counters;
+}
+
+void CostEvaluator::count_evaluation(bool delta, bool seeded) {
+  ThreadSlot& s = slot();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (delta) {
+    ++s.stats.delta_evaluations;
+    if (seeded) ++s.stats.delta_seeded;
+  } else {
+    ++s.stats.full_evaluations;
+  }
 }
 
 CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
@@ -221,37 +279,58 @@ CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
   return *entry;
 }
 
-CostEvaluator::Evaluation CostEvaluator::analyze_delta(
-    const std::shared_ptr<const Evaluation>& base_eval, const DeltaMove& move) {
-  Evaluation out;
-  auto layout = BusLayout::build(*app_, params_, move.config);
+const CostEvaluator::Evaluation& CostEvaluator::delta_fast_impl(
+    const AnalysisResult* base_analysis, const DeltaMove& move) {
+  ThreadSlot& s = slot();
+  Evaluation& out = s.eval;
+  if (const auto hit = cached(move.config)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    out = *hit;  // vector assignments reuse the slot's capacity
+    return out;
+  }
+  if (evaluator_options_.cache_enabled) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  out.valid = false;
+  out.error.clear();
+  out.cost = Cost{kInvalidConfigCost, false, 0};
+  out.cluster_analysis.clear();
+  out.multicluster_converged = true;
+
+  auto layout = s.layout.assign(*app_, params_, move.config);
   if (!layout.ok()) {
     out.error = layout.error().message;
+    if (evaluator_options_.cache_enabled) {
+      insert_cache(move.config, std::make_shared<const Evaluation>(out));
+    }
     return out;
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
-  // Seed from the base's fixed point only when it is a converged analysis
-  // of the configuration the move diffs against.
-  const AnalysisResult* base_analysis = nullptr;
-  if (base_eval && base_eval->valid && base_eval->analysis.converged) {
-    base_analysis = &base_eval->analysis;
-  }
   const AnalysisInvalidation invalidation = move.invalidation();
   AnalysisWorkCounters counters;
-  auto analysis = analyze_system_incremental(layout.value(), options_, components_, &counters,
-                                             base_analysis, &invalidation);
-  add_work(counters);
+  auto analysis =
+      analyze_system_incremental_into(s.layout, options_, components_, s.arena, out.analysis,
+                                      &counters, base_analysis, &invalidation);
   {
-    std::lock_guard<std::mutex> lock(work_mutex_);
-    ++work_.delta_evaluations;
-    if (base_analysis != nullptr) ++work_.delta_seeded;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.stats.analysis += counters;
+    ++s.stats.delta_evaluations;
+    if (base_analysis != nullptr) ++s.stats.delta_seeded;
+    // The arena tracks its own lifetime totals; mirroring them (assignment,
+    // not accumulation) keeps the sum over slots exact.
+    s.stats.arena_binds = s.arena.binds;
+    s.stats.arena_reuses = s.arena.reuses;
+    s.stats.components_per_delta.record(counters.fps_analyses + counters.dyn_analyses +
+                                        counters.schedule_builds);
   }
   if (!analysis.ok()) {
     out.error = analysis.error().message;
+    if (evaluator_options_.cache_enabled) {
+      insert_cache(move.config, std::make_shared<const Evaluation>(out));
+    }
     return out;
   }
   out.valid = true;
-  out.analysis = std::move(analysis).value();
   out.cost = out.analysis.cost;
 
 #ifndef NDEBUG
@@ -262,7 +341,7 @@ CostEvaluator::Evaluation CostEvaluator::analyze_delta(
   // truncates a convergent system (never observed in the test
   // populations), the delta schedule may reach the exact fixed point the
   // cap pinned away — a strictly tighter sound bound (see incremental.hpp).
-  auto full = analyze_system(layout.value(), options_);
+  auto full = analyze_system(s.layout, options_);
   assert(full.ok() == out.valid);
   if (full.ok() && !(out.analysis.converged && !full.value().converged)) {
     const AnalysisResult& reference = full.value();
@@ -276,7 +355,53 @@ CostEvaluator::Evaluation CostEvaluator::analyze_delta(
     assert(out.cost.unbounded_activities == reference.cost.unbounded_activities);
   }
 #endif
+  if (evaluator_options_.cache_enabled) {
+    insert_cache(move.config, std::make_shared<const Evaluation>(out));
+  }
   return out;
+}
+
+const CostEvaluator::Evaluation& CostEvaluator::evaluate_delta_fast(const BusConfig& base,
+                                                                    const DeltaMove& move) {
+  if (focused() || model_.cluster_count() > 1) {
+    // Cross-cluster paths allocate; route through the by-value overload and
+    // park the result in the slot so the reference contract still holds.
+    ThreadSlot& s = slot();
+    s.eval = evaluate_delta(base, move);
+    return s.eval;
+  }
+  // Seed from the base's fixed point only when it is a converged analysis
+  // of the configuration the move diffs against.
+  const auto base_eval = cached(base);
+  const AnalysisResult* base_analysis = nullptr;
+  if (base_eval && base_eval->valid && base_eval->analysis.converged) {
+    base_analysis = &base_eval->analysis;
+  }
+  return delta_fast_impl(base_analysis, move);
+}
+
+const CostEvaluator::Evaluation& CostEvaluator::evaluate_delta_fast(const Evaluation& base_eval,
+                                                                    const DeltaMove& move) {
+  if (focused() || model_.cluster_count() > 1) {
+    // The base is implicit on these paths (focus context / system config);
+    // the BusConfig argument of the sibling overload is unused there.
+    ThreadSlot& s = slot();
+    s.eval = evaluate_delta(BusConfig{}, move);
+    return s.eval;
+  }
+  ThreadSlot& s = slot();
+  const AnalysisResult* base_analysis = nullptr;
+  if (base_eval.valid && base_eval.analysis.converged) {
+    if (&base_eval == &s.eval) {
+      // The caller handed back the slot's own evaluation: stage the base
+      // out before the analysis overwrites it (capacity-reusing copy).
+      s.base_scratch = base_eval.analysis;
+      base_analysis = &s.base_scratch;
+    } else {
+      base_analysis = &base_eval.analysis;
+    }
+  }
+  return delta_fast_impl(base_analysis, move);
 }
 
 CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
@@ -293,16 +418,7 @@ CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
     out.error = "multi-cluster evaluator: use the SystemConfig evaluate_delta overload";
     return out;
   }
-  if (const auto hit = cached(move.config)) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    return *hit;
-  }
-  if (evaluator_options_.cache_enabled) {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  }
-  auto entry = std::make_shared<const Evaluation>(analyze_delta(cached(base), move));
-  insert_cache(move.config, entry);
-  return *entry;
+  return evaluate_delta_fast(base, move);  // copies out of the thread slot
 }
 
 CostEvaluator::Evaluation CostEvaluator::evaluate_system(const SystemConfig& config) {
@@ -360,14 +476,7 @@ CostEvaluator::Evaluation CostEvaluator::analyze_system_config(const SystemConfi
   auto analysis = analyze_multicluster(model_, layouts.value(), options_, MulticlusterOptions{},
                                        cluster_caches_, &counters);
   add_work(counters);
-  {
-    std::lock_guard<std::mutex> lock(work_mutex_);
-    if (count_as_delta) {
-      ++work_.delta_evaluations;
-    } else {
-      ++work_.full_evaluations;
-    }
-  }
+  count_evaluation(count_as_delta, /*seeded=*/false);
   if (!analysis.ok()) {
     out.error = analysis.error().message;
     return out;
@@ -486,8 +595,13 @@ std::vector<CostEvaluator::Evaluation> CostEvaluator::evaluate_many(
 }
 
 EvaluatorWorkStats CostEvaluator::work_stats() const {
-  std::lock_guard<std::mutex> lock(work_mutex_);
-  return work_;
+  EvaluatorWorkStats out;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  for (const auto& s : slots_) {
+    std::lock_guard<std::mutex> slot_lock(s->mutex);
+    out += s->stats;
+  }
+  return out;
 }
 
 EvaluatorCacheStats CostEvaluator::cache_stats() const {

@@ -30,6 +30,7 @@
 #include "flexopt/flexray/params.hpp"
 #include "flexopt/flexray/system_config.hpp"
 #include "flexopt/model/system_model.hpp"
+#include "flexopt/util/stat.hpp"
 
 namespace flexopt {
 
@@ -75,8 +76,37 @@ struct EvaluatorWorkStats {
   std::uint64_t full_evaluations = 0;   ///< evaluate() analyses (cache misses)
   std::uint64_t delta_evaluations = 0;  ///< evaluate_delta() analyses
   std::uint64_t delta_seeded = 0;       ///< delta analyses seeded from a converged base
+  std::uint64_t arena_binds = 0;        ///< analysis arenas (re)allocated
+  std::uint64_t arena_reuses = 0;       ///< steady-state arena rebinds (no allocation)
+  /// Response-time recurrences actually recomputed per delta evaluation
+  /// (fps_analyses + dyn_analyses + schedule_builds of that evaluation) —
+  /// the work-per-move distribution the profile report surfaces.
+  Histogram components_per_delta;
   std::uint64_t components_reused() const {
     return analysis.schedule_reuses + analysis.fps_skipped + analysis.dyn_skipped;
+  }
+  EvaluatorWorkStats& operator+=(const EvaluatorWorkStats& other) {
+    analysis += other.analysis;
+    full_evaluations += other.full_evaluations;
+    delta_evaluations += other.delta_evaluations;
+    delta_seeded += other.delta_seeded;
+    arena_binds += other.arena_binds;
+    arena_reuses += other.arena_reuses;
+    components_per_delta += other.components_per_delta;
+    return *this;
+  }
+  /// Field-wise delta against an earlier snapshot — the per-solve profile
+  /// SolveReport carries (the counters are monotonic, so this is exact).
+  [[nodiscard]] EvaluatorWorkStats since(const EvaluatorWorkStats& before) const {
+    EvaluatorWorkStats d;
+    d.analysis = analysis.since(before.analysis);
+    d.full_evaluations = full_evaluations - before.full_evaluations;
+    d.delta_evaluations = delta_evaluations - before.delta_evaluations;
+    d.delta_seeded = delta_seeded - before.delta_seeded;
+    d.arena_binds = arena_binds - before.arena_binds;
+    d.arena_reuses = arena_reuses - before.arena_reuses;
+    d.components_per_delta = components_per_delta.since(before.components_per_delta);
+    return d;
   }
 };
 
@@ -142,6 +172,24 @@ class CostEvaluator {
   /// configuration cache.  Thread-safe.
   Evaluation evaluate_delta(const BusConfig& base, const DeltaMove& move);
 
+  /// Allocation-free evaluate_delta: the single-cluster delta-analysis hot
+  /// path run entirely in this thread's preallocated slot (arena, layout,
+  /// result).  Semantics and results are identical to evaluate_delta; the
+  /// returned reference points into thread-local storage and is valid until
+  /// the next evaluator call on the same thread — copy it to keep it.  At
+  /// steady state (same application, memo cache disabled) a call performs
+  /// zero heap allocations; with the memo cache enabled, cache insertion
+  /// still allocates on a miss.  Focused / multi-cluster evaluators fall
+  /// back to the allocating evaluate_delta path internally.
+  const Evaluation& evaluate_delta_fast(const BusConfig& base, const DeltaMove& move);
+
+  /// Same, with the base supplied directly instead of being looked up in
+  /// the memo cache — the form callers with a disabled cache use (SA, the
+  /// delta benchmark).  `base_eval` must stay alive for the duration of the
+  /// call; passing the reference returned by a previous evaluate_delta_fast
+  /// on this thread is allowed (the base is staged out of the slot first).
+  const Evaluation& evaluate_delta_fast(const Evaluation& base_eval, const DeltaMove& move);
+
   /// Multi-cluster delta: `move.cluster` names the cluster whose BusConfig
   /// the move replaces within `base`.  Cross-cluster coupling invalidates
   /// the seeded fast path, so the result is recomputed through the
@@ -203,11 +251,21 @@ class CostEvaluator {
   void clear_cache();
 
  private:
-  /// The uncached path: BusLayout::build + analyze_system + Eq. 5.
+  /// Per-thread evaluation state: the analysis arena, a reusable BusLayout,
+  /// the Evaluation evaluate_delta_fast returns by reference, and this
+  /// thread's share of the work statistics.  One slot per (evaluator,
+  /// thread) pair, owned by the evaluator, found through a thread-local
+  /// cache keyed by the evaluator's id — replacing the old mutex-guarded
+  /// global work counter, whose lock the worker pool contended on.
+  struct ThreadSlot;
+  ThreadSlot& slot();
+
+  /// The uncached path: in-place layout assign + analyze_system + Eq. 5.
   Evaluation analyze(const BusConfig& config);
-  /// The uncached delta path: BusLayout::build + analyze_system_incremental.
-  Evaluation analyze_delta(const std::shared_ptr<const Evaluation>& base_eval,
-                           const DeltaMove& move);
+  /// The delta hot path shared by evaluate_delta and evaluate_delta_fast:
+  /// memo-cache check, in-place layout assign, arena-based incremental
+  /// analysis into the slot's Evaluation.
+  const Evaluation& delta_fast_impl(const AnalysisResult* base_analysis, const DeltaMove& move);
   /// The uncached multi-cluster paths (full + delta-accounted).
   Evaluation analyze_system_config(const SystemConfig& config, bool count_as_delta);
   Evaluation evaluate_system_impl(const SystemConfig& config, bool count_as_delta,
@@ -221,6 +279,7 @@ class CostEvaluator {
   std::shared_ptr<const Evaluation> cached_system(const SystemConfig& config);
   void insert_system_cache(const SystemConfig& config, std::shared_ptr<const Evaluation> entry);
   void add_work(const AnalysisWorkCounters& counters);
+  void count_evaluation(bool delta, bool seeded);
   [[nodiscard]] const std::shared_ptr<const Application>& search_app() const {
     return focused() ? model_.cluster_app(static_cast<std::size_t>(focus_cluster_)) : app_;
   }
@@ -273,8 +332,13 @@ class CostEvaluator {
   /// Per-cluster cache pointer table ({&components_, extra...}), built once
   /// at construction (the evaluator is immovable, so the addresses hold).
   std::vector<AnalysisComponentCache*> cluster_caches_;
-  mutable std::mutex work_mutex_;
-  EvaluatorWorkStats work_;  // guarded by work_mutex_
+  /// Monotonic id keying the thread-local slot cache: ids are never reused,
+  /// so a stale cache entry for a destroyed evaluator can never match.
+  const std::uint64_t id_;
+  mutable std::mutex slots_mutex_;
+  /// All slots ever handed out (one per thread that evaluated through this
+  /// evaluator); work_stats() sums them.  Guarded by slots_mutex_.
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
 
   std::mutex pool_mutex_;
   std::condition_variable pool_wake_;  ///< workers: a new batch was posted

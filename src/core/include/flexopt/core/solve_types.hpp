@@ -132,6 +132,9 @@ struct MemberSolveReport {
   double wall_seconds = 0.0;
   /// Member-local incumbent improvements, in evaluation order.
   std::vector<IncumbentEvent> improvements;
+  /// This member's profiling-counter deltas (summed into the portfolio's
+  /// SolveReport::profile; not serialized per member).
+  EvaluatorWorkStats profile;
 };
 
 /// Unified result of Optimizer::solve — the algorithm outcome plus how the
@@ -149,6 +152,11 @@ struct SolveReport {
   std::uint64_t delta_evaluations = 0;
   std::uint64_t components_recomputed = 0;
   std::uint64_t components_reused = 0;
+  /// Always-on profiling deltas for this solve: the full work-counter
+  /// snapshot difference (holistic/fixed-point iteration totals, arena
+  /// reuse, the work-per-move histogram).  Deterministic for a fixed seed;
+  /// serialized as the report's `profile` block.
+  EvaluatorWorkStats profile;
   /// Portfolio solves only: the winning member id ("sa#2") and one
   /// sub-report per member, in member order.  Empty otherwise.
   std::string winner;

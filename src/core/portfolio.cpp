@@ -178,6 +178,7 @@ SolveReport PortfolioOptimizer::solve_cluster(CostEvaluator& evaluator,
     member.delta_evaluations = solved.delta_evaluations;
     member.components_recomputed = solved.components_recomputed;
     member.components_reused = solved.components_reused;
+    member.profile = solved.profile;
     member.wall_seconds = seconds_since(member_started);
   };
 
@@ -232,6 +233,7 @@ SolveReport PortfolioOptimizer::solve_cluster(CostEvaluator& evaluator,
     report.delta_evaluations += members[i].delta_evaluations;
     report.components_recomputed += members[i].components_recomputed;
     report.components_reused += members[i].components_reused;
+    report.profile += members[i].profile;
   }
   report.outcome.evaluations = total_evaluations;
   // Racing-cut cancellations stay member-local; the portfolio itself is

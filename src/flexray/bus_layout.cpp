@@ -5,76 +5,93 @@
 
 namespace flexopt {
 
-BusLayout::BusLayout(const Application& app, const BusParams& params, BusConfig config)
-    : app_(&app), params_(params), config_(std::move(config)) {}
-
 Expected<BusLayout> BusLayout::build(const Application& app, const BusParams& params,
                                      BusConfig config) {
+  BusLayout layout;
+  layout.app_ = &app;
+  layout.params_ = params;
+  layout.config_ = std::move(config);
+  auto derived = layout.validate_and_derive();
+  if (!derived.ok()) return derived.error();
+  return layout;
+}
+
+Expected<bool> BusLayout::assign(const Application& app, const BusParams& params,
+                                 const BusConfig& config) {
+  app_ = &app;
+  params_ = params;
+  config_ = config;  // vector copy-assignments reuse capacity
+  return validate_and_derive();
+}
+
+Expected<bool> BusLayout::validate_and_derive() {
+  const Application& app = *app_;
+  const BusParams& params = params_;
+  const BusConfig& cfg = config_;
+
   if (!app.finalized()) return make_error("BusLayout: application not finalized");
 
   const auto& messages = app.messages();
-  if (config.frame_id.size() != messages.size()) {
+  if (cfg.frame_id.size() != messages.size()) {
     return make_error("BusLayout: frame_id vector size mismatch");
   }
-  if (config.static_slot_count < 0 ||
-      config.static_slot_count > SpecLimits::kMaxStaticSlots) {
+  if (cfg.static_slot_count < 0 || cfg.static_slot_count > SpecLimits::kMaxStaticSlots) {
     return make_error("BusLayout: static slot count outside [0, 1023]");
   }
-  if (static_cast<int>(config.static_slot_owner.size()) != config.static_slot_count) {
+  if (static_cast<int>(cfg.static_slot_owner.size()) != cfg.static_slot_count) {
     return make_error("BusLayout: static slot owner vector size mismatch");
   }
-  if (config.minislot_count < 0 || config.minislot_count > SpecLimits::kMaxMinislots) {
+  if (cfg.minislot_count < 0 || cfg.minislot_count > SpecLimits::kMaxMinislots) {
     return make_error("BusLayout: minislot count outside [0, 7994]");
   }
-  if (config.static_slot_count > 0) {
-    if (config.static_slot_len <= 0) {
+  if (cfg.static_slot_count > 0) {
+    if (cfg.static_slot_len <= 0) {
       return make_error("BusLayout: non-positive static slot length");
     }
-    if (config.static_slot_len > SpecLimits::kMaxStaticSlotMacroticks * params.gd_macrotick) {
+    if (cfg.static_slot_len > SpecLimits::kMaxStaticSlotMacroticks * params.gd_macrotick) {
       return make_error("BusLayout: static slot longer than 661 macroticks");
     }
   }
-  for (const NodeId owner : config.static_slot_owner) {
+  for (const NodeId owner : cfg.static_slot_owner) {
     if (index_of(owner) >= app.node_count()) {
       return make_error("BusLayout: slot owned by unknown node");
     }
   }
 
-  BusLayout layout(app, params, std::move(config));
-  const BusConfig& cfg = layout.config_;
-
-  layout.st_segment_len_ = static_cast<Time>(cfg.static_slot_count) * cfg.static_slot_len;
-  layout.dyn_segment_len_ = static_cast<Time>(cfg.minislot_count) * params.gd_minislot;
-  if (layout.cycle_len() <= 0) return make_error("BusLayout: empty bus cycle");
-  if (layout.cycle_len() > SpecLimits::kMaxCycle) {
+  st_segment_len_ = static_cast<Time>(cfg.static_slot_count) * cfg.static_slot_len;
+  dyn_segment_len_ = static_cast<Time>(cfg.minislot_count) * params.gd_minislot;
+  if (cycle_len() <= 0) return make_error("BusLayout: empty bus cycle");
+  if (cycle_len() > SpecLimits::kMaxCycle) {
     return make_error("BusLayout: bus cycle exceeds 16 ms");
   }
 
   // Per-message durations and minislot footprints.
-  layout.durations_.resize(messages.size());
-  layout.minislots_.resize(messages.size());
+  durations_.resize(messages.size());
+  minislots_.resize(messages.size());
   Time max_st_frame = 0;
   for (std::size_t i = 0; i < messages.size(); ++i) {
-    layout.durations_[i] = params.frame_duration(messages[i].size_bytes);
+    durations_[i] = params.frame_duration(messages[i].size_bytes);
     if (messages[i].cls == MessageClass::Dynamic) {
-      layout.minislots_[i] = params.frame_minislots(messages[i].size_bytes);
+      minislots_[i] = params.frame_minislots(messages[i].size_bytes);
     } else {
-      layout.minislots_[i] = 0;
-      max_st_frame = std::max(max_st_frame, layout.durations_[i]);
+      minislots_[i] = 0;
+      max_st_frame = std::max(max_st_frame, durations_[i]);
     }
   }
 
   // Static segment: slot ownership per node; every ST sender needs a slot;
-  // the largest ST frame must fit in one slot.
-  layout.st_slots_of_node_.assign(app.node_count(), {});
+  // the largest ST frame must fit in one slot.  (The inner vectors are
+  // cleared, never reassigned — their buffers survive re-assignment.)
+  st_slots_of_node_.resize(app.node_count());
+  for (auto& slots : st_slots_of_node_) slots.clear();
   for (int s = 0; s < cfg.static_slot_count; ++s) {
-    layout.st_slots_of_node_[index_of(cfg.static_slot_owner[static_cast<std::size_t>(s)])]
+    st_slots_of_node_[index_of(cfg.static_slot_owner[static_cast<std::size_t>(s)])]
         .push_back(s);
   }
   for (std::size_t i = 0; i < messages.size(); ++i) {
     if (messages[i].cls != MessageClass::Static) continue;
     const NodeId sender_node = app.task(messages[i].sender).node;
-    if (layout.st_slots_of_node_[index_of(sender_node)].empty()) {
+    if (st_slots_of_node_[index_of(sender_node)].empty()) {
       return make_error("BusLayout: node '" + app.node(sender_node).name +
                         "' sends ST messages but owns no ST slot");
     }
@@ -84,7 +101,8 @@ Expected<BusLayout> BusLayout::build(const Application& app, const BusParams& pa
   }
 
   // Dynamic segment: FrameID sanity and slot ownership.
-  layout.fid_owner_.assign(static_cast<std::size_t>(cfg.minislot_count) + 1, -1);
+  fid_owner_.assign(static_cast<std::size_t>(cfg.minislot_count) + 1, -1);
+  max_frame_id_ = 0;
   for (std::size_t i = 0; i < messages.size(); ++i) {
     const int fid = cfg.frame_id[i];
     if (messages[i].cls == MessageClass::Static) {
@@ -96,35 +114,34 @@ Expected<BusLayout> BusLayout::build(const Application& app, const BusParams& pa
                         "' has FrameID outside [1, minislot_count]");
     }
     const int sender_node = static_cast<int>(index_of(app.task(messages[i].sender).node));
-    int& owner = layout.fid_owner_[static_cast<std::size_t>(fid)];
+    int& owner = fid_owner_[static_cast<std::size_t>(fid)];
     if (owner == -1) {
       owner = sender_node;
     } else if (owner != sender_node) {
       return make_error("BusLayout: FrameID " + std::to_string(fid) +
                         " shared by messages from different nodes");
     }
-    layout.max_frame_id_ = std::max(layout.max_frame_id_, fid);
+    max_frame_id_ = std::max(max_frame_id_, fid);
   }
 
   // pLatestTx per node: last 1-based minislot at which the node's largest
   // DYN frame still fits before the segment end.
-  layout.p_latest_tx_.assign(app.node_count(), cfg.minislot_count);
-  std::vector<bool> sends_dyn(app.node_count(), false);
+  p_latest_tx_.assign(app.node_count(), cfg.minislot_count);
   for (std::size_t i = 0; i < messages.size(); ++i) {
     if (messages[i].cls != MessageClass::Dynamic) continue;
     const std::size_t n = index_of(app.task(messages[i].sender).node);
-    sends_dyn[n] = true;
-    layout.p_latest_tx_[n] =
-        std::min(layout.p_latest_tx_[n], cfg.minislot_count - layout.minislots_[i] + 1);
+    p_latest_tx_[n] = std::min(p_latest_tx_[n], cfg.minislot_count - minislots_[i] + 1);
   }
-  for (std::size_t n = 0; n < app.node_count(); ++n) {
-    if (sends_dyn[n] && layout.p_latest_tx_[n] < 1) {
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (messages[i].cls != MessageClass::Dynamic) continue;
+    const NodeId n = app.task(messages[i].sender).node;
+    if (p_latest_tx_[index_of(n)] < 1) {
       return make_error("BusLayout: DYN segment too short for the largest frame of node '" +
-                        app.node(static_cast<NodeId>(n)).name + "'");
+                        app.node(n).name + "'");
     }
   }
 
-  return layout;
+  return true;
 }
 
 bool BusLayout::frame_id_owner(int fid, NodeId* owner) const {

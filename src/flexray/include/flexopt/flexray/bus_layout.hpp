@@ -18,6 +18,11 @@ namespace flexopt {
 
 class BusLayout {
  public:
+  /// An empty layout: every accessor is meaningless until a successful
+  /// assign().  Exists so the delta-evaluation hot path can keep one
+  /// BusLayout per worker thread and rebuild it in place per candidate.
+  BusLayout() = default;
+
   /// Validates `config` against the application and the FlexRay limits.
   /// Checks performed:
   ///  * slot/minislot counts and cycle length within SpecLimits;
@@ -30,6 +35,14 @@ class BusLayout {
   ///    (pLatestTx >= 1).
   static Expected<BusLayout> build(const Application& app, const BusParams& params,
                                    BusConfig config);
+
+  /// In-place rebuild: identical validation and derived state to build(),
+  /// but every member vector is refilled reusing its capacity, so
+  /// re-assigning layouts of the same application performs zero heap
+  /// allocations at steady state (error paths excepted).  On error the
+  /// layout is unspecified and must be assigned again before use.
+  Expected<bool> assign(const Application& app, const BusParams& params,
+                        const BusConfig& config);
 
   // ---- cycle geometry ------------------------------------------------------
   [[nodiscard]] Time st_segment_len() const { return st_segment_len_; }
@@ -84,9 +97,11 @@ class BusLayout {
   [[nodiscard]] const Application& application() const { return *app_; }
 
  private:
-  BusLayout(const Application& app, const BusParams& params, BusConfig config);
+  /// Shared tail of build()/assign(): validates config_ against *app_ and
+  /// refills the derived members in place (capacity-reusing).
+  Expected<bool> validate_and_derive();
 
-  const Application* app_;
+  const Application* app_ = nullptr;
   BusParams params_;
   BusConfig config_;
 

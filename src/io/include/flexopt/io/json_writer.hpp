@@ -45,6 +45,10 @@ class JsonWriter {
   JsonWriter& value(unsigned long v) { return value(static_cast<unsigned long long>(v)); }
   /// Non-finite doubles serialize as null (JSON has no NaN/Inf).
   JsonWriter& value(double v);
+  /// An explicit JSON null — for sentinel fields (absent times, undefined
+  /// statistics); clearer at call sites than routing a NaN through the
+  /// double overload.
+  JsonWriter& null_value();
 
   /// key(name) + value(v) in one call.
   template <typename T>

@@ -125,6 +125,12 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
 void JsonWriter::before_value() {
   if (scopes_.empty()) {
     if (!out_.str().empty()) {

@@ -57,13 +57,14 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
   const OptimizationOutcome& outcome = report.outcome;
   // Schema v2 delta: the version bump itself, plus — for multi-cluster
   // systems only — a `clusters` count in the system object and a
-  // `cluster_configs` array after `config`.  Single-cluster reports are
-  // byte-identical to v1 apart from the version field, which is what keeps
-  // the checked-in goldens honest across the refactor.
+  // `cluster_configs` array after `config`.  Schema v3 delta: the `profile`
+  // block after `incremental` (always-on work/iteration counters and the
+  // components-per-delta histogram; integer-only, so reports stay
+  // byte-deterministic for a fixed seed).
   const bool multicluster = outcome.system.cluster_count() > 1;
   JsonWriter json;
   json.begin_object();
-  json.field("schema", "flexopt-solve-report/2");
+  json.field("schema", "flexopt-solve-report/3");
   json.key("system").begin_object();
   json.field("tasks", app.task_count())
       .field("messages", app.message_count())
@@ -91,6 +92,41 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
       .field("components_recomputed", report.components_recomputed)
       .field("components_reused", report.components_reused)
       .end_object();
+  // Always-on profiling counters (schema v3 addition).  Integer-only so the
+  // block stays byte-deterministic for a fixed seed.
+  const EvaluatorWorkStats& profile = report.profile;
+  json.key("profile")
+      .begin_object()
+      .field("holistic_iterations", profile.analysis.holistic_iterations)
+      .field("fixed_point_iterations", profile.analysis.fixed_point_iterations)
+      .field("fps_analyses", profile.analysis.fps_analyses)
+      .field("fps_skipped", profile.analysis.fps_skipped)
+      .field("dyn_analyses", profile.analysis.dyn_analyses)
+      .field("dyn_skipped", profile.analysis.dyn_skipped)
+      .field("schedule_builds", profile.analysis.schedule_builds)
+      .field("schedule_reuses", profile.analysis.schedule_reuses)
+      .field("full_evaluations", profile.full_evaluations)
+      .field("delta_seeded", profile.delta_seeded)
+      .field("arena_binds", profile.arena_binds)
+      .field("arena_reuses", profile.arena_reuses);
+  const Histogram& per_delta = profile.components_per_delta;
+  json.key("components_per_delta")
+      .begin_object()
+      .field("count", per_delta.count())
+      .field("sum", per_delta.sum());
+  json.key("buckets").begin_array();
+  const int top_bucket = per_delta.max_bucket();
+  for (int b = 0; b <= top_bucket; ++b) {
+    const std::uint64_t bucket_count = per_delta.buckets()[static_cast<std::size_t>(b)];
+    if (bucket_count == 0) continue;
+    json.begin_object()
+        .field("le", Histogram::bucket_bound(b))
+        .field("count", bucket_count)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();   // components_per_delta
+  json.end_object();   // profile
   json.key("config");
   write_config(json, outcome.config);
   if (multicluster) {

@@ -59,7 +59,7 @@ Expected<NetSimResult> simulate_network(const SystemModel& model,
     return make_error("simulate_network: hyperperiods must be >= 1");
   }
   const Application& global = *model.global();
-  const Time H = analysis.clusters[0].schedule.hyperperiod();
+  const Time H = analysis.clusters[0].schedule().hyperperiod();
 
   // One shared horizon: every projection carries every graph, so all
   // clusters agree on H and job tables stay index-compatible.  For multi
@@ -195,7 +195,7 @@ Expected<NetSimResult> simulate_network(const SystemModel& model,
       }
     };
 
-    auto engine = ClusterEngine::create(layouts[c], analysis.clusters[c].schedule,
+    auto engine = ClusterEngine::create(layouts[c], analysis.clusters[c].schedule(),
                                         std::move(engine_options), std::move(hooks));
     if (!engine.ok()) return engine.error();
     engines[c] = std::move(engine).value();

@@ -1,20 +1,31 @@
 #include "flexopt/netsim/trace_json.hpp"
 
-#include <limits>
+#include <cmath>
 
 #include "flexopt/io/json_writer.hpp"
 
 namespace flexopt {
 namespace {
 
-/// Times serialize as integers; the two sentinels as null (JsonWriter
-/// renders non-finite doubles as null).
+/// Times serialize as integers; the two sentinels as explicit null.
 void time_field(JsonWriter& writer, std::string_view name, Time t) {
   writer.key(name);
   if (t == kTimeNone || t == kTimeInfinity) {
-    writer.value(std::numeric_limits<double>::quiet_NaN());
+    writer.null_value();
   } else {
     writer.value(static_cast<long long>(t));
+  }
+}
+
+/// A latency statistic that is undefined (NaN/Inf — e.g. computed over a
+/// poisoned sample) must not leak into the document as a number; emit it
+/// as explicit null so downstream readers see "absent", never garbage.
+void stat_field(JsonWriter& writer, std::string_view name, double v) {
+  writer.key(name);
+  if (std::isfinite(v)) {
+    writer.value(v);
+  } else {
+    writer.null_value();
   }
 }
 
@@ -22,11 +33,11 @@ void latency_field(JsonWriter& writer, const LatencyStat& stat) {
   writer.key("latency").begin_object();
   writer.field("count", static_cast<unsigned long long>(stat.count));
   if (stat.count > 0) {
-    writer.field("min", stat.min)
-        .field("mean", stat.mean)
-        .field("p50", stat.p50)
-        .field("p99", stat.p99)
-        .field("max", stat.max);
+    stat_field(writer, "min", stat.min);
+    stat_field(writer, "mean", stat.mean);
+    stat_field(writer, "p50", stat.p50);
+    stat_field(writer, "p99", stat.p99);
+    stat_field(writer, "max", stat.max);
   }
   writer.end_object();
 }

@@ -1,0 +1,86 @@
+/// \file alloc_probe.cpp
+/// Global operator new/delete replacement backing util/alloc_probe.hpp.
+/// Compiled ONLY into binaries that assert allocation behaviour (see the
+/// header); never part of the util library.  Disabled under sanitizers,
+/// whose runtimes intercept the allocator themselves.
+
+#include "flexopt/util/alloc_probe.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FLEXOPT_ALLOC_PROBE_ACTIVE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FLEXOPT_ALLOC_PROBE_ACTIVE 0
+#else
+#define FLEXOPT_ALLOC_PROBE_ACTIVE 1
+#endif
+#else
+#define FLEXOPT_ALLOC_PROBE_ACTIVE 1
+#endif
+
+#if FLEXOPT_ALLOC_PROBE_ACTIVE
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+thread_local std::uint64_t t_allocations = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++t_allocations;
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  ++t_allocations;
+  if (size == 0) size = align;
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_allocations;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_allocations;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace flexopt::alloc_probe {
+bool installed() { return true; }
+std::uint64_t thread_allocations() { return t_allocations; }
+}  // namespace flexopt::alloc_probe
+
+#else  // sanitizer build: keep the stock allocator
+
+namespace flexopt::alloc_probe {
+bool installed() { return false; }
+std::uint64_t thread_allocations() { return 0; }
+}  // namespace flexopt::alloc_probe
+
+#endif

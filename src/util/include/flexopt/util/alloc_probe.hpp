@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file alloc_probe.hpp
+/// Heap-allocation counting for the zero-allocation contract of the
+/// analysis hot path.  The counters are fed by a global operator
+/// new/delete replacement that lives in src/util/alloc_probe.cpp — a TU
+/// that is deliberately NOT part of the util library.  Binaries that want
+/// counting (the arena allocation test, bench_delta_eval's alloc gate)
+/// compile that file in explicitly; everything else keeps the stock
+/// allocator.  Under AddressSanitizer the interposer compiles to nothing
+/// (ASan owns operator new), so probing code must check installed() and
+/// skip its assertions when the probe is absent.
+
+#include <cstdint>
+
+namespace flexopt::alloc_probe {
+
+/// True when the replacing operator new from alloc_probe.cpp is linked
+/// into this binary and active.
+[[nodiscard]] bool installed();
+
+/// Allocations performed by the calling thread since it started (monotone;
+/// snapshot before/after a region and subtract).
+[[nodiscard]] std::uint64_t thread_allocations();
+
+}  // namespace flexopt::alloc_probe

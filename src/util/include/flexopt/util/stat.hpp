@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file stat.hpp
+/// Near-zero-cost counter/histogram facility for always-on hot-path
+/// profiling (the StatCollect idea): recording is a handful of integer
+/// adds into fixed-size arrays — no locks, no allocation, no branches on
+/// the fast path beyond a bucket clamp — so the evaluator can keep
+/// moves/sec, components-recomputed distributions, and fixed-point
+/// iteration counts collected unconditionally, in Release builds, on every
+/// run.  Histograms are plain monotone counters, so they merge (+=) across
+/// threads and diff (since()) across solve boundaries exactly like the
+/// scalar work counters do.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace flexopt {
+
+/// Power-of-two-bucket histogram of non-negative integer samples.
+/// Bucket b holds samples v with bit_width(v) == b, i.e. bucket 0 is
+/// exactly v == 0, bucket 1 is v == 1, bucket 2 is v in [2, 3], bucket 3
+/// is v in [4, 7], ... (the last bucket absorbs everything larger).  All
+/// state is monotone counts, so merging and diffing are element-wise.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void record(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  }
+
+  [[nodiscard]] static int bucket_of(std::uint64_t v) {
+    const int b = std::bit_width(v);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive upper bound of bucket `b`'s value range (the legend the
+  /// reports print).
+  [[nodiscard]] static std::uint64_t bucket_bound(int b) {
+    if (b <= 0) return 0;
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  /// Index of the highest non-empty bucket; -1 when empty.
+  [[nodiscard]] int max_bucket() const {
+    for (int b = kBuckets - 1; b >= 0; --b) {
+      if (buckets_[static_cast<std::size_t>(b)] > 0) return b;
+    }
+    return -1;
+  }
+
+  Histogram& operator+=(const Histogram& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[static_cast<std::size_t>(b)] += o.buckets_[static_cast<std::size_t>(b)];
+    }
+    return *this;
+  }
+
+  /// Samples recorded after the `before` snapshot (all counts are
+  /// monotone, so the element-wise difference is itself a histogram) —
+  /// how per-solve reports are carved out of a long-lived evaluator.
+  [[nodiscard]] Histogram since(const Histogram& before) const {
+    Histogram out;
+    out.count_ = count_ - before.count_;
+    out.sum_ = sum_ - before.sum_;
+    for (int b = 0; b < kBuckets; ++b) {
+      out.buckets_[static_cast<std::size_t>(b)] =
+          buckets_[static_cast<std::size_t>(b)] - before.buckets_[static_cast<std::size_t>(b)];
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace flexopt

@@ -130,7 +130,7 @@ TEST(DynBound, BothBoundsDominateSimulation) {
   AnalysisOptions options;
   options.dyn_bound = DynCyclesBound::MultiplicityCapped;
   const AnalysisResult analysis = analyze(layout, options);
-  auto sim = simulate(layout, analysis.schedule);
+  auto sim = simulate(layout, analysis.schedule());
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   for (std::uint32_t m = 0; m < app.message_count(); ++m) {
     const Time observed = sim.value().message_worst_completion[m];

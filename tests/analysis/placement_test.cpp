@@ -102,7 +102,7 @@ TEST(Placement, AlignedMultiHyperperiodSimulationStaysSound) {
   ASSERT_TRUE(analysis.ok());
   SimOptions options;
   options.hyperperiods = 4;
-  auto sim = simulate(layout, analysis.value().schedule, options);
+  auto sim = simulate(layout, analysis.value().schedule(), options);
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_EQ(sim.value().precedence_violations, 0);
   for (std::uint32_t t = 0; t < f.app.task_count(); ++t) {

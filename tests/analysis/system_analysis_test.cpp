@@ -28,9 +28,9 @@ TEST(SystemAnalysis, TtCompletionsComeFromTable) {
   ASSERT_TRUE(result.ok());
   const auto& r = result.value();
   EXPECT_EQ(r.task_completion[index_of(sys.producer)],
-            r.schedule.task_wcrt(sys.producer));
+            r.schedule().task_wcrt(sys.producer));
   EXPECT_EQ(r.message_completion[index_of(sys.st_msg)],
-            r.schedule.message_wcrt(sys.st_msg));
+            r.schedule().message_wcrt(sys.st_msg));
 }
 
 TEST(SystemAnalysis, EtCompletionsChainThroughJitter) {

@@ -181,7 +181,7 @@ TEST(MulticlusterSolve, PortfolioJobsDoNotChangeTheReport) {
   const std::string parallel = solve_with_jobs(4);
   EXPECT_EQ(serial, parallel);
   EXPECT_NE(serial.find("cluster_configs"), std::string::npos);
-  EXPECT_NE(serial.find("flexopt-solve-report/2"), std::string::npos);
+  EXPECT_NE(serial.find("flexopt-solve-report/3"), std::string::npos);
 }
 
 }  // namespace

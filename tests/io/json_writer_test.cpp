@@ -56,6 +56,20 @@ TEST(JsonWriter, DoubleFormattingIsStable) {
   EXPECT_EQ(json_double(1.0 / 3.0), json_double(1.0 / 3.0));
 }
 
+TEST(JsonWriter, ExplicitNullValue) {
+  JsonWriter writer;
+  writer.begin_object()
+      .field("present", 1)
+      .key("absent")
+      .null_value()
+      .end_object();
+  EXPECT_NE(writer.str().find("\"absent\": null"), std::string::npos);
+
+  JsonWriter in_array;
+  in_array.begin_array().null_value().value(2).end_array();
+  EXPECT_EQ(in_array.str(), "[\n  null,\n  2\n]\n");
+}
+
 TEST(JsonWriter, MisuseThrows) {
   JsonWriter value_without_key;
   value_without_key.begin_object();

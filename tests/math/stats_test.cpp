@@ -47,5 +47,36 @@ TEST(Stats, PercentileOfEmptyThrows) {
   EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
 }
 
+TEST(Stats, PercentileSingleSample) {
+  // Every percentile of a one-element sample is that element (netsim sinks
+  // often complete exactly once within a short horizon).
+  const std::array<double, 1> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 42.0);
+}
+
+TEST(Stats, PercentileAllEqual) {
+  // A fully degenerate distribution (jitter-free periodic sink) must not
+  // produce interpolation noise.
+  const std::array<double, 6> v{5.0, 5.0, 5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 1), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99), 5.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  const std::array<double, 3> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 250), 3.0);
+}
+
+TEST(Stats, PercentileTwoSamplesP99) {
+  // p99 of two samples interpolates 98% of the way to the larger one.
+  const std::array<double, 2> v{0.0, 100.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 99), 99.0);
+}
+
 }  // namespace
 }  // namespace flexopt

@@ -95,7 +95,7 @@ TEST_P(ProtocolProperty, TraceRespectsSlotOwnershipAndSegmentBounds) {
 
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok()) << sim.error().message;
 
   const Time cycle = layout.cycle_len();

@@ -57,7 +57,7 @@ TEST_P(SoundnessProperty, AnalysisDominatesSimulation) {
   const BusLayout& layout = layout_or.value();
 
   const AnalysisResult analysis = analyze(layout);
-  auto sim = simulate(layout, analysis.schedule);
+  auto sim = simulate(layout, analysis.schedule());
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   const SimResult& observed = sim.value();
 
@@ -142,7 +142,7 @@ TEST_P(SoundnessProperty, PortfolioWinnerIsAnalyzedAndSound) {
       << "reported cost diverges from re-analysis (seed " << scenario.seed << ")";
   EXPECT_EQ(analysis.cost.schedulable, report.outcome.feasible);
 
-  auto sim = simulate(layout_or.value(), analysis.schedule);
+  auto sim = simulate(layout_or.value(), analysis.schedule());
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   const SimResult& observed = sim.value();
   EXPECT_EQ(observed.precedence_violations, 0);

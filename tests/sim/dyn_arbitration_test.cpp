@@ -54,7 +54,7 @@ TEST(DynArbitration, EveryInstanceDelivered) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_EQ(sim.value().unfinished_jobs, 0);
   // 3 instances of the fast message, 1 of the slow one.
@@ -74,7 +74,7 @@ TEST(DynArbitration, InstancesTransmitInOrder) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok());
   std::vector<TransmissionRecord> fast;
   for (const TransmissionRecord& r : sim.value().trace) {
@@ -114,7 +114,7 @@ TEST(DynArbitration, MessageNotReadyBeforeSlotWaitsForNextCycle) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok());
   ASSERT_FALSE(sim.value().trace.empty());
   const TransmissionRecord& first = sim.value().trace.front();
@@ -147,7 +147,7 @@ TEST(DynArbitration, SamePriorityFifoWithinFrameId) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok());
   Time t_early = kTimeNone;
   Time t_late = kTimeNone;

@@ -30,7 +30,7 @@ class Fig1Walkthrough : public ::testing::Test {
     analysis_ = analyze(*layout_, analysis_options);
     SimOptions options;
     options.record_trace = true;
-    auto sim = simulate(*layout_, analysis_.schedule, options);
+    auto sim = simulate(*layout_, analysis_.schedule(), options);
     ASSERT_TRUE(sim.ok()) << sim.error().message;
     result_ = std::move(sim).value();
     for (const TransmissionRecord& r : result_.trace) {

@@ -18,7 +18,7 @@ using testing::make_layout;
 Time simulated_completion(const FigureBundle& bundle, std::size_t i, MessageId m) {
   const BusLayout layout = make_layout(bundle.app, bundle.params, bundle.configs[i]);
   const AnalysisResult analysis = analyze(layout);
-  auto sim = simulate(layout, analysis.schedule);
+  auto sim = simulate(layout, analysis.schedule());
   EXPECT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_EQ(sim.value().precedence_violations, 0);
   const Time c = sim.value().message_worst_completion[index_of(m)];
@@ -103,7 +103,7 @@ TEST(Fig4Scenarios, AnalysisBoundsDominateSimulation) {
   for (std::size_t i = 0; i < bundle.configs.size(); ++i) {
     const BusLayout layout = make_layout(bundle.app, bundle.params, bundle.configs[i]);
     const AnalysisResult analysis = analyze(layout);
-    auto sim = simulate(layout, analysis.schedule);
+    auto sim = simulate(layout, analysis.schedule());
     ASSERT_TRUE(sim.ok());
     for (std::uint32_t m = 0; m < bundle.app.message_count(); ++m) {
       const Time observed = sim.value().message_worst_completion[m];

@@ -22,7 +22,7 @@ TEST(Simulator, DeliversEverythingOnTinySystem) {
   TinySystem sys;
   const BusLayout layout = make_layout(sys.app, sys.params, sys.config);
   const AnalysisResult analysis = analyze(layout);
-  auto sim = simulate(layout, analysis.schedule);
+  auto sim = simulate(layout, analysis.schedule());
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_EQ(sim.value().unfinished_jobs, 0);
   EXPECT_EQ(sim.value().precedence_violations, 0);
@@ -35,7 +35,7 @@ TEST(Simulator, CompletionsRespectPrecedence) {
   TinySystem sys;
   const BusLayout layout = make_layout(sys.app, sys.params, sys.config);
   const AnalysisResult analysis = analyze(layout);
-  auto sim = simulate(layout, analysis.schedule);
+  auto sim = simulate(layout, analysis.schedule());
   ASSERT_TRUE(sim.ok());
   const auto& r = sim.value();
   // producer -> st -> consumer -> (nothing); fps -> dyn -> fps_sink.
@@ -55,7 +55,7 @@ TEST(Simulator, TraceRecordsBothSegments) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.record_trace = true;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok());
   bool saw_st = false;
   bool saw_dyn = false;
@@ -77,12 +77,12 @@ TEST(Simulator, AlignsMisalignedMultiHyperperiodRuns) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.hyperperiods = 2;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   // lcm(100 us, 18 us) = 900 us already covers the requested 200 us.
   EXPECT_EQ(sim.value().horizon, timeunits::us(900));
   EXPECT_EQ(sim.value().horizon % layout.cycle_len(), 0);
-  EXPECT_EQ(sim.value().horizon % analysis.schedule.hyperperiod(), 0);
+  EXPECT_EQ(sim.value().horizon % analysis.schedule().hyperperiod(), 0);
   EXPECT_EQ(sim.value().unfinished_jobs, 0);
   EXPECT_EQ(sim.value().precedence_violations, 0);
   // The longer horizon still validates the analysis bounds.
@@ -105,9 +105,9 @@ TEST(Simulator, AlignedRunsKeepTheExactRequestedHorizon) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.hyperperiods = 3;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok());
-  EXPECT_EQ(sim.value().horizon, 3 * analysis.schedule.hyperperiod());
+  EXPECT_EQ(sim.value().horizon, 3 * analysis.schedule().hyperperiod());
 }
 
 TEST(Simulator, TraceIsByteIdenticalAcrossRepeatedRuns) {
@@ -121,8 +121,8 @@ TEST(Simulator, TraceIsByteIdenticalAcrossRepeatedRuns) {
   SimOptions options;
   options.record_trace = true;
   options.hyperperiods = 2;  // exercises the lcm-aligned path too
-  auto first = simulate(layout, analysis.schedule, options);
-  auto second = simulate(layout, analysis.schedule, options);
+  auto first = simulate(layout, analysis.schedule(), options);
+  auto second = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   const auto& a = first.value().trace;
@@ -149,7 +149,7 @@ TEST(Simulator, AcceptsAlignedMultiHyperperiodRuns) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.hyperperiods = 3;
-  auto sim = simulate(layout, analysis.schedule, options);
+  auto sim = simulate(layout, analysis.schedule(), options);
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_EQ(sim.value().unfinished_jobs, 0);
   EXPECT_EQ(sim.value().precedence_violations, 0);
@@ -161,7 +161,7 @@ TEST(Simulator, RejectsNonPositiveHyperperiods) {
   const AnalysisResult analysis = analyze(layout);
   SimOptions options;
   options.hyperperiods = 0;
-  EXPECT_FALSE(simulate(layout, analysis.schedule, options).ok());
+  EXPECT_FALSE(simulate(layout, analysis.schedule(), options).ok());
 }
 
 TEST(Simulator, FpsTaskPreemptedByScsTableEntries) {
@@ -186,7 +186,7 @@ TEST(Simulator, FpsTaskPreemptedByScsTableEntries) {
   config.frame_id.assign(app.message_count(), 0);
   const BusLayout layout = make_layout(app, didactic_params(), config);
   const AnalysisResult analysis = analyze(layout);
-  auto sim = simulate(layout, analysis.schedule);
+  auto sim = simulate(layout, analysis.schedule());
   ASSERT_TRUE(sim.ok()) << sim.error().message;
   EXPECT_GE(sim.value().task_worst_completion[index_of(fps)], timeunits::us(70));
 }
@@ -202,8 +202,8 @@ TEST(Simulator, MultiHyperperiodWorstCasesAreMonotone) {
   one.hyperperiods = 1;
   SimOptions four;
   four.hyperperiods = 4;
-  auto short_run = simulate(layout, analysis.schedule, one);
-  auto long_run = simulate(layout, analysis.schedule, four);
+  auto short_run = simulate(layout, analysis.schedule(), one);
+  auto long_run = simulate(layout, analysis.schedule(), four);
   ASSERT_TRUE(short_run.ok());
   ASSERT_TRUE(long_run.ok());
   EXPECT_EQ(long_run.value().unfinished_jobs, 0);
@@ -253,7 +253,7 @@ TEST(Simulator, SimulatedLatenciesNeverExceedAnalysedBoundsOn25Scenarios) {
     auto layout_or = BusLayout::build(app.value(), params, start.config);
     if (!layout_or.ok()) continue;
     const AnalysisResult analysis = analyze(layout_or.value());
-    auto sim = simulate(layout_or.value(), analysis.schedule);
+    auto sim = simulate(layout_or.value(), analysis.schedule());
     ASSERT_TRUE(sim.ok()) << sim.error().message;
     ++simulated;
     const SimResult& observed = sim.value();

@@ -315,6 +315,18 @@ int solve_main(int argc, char** argv) {
               << report.components_recomputed << " components recomputed, "
               << report.components_reused << " reused\n";
   }
+  {
+    const EvaluatorWorkStats& profile = report.profile;
+    std::cout << "profile: " << profile.analysis.holistic_iterations
+              << " holistic iterations, " << profile.analysis.fixed_point_iterations
+              << " fixed-point iterations, " << profile.arena_reuses << "/"
+              << (profile.arena_binds + profile.arena_reuses) << " arena reuses";
+    if (profile.components_per_delta.count() > 0) {
+      std::cout << ", " << fmt_double(profile.components_per_delta.mean(), 1)
+                << " components/delta";
+    }
+    std::cout << "\n";
+  }
   if (!report.members.empty()) {
     std::cout << "portfolio winner: " << report.winner << "\n";
     Table members({"member", "status", "cost [us]", "feasible", "analyses", "cache hits",
@@ -424,7 +436,7 @@ int solve_main(int argc, char** argv) {
   wcrt.print(std::cout);
 
   if (run_sim) {
-    auto sim = simulate(layout.value(), analysis.value().schedule);
+    auto sim = simulate(layout.value(), analysis.value().schedule());
     if (!sim.ok()) {
       std::cerr << "simulation: " << sim.error().message << "\n";
     } else {
