@@ -12,6 +12,7 @@
 
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/core/config_builder.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
 #include "flexopt/gen/figures.hpp"
 #include "flexopt/util/table.hpp"
 

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "flexopt/core/mapping.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
 #include "flexopt/math/stats.hpp"
 #include "flexopt/util/rng.hpp"
 #include "flexopt/util/table.hpp"

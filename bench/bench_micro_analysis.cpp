@@ -9,6 +9,7 @@
 #include "flexopt/analysis/dyn_analysis.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/core/config_builder.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
 #include "flexopt/gen/cruise_control.hpp"
 #include "flexopt/gen/synthetic.hpp"
 

@@ -24,6 +24,7 @@
 #include "flexopt/gen/scenario.hpp"
 #include "flexopt/io/json_writer.hpp"
 #include "flexopt/io/solve_report_json.hpp"
+#include "flexopt/model/cluster_backend.hpp"
 #include "flexopt/model/system_model.hpp"
 #include "flexopt/util/table.hpp"
 
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   bool check = false;
   long budget = full_scale() ? 600 : 160;
   int systems_per_size = full_scale() ? 6 : 2;
+  BackendMix backend = BackendMix::Flexray;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -79,8 +81,16 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--budget" && i + 1 < argc) {
       budget = std::stol(argv[++i]);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      auto parsed = parse_backend_mix(argv[++i]);
+      if (!parsed.ok()) {
+        std::cerr << "bench_multicluster: " << parsed.error().message << "\n";
+        return 2;
+      }
+      backend = parsed.value();
     } else {
-      std::cerr << "usage: bench_multicluster [--out FILE] [--check] [--budget N]\n";
+      std::cerr << "usage: bench_multicluster [--out FILE] [--check] [--budget N]"
+                   " [--backend flexray|tsn|mixed]\n";
       return 2;
     }
   }
@@ -95,6 +105,7 @@ int main(int argc, char** argv) {
       spec.topology = Topology::MultiCluster;
       spec.traffic = TrafficMix::DynOnly;
       spec.clusters = clusters;
+      spec.backend = backend;
       spec.inter_cluster_share = 0.25;
       spec.base.nodes = clusters * 2;
       spec.base.tasks_per_node = 4;
@@ -164,6 +175,7 @@ int main(int argc, char** argv) {
     JsonWriter json;
     json.begin_object();
     json.field("bench", "multicluster");
+    json.field("backend", to_string(backend));
     json.field("budget", budget);
     json.field("systems", results.size());
     json.key("results").begin_array();

@@ -65,7 +65,7 @@ bool simulate_system(const Application& app, const BusParams& params, int hyperp
   for (std::size_t c = 0; c < model.value().cluster_count(); ++c) {
     const StartConfig start = minimal_start_config(*model.value().cluster_app(c), params);
     if (!start.bounds.feasible()) return false;
-    config.clusters.push_back(start.config);
+    config.clusters.push_back(ClusterConfig::flexray_bus(start.config));
   }
   auto layouts = build_system_layouts(model.value(), params, config);
   if (!layouts.ok()) throw std::runtime_error(layouts.error().message);

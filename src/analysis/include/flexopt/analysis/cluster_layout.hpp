@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file cluster_layout.hpp
+/// Backend-tagged per-cluster layout — the validated (application, config)
+/// pair the cluster-generic layers analyse and simulate without knowing
+/// which protocol the cluster speaks.  This is the runtime face of the
+/// ClusterBackend interface: ClusterConfig (flexray/system_config.hpp) is
+/// the decision-variable side, ClusterLayout the derived-geometry side, and
+/// analyze_multicluster dispatches per cluster on `kind()`.
+
+#include "flexopt/analysis/tsn_analysis.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
+#include "flexopt/flexray/system_config.hpp"
+#include "flexopt/model/cluster_backend.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+class ClusterLayout {
+ public:
+  ClusterLayout() = default;
+
+  /// Validates the payload selected by `config.kind` against `app`; the
+  /// other payload stays default-constructed.
+  static Expected<ClusterLayout> build(const Application& app, const BusParams& params,
+                                       const ClusterConfig& config) {
+    ClusterLayout out;
+    out.kind_ = config.kind;
+    if (config.kind == ClusterBackendKind::Tsn) {
+      auto tsn = TsnLayout::build(app, config.tsn);
+      if (!tsn.ok()) return tsn.error();
+      out.tsn_ = std::move(tsn).value();
+    } else {
+      auto flexray = BusLayout::build(app, params, config.flexray);
+      if (!flexray.ok()) return flexray.error();
+      out.flexray_ = std::move(flexray).value();
+    }
+    return out;
+  }
+
+  [[nodiscard]] ClusterBackendKind kind() const { return kind_; }
+  [[nodiscard]] const BusLayout& flexray() const { return flexray_; }
+  [[nodiscard]] const TsnLayout& tsn() const { return tsn_; }
+
+  /// Communication cycle of the backend (FlexRay bus cycle / TSN gating
+  /// cycle) — what simulators align replay horizons to.
+  [[nodiscard]] Time cycle_len() const {
+    return kind_ == ClusterBackendKind::Tsn ? tsn_.cycle_len() : flexray_.cycle_len();
+  }
+
+  [[nodiscard]] const Application& application() const {
+    return kind_ == ClusterBackendKind::Tsn ? tsn_.application() : flexray_.application();
+  }
+
+ private:
+  ClusterBackendKind kind_ = ClusterBackendKind::FlexRay;
+  BusLayout flexray_;
+  TsnLayout tsn_;
+};
+
+}  // namespace flexopt

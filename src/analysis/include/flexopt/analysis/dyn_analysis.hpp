@@ -27,12 +27,16 @@
 /// cycle always delays m for longer than the same excess spent inside the
 /// final cycle (gdCycle >= need * gdMinislot).
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
-#include "flexopt/flexray/bus_layout.hpp"
+#include "flexopt/model/ids.hpp"
 #include "flexopt/util/time.hpp"
 
 namespace flexopt {
+
+class BusLayout;  // flexopt/flexray/bus_layout.hpp (kept out of cluster-generic includes)
 
 /// How BusCycles_m is bounded.  [14] offers both exact approaches and
 /// polynomial heuristics; we provide the greedy heuristic plus a refined

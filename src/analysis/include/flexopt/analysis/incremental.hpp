@@ -48,6 +48,7 @@
 #include "flexopt/analysis/arena.hpp"
 #include "flexopt/analysis/fps_analysis.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/flexray/bus_config.hpp"
 
 namespace flexopt {
 

@@ -6,11 +6,14 @@
 /// critical-path priority, with SCS placement chosen to minimise the impact
 /// on FPS schedulability (line 11).
 
+#include <cstdint>
+
 #include "flexopt/analysis/static_schedule.hpp"
-#include "flexopt/flexray/bus_layout.hpp"
 #include "flexopt/util/expected.hpp"
 
 namespace flexopt {
+
+class BusLayout;  // flexopt/flexray/bus_layout.hpp (kept out of cluster-generic includes)
 
 /// How `schedule_TT_task` (Fig. 2, line 11) picks among feasible gaps.
 enum class Placement {

@@ -2,8 +2,9 @@
 
 /// \file multicluster.hpp
 /// End-to-end schedulability analysis of a gateway-connected multi-cluster
-/// system: one holistic per-cluster analysis per FlexRay cluster, iterated
-/// to a cross-cluster fixed point.  The coupling between clusters is
+/// system: one holistic per-cluster analysis per cluster (FlexRay or TSN,
+/// dispatched on the cluster's backend kind), iterated to a cross-cluster
+/// fixed point.  The coupling between clusters is
 /// gateway forwarding jitter: the release jitter of a forwarding relay task
 /// (SystemModel's downstream `.tx` task) is floored at the completion bound
 /// of its upstream receive relay, so an inter-cluster message's end-to-end
@@ -23,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "flexopt/analysis/cluster_layout.hpp"
 #include "flexopt/analysis/incremental.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/flexray/system_config.hpp"
@@ -49,12 +51,14 @@ struct MulticlusterResult {
   [[nodiscard]] bool schedulable() const { return cost.schedulable; }
 };
 
-/// Builds one validated BusLayout per cluster from the per-cluster
-/// projections and decision variables.  Fails on the first cluster whose
-/// configuration violates the protocol (the error names the cluster).
-Expected<std::vector<BusLayout>> build_system_layouts(const SystemModel& model,
-                                                      const BusParams& params,
-                                                      const SystemConfig& config);
+/// Builds one validated ClusterLayout per cluster from the per-cluster
+/// projections and decision variables, dispatching on each ClusterConfig's
+/// backend kind (which must match the kind the application declares).
+/// Fails on the first cluster whose configuration violates its protocol
+/// (the error names the cluster).
+Expected<std::vector<ClusterLayout>> build_system_layouts(const SystemModel& model,
+                                                          const BusParams& params,
+                                                          const SystemConfig& config);
 
 /// Runs the cross-cluster fixed point.  `caches` (optional) supplies one
 /// AnalysisComponentCache per cluster — static-schedule components are
@@ -62,7 +66,7 @@ Expected<std::vector<BusLayout>> build_system_layouts(const SystemModel& model,
 /// of them; pass an empty span to analyse cache-free.  `counters`
 /// accumulates work across every per-cluster analysis of every sweep.
 Expected<MulticlusterResult> analyze_multicluster(
-    const SystemModel& model, std::span<const BusLayout> layouts,
+    const SystemModel& model, std::span<const ClusterLayout> layouts,
     const AnalysisOptions& options, const MulticlusterOptions& mc_options = {},
     std::span<AnalysisComponentCache* const> caches = {},
     AnalysisWorkCounters* counters = nullptr);

@@ -15,10 +15,11 @@
 #include "flexopt/analysis/dyn_analysis.hpp"
 #include "flexopt/analysis/list_scheduler.hpp"
 #include "flexopt/analysis/static_schedule.hpp"
-#include "flexopt/flexray/bus_layout.hpp"
 #include "flexopt/util/expected.hpp"
 
 namespace flexopt {
+
+class BusLayout;  // flexopt/flexray/bus_layout.hpp (kept out of cluster-generic includes)
 
 struct AnalysisOptions {
   SchedulerOptions scheduler;

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file tsn_analysis.hpp
+/// The TSN/switched-Ethernet cluster backend: time-aware shapers (802.1Qbv
+/// style) for the time-triggered traffic and non-preemptive strict-priority
+/// arbitration for the event-triggered traffic, analysed with the same
+/// holistic fixed-point structure as the FlexRay cluster so both plug into
+/// the cross-cluster iteration of analyze_multicluster unchanged.
+///
+/// Model and assumptions (documented in README "Cluster backends"):
+///  * One switch per cluster; each processing node hangs off one full-duplex
+///    port.  Contention happens on the *egress* link towards a message's
+///    receiver node; sender uplinks are assumed uncongested (single switch,
+///    store-and-forward, full duplex).
+///  * Every ST message owns a dedicated gate window `[offset, offset+len)`
+///    on its receiver's egress port, repeating with the gating cycle.
+///    Windows of one port must not overlap; a window must fit its frame.
+///  * ET frames are queued per egress port and served non-preemptively by
+///    strict priority (FIFO among equals) in the gaps between gate windows;
+///    a frame only starts if it completes before the next gate opening
+///    (guard banding), otherwise the port idles until the window passes.
+///  * The ET response-time bound charges, per busy window: one blocking
+///    frame of lower priority, the classic jitter-aware higher-priority
+///    demand, and for every gate-window occurrence overlapping the busy
+///    window its closure time plus one guard-band idle (at most the longest
+///    ET frame of the port).  The recurrence is monotone in the release
+///    jitters, so the cross-cluster Jacobi iteration stays a least fixed
+///    point.  A response exceeding the message period is reported unbounded
+///    (the bound assumes at most one pending instance per message).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "flexopt/analysis/busy_profile.hpp"
+#include "flexopt/analysis/list_scheduler.hpp"
+#include "flexopt/analysis/static_schedule.hpp"
+#include "flexopt/analysis/system_analysis.hpp"
+#include "flexopt/model/application.hpp"
+#include "flexopt/model/cluster_backend.hpp"
+#include "flexopt/util/expected.hpp"
+
+namespace flexopt {
+
+/// A validated (application, TsnConfig) pair with derived per-message and
+/// per-port geometry — the TSN analogue of BusLayout.  Value-semantic and
+/// cheap to rebuild; `assign` reuses buffers for optimizer hot loops.
+class TsnLayout {
+ public:
+  TsnLayout() = default;
+
+  /// Validates `config` against `app` (finalized, single cluster declared
+  /// Tsn or default) and derives frame durations, egress ports and per-port
+  /// gate geometry.  Checks: positive cycle and link rate, per-message gate
+  /// tables sized to the message count, every ST message has a window that
+  /// fits its frame inside the cycle, ET messages have the zero window, and
+  /// windows on one egress port do not overlap.
+  static Expected<TsnLayout> build(const Application& app, TsnConfig config);
+
+  /// In-place rebuild against the same application (same shape contract as
+  /// BusLayout::assign).
+  Expected<bool> assign(const Application& app, const TsnConfig& config);
+
+  [[nodiscard]] const TsnConfig& config() const { return config_; }
+  [[nodiscard]] const Application& application() const { return *app_; }
+
+  /// Gating cycle (the TSN analogue of the FlexRay bus cycle).
+  [[nodiscard]] Time cycle_len() const { return config_.cycle; }
+
+  /// Wire time of one message frame (Eq. 1 analogue at the cluster's link
+  /// rate).
+  [[nodiscard]] Time duration(MessageId m) const { return durations_[index_of(m)]; }
+  [[nodiscard]] const std::vector<Time>& message_durations() const { return durations_; }
+
+  /// Egress port a message competes on: its receiver task's node index.
+  [[nodiscard]] std::size_t egress_port(MessageId m) const { return egress_port_[index_of(m)]; }
+
+  /// Gate windows reserved on one egress port, sorted by offset, all within
+  /// [0, cycle).
+  [[nodiscard]] std::span<const Interval> port_windows(std::size_t node_index) const {
+    return port_windows_[node_index];
+  }
+  /// Total gate-closed time per cycle on one port (sum of window lengths).
+  [[nodiscard]] Time port_closed_per_cycle(std::size_t node_index) const {
+    return port_closed_[node_index];
+  }
+  /// Longest ET frame transmitted over one port (the guard-band idle cap);
+  /// 0 when the port carries no ET traffic.
+  [[nodiscard]] Time port_max_et_frame(std::size_t node_index) const {
+    return port_max_et_[node_index];
+  }
+
+  /// Dense index of an ST message among the ST messages of the application
+  /// (used as the informational `slot` of schedule/trace entries); -1 for
+  /// ET messages.
+  [[nodiscard]] int st_ordinal(MessageId m) const { return st_ordinal_[index_of(m)]; }
+
+ private:
+  const Application* app_ = nullptr;
+  TsnConfig config_;
+  std::vector<Time> durations_;            ///< per message
+  std::vector<std::size_t> egress_port_;   ///< per message
+  std::vector<int> st_ordinal_;            ///< per message
+  std::vector<std::vector<Interval>> port_windows_;  ///< per node
+  std::vector<Time> port_closed_;          ///< per node
+  std::vector<Time> port_max_et_;          ///< per node
+};
+
+/// Builds the time-triggered schedule table of a TSN cluster: SCS task
+/// instances are placed ASAP into per-node idle gaps in topological order,
+/// ST message instances take the first gate-window occurrence at or after
+/// their readiness (each instance a fresh occurrence).  Emits the same
+/// StaticSchedule the FlexRay list scheduler produces, so the holistic
+/// analysis, the simulator and the component caches reuse it unchanged.
+/// Only `options.max_slot_search_cycles` is honoured (gate occurrence
+/// search bound); placement heuristics are FlexRay-specific.
+Expected<StaticSchedule> build_tsn_schedule(const TsnLayout& layout,
+                                            const SchedulerOptions& options = {});
+
+/// Holistic analysis of one TSN cluster — the analyze_system counterpart
+/// dispatched by analyze_multicluster for ClusterBackendKind::Tsn.  Same
+/// contract: monotone in `external_task_jitter`, pins ET completions to
+/// kTimeInfinity on divergence, reports unschedulable systems as successful
+/// analyses with positive cost.
+Expected<AnalysisResult> analyze_tsn_cluster(const TsnLayout& layout,
+                                             const AnalysisOptions& options = {},
+                                             AnalysisWorkCounters* counters = nullptr,
+                                             std::span<const Time> external_task_jitter = {});
+
+}  // namespace flexopt

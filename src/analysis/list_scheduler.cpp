@@ -1,5 +1,7 @@
 #include "flexopt/analysis/list_scheduler.hpp"
 
+#include "flexopt/flexray/bus_layout.hpp"
+
 #include <algorithm>
 #include <map>
 #include <span>

@@ -7,31 +7,44 @@
 namespace flexopt {
 namespace {
 
-Expected<AnalysisResult> analyze_one(const BusLayout& layout, const AnalysisOptions& options,
+Expected<AnalysisResult> analyze_one(const ClusterLayout& layout, const AnalysisOptions& options,
                                      AnalysisComponentCache* cache,
                                      AnalysisWorkCounters* counters,
                                      std::span<const Time> external_task_jitter) {
-  if (cache != nullptr) {
-    return analyze_system_incremental(layout, options, *cache, counters, nullptr, nullptr,
-                                      external_task_jitter);
+  if (layout.kind() == ClusterBackendKind::Tsn) {
+    // The TSN backend has no incremental path yet; its schedule build is a
+    // plain topological sweep, cheap enough to recompute per evaluation.
+    return analyze_tsn_cluster(layout.tsn(), options, counters, external_task_jitter);
   }
-  return analyze_system(layout, options, counters, external_task_jitter);
+  if (cache != nullptr) {
+    return analyze_system_incremental(layout.flexray(), options, *cache, counters, nullptr,
+                                      nullptr, external_task_jitter);
+  }
+  return analyze_system(layout.flexray(), options, counters, external_task_jitter);
 }
 
 }  // namespace
 
-Expected<std::vector<BusLayout>> build_system_layouts(const SystemModel& model,
-                                                      const BusParams& params,
-                                                      const SystemConfig& config) {
+Expected<std::vector<ClusterLayout>> build_system_layouts(const SystemModel& model,
+                                                          const BusParams& params,
+                                                          const SystemConfig& config) {
   if (config.cluster_count() != model.cluster_count()) {
     return make_error("system config has " + std::to_string(config.cluster_count()) +
                       " cluster configs, the system model has " +
                       std::to_string(model.cluster_count()) + " clusters");
   }
-  std::vector<BusLayout> layouts;
+  std::vector<ClusterLayout> layouts;
   layouts.reserve(model.cluster_count());
   for (std::size_t c = 0; c < model.cluster_count(); ++c) {
-    auto layout = BusLayout::build(*model.cluster_app(c), params, config.clusters[c]);
+    const Application& app = *model.cluster_app(c);
+    const ClusterBackendKind declared = app.cluster_backend(ClusterId{0});
+    if (config.clusters[c].kind != declared) {
+      return make_error("cluster " + std::to_string(c) + ": config backend '" +
+                        to_string(config.clusters[c].kind) +
+                        "' does not match the cluster's declared backend '" +
+                        to_string(declared) + "'");
+    }
+    auto layout = ClusterLayout::build(app, params, config.clusters[c]);
     if (!layout.ok()) {
       return make_error("cluster " + std::to_string(c) + ": " + layout.error().message);
     }
@@ -41,7 +54,7 @@ Expected<std::vector<BusLayout>> build_system_layouts(const SystemModel& model,
 }
 
 Expected<MulticlusterResult> analyze_multicluster(const SystemModel& model,
-                                                  std::span<const BusLayout> layouts,
+                                                  std::span<const ClusterLayout> layouts,
                                                   const AnalysisOptions& options,
                                                   const MulticlusterOptions& mc_options,
                                                   std::span<AnalysisComponentCache* const> caches,

@@ -1,5 +1,7 @@
 #include "flexopt/analysis/system_analysis.hpp"
 
+#include "flexopt/flexray/bus_layout.hpp"
+
 #include <algorithm>
 
 #include "flexopt/analysis/dyn_analysis.hpp"

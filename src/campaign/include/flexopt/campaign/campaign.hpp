@@ -47,6 +47,11 @@ struct CampaignSpec {
   /// are single-bus and ignore the value).  Values are validated to [1, 4];
   /// the multicluster generator itself requires 2..4.
   std::vector<int> cluster_counts{2};
+  /// Backend-mix axis for Topology::MultiCluster cells (see
+  /// backend_for_cluster).  Any non-flexray value requires every topology
+  /// in the grid to be multicluster; the default single value keeps
+  /// pre-backend specs' scenario indices (and seeds) unchanged.
+  std::vector<BackendMix> backends{BackendMix::Flexray};
   std::vector<TrafficMix> traffic_mixes{TrafficMix::Mixed};
   std::vector<UtilBand> node_util_bands{{0.25, 0.45}};
   std::vector<UtilBand> bus_util_bands{{0.10, 0.40}};

@@ -50,6 +50,12 @@ struct AlgorithmAggregate {
 [[nodiscard]] AlgorithmAggregate aggregate_runs(const CampaignResult& result,
                                                 const std::string& algorithm, int nodes = -1);
 
+/// Aggregates `algorithm` over the generated scenarios with backend `mix`
+/// (the per-backend bucket of the `by_backend` JSON breakdown).
+[[nodiscard]] AlgorithmAggregate aggregate_runs_backend(const CampaignResult& result,
+                                                        const std::string& algorithm,
+                                                        BackendMix mix);
+
 /// Aggregate JSON summary; stable key order, stable scenario order.
 [[nodiscard]] std::string write_campaign_json(const CampaignResult& result,
                                               bool include_timing = false);

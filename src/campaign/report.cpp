@@ -48,14 +48,18 @@ void write_aggregate_fields(JsonWriter& json, const AlgorithmAggregate& agg,
 
 }  // namespace
 
-AlgorithmAggregate aggregate_runs(const CampaignResult& result, const std::string& algorithm,
-                                  int nodes) {
+namespace {
+
+/// Shared aggregation core: `keep` selects the scenario bucket.
+template <typename Filter>
+AlgorithmAggregate aggregate_filtered(const CampaignResult& result,
+                                      const std::string& algorithm, Filter keep) {
   AlgorithmAggregate agg;
   agg.algorithm = algorithm;
   std::vector<double> costs;
   for (const ScenarioRecord& record : result.scenarios) {
     if (!record.generated) continue;
-    if (nodes >= 0 && record.plan.scenario.base.nodes != nodes) continue;
+    if (!keep(record)) continue;
     const AlgorithmRun* run = find_run(record, algorithm);
     if (run == nullptr) continue;
     ++agg.scenarios;
@@ -87,6 +91,22 @@ AlgorithmAggregate aggregate_runs(const CampaignResult& result, const std::strin
     agg.cost_mean = summarize(costs).mean;
   }
   return agg;
+}
+
+}  // namespace
+
+AlgorithmAggregate aggregate_runs(const CampaignResult& result, const std::string& algorithm,
+                                  int nodes) {
+  return aggregate_filtered(result, algorithm, [nodes](const ScenarioRecord& record) {
+    return nodes < 0 || record.plan.scenario.base.nodes == nodes;
+  });
+}
+
+AlgorithmAggregate aggregate_runs_backend(const CampaignResult& result,
+                                          const std::string& algorithm, BackendMix mix) {
+  return aggregate_filtered(result, algorithm, [mix](const ScenarioRecord& record) {
+    return record.plan.scenario.backend == mix;
+  });
 }
 
 std::string write_campaign_json(const CampaignResult& result, bool include_timing) {
@@ -122,6 +142,21 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
       json.end_object();
     }
     json.end_array();
+    // Backend breakdown only when the axis was actually swept — pure-default
+    // (single FlexRay value) campaigns keep their pre-backend output bytes.
+    if (result.spec.backends.size() > 1 ||
+        (result.spec.backends.size() == 1 && result.spec.backends[0] != BackendMix::Flexray)) {
+      json.key("by_backend").begin_array();
+      for (const BackendMix mix : result.spec.backends) {
+        const AlgorithmAggregate agg = aggregate_runs_backend(result, name, mix);
+        if (agg.scenarios == 0) continue;
+        json.begin_object();
+        json.field("backend", to_string(mix));
+        write_aggregate_fields(json, agg, include_timing);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
   }
   json.end_array();
@@ -136,6 +171,7 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
     json.field("clusters", record.plan.scenario.topology == Topology::MultiCluster
                                ? record.plan.scenario.clusters
                                : 1);
+    json.field("backend", to_string(record.plan.scenario.backend));
     json.field("traffic", to_string(record.plan.scenario.traffic));
     json.field("seed", record.plan.scenario.base.seed);
     json.field("error", record.error);
@@ -148,7 +184,8 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
 
 std::string write_campaign_csv(const CampaignResult& result, bool include_timing) {
   std::ostringstream out;
-  out << "scenario,seed,nodes,topology,clusters,traffic,node_util_lo,node_util_hi,bus_util_lo,"
+  out << "scenario,seed,nodes,topology,clusters,backend,traffic,node_util_lo,node_util_hi,"
+         "bus_util_lo,"
          "bus_util_hi,tasks,messages,graphs,bus_util_realized,algorithm,feasible,cost,"
          "evaluations,status,cache_hits,cache_misses,winner,simulated,sim_sound,sim_gap";
   if (include_timing) out << ",wall_seconds";
@@ -159,7 +196,8 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
     prefix << plan.index << ',' << plan.scenario.base.seed << ',' << plan.scenario.base.nodes
            << ',' << to_string(plan.scenario.topology) << ','
            << (plan.scenario.topology == Topology::MultiCluster ? plan.scenario.clusters : 1)
-           << ',' << to_string(plan.scenario.traffic) << ',' << json_double(plan.node_util.lo)
+           << ',' << to_string(plan.scenario.backend) << ','
+           << to_string(plan.scenario.traffic) << ',' << json_double(plan.node_util.lo)
            << ','
            << json_double(plan.node_util.hi) << ',' << json_double(plan.bus_util.lo) << ','
            << json_double(plan.bus_util.hi);

@@ -74,6 +74,7 @@ constexpr const char* kKeywords[] = {
     "nodes",
     "topology",
     "clusters",
+    "backend",
     "traffic",
     "node_util",
     "bus_util",
@@ -149,9 +150,9 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
   // Axis keywords replace the built-in default on their first occurrence
   // and extend the axis afterwards (periods always extends: each line is
   // one period-set axis value).
-  bool nodes_set = false, topo_set = false, clusters_set = false, traffic_set = false,
-       node_util_set = false, bus_util_set = false, periods_set = false, bytes_set = false,
-       algorithms_set = false;
+  bool nodes_set = false, topo_set = false, clusters_set = false, backend_set = false,
+       traffic_set = false, node_util_set = false, bus_util_set = false, periods_set = false,
+       bytes_set = false, algorithms_set = false;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -169,7 +170,8 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
     // is not an axis would otherwise vanish silently — the worst failure
     // mode for a reproducible-experiment spec.
     const bool is_axis = keyword == "nodes" || keyword == "topology" ||
-                         keyword == "clusters" || keyword == "traffic" ||
+                         keyword == "clusters" || keyword == "backend" ||
+                         keyword == "traffic" ||
                          keyword == "node_util" || keyword == "bus_util" ||
                          keyword == "periods" || keyword == "message_bytes" ||
                          keyword == "algorithms" || keyword == "portfolio_members";
@@ -202,6 +204,14 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
         auto c = parse_int32(v);
         if (!c.ok()) return line_error(line_no, c.error().message);
         spec.cluster_counts.push_back(c.value());
+      }
+    } else if (keyword == "backend") {
+      if (!backend_set) spec.backends.clear();
+      backend_set = true;
+      for (const std::string& v : values) {
+        auto b = parse_backend_mix(v);
+        if (!b.ok()) return line_error(line_no, b.error().message);
+        spec.backends.push_back(b.value());
       }
     } else if (keyword == "traffic") {
       if (!traffic_set) spec.traffic_mixes.clear();

@@ -167,4 +167,59 @@ StartConfig minimal_start_config(const Application& app, const BusParams& params
   return start;
 }
 
+TsnConfig minimal_start_tsn_config(const Application& app) {
+  TsnConfig config;
+  const std::size_t M = app.message_count();
+  config.gates.assign(M, TsnGateWindow{});
+  config.et_priority.assign(M, 0);
+
+  Time cycle = 0;
+  for (std::uint32_t m = 0; m < M; ++m) {
+    if (app.messages()[m].cls != MessageClass::Static) continue;
+    cycle = std::gcd(cycle, app.period_of(ActivityRef::message(static_cast<MessageId>(m))));
+  }
+  if (cycle == 0) {
+    // No ST traffic: the gates never close, so any divisor of the
+    // hyper-period works — the smallest graph period is one.
+    cycle = app.graphs()[0].period;
+    for (const TaskGraph& g : app.graphs()) cycle = std::min(cycle, g.period);
+  }
+  config.cycle = cycle;
+
+  std::vector<Time> durations(M);
+  for (std::uint32_t m = 0; m < M; ++m) {
+    durations[m] = tsn_frame_duration(app.messages()[m].size_bytes, config.link_rate_mbps);
+  }
+
+  Time cursor = 0;
+  for (std::uint32_t m = 0; m < M; ++m) {
+    if (app.messages()[m].cls != MessageClass::Static) continue;
+    config.gates[m] = TsnGateWindow{cursor, durations[m]};
+    cursor += durations[m];
+  }
+
+  std::vector<std::uint32_t> et;
+  for (std::uint32_t m = 0; m < M; ++m) {
+    if (app.messages()[m].cls == MessageClass::Dynamic) et.push_back(m);
+  }
+  std::sort(et.begin(), et.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const Time ca = app.criticality(static_cast<MessageId>(a), durations);
+    const Time cb = app.criticality(static_cast<MessageId>(b), durations);
+    if (ca != cb) return ca < cb;  // most critical first (smallest laxity)
+    return a < b;
+  });
+  for (std::size_t rank = 0; rank < et.size(); ++rank) {
+    config.et_priority[et[rank]] = static_cast<int>(rank);
+  }
+  return config;
+}
+
+ClusterConfig minimal_start_cluster_config(const Application& app, const BusParams& params,
+                                           ClusterBackendKind kind) {
+  if (kind == ClusterBackendKind::Tsn) {
+    return ClusterConfig::tsn_switch(minimal_start_tsn_config(app));
+  }
+  return ClusterConfig::flexray_bus(minimal_start_config(app, params).config);
+}
+
 }  // namespace flexopt

@@ -33,6 +33,15 @@ DeltaMove DeltaMove::between(const BusConfig& base, BusConfig next) {
   return move;
 }
 
+DeltaMove DeltaMove::tsn_between(const TsnConfig& base, TsnConfig next, int cluster) {
+  DeltaMove move;
+  move.backend = ClusterBackendKind::Tsn;
+  move.cluster = cluster;
+  move.tsn_changed = !(base == next);
+  move.tsn = std::move(next);
+  return move;
+}
+
 AnalysisInvalidation DeltaMove::invalidation() const {
   AnalysisInvalidation inv;
   inv.st_slot_count_changed = st_slot_count_changed;

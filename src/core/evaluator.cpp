@@ -1,5 +1,8 @@
 #include "flexopt/core/evaluator.hpp"
 
+#include "flexopt/analysis/multicluster.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -77,8 +80,22 @@ std::size_t hash_system_config(const SystemConfig& config) {
     h *= 1099511628211ull;
   };
   mix(static_cast<std::uint64_t>(config.clusters.size()));
-  for (const BusConfig& cluster : config.clusters) {
-    mix(static_cast<std::uint64_t>(hash_config(cluster)));
+  for (const ClusterConfig& cluster : config.clusters) {
+    mix(static_cast<std::uint64_t>(cluster.kind));
+    if (cluster.kind == ClusterBackendKind::Tsn) {
+      // Only the active payload is hashed — ClusterConfig's contract is
+      // that the inactive payload stays default-constructed.
+      const TsnConfig& tsn = cluster.tsn;
+      mix(static_cast<std::uint64_t>(tsn.cycle));
+      mix(static_cast<std::uint64_t>(tsn.link_rate_mbps));
+      for (const TsnGateWindow& gate : tsn.gates) {
+        mix(static_cast<std::uint64_t>(gate.offset));
+        mix(static_cast<std::uint64_t>(gate.length));
+      }
+      for (const int prio : tsn.et_priority) mix(static_cast<std::uint64_t>(prio));
+    } else {
+      mix(static_cast<std::uint64_t>(hash_config(cluster.flexray)));
+    }
   }
   return static_cast<std::size_t>(h);
 }
@@ -142,13 +159,16 @@ CostEvaluator::CostEvaluator(const CostEvaluator& parent, EvaluatorOptions evalu
 }
 
 void CostEvaluator::set_focus(SystemConfig context, int cluster) {
-  // Focus is a multi-cluster concept; any invalid request (single-cluster
-  // system, cluster out of range, context of the wrong width) degrades to
-  // "no focus" in every build type rather than risking an out-of-range
+  // Focus is a multi-cluster FlexRay concept; any invalid request
+  // (single-cluster system, cluster out of range, context of the wrong
+  // width, focused cluster not a FlexRay bus) degrades to "no focus" in
+  // every build type rather than risking an out-of-range or cross-backend
   // substitution on the next evaluate() call.
   if (model_.single_cluster() || cluster < 0 ||
       static_cast<std::size_t>(cluster) >= model_.cluster_count() ||
-      context.cluster_count() != model_.cluster_count()) {
+      context.cluster_count() != model_.cluster_count() ||
+      context.clusters[static_cast<std::size_t>(cluster)].kind !=
+          ClusterBackendKind::FlexRay) {
     clear_focus();
     return;
   }
@@ -256,7 +276,8 @@ void CostEvaluator::count_evaluation(bool delta, bool seeded) {
 CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
   if (focused()) {
     SystemConfig candidate = focus_context_;
-    candidate.clusters[static_cast<std::size_t>(focus_cluster_)] = config;
+    candidate.clusters[static_cast<std::size_t>(focus_cluster_)] =
+        ClusterConfig::flexray_bus(config);
     return evaluate_system_impl(candidate, /*count_as_delta=*/false, /*focused_view=*/true);
   }
   if (model_.cluster_count() > 1) {
@@ -370,6 +391,12 @@ const CostEvaluator::Evaluation& CostEvaluator::evaluate_delta_fast(const BusCon
     s.eval = evaluate_delta(base, move);
     return s.eval;
   }
+  if (move.backend != ClusterBackendKind::FlexRay) {
+    ThreadSlot& s = slot();
+    s.eval = Evaluation{};
+    s.eval.error = "evaluate_delta: TSN moves go through the SystemConfig overload";
+    return s.eval;
+  }
   // Seed from the base's fixed point only when it is a converged analysis
   // of the configuration the move diffs against.
   const auto base_eval = cached(base);
@@ -390,6 +417,11 @@ const CostEvaluator::Evaluation& CostEvaluator::evaluate_delta_fast(const Evalua
     return s.eval;
   }
   ThreadSlot& s = slot();
+  if (move.backend != ClusterBackendKind::FlexRay) {
+    s.eval = Evaluation{};
+    s.eval.error = "evaluate_delta: TSN moves go through the SystemConfig overload";
+    return s.eval;
+  }
   const AnalysisResult* base_analysis = nullptr;
   if (base_eval.valid && base_eval.analysis.converged) {
     if (&base_eval == &s.eval) {
@@ -408,9 +440,12 @@ CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
                                                         const DeltaMove& move) {
   if (focused()) {
     // The base is implicit (the focus context); deltas are not seeded
-    // across clusters, so only the substituted candidate matters.
+    // across clusters, so only the substituted candidate matters.  Focused
+    // clusters are FlexRay by the set_focus guard, so the move's FlexRay
+    // payload is the one that applies.
     SystemConfig next = focus_context_;
-    next.clusters[static_cast<std::size_t>(focus_cluster_)] = move.config;
+    next.clusters[static_cast<std::size_t>(focus_cluster_)] =
+        ClusterConfig::flexray_bus(move.config);
     return evaluate_system_impl(next, /*count_as_delta=*/true, /*focused_view=*/true);
   }
   if (model_.cluster_count() > 1) {
@@ -418,21 +453,31 @@ CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const BusConfig& base,
     out.error = "multi-cluster evaluator: use the SystemConfig evaluate_delta overload";
     return out;
   }
+  if (move.backend != ClusterBackendKind::FlexRay) {
+    Evaluation out;
+    out.error = "evaluate_delta: TSN moves go through the SystemConfig overload";
+    return out;
+  }
   return evaluate_delta_fast(base, move);  // copies out of the thread slot
 }
 
 CostEvaluator::Evaluation CostEvaluator::evaluate_system(const SystemConfig& config) {
-  if (model_.single_cluster() && config.cluster_count() == 1 && !focused()) {
+  if (model_.single_cluster() && config.cluster_count() == 1 && !focused() &&
+      config.clusters[0].kind == ClusterBackendKind::FlexRay) {
     // Degenerate case: exactly the pre-cluster pipeline (and its cache).
-    return evaluate(config.clusters[0]);
+    // Single-cluster TSN systems go through the system path — the TSN
+    // analysis has no BusLayout to speak of.
+    return evaluate(config.clusters[0].flexray);
   }
   return evaluate_system_impl(config, /*count_as_delta=*/false);
 }
 
 CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const SystemConfig& base,
                                                         const DeltaMove& move) {
-  if (model_.single_cluster() && base.cluster_count() == 1 && !focused()) {
-    return evaluate_delta(base.clusters[0], move);
+  if (model_.single_cluster() && base.cluster_count() == 1 && !focused() &&
+      base.clusters[0].kind == ClusterBackendKind::FlexRay &&
+      move.backend == ClusterBackendKind::FlexRay) {
+    return evaluate_delta(base.clusters[0].flexray, move);
   }
   if (move.cluster < 0 || static_cast<std::size_t>(move.cluster) >= base.cluster_count() ||
       base.cluster_count() != model_.cluster_count()) {
@@ -440,8 +485,15 @@ CostEvaluator::Evaluation CostEvaluator::evaluate_delta(const SystemConfig& base
     out.error = "evaluate_delta: move cluster index or base config out of range";
     return out;
   }
+  if (base.clusters[static_cast<std::size_t>(move.cluster)].kind != move.backend) {
+    Evaluation out;
+    out.error = "evaluate_delta: move backend does not match the cluster's backend";
+    return out;
+  }
   SystemConfig next = base;
-  next.clusters[static_cast<std::size_t>(move.cluster)] = move.config;
+  next.clusters[static_cast<std::size_t>(move.cluster)] =
+      move.backend == ClusterBackendKind::Tsn ? ClusterConfig::tsn_switch(move.tsn)
+                                              : ClusterConfig::flexray_bus(move.config);
   return evaluate_system_impl(next, /*count_as_delta=*/true);
 }
 

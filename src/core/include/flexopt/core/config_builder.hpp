@@ -9,7 +9,9 @@
 
 #include "flexopt/flexray/bus_config.hpp"
 #include "flexopt/flexray/params.hpp"
+#include "flexopt/flexray/system_config.hpp"
 #include "flexopt/model/application.hpp"
+#include "flexopt/model/cluster_backend.hpp"
 
 namespace flexopt {
 
@@ -65,5 +67,19 @@ struct StartConfig {
   DynBounds bounds;
 };
 StartConfig minimal_start_config(const Application& app, const BusParams& params);
+
+/// The TSN analogue of minimal_start_config: gating cycle = gcd of the ST
+/// message periods (every period divides the hyper-period, so their gcd
+/// does too; falls back to the smallest graph period when there is no ST
+/// traffic), exact-fit gate windows packed back to back in MessageId order,
+/// and ET priorities ranked by criticality (Eq. 4) at the default link
+/// rate.  The packing can exceed the cycle on hopelessly ST-heavy clusters;
+/// TsnLayout::build then rejects the config and the candidate is costed
+/// infeasible, mirroring an infeasible minimal_start_config.
+TsnConfig minimal_start_tsn_config(const Application& app);
+
+/// Backend-dispatching start configuration for one cluster.
+ClusterConfig minimal_start_cluster_config(const Application& app, const BusParams& params,
+                                           ClusterBackendKind kind);
 
 }  // namespace flexopt

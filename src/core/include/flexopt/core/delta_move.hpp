@@ -14,18 +14,31 @@
 
 #include "flexopt/analysis/incremental.hpp"
 #include "flexopt/flexray/bus_config.hpp"
+#include "flexopt/model/cluster_backend.hpp"
 
 namespace flexopt {
 
 /// The neighbour configuration plus which decision variables differ from
-/// the base it was derived from.  Build one with DeltaMove::between — the
-/// flags are a diff, not a declaration, so they can never understate what
-/// changed.
+/// the base it was derived from.  Build one with DeltaMove::between
+/// (FlexRay) or DeltaMove::tsn_between (TSN) — the flags are a diff, not a
+/// declaration, so they can never understate what changed.
 struct DeltaMove {
+  /// Which backend's configuration the move mutates.  FlexRay moves carry
+  /// `config` and feed the incremental analysis pipeline; TSN moves carry
+  /// `tsn` and are evaluated by full per-cluster re-analysis (substituted
+  /// through CostEvaluator::evaluate_delta's system path, which Debug-
+  /// asserts bit-exactness against the cache-free reference).
+  ClusterBackendKind backend = ClusterBackendKind::FlexRay;
+
   /// The post-move configuration (of one cluster's bus).
   BusConfig config;
 
-  /// Cluster whose BusConfig the move mutates.  0 for single-bus systems;
+  /// The post-move TSN configuration (meaningful iff backend == Tsn).
+  TsnConfig tsn;
+  /// True when the TSN payload differs from its base (tsn_between's diff).
+  bool tsn_changed = false;
+
+  /// Cluster whose config the move mutates.  0 for single-bus systems;
   /// ignored (superseded by the focus cluster) when the evaluator is
   /// focused via CostEvaluator::set_focus.  between() leaves it 0 — cluster
   /// moves stamp it explicitly or are stamped by the evaluator.
@@ -46,11 +59,16 @@ struct DeltaMove {
   /// Diffs `next` against `base` (the configuration the move mutated).
   [[nodiscard]] static DeltaMove between(const BusConfig& base, BusConfig next);
 
+  /// Diffs a TSN neighbour against its base for cluster `cluster`.
+  [[nodiscard]] static DeltaMove tsn_between(const TsnConfig& base, TsnConfig next, int cluster);
+
   [[nodiscard]] bool any_change() const {
+    if (backend == ClusterBackendKind::Tsn) return tsn_changed;
     return st_slot_count_changed || st_slot_len_changed || st_owner_changed ||
            minislot_count_changed || !frame_id_changed.empty();
   }
-  /// The analysis-layer view of this move.
+  /// The analysis-layer view of this move (FlexRay moves only; TSN moves
+  /// never reach the incremental invalidation machinery).
   [[nodiscard]] AnalysisInvalidation invalidation() const;
 };
 

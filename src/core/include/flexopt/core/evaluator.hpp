@@ -23,7 +23,6 @@
 #include <vector>
 
 #include "flexopt/analysis/incremental.hpp"
-#include "flexopt/analysis/multicluster.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/core/delta_move.hpp"
 #include "flexopt/flexray/bus_config.hpp"
@@ -159,8 +158,8 @@ class CostEvaluator {
 
   /// Full system evaluation of one per-cluster configuration product
   /// candidate (cross-cluster fixed point; cached on the SystemConfig
-  /// hash).  Thread-safe.  For single-cluster systems this is exactly
-  /// evaluate(config.clusters[0]).
+  /// hash).  Thread-safe.  For single-cluster FlexRay systems this is
+  /// exactly evaluate(config.clusters[0].flexray).
   Evaluation evaluate_system(const SystemConfig& config);
 
   /// Incremental analysis of a neighbour: evaluates `move.config`
@@ -220,10 +219,13 @@ class CostEvaluator {
   /// candidate into `context` at `cluster` and evaluate the full system,
   /// and application() returns that cluster's projection — which is what
   /// lets every single-bus search algorithm optimise one coordinate of the
-  /// per-cluster configuration product unchanged.  Invalid requests
-  /// (single-cluster system, cluster out of range, wrong context width)
-  /// degrade to clear_focus().  Not thread-safe: set it between solves,
-  /// never while evaluations are in flight.
+  /// per-cluster configuration product unchanged.  Focus is a FlexRay
+  /// concept — the focused cluster's ClusterConfig must be a FlexRay bus
+  /// (TSN clusters are searched through the SystemConfig overloads; see
+  /// flexopt/core/tsn_search.hpp).  Invalid requests (single-cluster
+  /// system, cluster out of range, wrong context width, non-FlexRay
+  /// cluster) degrade to clear_focus().  Not thread-safe: set it between
+  /// solves, never while evaluations are in flight.
   void set_focus(SystemConfig context, int cluster);
   void clear_focus();
   [[nodiscard]] bool focused() const { return focus_cluster_ >= 0; }
@@ -351,9 +353,10 @@ class CostEvaluator {
 
 /// Outcome shared by all optimisation algorithms.
 struct OptimizationOutcome {
-  /// Single-cluster solves: the winning bus configuration.  Multi-cluster
-  /// solves: cluster 0's slice of `system` (kept filled so single-bus
-  /// consumers never see an empty config).
+  /// Single-cluster FlexRay solves: the winning bus configuration.
+  /// Multi-cluster solves: cluster 0's FlexRay slice of `system` (kept
+  /// filled so single-bus consumers never see an empty config; left
+  /// default when cluster 0 is a TSN switch — read `system` instead).
   BusConfig config;
   /// The winning per-cluster configuration product; exactly one entry
   /// (== config) for single-cluster solves.  Filled by Optimizer::solve.

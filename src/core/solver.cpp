@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "flexopt/core/config_builder.hpp"
+#include "flexopt/core/tsn_search.hpp"
 #include "flexopt/util/seed_mix.hpp"
 
 namespace flexopt {
@@ -124,12 +125,14 @@ SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
   auto spent = [&] { return spent_evaluations; };
 
   // Seed the incumbent with every cluster's minimal start configuration —
-  // the same per-sender minimal point every single-bus walk seeds from.
+  // the same per-sender (FlexRay) / exact-fit-gate (TSN) minimal point
+  // every per-cluster walk seeds from.
   SystemConfig incumbent;
   incumbent.clusters.resize(C);
   for (std::size_t c = 0; c < C; ++c) {
     incumbent.clusters[c] =
-        minimal_start_config(*model.cluster_app(c), evaluator.params()).config;
+        minimal_start_cluster_config(*model.cluster_app(c), evaluator.params(),
+                                     model.cluster_app(c)->cluster_backend(ClusterId{0}));
   }
 
   SolveReport report;
@@ -170,7 +173,6 @@ SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
         break;
       }
 
-      evaluator.set_focus(incumbent, static_cast<int>(c));
       SolveRequest pass_request;
       // SolveRequest::seed semantics carry over: a set seed is fanned out
       // per pass (repeat passes explore different trajectories); unset
@@ -200,6 +202,33 @@ SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
         };
       }
       pass_request.cancel = request.cancel;
+
+      if (model.cluster_app(c)->cluster_backend(ClusterId{0}) == ClusterBackendKind::Tsn) {
+        // TSN coordinate: the single-bus algorithms cannot focus a TSN
+        // cluster, so the pass is the deterministic TSN descent, scored
+        // through the SystemConfig delta path against the same full
+        // cross-cluster cost.
+        const EvaluatorCacheStats cache_before = evaluator.cache_stats();
+        TsnSearchResult tsn =
+            tsn_coordinate_descent(evaluator, incumbent, static_cast<int>(c), pass_request);
+        const EvaluatorCacheStats cache_after = evaluator.cache_stats();
+        spent_evaluations += tsn.evaluations;
+        report.cache_hits += cache_after.hits - cache_before.hits;
+        report.cache_misses += cache_after.misses - cache_before.misses;
+        if (tsn.status == SolveStatus::Cancelled) {
+          status = SolveStatus::Cancelled;
+        } else if (tsn.status == SolveStatus::TimeLimit && request.max_wall_seconds > 0.0) {
+          status = SolveStatus::TimeLimit;
+        }
+        if (tsn.improved && tsn.cost.value < best.value) {
+          best = tsn.cost;
+          incumbent.clusters[c] = ClusterConfig::tsn_switch(std::move(tsn.config));
+          improved = true;
+        }
+        continue;
+      }
+
+      evaluator.set_focus(incumbent, static_cast<int>(c));
       SolveReport pass = algorithm.solve_cluster(evaluator, pass_request);
       spent_evaluations += pass.outcome.evaluations;
       report.cache_hits += pass.cache_hits;
@@ -228,7 +257,7 @@ SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
       }
       if (pass.outcome.cost.value < best.value) {
         best = pass.outcome.cost;
-        incumbent.clusters[c] = pass.outcome.config;
+        incumbent.clusters[c] = ClusterConfig::flexray_bus(pass.outcome.config);
         improved = true;
         if (!pass.winner.empty()) report.winner = prefix + pass.winner;
       }
@@ -243,7 +272,9 @@ SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
 
   report.status = status;
   report.outcome.system = incumbent;
-  report.outcome.config = incumbent.clusters[0];
+  if (incumbent.clusters[0].kind == ClusterBackendKind::FlexRay) {
+    report.outcome.config = incumbent.clusters[0].flexray;
+  }
   report.outcome.cost = best;
   report.outcome.feasible = best.schedulable;
   report.outcome.evaluations = spent();
@@ -253,16 +284,50 @@ SolveReport solve_multicluster(Optimizer& algorithm, CostEvaluator& evaluator,
   return report;
 }
 
+/// Degenerate single-cluster TSN solve: no FlexRay coordinate exists for
+/// solve_cluster to search, so the whole solve is one TSN descent from the
+/// minimal start configuration.  Every registry algorithm maps to the same
+/// deterministic descent here — the per-algorithm tuning payloads have no
+/// TSN knobs (yet).
+SolveReport solve_single_tsn(CostEvaluator& evaluator, const SolveRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  SystemConfig incumbent;
+  incumbent.clusters.push_back(minimal_start_cluster_config(
+      *evaluator.system_model().cluster_app(0), evaluator.params(), ClusterBackendKind::Tsn));
+  const EvaluatorCacheStats cache_before = evaluator.cache_stats();
+  TsnSearchResult tsn = tsn_coordinate_descent(evaluator, incumbent, 0, request);
+  const EvaluatorCacheStats cache_after = evaluator.cache_stats();
+
+  SolveReport report;
+  report.status = tsn.status;
+  incumbent.clusters[0] = ClusterConfig::tsn_switch(std::move(tsn.config));
+  report.outcome.system = std::move(incumbent);
+  report.outcome.cost = tsn.cost;
+  report.outcome.feasible = tsn.cost.schedulable;
+  report.outcome.evaluations = tsn.evaluations;
+  report.outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  report.outcome.algorithm = "tsn-descent";
+  report.cache_hits = cache_after.hits - cache_before.hits;
+  report.cache_misses = cache_after.misses - cache_before.misses;
+  return report;
+}
+
 }  // namespace
 
 SolveReport Optimizer::solve(CostEvaluator& evaluator, const SolveRequest& request) {
+  const SystemModel& model = evaluator.system_model();
+  if (!evaluator.focused() && evaluator.cluster_count() == 1 && model.cluster_app(0) &&
+      model.cluster_app(0)->cluster_backend(ClusterId{0}) == ClusterBackendKind::Tsn) {
+    return solve_single_tsn(evaluator, request);
+  }
   if (evaluator.cluster_count() == 1 || evaluator.focused()) {
     SolveReport report = solve_cluster(evaluator, request);
     if (report.outcome.system.clusters.empty()) {
       if (evaluator.focused()) {
         report.outcome.system = evaluator.focus_context();
         report.outcome.system.clusters[static_cast<std::size_t>(evaluator.focus_cluster())] =
-            report.outcome.config;
+            ClusterConfig::flexray_bus(report.outcome.config);
       } else {
         report.outcome.system = SystemConfig::single(report.outcome.config);
       }

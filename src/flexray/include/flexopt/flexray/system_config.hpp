@@ -1,27 +1,61 @@
 #pragma once
 
 /// \file system_config.hpp
-/// The decision variables of a multi-cluster system: one BusConfig per
-/// FlexRay cluster, indexed by cluster.  The degenerate single-cluster
-/// SystemConfig wraps exactly one BusConfig and is what every pre-existing
-/// single-bus front-end implicitly searches.
+/// The decision variables of a multi-cluster system: one ClusterConfig per
+/// cluster, indexed by cluster.  A ClusterConfig is the backend-tagged
+/// configuration variant — a FlexRay BusConfig or a TSN TsnConfig — so the
+/// cluster-generic layers (evaluator, optimizer, campaign) never commit to
+/// one protocol.  The degenerate single-cluster SystemConfig wraps exactly
+/// one FlexRay BusConfig and is what every pre-existing single-bus
+/// front-end implicitly searches.
 
 #include <utility>
 #include <vector>
 
 #include "flexopt/flexray/bus_config.hpp"
+#include "flexopt/model/cluster_backend.hpp"
 
 namespace flexopt {
 
+/// Backend-tagged per-cluster configuration.  A plain struct rather than a
+/// std::variant: only the payload selected by `kind` is meaningful, the
+/// other stays default-constructed, and defaulted equality / trivial
+/// hashing stay correct as long as configs are assigned whole (which every
+/// optimizer move does).
+struct ClusterConfig {
+  ClusterBackendKind kind = ClusterBackendKind::FlexRay;
+  /// FlexRay decision variables; meaningful iff kind == FlexRay.
+  BusConfig flexray;
+  /// TSN time-aware-shaper decision variables; meaningful iff kind == Tsn.
+  TsnConfig tsn;
+
+  [[nodiscard]] static ClusterConfig flexray_bus(BusConfig config) {
+    ClusterConfig out;
+    out.kind = ClusterBackendKind::FlexRay;
+    out.flexray = std::move(config);
+    return out;
+  }
+
+  [[nodiscard]] static ClusterConfig tsn_switch(TsnConfig config) {
+    ClusterConfig out;
+    out.kind = ClusterBackendKind::Tsn;
+    out.tsn = std::move(config);
+    return out;
+  }
+
+  friend bool operator==(const ClusterConfig&, const ClusterConfig&) = default;
+};
+
 struct SystemConfig {
-  /// One candidate bus configuration per cluster; frame_id vectors are
-  /// indexed by the *local* MessageIds of that cluster's projected
-  /// application (see flexopt/model/system_model.hpp).
-  std::vector<BusConfig> clusters;
+  /// One candidate backend configuration per cluster; message-indexed
+  /// vectors inside the payloads (frame_id, gates, et_priority) are indexed
+  /// by the *local* MessageIds of that cluster's projected application (see
+  /// flexopt/model/system_model.hpp).
+  std::vector<ClusterConfig> clusters;
 
   [[nodiscard]] static SystemConfig single(BusConfig config) {
     SystemConfig out;
-    out.clusters.push_back(std::move(config));
+    out.clusters.push_back(ClusterConfig::flexray_bus(std::move(config)));
     return out;
   }
 

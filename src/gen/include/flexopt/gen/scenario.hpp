@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "flexopt/gen/synthetic.hpp"
+#include "flexopt/model/cluster_backend.hpp"
 
 namespace flexopt {
 
@@ -51,11 +52,17 @@ struct ScenarioSpec {
   SyntheticSpec base;
   Topology topology = Topology::RandomDag;
   TrafficMix traffic = TrafficMix::Mixed;
-  /// MultiCluster only: number of FlexRay clusters (validated to 2..4; the
-  /// other families ignore it and stay single-bus).
+  /// MultiCluster only: number of clusters (validated to 2..4; the other
+  /// families ignore it and stay single-bus).
   int clusters = 2;
   /// MultiCluster only: share of graphs whose chain crosses two clusters.
   double inter_cluster_share = 0.25;
+  /// MultiCluster only: which communication backend each cluster speaks
+  /// (see backend_for_cluster).  The single-bus families are FlexRay by
+  /// construction; generate_scenario rejects tsn/mixed for them.  The
+  /// assignment perturbs no rng draw, so `flexray` reproduces the
+  /// pre-backend applications bit-identically.
+  BackendMix backend = BackendMix::Flexray;
 };
 
 /// Stable spelling used in spec files, CSV/JSON output and CLI errors.

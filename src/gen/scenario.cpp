@@ -81,6 +81,12 @@ Expected<Application> build_multicluster(const ScenarioSpec& scenario,
     app.set_node_cluster(gw, static_cast<ClusterId>(static_cast<std::uint32_t>(j)));
     app.add_gateway(gw, {static_cast<ClusterId>(static_cast<std::uint32_t>(j + 1))});
   }
+  // Backend axis: a pure declaration, no rng draw — `flexray` keeps every
+  // pre-backend application bit-identical.
+  for (int j = 0; j < K; ++j) {
+    app.set_cluster_backend(static_cast<ClusterId>(static_cast<std::uint32_t>(j)),
+                            backend_for_cluster(scenario.backend, static_cast<std::size_t>(j)));
+  }
 
   const int total_tasks = spec.nodes * spec.tasks_per_node;
   const int graph_count = total_tasks / spec.tasks_per_graph;
@@ -213,6 +219,12 @@ Expected<Application> generate_scenario(const ScenarioSpec& scenario, const BusP
     case TrafficMix::DynOnly: spec.tt_share = 0.0; break;
   }
   if (auto valid = validate_spec(spec); !valid.ok()) return valid.error();
+  if (scenario.backend != BackendMix::Flexray &&
+      scenario.topology != Topology::MultiCluster) {
+    return make_error(std::string("backend '") + to_string(scenario.backend) +
+                      "' requires the multicluster topology (the single-bus families are "
+                      "FlexRay by construction)");
+  }
 
   const int total_tasks = spec.nodes * spec.tasks_per_node;
   const int graph_count = total_tasks / spec.tasks_per_graph;

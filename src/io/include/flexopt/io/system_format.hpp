@@ -8,6 +8,7 @@
 ///
 ///   node <name> [cluster=<int>]
 ///   gateway <name> cluster=<int> bridges=<int>[,<int>...]
+///   backend <cluster-index> flexray|tsn
 ///   graph <name> tt|et period=<dur> deadline=<dur>
 ///   task <name> graph=<g> node=<n> wcet=<dur> [prio=<int>] [offset=<dur>]
 ///   message <name> from=<task> to=<task> bytes=<int> [prio=<int>]

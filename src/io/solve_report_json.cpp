@@ -5,9 +5,10 @@
 namespace flexopt {
 namespace {
 
-void write_config(JsonWriter& json, const BusConfig& config) {
-  json.begin_object()
-      .field("static_slot_count", config.static_slot_count)
+void write_config(JsonWriter& json, const BusConfig& config, const char* backend = nullptr) {
+  json.begin_object();
+  if (backend != nullptr) json.field("backend", backend);
+  json.field("static_slot_count", config.static_slot_count)
       .field("static_slot_len", config.static_slot_len)
       .field("minislot_count", config.minislot_count);
   json.key("static_slot_owner").begin_array();
@@ -19,6 +20,33 @@ void write_config(JsonWriter& json, const BusConfig& config) {
   for (const int id : config.frame_id) json.value(id);
   json.end_array();
   json.end_object();
+}
+
+/// Schema v4: cluster_configs entries are backend-tagged.  FlexRay entries
+/// keep the v3 field set (the tag is prepended); TSN entries carry the
+/// time-aware-shaper decision variables instead.
+void write_cluster_config(JsonWriter& json, const ClusterConfig& cluster) {
+  if (cluster.kind == ClusterBackendKind::Tsn) {
+    const TsnConfig& tsn = cluster.tsn;
+    json.begin_object()
+        .field("backend", to_string(ClusterBackendKind::Tsn))
+        .field("cycle", tsn.cycle)
+        .field("link_rate_mbps", tsn.link_rate_mbps);
+    json.key("gates").begin_array();
+    for (const TsnGateWindow& gate : tsn.gates) {
+      json.begin_object()
+          .field("offset", gate.offset)
+          .field("length", gate.length)
+          .end_object();
+    }
+    json.end_array();
+    json.key("et_priority").begin_array();
+    for (const int priority : tsn.et_priority) json.value(priority);
+    json.end_array();
+    json.end_object();
+    return;
+  }
+  write_config(json, cluster.flexray, to_string(ClusterBackendKind::FlexRay));
 }
 
 void write_member(JsonWriter& json, const MemberSolveReport& member, bool include_timing) {
@@ -60,11 +88,14 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
   // `cluster_configs` array after `config`.  Schema v3 delta: the `profile`
   // block after `incremental` (always-on work/iteration counters and the
   // components-per-delta histogram; integer-only, so reports stay
-  // byte-deterministic for a fixed seed).
+  // byte-deterministic for a fixed seed).  Schema v4 delta: every
+  // cluster_configs entry leads with a `backend` tag ("flexray" | "tsn")
+  // and TSN entries carry the shaper decision variables (cycle,
+  // link_rate_mbps, gates, et_priority) instead of the FlexRay fields.
   const bool multicluster = outcome.system.cluster_count() > 1;
   JsonWriter json;
   json.begin_object();
-  json.field("schema", "flexopt-solve-report/3");
+  json.field("schema", "flexopt-solve-report/4");
   json.key("system").begin_object();
   json.field("tasks", app.task_count())
       .field("messages", app.message_count())
@@ -133,7 +164,9 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
     // One config per cluster; frame_id vectors index the *local* MessageIds
     // of that cluster's projection (relay hops included).
     json.key("cluster_configs").begin_array();
-    for (const BusConfig& cluster : outcome.system.clusters) write_config(json, cluster);
+    for (const ClusterConfig& cluster : outcome.system.clusters) {
+      write_cluster_config(json, cluster);
+    }
     json.end_array();
   }
   json.field("winner", report.winner);

@@ -131,6 +131,15 @@ Expected<ParsedSystem> parse_system(std::istream& in) {
       if (bridges.empty()) return error_at("gateway needs bridges=<int>[,<int>...]");
       out.app.set_node_cluster(id, static_cast<ClusterId>(static_cast<std::uint32_t>(home)));
       out.app.add_gateway(id, std::move(bridges));
+    } else if (keyword == "backend") {
+      if (args.size() != 2) return error_at("backend expects: <cluster-index> flexray|tsn");
+      auto cluster = parse_int(args[0]);
+      if (!cluster.ok()) return error_at(cluster.error().message);
+      if (cluster.value() < 0) return error_at("cluster index must be >= 0");
+      auto kind = parse_backend_kind(args[1]);
+      if (!kind.ok()) return error_at(kind.error().message);
+      out.app.set_cluster_backend(
+          static_cast<ClusterId>(static_cast<std::uint32_t>(cluster.value())), kind.value());
     } else if (keyword == "graph") {
       if (args.size() < 2) return error_at("graph expects: <name> tt|et period=.. deadline=..");
       const std::string& name = args[0];
@@ -295,6 +304,14 @@ std::string write_system(const Application& app, const BusParams& params) {
       os << "node " << n.name;
       if (index_of(n.cluster) != 0) os << " cluster=" << index_of(n.cluster);
       os << "\n";
+    }
+  }
+  // Backend lines appear only for non-FlexRay clusters, so pre-backend
+  // system files round-trip byte-identically.
+  for (std::size_t c = 0; c < app.cluster_count(); ++c) {
+    const auto id = static_cast<ClusterId>(static_cast<std::uint32_t>(c));
+    if (app.cluster_backend(id) != ClusterBackendKind::FlexRay) {
+      os << "backend " << c << " " << to_string(app.cluster_backend(id)) << "\n";
     }
   }
   std::vector<bool> graph_is_tt(app.graph_count(), true);

@@ -23,6 +23,27 @@ Expected<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b) {
   return a_reduced * b;
 }
 
+Expected<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) {
+  if (a <= 0 || b <= 0) return make_error("checked_mul requires strictly positive operands");
+  if (a > std::numeric_limits<std::int64_t>::max() / b) {
+    return make_error("multiplication overflow");
+  }
+  return a * b;
+}
+
+Expected<std::int64_t> checked_align_up(std::int64_t value, std::int64_t block) {
+  if (value < 0 || block <= 0) {
+    return make_error("checked_align_up requires value >= 0 and block > 0");
+  }
+  const std::int64_t rem = value % block;
+  if (rem == 0) return value;
+  const std::int64_t pad = block - rem;
+  if (value > std::numeric_limits<std::int64_t>::max() - pad) {
+    return make_error("alignment overflow");
+  }
+  return value + pad;
+}
+
 Expected<std::int64_t> hyperperiod(std::span<const std::int64_t> periods) {
   if (periods.empty()) return make_error("hyperperiod of empty period set");
   std::int64_t acc = 1;

@@ -18,6 +18,15 @@ std::int64_t gcd(std::int64_t a, std::int64_t b);
 /// Least common multiple with overflow detection.
 Expected<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b);
 
+/// Product of two strictly positive operands with overflow detection.
+/// Simulation horizons are products of hyper-periods and repeat counts;
+/// near-coprime periods push those within range of std::int64_t wrap.
+Expected<std::int64_t> checked_mul(std::int64_t a, std::int64_t b);
+
+/// Rounds `value` (>= 0) up to the next multiple of `block` (> 0), failing
+/// on overflow instead of wrapping.
+Expected<std::int64_t> checked_align_up(std::int64_t value, std::int64_t block);
+
 /// Hyper-period (LCM) of a non-empty set of strictly positive periods.
 /// Fails on overflow or invalid input rather than silently wrapping —
 /// a wrapped hyper-period would corrupt every downstream schedule length.

@@ -30,6 +30,15 @@ void Application::add_gateway(NodeId node, std::vector<ClusterId> bridges) {
   finalized_ = false;
 }
 
+void Application::set_cluster_backend(ClusterId cluster, ClusterBackendKind kind) {
+  const std::size_t c = index_of(cluster);
+  if (cluster_backends_.size() <= c) {
+    cluster_backends_.resize(c + 1, ClusterBackendKind::FlexRay);
+  }
+  cluster_backends_[c] = kind;
+  finalized_ = false;
+}
+
 GraphId Application::add_graph(std::string name, Time period, Time deadline) {
   graphs_.push_back(TaskGraph{std::move(name), period, deadline});
   return static_cast<GraphId>(graphs_.size() - 1);
@@ -142,6 +151,12 @@ Expected<bool> Application::finalize() {
   }
 
   if (auto routes = derive_routes(); !routes.ok()) return routes.error();
+
+  if (cluster_backends_.size() > cluster_count_) {
+    return make_error("cluster backend declared for cluster " +
+                      std::to_string(cluster_backends_.size() - 1) + " but only " +
+                      std::to_string(cluster_count_) + " cluster(s) exist");
+  }
 
   // Build adjacency over activities.
   const std::size_t n = activity_count();

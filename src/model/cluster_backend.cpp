@@ -1,0 +1,112 @@
+#include "flexopt/model/cluster_backend.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace flexopt {
+
+const char* to_string(ClusterBackendKind kind) {
+  switch (kind) {
+    case ClusterBackendKind::FlexRay:
+      return "flexray";
+    case ClusterBackendKind::Tsn:
+      return "tsn";
+  }
+  return "?";
+}
+
+Expected<ClusterBackendKind> parse_backend_kind(std::string_view text) {
+  if (text == "flexray") return ClusterBackendKind::FlexRay;
+  if (text == "tsn") return ClusterBackendKind::Tsn;
+  return make_error("unknown cluster backend '" + std::string(text) +
+                    "' (expected flexray or tsn)");
+}
+
+const char* to_string(BackendMix mix) {
+  switch (mix) {
+    case BackendMix::Flexray:
+      return "flexray";
+    case BackendMix::Tsn:
+      return "tsn";
+    case BackendMix::Mixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+Expected<BackendMix> parse_backend_mix(std::string_view text) {
+  if (text == "flexray") return BackendMix::Flexray;
+  if (text == "tsn") return BackendMix::Tsn;
+  if (text == "mixed") return BackendMix::Mixed;
+  return make_error("unknown backend mix '" + std::string(text) +
+                    "' (expected flexray, tsn or mixed)");
+}
+
+ClusterBackendKind backend_for_cluster(BackendMix mix, std::size_t cluster) {
+  switch (mix) {
+    case BackendMix::Flexray:
+      return ClusterBackendKind::FlexRay;
+    case BackendMix::Tsn:
+      return ClusterBackendKind::Tsn;
+    case BackendMix::Mixed:
+      return cluster % 2 == 1 ? ClusterBackendKind::Tsn : ClusterBackendKind::FlexRay;
+  }
+  return ClusterBackendKind::FlexRay;
+}
+
+Time tsn_frame_duration(int size_bytes, int link_rate_mbps) {
+  if (size_bytes < 0 || link_rate_mbps <= 0) {
+    throw std::invalid_argument("tsn_frame_duration: negative size or non-positive link rate");
+  }
+  // bits / (mbps) = microseconds; * 1000 / mbps in ns.  Sizes are bounded by
+  // the generator/spec caps (well under 64 KiB) so the intermediate product
+  // fits comfortably in 64 bits.
+  const std::int64_t bits =
+      (static_cast<std::int64_t>(size_bytes) + kTsnFrameOverheadBytes) * 8;
+  const std::int64_t rate = link_rate_mbps;
+  return (bits * 1000 + rate - 1) / rate;
+}
+
+const char* to_string(BackendMoveKind kind) {
+  switch (kind) {
+    case BackendMoveKind::StSlotCount:
+      return "st_slot_count";
+    case BackendMoveKind::StSlotLen:
+      return "st_slot_len";
+    case BackendMoveKind::StSlotOwner:
+      return "st_slot_owner";
+    case BackendMoveKind::MinislotCount:
+      return "minislot_count";
+    case BackendMoveKind::FrameId:
+      return "frame_id";
+    case BackendMoveKind::TsnGateOffset:
+      return "tsn_gate_offset";
+    case BackendMoveKind::TsnGateLength:
+      return "tsn_gate_length";
+    case BackendMoveKind::TsnPriority:
+      return "tsn_priority";
+  }
+  return "?";
+}
+
+std::span<const BackendMoveKind> backend_move_kinds(ClusterBackendKind kind) {
+  static constexpr std::array<BackendMoveKind, 5> kFlexRay = {
+      BackendMoveKind::StSlotCount, BackendMoveKind::StSlotLen,
+      BackendMoveKind::StSlotOwner, BackendMoveKind::MinislotCount,
+      BackendMoveKind::FrameId,
+  };
+  static constexpr std::array<BackendMoveKind, 3> kTsn = {
+      BackendMoveKind::TsnGateOffset,
+      BackendMoveKind::TsnGateLength,
+      BackendMoveKind::TsnPriority,
+  };
+  switch (kind) {
+    case ClusterBackendKind::FlexRay:
+      return kFlexRay;
+    case ClusterBackendKind::Tsn:
+      return kTsn;
+  }
+  return {};
+}
+
+}  // namespace flexopt

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "flexopt/model/cluster_backend.hpp"
 #include "flexopt/model/ids.hpp"
 #include "flexopt/util/expected.hpp"
 #include "flexopt/util/time.hpp"
@@ -123,6 +124,10 @@ class Application {
   /// Gateways host only the relay activities the system projection derives
   /// (finalize() rejects application tasks mapped onto them).
   void add_gateway(NodeId node, std::vector<ClusterId> bridges);
+  /// Declares which communication backend cluster `cluster` uses (default:
+  /// FlexRay).  finalize() rejects declarations for clusters that do not
+  /// exist.
+  void set_cluster_backend(ClusterId cluster, ClusterBackendKind kind);
   void set_task_deadline(TaskId task, Time deadline);
   void set_task_release_offset(TaskId task, Time offset);
   /// Mutators used by generators for utilisation scaling.  Call before
@@ -177,6 +182,12 @@ class Application {
   }
   [[nodiscard]] bool has_cross_cluster_messages() const {
     return cross_cluster_messages_;
+  }
+  /// Communication backend of one cluster (FlexRay unless declared
+  /// otherwise via set_cluster_backend()).
+  [[nodiscard]] ClusterBackendKind cluster_backend(ClusterId cluster) const {
+    const std::size_t c = index_of(cluster);
+    return c < cluster_backends_.size() ? cluster_backends_[c] : ClusterBackendKind::FlexRay;
   }
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -241,6 +252,9 @@ class Application {
   std::size_t cluster_count_ = 1;
   bool cross_cluster_messages_ = false;
   std::vector<MessageRoute> routes_;  ///< indexed by MessageId
+  /// Declared backends, indexed by cluster; clusters beyond the vector are
+  /// FlexRay.  finalize() validates indices against cluster_count_.
+  std::vector<ClusterBackendKind> cluster_backends_;
 };
 
 }  // namespace flexopt

@@ -124,6 +124,10 @@ Expected<SystemModel> SystemModel::build(std::shared_ptr<const Application> app,
 
   model.cluster_apps_.reserve(C);
   for (std::size_t c = 0; c < C; ++c) {
+    // Each projection is a single-cluster application whose cluster 0 keeps
+    // the backend declared for the global cluster c.
+    projections[c].set_cluster_backend(ClusterId{0},
+                                       global.cluster_backend(static_cast<ClusterId>(c)));
     auto finalized = projections[c].finalize();
     if (!finalized.ok()) {
       return make_error("cluster " + std::to_string(c) +

@@ -119,7 +119,7 @@ struct NetSimResult {
 /// per-cluster ST schedules are replayed from `analysis`).  The degenerate
 /// single-cluster case is exactly simulate() plus the global aggregation.
 Expected<NetSimResult> simulate_network(const SystemModel& model,
-                                        std::span<const BusLayout> layouts,
+                                        std::span<const ClusterLayout> layouts,
                                         const MulticlusterResult& analysis,
                                         const NetSimOptions& options = {});
 

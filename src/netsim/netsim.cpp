@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "flexopt/math/hyperperiod.hpp"
@@ -48,7 +49,7 @@ LatencyStat make_latency_stat(std::vector<double>& samples) {
 }  // namespace
 
 Expected<NetSimResult> simulate_network(const SystemModel& model,
-                                        std::span<const BusLayout> layouts,
+                                        std::span<const ClusterLayout> layouts,
                                         const MulticlusterResult& analysis,
                                         const NetSimOptions& options) {
   const std::size_t clusters = model.cluster_count();
@@ -65,15 +66,33 @@ Expected<NetSimResult> simulate_network(const SystemModel& model,
   // clusters agree on H and job tables stay index-compatible.  For multi
   // hyper-period runs, align up so every cluster's cycle grid and the ST
   // tables co-terminate.
-  Time horizon = H * options.hyperperiods;
+  auto scaled = checked_mul(H, options.hyperperiods);
+  if (!scaled.ok()) {
+    return make_error("simulate_network: horizon overflows the 64-bit time range (hyper-period " +
+                      std::to_string(H) + " x " + std::to_string(options.hyperperiods) +
+                      " hyper-periods); reduce hyperperiods or the period spread");
+  }
+  Time horizon = scaled.value();
   if (options.hyperperiods > 1) {
     Time block = H;
-    for (const BusLayout& layout : layouts) {
+    for (const ClusterLayout& layout : layouts) {
       auto lcm = checked_lcm(block, layout.cycle_len());
-      if (!lcm.ok()) return lcm.error();
+      if (!lcm.ok()) {
+        return make_error(
+            "simulate_network: lcm of the hyper-period and the cluster cycles overflows the "
+            "64-bit time range — near-coprime cycle lengths; align the cycles to the period "
+            "grid or simulate one hyper-period");
+      }
       block = lcm.value();
     }
-    horizon = (horizon + block - 1) / block * block;
+    auto aligned = checked_align_up(horizon, block);
+    if (!aligned.ok()) {
+      return make_error("simulate_network: aligning the horizon up to the common cycle block " +
+                        std::to_string(block) +
+                        " overflows the 64-bit time range; reduce hyperperiods or align the "
+                        "cluster cycles to the period grid");
+    }
+    horizon = aligned.value();
   }
 
   // ---- static routing tables ----------------------------------------------
@@ -195,8 +214,12 @@ Expected<NetSimResult> simulate_network(const SystemModel& model,
       }
     };
 
-    auto engine = ClusterEngine::create(layouts[c], analysis.clusters[c].schedule(),
-                                        std::move(engine_options), std::move(hooks));
+    auto engine =
+        layouts[c].kind() == ClusterBackendKind::Tsn
+            ? ClusterEngine::create(layouts[c].tsn(), analysis.clusters[c].schedule(),
+                                    std::move(engine_options), std::move(hooks))
+            : ClusterEngine::create(layouts[c].flexray(), analysis.clusters[c].schedule(),
+                                    std::move(engine_options), std::move(hooks));
     if (!engine.ok()) return engine.error();
     engines[c] = std::move(engine).value();
   }

@@ -6,6 +6,8 @@
 #include <map>
 #include <queue>
 #include <set>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "flexopt/math/hyperperiod.hpp"
@@ -25,6 +27,10 @@ enum class EventType : int {
   TaskRelease = 5,
   ScsStart = 6,
   DynSlot = 7,
+  // Appended after DynSlot so the FlexRay tie-break order (and with it the
+  // recorded traces) is untouched.  TSN only: serve one egress port's ET
+  // queue.  Like DynSlot it consumes enabled state, so it ranks last.
+  EtPortService = 8,
 };
 
 struct Event {
@@ -95,7 +101,9 @@ struct NodeState {
 }  // namespace
 
 struct ClusterEngine::Impl {
+  // Backend: exactly one of layout / tsn is set.
   const BusLayout* layout = nullptr;
+  const TsnLayout* tsn = nullptr;
   const Application* app = nullptr;
   EngineOptions options;
   EngineHooks hooks;
@@ -112,7 +120,10 @@ struct ClusterEngine::Impl {
   std::uint64_t processed = 0;
 
   std::vector<NodeState> cpus;
-  std::map<int, std::multiset<ChiEntry>> chi;  // CHI queues keyed by FrameID
+  /// CHI dynamic send queues: keyed by FrameID on FlexRay, by egress-port
+  /// node index on TSN (priority = et_priority there).
+  std::map<int, std::multiset<ChiEntry>> chi;
+  std::vector<Time> port_busy_until;  // TSN only, per node
 
   SimResult result;
   std::vector<Event> recompute_stack;   // deferred burst projections
@@ -198,8 +209,19 @@ struct ClusterEngine::Impl {
         mj.sender_done = true;
         mj.ready_time = when;
         if (app->messages()[s.index].cls == MessageClass::Dynamic) {
-          const int fid = layout->frame_id(static_cast<MessageId>(s.index));
-          chi[fid].insert(ChiEntry{app->messages()[s.index].priority, when, s.index, job});
+          if (tsn != nullptr) {
+            const auto port =
+                static_cast<int>(tsn->egress_port(static_cast<MessageId>(s.index)));
+            chi[port].insert(
+                ChiEntry{tsn->config().et_priority[s.index], when, s.index, job});
+            // Arm the port; ranks after every same-time completion, so the
+            // service decision sees all frames that became ready at `when`.
+            push(Event{when, EventType::EtPortService, 0, static_cast<std::size_t>(port), 0, 0,
+                       0});
+          } else {
+            const int fid = layout->frame_id(static_cast<MessageId>(s.index));
+            chi[fid].insert(ChiEntry{app->messages()[s.index].priority, when, s.index, job});
+          }
         }
         // ST messages are replayed from the table; readiness is only used
         // for the precedence check at transmission time.
@@ -230,6 +252,41 @@ struct ClusterEngine::Impl {
         touched_nodes.push_back(node);
       }
     }
+  }
+
+  /// Earliest start >= `t` on a TSN egress port such that a frame of
+  /// `duration` does not overlap any gate-window occurrence — the simulation
+  /// counterpart of the analysis guard band (a frame only starts if it
+  /// completes before the next window opens).  Returns kTimeNone when no
+  /// inter-window gap ever fits the frame (the port head-of-line blocks).
+  Time next_gate_fit(std::size_t port, Time t, Time duration) const {
+    const std::span<const Interval> windows = tsn->port_windows(port);
+    if (windows.empty()) return t;
+    Time pos = t;
+    const Time give_up = t + 2 * cycle_len + duration;
+    while (pos <= give_up) {
+      const Time base = (pos / cycle_len) * cycle_len;
+      bool moved = false;
+      for (int rep = 0; rep < 2 && !moved; ++rep) {
+        const Time shift = base + rep * cycle_len;
+        for (const Interval& w : windows) {
+          const Time open = shift + w.start;
+          const Time close = shift + w.end;
+          if (pos >= close) continue;          // occurrence already passed
+          if (pos >= open) {                   // inside a window: step out
+            pos = close;
+            moved = true;
+            break;
+          }
+          if (pos + duration <= open) return pos;  // fits before the window
+          pos = close;                         // guard band: idle through it
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) return pos;  // nothing ahead within two cycles
+    }
+    return kTimeNone;  // the gaps never fit this frame
   }
 
   void process(const Event& ev) {
@@ -358,6 +415,42 @@ struct ClusterEngine::Impl {
                    counter + advance, static_cast<std::int64_t>(fid) + 1});
         break;
       }
+      case EventType::EtPortService: {
+        const std::size_t port = ev.a;
+        if (now < port_busy_until[port]) break;  // a service fires at busy_until
+        auto& queue = chi[static_cast<int>(port)];
+        // Highest-priority frame already handed to the port (multiset order
+        // = priority / ready / job — FIFO among equal priorities).
+        auto best = queue.end();
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+          if (it->ready <= now) {
+            best = it;
+            break;
+          }
+        }
+        if (best == queue.end()) break;  // re-armed by the next arrival
+        const std::uint32_t m = best->message;
+        const std::size_t job_index = best->job;
+        const Time duration = tsn->duration(static_cast<MessageId>(m));
+        const Time start = next_gate_fit(port, now, duration);
+        if (start == kTimeNone) break;  // head-of-line blocked forever
+        const Time delivery = start + duration;
+        port_busy_until[port] = delivery;
+        push(Event{delivery, EventType::DynDelivery, 0, 0, job_index, 0,
+                   static_cast<std::int64_t>(m)});
+        if (options.record_trace) {
+          result.trace.push_back(TransmissionRecord{static_cast<MessageId>(m),
+                                                    static_cast<int>(job_index), true,
+                                                    static_cast<int>(port), start / cycle_len,
+                                                    start, delivery, options.cluster, hop_of(m)});
+        }
+        queue.erase(best);
+        // Serve the next frame once this one leaves the wire.  DynDelivery
+        // ranks earlier at the same timestamp, so a successor frame enabled
+        // by this delivery is already queued when the service runs.
+        push(Event{delivery, EventType::EtPortService, 0, port, 0, 0, 0});
+        break;
+      }
     }
     flush(now);
   }
@@ -370,22 +463,56 @@ Expected<std::unique_ptr<ClusterEngine>> ClusterEngine::create(const BusLayout& 
                                                                const StaticSchedule& schedule,
                                                                EngineOptions options,
                                                                EngineHooks hooks) {
-  const Application& app = layout.application();
+  return create_impl(&layout, nullptr, schedule, std::move(options), std::move(hooks));
+}
+
+Expected<std::unique_ptr<ClusterEngine>> ClusterEngine::create(const TsnLayout& layout,
+                                                               const StaticSchedule& schedule,
+                                                               EngineOptions options,
+                                                               EngineHooks hooks) {
+  return create_impl(nullptr, &layout, schedule, std::move(options), std::move(hooks));
+}
+
+Expected<std::unique_ptr<ClusterEngine>> ClusterEngine::create_impl(const BusLayout* bus,
+                                                                    const TsnLayout* tsn,
+                                                                    const StaticSchedule& schedule,
+                                                                    EngineOptions options,
+                                                                    EngineHooks hooks) {
+  const Application& app = bus != nullptr ? bus->application() : tsn->application();
   const Time H = schedule.hyperperiod();
-  const Time cycle_len = layout.cycle_len();
+  const Time cycle_len = bus != nullptr ? bus->cycle_len() : tsn->cycle_len();
 
   Time horizon = options.horizon;
   if (horizon == 0) {
     if (options.hyperperiods < 1) return make_error("simulate: hyperperiods must be >= 1");
-    horizon = H * options.hyperperiods;
+    auto scaled = checked_mul(H, options.hyperperiods);
+    if (!scaled.ok()) {
+      return make_error("simulate: horizon overflows the 64-bit time range (hyper-period " +
+                        std::to_string(H) + " x " + std::to_string(options.hyperperiods) +
+                        " hyper-periods); reduce hyperperiods or the period spread");
+    }
+    horizon = scaled.value();
     if (options.hyperperiods > 1 && H % cycle_len != 0) {
       // The ST table repeats every hyper-period while the DYN minislot grid
       // repeats every bus cycle; when the cycle does not divide the
       // hyper-period the two only co-terminate every lcm.  Round the
       // requested horizon up to that block so neither pattern is truncated.
       auto block = checked_lcm(H, cycle_len);
-      if (!block.ok()) return block.error();
-      horizon = (horizon + block.value() - 1) / block.value() * block.value();
+      if (!block.ok()) {
+        return make_error("simulate: lcm(hyper-period " + std::to_string(H) + ", bus cycle " +
+                          std::to_string(cycle_len) +
+                          ") overflows the 64-bit time range — the periods and the cycle are "
+                          "near-coprime; align the cycle to the period grid or simulate one "
+                          "hyper-period");
+      }
+      auto aligned = checked_align_up(horizon, block.value());
+      if (!aligned.ok()) {
+        return make_error("simulate: aligning the horizon up to lcm(hyper-period, bus cycle) = " +
+                          std::to_string(block.value()) +
+                          " overflows the 64-bit time range; reduce hyperperiods or align the "
+                          "cycle to the period grid");
+      }
+      horizon = aligned.value();
     }
   }
   if (horizon <= 0 || horizon % H != 0) {
@@ -395,7 +522,8 @@ Expected<std::unique_ptr<ClusterEngine>> ClusterEngine::create(const BusLayout& 
 
   std::unique_ptr<ClusterEngine> engine(new ClusterEngine);
   Impl& im = *engine->impl_;
-  im.layout = &layout;
+  im.layout = bus;
+  im.tsn = tsn;
   im.app = &app;
   im.options = std::move(options);
   im.hooks = std::move(hooks);
@@ -477,15 +605,18 @@ Expected<std::unique_ptr<ClusterEngine>> ClusterEngine::create(const BusLayout& 
     }
   }
 
-  // DYN segment walkers: one chain of DynSlot events per bus cycle.
-  if (layout.max_frame_id() > 0) {
+  // DYN segment walkers: one chain of DynSlot events per bus cycle.  TSN
+  // needs none — ports are event-driven (EtPortService is armed by each
+  // frame arrival and re-armed after each transmission).
+  if (bus != nullptr && bus->max_frame_id() > 0) {
     for (Time c = 0; c * cycle_len < horizon; ++c) {
-      im.push(Event{c * cycle_len + layout.st_segment_len(), EventType::DynSlot, 0, 0, 0,
+      im.push(Event{c * cycle_len + bus->st_segment_len(), EventType::DynSlot, 0, 0, 0,
                     /*counter=*/1, /*fid=*/1});
     }
   }
 
   im.cpus.resize(app.node_count());
+  im.port_busy_until.assign(app.node_count(), 0);
   im.result.task_worst_completion.assign(app.task_count(), kTimeNone);
   im.result.message_worst_completion.assign(app.message_count(), kTimeNone);
   return engine;
@@ -498,7 +629,7 @@ Time ClusterEngine::next_time() const {
 }
 
 int ClusterEngine::next_order() const {
-  return impl_->events.empty() ? static_cast<int>(EventType::DynSlot) + 1
+  return impl_->events.empty() ? static_cast<int>(EventType::EtPortService) + 1
                                : static_cast<int>(impl_->events.top().type);
 }
 

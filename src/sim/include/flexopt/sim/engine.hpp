@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "flexopt/analysis/static_schedule.hpp"
+#include "flexopt/analysis/tsn_analysis.hpp"
 #include "flexopt/flexray/bus_layout.hpp"
 #include "flexopt/sim/simulator.hpp"
 #include "flexopt/util/expected.hpp"
@@ -67,6 +68,15 @@ class ClusterEngine {
       const BusLayout& layout, const StaticSchedule& schedule, EngineOptions options = {},
       EngineHooks hooks = {});
 
+  /// TSN-cluster variant: ST messages are replayed from `schedule` (built by
+  /// build_tsn_schedule), ET messages are queued per egress port and served
+  /// non-preemptively by strict priority in the gaps between gate windows,
+  /// with the same guard banding the analysis bound assumes (a frame only
+  /// starts if it completes before the next window opens).
+  [[nodiscard]] static Expected<std::unique_ptr<ClusterEngine>> create(
+      const TsnLayout& layout, const StaticSchedule& schedule, EngineOptions options = {},
+      EngineHooks hooks = {});
+
   ~ClusterEngine();
   ClusterEngine(const ClusterEngine&) = delete;
   ClusterEngine& operator=(const ClusterEngine&) = delete;
@@ -103,6 +113,10 @@ class ClusterEngine {
 
  private:
   ClusterEngine();
+  /// Shared construction body; exactly one of `bus` / `tsn` is non-null.
+  [[nodiscard]] static Expected<std::unique_ptr<ClusterEngine>> create_impl(
+      const BusLayout* bus, const TsnLayout* tsn, const StaticSchedule& schedule,
+      EngineOptions options, EngineHooks hooks);
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

@@ -17,7 +17,8 @@ namespace {
 SystemConfig start_configs(const SystemModel& model, const BusParams& params) {
   SystemConfig config;
   for (std::size_t c = 0; c < model.cluster_count(); ++c) {
-    config.clusters.push_back(minimal_start_config(*model.cluster_app(c), params).config);
+    config.clusters.push_back(
+        ClusterConfig::flexray_bus(minimal_start_config(*model.cluster_app(c), params).config));
   }
   return config;
 }

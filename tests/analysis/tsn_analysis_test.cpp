@@ -1,0 +1,180 @@
+// The TSN cluster backend: TsnLayout validation and derived geometry,
+// gate-occurrence placement in build_tsn_schedule, and the holistic
+// analysis contract of analyze_tsn_cluster (convergence, jitter
+// monotonicity, guard-band starvation pinning).
+
+#include <gtest/gtest.h>
+
+#include "flexopt/analysis/sat_time.hpp"
+#include "flexopt/analysis/tsn_analysis.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+using testing::TinySystem;
+
+/// A valid TSN config for TinySystem: 50us gating cycle (divides the 100us
+/// hyper-period), an exact-fit window for the one ST message at offset
+/// 4000ns, criticality-free ET priorities.
+TsnConfig tiny_tsn_config(const TinySystem& tiny) {
+  TsnConfig config;
+  config.cycle = timeunits::us(50);
+  config.link_rate_mbps = 100;
+  config.gates.assign(tiny.app.message_count(), TsnGateWindow{});
+  config.et_priority.assign(tiny.app.message_count(), 0);
+  const Time st_wire = tsn_frame_duration(4, config.link_rate_mbps);
+  config.gates[index_of(tiny.st_msg)] = TsnGateWindow{4000, st_wire};
+  return config;
+}
+
+TEST(TsnLayout, BuildDerivesGeometry) {
+  TinySystem tiny;
+  auto layout = TsnLayout::build(tiny.app, tiny_tsn_config(tiny));
+  ASSERT_TRUE(layout.ok()) << layout.error().message;
+  const TsnLayout& l = layout.value();
+
+  EXPECT_EQ(l.cycle_len(), timeunits::us(50));
+  // (4 + 42) * 8 = 368 bits at 100 Mbit/s -> 3680 ns.
+  EXPECT_EQ(l.duration(tiny.st_msg), 3680);
+  // (2 + 42) * 8 = 352 bits -> 3520 ns.
+  EXPECT_EQ(l.duration(tiny.dyn_msg), 3520);
+
+  // Egress port = receiver node: st producer->consumer@N1, dyn fps->sink@N0.
+  EXPECT_EQ(l.egress_port(tiny.st_msg), 1u);
+  EXPECT_EQ(l.egress_port(tiny.dyn_msg), 0u);
+
+  ASSERT_EQ(l.port_windows(1).size(), 1u);
+  EXPECT_EQ(l.port_windows(1)[0].start, 4000);
+  EXPECT_EQ(l.port_windows(1)[0].end, 4000 + 3680);
+  EXPECT_TRUE(l.port_windows(0).empty());
+  EXPECT_EQ(l.port_closed_per_cycle(1), 3680);
+  EXPECT_EQ(l.port_closed_per_cycle(0), 0);
+  EXPECT_EQ(l.port_max_et_frame(0), 3520);
+  EXPECT_EQ(l.port_max_et_frame(1), 0);
+
+  EXPECT_EQ(l.st_ordinal(tiny.st_msg), 0);
+  EXPECT_EQ(l.st_ordinal(tiny.dyn_msg), -1);
+}
+
+TEST(TsnLayout, BuildRejectsMalformedConfigs) {
+  TinySystem tiny;
+  {
+    TsnConfig bad = tiny_tsn_config(tiny);
+    bad.cycle = timeunits::us(30);  // does not divide the 100us hyper-period
+    auto r = TsnLayout::build(tiny.app, bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("divide the hyper-period"), std::string::npos);
+  }
+  {
+    TsnConfig bad = tiny_tsn_config(tiny);
+    bad.gates[index_of(tiny.st_msg)].length = 100;  // shorter than the frame
+    EXPECT_FALSE(TsnLayout::build(tiny.app, bad).ok());
+  }
+  {
+    TsnConfig bad = tiny_tsn_config(tiny);
+    bad.gates[index_of(tiny.dyn_msg)] = TsnGateWindow{0, 1000};  // ET window
+    EXPECT_FALSE(TsnLayout::build(tiny.app, bad).ok());
+  }
+  {
+    TsnConfig bad = tiny_tsn_config(tiny);
+    bad.gates.pop_back();  // table size mismatch
+    EXPECT_FALSE(TsnLayout::build(tiny.app, bad).ok());
+  }
+  {
+    TsnConfig bad = tiny_tsn_config(tiny);
+    bad.gates[index_of(tiny.st_msg)].offset = timeunits::us(49);  // past cycle end
+    EXPECT_FALSE(TsnLayout::build(tiny.app, bad).ok());
+  }
+}
+
+TEST(TsnSchedule, StInstancesTakeGateOccurrences) {
+  TinySystem tiny;
+  auto layout = TsnLayout::build(tiny.app, tiny_tsn_config(tiny));
+  ASSERT_TRUE(layout.ok());
+  auto schedule = build_tsn_schedule(layout.value());
+  ASSERT_TRUE(schedule.ok()) << schedule.error().message;
+
+  // One instance per 100us hyper-period.  The producer finishes at 2us, the
+  // first gate occurrence at or after that is offset 4000 of cycle 0.
+  const auto& entries = schedule.value().message_entries(tiny.st_msg);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].start, 4000);
+  EXPECT_EQ(entries[0].finish, 4000 + 3680);
+  EXPECT_EQ(entries[0].slot, 0);  // st_ordinal
+}
+
+TEST(TsnAnalysis, ConvergesAndBoundsEveryActivity) {
+  TinySystem tiny;
+  auto layout = TsnLayout::build(tiny.app, tiny_tsn_config(tiny));
+  ASSERT_TRUE(layout.ok());
+  auto result = analyze_tsn_cluster(layout.value());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const AnalysisResult& r = result.value();
+
+  EXPECT_TRUE(r.converged);
+  // The ST chain completes exactly as scheduled.
+  EXPECT_EQ(r.message_completion[index_of(tiny.st_msg)], 4000 + 3680);
+  // The lone ET message on its port still pays its own wire time and any
+  // jitter, and the bound must stay within the 100us period (schedulable).
+  const Time dyn = r.message_completion[index_of(tiny.dyn_msg)];
+  EXPECT_GE(dyn, 3520);
+  EXPECT_LE(dyn, timeunits::us(100));
+  EXPECT_TRUE(r.cost.schedulable);
+}
+
+TEST(TsnAnalysis, MonotoneInExternalJitter) {
+  TinySystem tiny;
+  auto layout = TsnLayout::build(tiny.app, tiny_tsn_config(tiny));
+  ASSERT_TRUE(layout.ok());
+  auto base = analyze_tsn_cluster(layout.value());
+  ASSERT_TRUE(base.ok());
+
+  std::vector<Time> jitter(tiny.app.task_count(), 0);
+  jitter[index_of(tiny.fps_task)] = timeunits::us(10);
+  auto shifted = analyze_tsn_cluster(layout.value(), AnalysisOptions{}, nullptr, jitter);
+  ASSERT_TRUE(shifted.ok());
+  for (std::size_t m = 0; m < tiny.app.message_count(); ++m) {
+    EXPECT_GE(shifted.value().message_completion[m], base.value().message_completion[m]);
+  }
+  for (std::size_t t = 0; t < tiny.app.task_count(); ++t) {
+    EXPECT_GE(shifted.value().task_completion[t], base.value().task_completion[t]);
+  }
+}
+
+TEST(TsnAnalysis, GateStarvedPortPinsEtUnbounded) {
+  // ST and ET share one egress port; the gate window leaves a gap shorter
+  // than the ET frame, so guard banding blocks the ET message forever and
+  // the bound must pin it to infinity (unschedulable, positive cost).
+  Application app;
+  const NodeId a = app.add_node("A");
+  const NodeId b = app.add_node("B");
+  const GraphId tt = app.add_graph("tt", timeunits::us(100), timeunits::us(100));
+  const GraphId et = app.add_graph("et", timeunits::us(100), timeunits::us(100));
+  const TaskId p = app.add_task(tt, "p", a, timeunits::us(1), TaskPolicy::Scs);
+  const TaskId c = app.add_task(tt, "c", b, timeunits::us(1), TaskPolicy::Scs);
+  const MessageId st = app.add_message(tt, "st", p, c, 4, MessageClass::Static);
+  const TaskId e = app.add_task(et, "e", a, timeunits::us(1), TaskPolicy::Fps, 1);
+  const TaskId s = app.add_task(et, "s", b, timeunits::us(1), TaskPolicy::Fps, 2);
+  const MessageId dyn = app.add_message(et, "dyn", e, s, 2, MessageClass::Dynamic, 0);
+  ASSERT_TRUE(app.finalize().ok());
+
+  TsnConfig config;
+  config.cycle = timeunits::us(5);
+  config.link_rate_mbps = 100;
+  config.gates.assign(app.message_count(), TsnGateWindow{});
+  config.et_priority.assign(app.message_count(), 0);
+  // Window covers all but 500ns of the cycle; the 3520ns ET frame never fits.
+  config.gates[index_of(st)] = TsnGateWindow{0, timeunits::us(5) - 500};
+
+  auto layout = TsnLayout::build(app, config);
+  ASSERT_TRUE(layout.ok()) << layout.error().message;
+  auto result = analyze_tsn_cluster(layout.value());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_TRUE(is_infinite(result.value().message_completion[index_of(dyn)]));
+  EXPECT_FALSE(result.value().cost.schedulable);
+  (void)e;
+}
+
+}  // namespace
+}  // namespace flexopt

@@ -162,6 +162,61 @@ TEST(CampaignRunner, MulticlusterSweepIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// The backend axis runs through the whole campaign pipeline: per-backend
+// scenarios solve, the CSV carries the backend column, the JSON gains a
+// by_backend breakdown (absent for the pure-default axis), and the
+// byte-identical thread-count contract holds across the mix.
+TEST(CampaignRunner, BackendAxisSweepsAndReports) {
+  CampaignSpec spec;
+  spec.name = "backends";
+  spec.node_counts = {6};
+  spec.topologies = {Topology::MultiCluster};
+  spec.cluster_counts = {3};
+  spec.traffic_mixes = {TrafficMix::DynOnly};
+  spec.backends = {BackendMix::Flexray, BackendMix::Mixed, BackendMix::Tsn};
+  spec.inter_cluster_share = 0.3;
+  spec.replicates = 1;
+  spec.tasks_per_node = 4;
+  spec.tasks_per_graph = 4;
+  spec.deadline_factor = 2.0;
+  spec.base_seed = 11;
+  spec.algorithms = {"bbc"};
+  spec.max_evaluations = 120;
+  CampaignRunner runner(spec, BusParams{});
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 3;
+  auto a = runner.run(serial);
+  auto b = runner.run(parallel);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(write_campaign_json(a.value()), write_campaign_json(b.value()));
+  EXPECT_EQ(write_campaign_csv(a.value()), write_campaign_csv(b.value()));
+
+  ASSERT_EQ(a.value().scenarios.size(), 3u);
+  for (const ScenarioRecord& record : a.value().scenarios) {
+    EXPECT_TRUE(record.generated) << record.error;
+  }
+  const std::string csv = write_campaign_csv(a.value());
+  EXPECT_NE(csv.find(",backend,"), std::string::npos);
+  EXPECT_NE(csv.find(",mixed,"), std::string::npos);
+  const std::string json = write_campaign_json(a.value());
+  EXPECT_NE(json.find("\"by_backend\""), std::string::npos);
+  for (const char* tag : {"\"flexray\"", "\"mixed\"", "\"tsn\""}) {
+    EXPECT_NE(json.find(tag), std::string::npos) << tag;
+  }
+  const AlgorithmAggregate tsn_only =
+      aggregate_runs_backend(a.value(), "bbc", BackendMix::Tsn);
+  EXPECT_EQ(tsn_only.scenarios, 1u);
+
+  // Default axis: no by_backend block, pre-backend output bytes preserved.
+  CampaignSpec plain = tiny_campaign();
+  auto p = CampaignRunner(plain, BusParams{}).run();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(write_campaign_json(p.value()).find("by_backend"), std::string::npos);
+}
+
 // A degenerate grid cell (divisibility violation for nodes=3) is recorded
 // as skipped; the campaign neither crashes nor aborts.
 TEST(CampaignRunner, SkipsAndRecordsDegenerateScenarios) {

@@ -116,6 +116,73 @@ TEST(CampaignSpecFormat, ParsesClusterKeywords) {
   EXPECT_FALSE(parse_campaign_text("inter_share 0.2 0.3\n").ok());
 }
 
+TEST(CampaignSpecFormat, ParsesBackendAxis) {
+  auto spec = parse_campaign_text(
+      "topology multicluster\n"
+      "clusters 2\n"
+      "backend flexray tsn mixed\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_EQ(spec.value().backends,
+            (std::vector<BackendMix>{BackendMix::Flexray, BackendMix::Tsn, BackendMix::Mixed}));
+  // Untouched: the axis defaults to pure FlexRay (pre-backend behaviour).
+  auto plain = parse_campaign_text("nodes 4\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().backends, std::vector<BackendMix>{BackendMix::Flexray});
+
+  // Unknown backend values fail with the line and the valid set.
+  auto bad = parse_campaign_text("name ok\nbackend ethernet\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(bad.error().message.find("expected flexray, tsn or mixed"), std::string::npos);
+
+  // A typo on the keyword itself gets the did-you-mean hint.
+  auto typo = parse_campaign_text("backned tsn\n");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.error().message.find("did you mean 'backend'"), std::string::npos);
+}
+
+TEST(CampaignSpecFormat, BackendAxisRejectsSingleBusFamilies) {
+  // tsn/mixed require every swept topology to be multicluster: the grid is
+  // rejected at expansion (spec-level, not N per-cell skips).
+  auto spec = parse_campaign_text(
+      "topology pipeline multicluster\n"
+      "clusters 2\n"
+      "backend tsn\n"
+      "tasks_per_node 6\n"
+      "tasks_per_graph 3\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  auto plans = expand_grid(spec.value());
+  ASSERT_FALSE(plans.ok());
+  EXPECT_NE(plans.error().message.find("requires every topology to be multicluster"),
+            std::string::npos);
+
+  // Pure-FlexRay backends stay valid with any family (the default path).
+  auto flexray = parse_campaign_text(
+      "topology pipeline\n"
+      "backend flexray\n"
+      "tasks_per_node 6\n"
+      "tasks_per_graph 3\n");
+  ASSERT_TRUE(flexray.ok());
+  EXPECT_TRUE(expand_grid(flexray.value()).ok());
+}
+
+TEST(CampaignSpecFormat, BackendAxisMultipliesTheGrid) {
+  auto spec = parse_campaign_text(
+      "nodes 4\n"
+      "topology multicluster\n"
+      "clusters 2\n"
+      "backend flexray tsn\n"
+      "tasks_per_node 6\n"
+      "tasks_per_graph 3\n"
+      "algorithms bbc\n");
+  ASSERT_TRUE(spec.ok());
+  auto plans = expand_grid(spec.value());
+  ASSERT_TRUE(plans.ok()) << plans.error().message;
+  ASSERT_EQ(plans.value().size(), 2u);
+  EXPECT_EQ(plans.value()[0].scenario.backend, BackendMix::Flexray);
+  EXPECT_EQ(plans.value()[1].scenario.backend, BackendMix::Tsn);
+}
+
 TEST(CampaignSpecFormat, UnknownKeywordsSuggestTheNearestSpelling) {
   // Typos fail loudly with the line number AND a "did you mean" hint.
   auto typo = parse_campaign_text("name ok\nclustres 2\n");

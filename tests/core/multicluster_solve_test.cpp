@@ -18,7 +18,8 @@ namespace {
 SystemConfig start_configs(const SystemModel& model, const BusParams& params) {
   SystemConfig config;
   for (std::size_t c = 0; c < model.cluster_count(); ++c) {
-    config.clusters.push_back(minimal_start_config(*model.cluster_app(c), params).config);
+    config.clusters.push_back(
+        ClusterConfig::flexray_bus(minimal_start_config(*model.cluster_app(c), params).config));
   }
   return config;
 }
@@ -52,7 +53,7 @@ TEST(MulticlusterEvaluator, EvaluateSystemCachesOnSystemConfig) {
   EXPECT_EQ(evaluator.cache_stats().hits, 1u);
 
   // A raw BusConfig is ambiguous on a multi-cluster evaluator.
-  const auto ambiguous = evaluator.evaluate(f.config.clusters[0]);
+  const auto ambiguous = evaluator.evaluate(f.config.clusters[0].flexray);
   EXPECT_FALSE(ambiguous.valid);
   EXPECT_NE(ambiguous.error.find("set_focus"), std::string::npos);
 }
@@ -65,7 +66,7 @@ TEST(MulticlusterEvaluator, FocusSubstitutesIntoContext) {
   // application() is the focused cluster's projection (relay task included).
   EXPECT_EQ(evaluator.application().task_count(), f.model.cluster_app(1)->task_count());
 
-  const auto focused = evaluator.evaluate(f.config.clusters[1]);
+  const auto focused = evaluator.evaluate(f.config.clusters[1].flexray);
   ASSERT_TRUE(focused.valid);
   // The focused evaluation scored the full substituted system: identical to
   // evaluating the SystemConfig directly.
@@ -82,15 +83,15 @@ TEST(MulticlusterEvaluator, ClusterDeltaMatchesFullEvaluation) {
   CostEvaluator evaluator(f.model, f.sys.params, AnalysisOptions{});
 
   // Mutate cluster 1's DYN segment length through a cluster-stamped move.
-  BusConfig next = f.config.clusters[1];
+  BusConfig next = f.config.clusters[1].flexray;
   next.minislot_count += 5;
-  DeltaMove move = DeltaMove::between(f.config.clusters[1], next);
+  DeltaMove move = DeltaMove::between(f.config.clusters[1].flexray, next);
   move.cluster = 1;
   const auto delta = evaluator.evaluate_delta(f.config, move);
   ASSERT_TRUE(delta.valid);
 
   SystemConfig substituted = f.config;
-  substituted.clusters[1] = next;
+  substituted.clusters[1] = ClusterConfig::flexray_bus(next);
   CostEvaluator reference(f.model, f.sys.params, AnalysisOptions{});
   const auto full = reference.evaluate_system(substituted);
   ASSERT_TRUE(full.valid);
@@ -122,7 +123,7 @@ TEST(MulticlusterSolve, EveryRegistryOptimizerSolvesATwoClusterSystem) {
     EXPECT_EQ(report.outcome.system.cluster_count(), 2u) << info.name;
     EXPECT_TRUE(report.outcome.feasible) << info.name;
     EXPECT_LT(report.outcome.cost.value, 0.0) << info.name;  // schedulable slack
-    EXPECT_EQ(report.outcome.config, report.outcome.system.clusters[0]) << info.name;
+    EXPECT_EQ(report.outcome.config, report.outcome.system.clusters[0].flexray) << info.name;
     // The chosen product must re-evaluate to the reported cost.
     CostEvaluator check(f.model, f.sys.params, AnalysisOptions{});
     const auto eval = check.evaluate_system(report.outcome.system);
@@ -138,7 +139,7 @@ TEST(MulticlusterSolve, SingleClusterSolveFillsDegenerateSystemConfig) {
   CostEvaluator evaluator(tiny.app, tiny.params, AnalysisOptions{});
   const SolveReport report = optimizer.value()->solve(evaluator);
   ASSERT_EQ(report.outcome.system.cluster_count(), 1u);
-  EXPECT_EQ(report.outcome.system.clusters[0], report.outcome.config);
+  EXPECT_EQ(report.outcome.system.clusters[0].flexray, report.outcome.config);
 }
 
 TEST(MulticlusterSolve, PortfolioJobsDoNotChangeTheReport) {
@@ -181,7 +182,7 @@ TEST(MulticlusterSolve, PortfolioJobsDoNotChangeTheReport) {
   const std::string parallel = solve_with_jobs(4);
   EXPECT_EQ(serial, parallel);
   EXPECT_NE(serial.find("cluster_configs"), std::string::npos);
-  EXPECT_NE(serial.find("flexopt-solve-report/3"), std::string::npos);
+  EXPECT_NE(serial.find("flexopt-solve-report/4"), std::string::npos);
 }
 
 }  // namespace

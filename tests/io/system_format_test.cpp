@@ -142,6 +142,53 @@ TEST(SystemFormat, ClusteredSystemRoundTrip) {
   EXPECT_FALSE(parse_system_text("gateway GW cluster=0 bridges=1;2\n").ok());
 }
 
+TEST(SystemFormat, BackendKeywordRoundTrips) {
+  const char* text =
+      "node A\n"
+      "node B cluster=1\n"
+      "gateway GW cluster=0 bridges=1\n"
+      "backend 1 tsn\n"
+      "graph G et period=20ms deadline=20ms\n"
+      "task t0 graph=G node=A wcet=500us prio=1\n"
+      "task t1 graph=G node=B wcet=400us prio=2\n"
+      "message m from=t0 to=t1 bytes=8 prio=1\n";
+  auto parsed = parse_system_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Application& a = parsed.value().app;
+  EXPECT_EQ(a.cluster_backend(static_cast<ClusterId>(0)), ClusterBackendKind::FlexRay);
+  EXPECT_EQ(a.cluster_backend(static_cast<ClusterId>(1)), ClusterBackendKind::Tsn);
+
+  // The writer emits backend lines only for non-FlexRay clusters, and the
+  // declaration survives a round trip.
+  const std::string dumped = write_system(a, parsed.value().params);
+  EXPECT_NE(dumped.find("backend 1 tsn"), std::string::npos);
+  EXPECT_EQ(dumped.find("backend 0"), std::string::npos);
+  auto reparsed = parse_system_text(dumped);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message << "\n" << dumped;
+  EXPECT_EQ(reparsed.value().app.cluster_backend(static_cast<ClusterId>(1)),
+            ClusterBackendKind::Tsn);
+
+  // Pure-FlexRay systems keep emitting pre-backend text (byte compatibility).
+  auto plain = parse_system_text(kMinimal);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(write_system(plain.value().app, plain.value().params).find("backend"),
+            std::string::npos);
+
+  // Malformed backend lines fail with the line number and the valid set.
+  auto bad_kind = parse_system_text("node A\nbackend 0 ethernet\n");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(bad_kind.error().message.find("expected flexray or tsn"), std::string::npos);
+  EXPECT_FALSE(parse_system_text("node A\nbackend tsn\n").ok());
+  EXPECT_FALSE(parse_system_text("node A\nbackend -1 tsn\n").ok());
+  // Declaring a backend for a cluster that never materializes must be
+  // rejected by finalize, not silently dropped.
+  EXPECT_FALSE(parse_system_text("node A\nbackend 3 tsn\n"
+                                 "graph G et period=20ms\n"
+                                 "task t graph=G node=A wcet=10us prio=1\n")
+                   .ok());
+}
+
 TEST(SystemFormat, CruiseControllerRoundTrip) {
   const Application cc = build_cruise_controller();
   const std::string dumped = write_system(cc, cruise_controller_params());

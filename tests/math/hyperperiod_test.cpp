@@ -32,6 +32,34 @@ TEST(Lcm, DetectsOverflow) {
   EXPECT_FALSE(checked_lcm(big, big - 1).ok());
 }
 
+TEST(CheckedMul, MultipliesAndRejectsOverflow) {
+  auto r = checked_mul(1'000'000'007, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3'000'000'021);
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 2 + 1;
+  EXPECT_FALSE(checked_mul(big, 2).ok());
+  EXPECT_FALSE(checked_mul(0, 5).ok());
+  EXPECT_FALSE(checked_mul(5, -1).ok());
+}
+
+TEST(CheckedAlignUp, AlignsAndRejectsOverflow) {
+  auto exact = checked_align_up(40, 8);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), 40);
+  auto up = checked_align_up(41, 8);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up.value(), 48);
+  auto zero = checked_align_up(0, 8);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0);
+  // The padding step itself must not wrap: max-1 is odd, aligning it to an
+  // even block would land past the 64-bit range.
+  const std::int64_t near_max = std::numeric_limits<std::int64_t>::max() - 1;
+  EXPECT_FALSE(checked_align_up(near_max, 4).ok());
+  EXPECT_FALSE(checked_align_up(-1, 8).ok());
+  EXPECT_FALSE(checked_align_up(8, 0).ok());
+}
+
 TEST(Hyperperiod, HarmonicPeriods) {
   const std::array<std::int64_t, 3> periods{10, 20, 40};
   auto r = hyperperiod(periods);

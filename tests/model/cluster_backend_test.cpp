@@ -1,0 +1,106 @@
+// The per-cluster backend vocabulary: kind/mix parsing and naming, the
+// mixed-assignment policy, Ethernet frame timing, the per-backend move-kind
+// tables, and the Application-level backend declarations (storage, default,
+// finalize validation).
+
+#include <gtest/gtest.h>
+
+#include "flexopt/model/application.hpp"
+#include "flexopt/model/cluster_backend.hpp"
+#include "helpers.hpp"
+
+namespace flexopt {
+namespace {
+
+TEST(ClusterBackend, KindParsingRoundTrips) {
+  for (const ClusterBackendKind kind :
+       {ClusterBackendKind::FlexRay, ClusterBackendKind::Tsn}) {
+    auto parsed = parse_backend_kind(to_string(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  auto bad = parse_backend_kind("ethernet");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("expected flexray or tsn"), std::string::npos);
+}
+
+TEST(ClusterBackend, MixParsingRoundTrips) {
+  for (const BackendMix mix : {BackendMix::Flexray, BackendMix::Tsn, BackendMix::Mixed}) {
+    auto parsed = parse_backend_mix(to_string(mix));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), mix);
+  }
+  auto bad = parse_backend_mix("hybrid");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("expected flexray, tsn or mixed"), std::string::npos);
+}
+
+TEST(ClusterBackend, MixedAlternatesStartingWithFlexray) {
+  EXPECT_EQ(backend_for_cluster(BackendMix::Mixed, 0), ClusterBackendKind::FlexRay);
+  EXPECT_EQ(backend_for_cluster(BackendMix::Mixed, 1), ClusterBackendKind::Tsn);
+  EXPECT_EQ(backend_for_cluster(BackendMix::Mixed, 2), ClusterBackendKind::FlexRay);
+  EXPECT_EQ(backend_for_cluster(BackendMix::Mixed, 3), ClusterBackendKind::Tsn);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(backend_for_cluster(BackendMix::Flexray, c), ClusterBackendKind::FlexRay);
+    EXPECT_EQ(backend_for_cluster(BackendMix::Tsn, c), ClusterBackendKind::Tsn);
+  }
+}
+
+TEST(ClusterBackend, FrameDurationChargesOverheadAndRoundsUp) {
+  // 8 payload bytes + 42 overhead bytes = 400 bits; at 100 Mbit/s that is
+  // 4000 ns exactly.
+  EXPECT_EQ(tsn_frame_duration(8, 100), 4000);
+  // 1 byte + overhead = 344 bits at 1000 Mbit/s = 344 ns exactly; at
+  // 3 Mbit/s = 114666.67 ns, rounded *up*.
+  EXPECT_EQ(tsn_frame_duration(1, 1000), 344);
+  EXPECT_EQ(tsn_frame_duration(1, 3), (344 * 1000 + 2) / 3);
+}
+
+TEST(ClusterBackend, MoveKindTablesAreDisjointAndComplete) {
+  const auto flexray = backend_move_kinds(ClusterBackendKind::FlexRay);
+  const auto tsn = backend_move_kinds(ClusterBackendKind::Tsn);
+  EXPECT_EQ(flexray.size(), 5u);
+  EXPECT_EQ(tsn.size(), 3u);
+  for (const BackendMoveKind f : flexray) {
+    for (const BackendMoveKind t : tsn) EXPECT_NE(f, t);
+  }
+  EXPECT_STREQ(to_string(BackendMoveKind::TsnGateOffset), "tsn_gate_offset");
+  EXPECT_STREQ(to_string(BackendMoveKind::MinislotCount), "minislot_count");
+}
+
+TEST(ClusterBackend, ApplicationDefaultsToFlexray) {
+  testing::TwoClusterSystem sys;
+  EXPECT_EQ(sys.app.cluster_backend(static_cast<ClusterId>(0)), ClusterBackendKind::FlexRay);
+  EXPECT_EQ(sys.app.cluster_backend(static_cast<ClusterId>(1)), ClusterBackendKind::FlexRay);
+}
+
+TEST(ClusterBackend, ApplicationStoresPerClusterDeclarations) {
+  testing::TwoClusterSystem sys;
+  // Helpers finalize the app; backend declarations are part of construction,
+  // so rebuild the same shape with a TSN cluster 1.
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  app.set_node_cluster(n1, static_cast<ClusterId>(1));
+  app.add_gateway(app.add_node("GW"), {static_cast<ClusterId>(1)});
+  const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+  const TaskId a = app.add_task(g, "a", n0, timeunits::us(100), TaskPolicy::Fps, 1);
+  const TaskId b = app.add_task(g, "b", n1, timeunits::us(100), TaskPolicy::Fps, 2);
+  app.add_message(g, "m", a, b, 8, MessageClass::Dynamic, 1);
+  app.set_cluster_backend(static_cast<ClusterId>(1), ClusterBackendKind::Tsn);
+  ASSERT_TRUE(app.finalize().ok());
+  EXPECT_EQ(app.cluster_backend(static_cast<ClusterId>(0)), ClusterBackendKind::FlexRay);
+  EXPECT_EQ(app.cluster_backend(static_cast<ClusterId>(1)), ClusterBackendKind::Tsn);
+}
+
+TEST(ClusterBackend, FinalizeRejectsOutOfRangeDeclaration) {
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const GraphId g = app.add_graph("G", timeunits::ms(10), timeunits::ms(10));
+  app.add_task(g, "a", n0, timeunits::us(100), TaskPolicy::Fps, 1);
+  app.set_cluster_backend(static_cast<ClusterId>(3), ClusterBackendKind::Tsn);
+  EXPECT_FALSE(app.finalize().ok());
+}
+
+}  // namespace
+}  // namespace flexopt

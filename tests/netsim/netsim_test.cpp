@@ -23,14 +23,15 @@ using testing::TwoClusterSystem;
 SystemConfig start_configs(const SystemModel& model, const BusParams& params) {
   SystemConfig config;
   for (std::size_t c = 0; c < model.cluster_count(); ++c) {
-    config.clusters.push_back(minimal_start_config(*model.cluster_app(c), params).config);
+    config.clusters.push_back(
+        ClusterConfig::flexray_bus(minimal_start_config(*model.cluster_app(c), params).config));
   }
   return config;
 }
 
 struct Network {
   SystemModel model;
-  std::vector<BusLayout> layouts;
+  std::vector<ClusterLayout> layouts;
   MulticlusterResult analysis;
 };
 
@@ -63,7 +64,8 @@ TEST(NetSim, SingleClusterDegeneratesToSimulate) {
 
   SimOptions sim_options;
   sim_options.record_trace = true;
-  auto sim = simulate(layouts.value()[0], analysis.value().clusters[0].schedule(), sim_options);
+  auto sim = simulate(layouts.value()[0].flexray(), analysis.value().clusters[0].schedule(),
+                      sim_options);
   ASSERT_TRUE(sim.ok());
 
   EXPECT_EQ(net.value().task_worst_completion, sim.value().task_worst_completion);
@@ -208,7 +210,7 @@ TEST(NetSim, MultiHyperperiodHorizonIsSharedAndAligned) {
   const Time H = net.analysis.clusters[0].schedule().hyperperiod();
   EXPECT_GE(result.value().horizon, 2 * H);
   EXPECT_EQ(result.value().horizon % H, 0);
-  for (const BusLayout& layout : net.layouts) {
+  for (const ClusterLayout& layout : net.layouts) {
     EXPECT_EQ(result.value().horizon % layout.cycle_len(), 0);
   }
   EXPECT_EQ(result.value().unfinished_jobs, 0);

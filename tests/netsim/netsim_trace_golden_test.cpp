@@ -63,8 +63,8 @@ TEST(NetsimTraceGolden, TwoClusterTraceMatchesGolden) {
   ASSERT_TRUE(model.ok());
   SystemConfig config;
   for (std::size_t c = 0; c < model.value().cluster_count(); ++c) {
-    config.clusters.push_back(
-        minimal_start_config(*model.value().cluster_app(c), sys.params).config);
+    config.clusters.push_back(ClusterConfig::flexray_bus(
+        minimal_start_config(*model.value().cluster_app(c), sys.params).config));
   }
   auto layouts = build_system_layouts(model.value(), sys.params, config);
   ASSERT_TRUE(layouts.ok());

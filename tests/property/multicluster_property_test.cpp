@@ -94,7 +94,7 @@ TEST(MulticlusterProperty, ClusterDeltaMatchesFullEvaluation) {
 
     for (int step = 0; step < 4; ++step) {
       const int cluster = static_cast<int>(rng.index(model.cluster_count()));
-      BusConfig next = base.clusters[static_cast<std::size_t>(cluster)];
+      BusConfig next = base.clusters[static_cast<std::size_t>(cluster)].flexray;
       // Random admissible mutation: DYN length nudge or a FrameID swap
       // between two DYN messages (exercises the frame-id invalidation
       // path; an inadmissible swap makes delta and full both invalid,
@@ -111,14 +111,15 @@ TEST(MulticlusterProperty, ClusterDeltaMatchesFullEvaluation) {
         std::swap(next.frame_id[a], next.frame_id[b]);
         if (a == b) next.minislot_count += 1;  // degenerate swap: still move
       }
-      DeltaMove move = DeltaMove::between(base.clusters[static_cast<std::size_t>(cluster)],
-                                          std::move(next));
+      DeltaMove move = DeltaMove::between(
+          base.clusters[static_cast<std::size_t>(cluster)].flexray, std::move(next));
       move.cluster = cluster;
 
       const auto delta = evaluator.evaluate_delta(base, move);
       CostEvaluator fresh(model, params, AnalysisOptions{});
       SystemConfig substituted = base;
-      substituted.clusters[static_cast<std::size_t>(cluster)] = move.config;
+      substituted.clusters[static_cast<std::size_t>(cluster)] =
+          ClusterConfig::flexray_bus(move.config);
       const auto full = fresh.evaluate_system(substituted);
       ASSERT_EQ(delta.valid, full.valid) << "scenario " << i << " step " << step;
       if (!delta.valid) continue;

@@ -44,7 +44,7 @@ bool start_configs(const SystemModel& model, const BusParams& params, SystemConf
   for (std::size_t c = 0; c < model.cluster_count(); ++c) {
     const StartConfig start = minimal_start_config(*model.cluster_app(c), params);
     if (!start.bounds.feasible()) return false;
-    out->clusters.push_back(start.config);
+    out->clusters.push_back(ClusterConfig::flexray_bus(start.config));
   }
   return true;
 }

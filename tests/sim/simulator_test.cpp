@@ -275,5 +275,47 @@ TEST(Simulator, SimulatedLatenciesNeverExceedAnalysedBoundsOn25Scenarios) {
   EXPECT_GE(simulated, 15);
 }
 
+TEST(Simulator, HorizonOverflowFailsWithADiagnostic) {
+  // A 2^61-1 ns graph period (prime, so near-coprime with any bus cycle):
+  // multi-hyper-period horizons must fail with a diagnostic naming the
+  // hyper-period and the cycle instead of wrapping the 64-bit time range.
+  constexpr Time kHuge = (Time{1} << 61) - 1;
+  Application app;
+  const NodeId n0 = app.add_node("N0");
+  const NodeId n1 = app.add_node("N1");
+  const GraphId et = app.add_graph("et", kHuge, kHuge);
+  const TaskId fps = app.add_task(et, "fps", n1, timeunits::us(3), TaskPolicy::Fps, 1);
+  const TaskId sink = app.add_task(et, "sink", n0, timeunits::us(1), TaskPolicy::Fps, 2);
+  const MessageId dyn = app.add_message(et, "dyn", fps, sink, 2, MessageClass::Dynamic, 0);
+  ASSERT_TRUE(app.finalize().ok());
+
+  BusConfig config;
+  config.static_slot_count = 2;
+  config.static_slot_len = timeunits::us(5);
+  config.static_slot_owner = {n0, n1};
+  config.minislot_count = 8;
+  config.frame_id.assign(app.message_count(), 0);
+  config.frame_id[index_of(dyn)] = 1;
+  const BusLayout layout = make_layout(app, didactic_params(), config);
+  const AnalysisResult analysis = analyze(layout);
+  ASSERT_EQ(analysis.schedule().hyperperiod(), kHuge);
+
+  // hyperperiods = 2: 2 * (2^61 - 1) fits, but aligning it up to
+  // lcm(2^61 - 1, cycle) does not — the lcm itself overflows.
+  SimOptions two;
+  two.hyperperiods = 2;
+  auto aligned = simulate(layout, analysis.schedule(), two);
+  ASSERT_FALSE(aligned.ok());
+  EXPECT_NE(aligned.error().message.find("near-coprime"), std::string::npos);
+  EXPECT_NE(aligned.error().message.find(std::to_string(kHuge)), std::string::npos);
+
+  // hyperperiods = 8: the H x N product itself leaves the 64-bit range.
+  SimOptions eight;
+  eight.hyperperiods = 8;
+  auto scaled = simulate(layout, analysis.schedule(), eight);
+  ASSERT_FALSE(scaled.ok());
+  EXPECT_NE(scaled.error().message.find("overflows the 64-bit time range"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flexopt

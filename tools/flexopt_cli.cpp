@@ -359,10 +359,21 @@ int solve_main(int argc, char** argv) {
     }
     for (std::size_t c = 0; c < sys.cluster_count(); ++c) {
       const Application& capp = *sys.cluster_app(c);
-      const BusConfig& cfg = outcome.system.clusters[c];
-      std::cout << "\ncluster " << c << ": " << cfg.static_slot_count << " ST slots x "
-                << format_time(cfg.static_slot_len) << ", DYN " << cfg.minislot_count
-                << " minislots\n";
+      const ClusterConfig& cluster_cfg = outcome.system.clusters[c];
+      if (cluster_cfg.kind == ClusterBackendKind::Tsn) {
+        const TsnConfig& tsn = cluster_cfg.tsn;
+        int windows = 0;
+        for (const TsnGateWindow& gate : tsn.gates) {
+          if (gate.length > 0) ++windows;
+        }
+        std::cout << "\ncluster " << c << " (tsn): " << windows << " gate windows / "
+                  << format_time(tsn.cycle) << " cycle @ " << tsn.link_rate_mbps << " Mbit/s\n";
+      } else {
+        const BusConfig& cfg = cluster_cfg.flexray;
+        std::cout << "\ncluster " << c << " (flexray): " << cfg.static_slot_count
+                  << " ST slots x " << format_time(cfg.static_slot_len) << ", DYN "
+                  << cfg.minislot_count << " minislots\n";
+      }
       Table wcrt({"activity", "kind", "WCRT", "deadline", "status"});
       const AnalysisResult& cluster = evaluation.cluster_analysis[c];
       auto add_row = [&](const std::string& name, const char* kind, Time r, Time d) {
