@@ -1,0 +1,45 @@
+#include "flexopt/analysis/analysis_mode.hpp"
+
+#include <string>
+
+namespace flexopt {
+
+const char* to_string(AnalysisMode mode) {
+  switch (mode) {
+    case AnalysisMode::Holistic:
+      return "holistic";
+    case AnalysisMode::Exact:
+      return "exact";
+    case AnalysisMode::Simulate:
+      return "simulate";
+  }
+  return "?";
+}
+
+Expected<AnalysisMode> parse_analysis_mode(std::string_view text) {
+  if (text == "holistic") return AnalysisMode::Holistic;
+  if (text == "exact") return AnalysisMode::Exact;
+  if (text == "simulate") return AnalysisMode::Simulate;
+  return make_error("unknown analysis mode '" + std::string(text) +
+                    "' (expected holistic, exact, or simulate)");
+}
+
+const char* to_string(ExactFallback fallback) {
+  switch (fallback) {
+    case ExactFallback::None:
+      return "none";
+    case ExactFallback::UnsupportedBackend:
+      return "unsupported-backend";
+    case ExactFallback::NoDynMessages:
+      return "no-dyn-messages";
+    case ExactFallback::NotConverged:
+      return "not-converged";
+    case ExactFallback::UnboundedJitter:
+      return "unbounded-jitter";
+    case ExactFallback::BudgetExceeded:
+      return "budget-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace flexopt

@@ -1,0 +1,254 @@
+#include "flexopt/analysis/exact/schedule_space.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "flexopt/analysis/sat_time.hpp"
+#include "flexopt/flexray/bus_layout.hpp"
+
+namespace flexopt {
+namespace {
+
+/// One DYN message's static exploration parameters.
+struct DynMsg {
+  std::uint32_t message = 0;  ///< MessageId value (index into app.messages())
+  int fid = 0;
+  int priority = 0;
+  int minislots = 0;
+  Time occupancy = 0;
+  Time period = 0;
+  Time jitter = 0;          ///< holistic release jitter (finite)
+  std::uint32_t jobs = 0;   ///< jobs released in the exploration window
+};
+
+/// State key: transmitted-job count per DYN message (DynMsg order).
+using StateKey = std::vector<std::uint32_t>;
+
+bool all_done(const StateKey& sent, const std::vector<DynMsg>& dyn) {
+  for (std::size_t i = 0; i < dyn.size(); ++i) {
+    if (sent[i] < dyn[i].jobs) return false;
+  }
+  return true;
+}
+
+/// A partially walked bus cycle: the next FrameID slot and the counts
+/// accumulated so far on this branch.
+struct CycleWalk {
+  int fid = 1;
+  std::int64_t counter = 1;
+  Time slot_time = 0;
+  StateKey sent;
+};
+
+}  // namespace
+
+ScheduleSpaceResult explore_dyn_schedule_space(const BusLayout& layout,
+                                               std::span<const Time> message_jitter,
+                                               Time horizon, const ExactOptions& options) {
+  ScheduleSpaceResult result;
+  const Application& app = layout.application();
+
+  const auto hp_result = app.hyperperiod();
+  if (!hp_result.ok()) {
+    result.fallback = ExactFallback::NotConverged;
+    return result;
+  }
+  const Time window = hp_result.value() * std::max(1, options.hyperperiods);
+
+  std::vector<DynMsg> dyn;
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls != MessageClass::Dynamic) continue;
+    DynMsg d;
+    d.message = m;
+    const auto id = static_cast<MessageId>(m);
+    d.fid = layout.frame_id(id);
+    d.priority = app.messages()[m].priority;
+    d.minislots = layout.message_minislots(id);
+    d.occupancy = layout.message_occupancy(id);
+    d.period = app.graph(app.messages()[m].graph).period;
+    d.jitter = m < message_jitter.size() ? message_jitter[m] : kTimeInfinity;
+    if (is_infinite(d.jitter)) {
+      result.fallback = ExactFallback::UnboundedJitter;
+      return result;
+    }
+    d.jobs = static_cast<std::uint32_t>(window / d.period);
+    dyn.push_back(d);
+  }
+  if (dyn.empty()) {
+    result.fallback = ExactFallback::NoDynMessages;
+    return result;
+  }
+
+  // Per-FrameID candidate groups in deterministic arbitration order; the
+  // engine's CHI multiset orders by (priority, ready, job), so priority
+  // decides between distinct ready messages and everything tied forks.
+  const int max_fid = layout.max_frame_id();
+  std::vector<std::vector<std::size_t>> by_fid(static_cast<std::size_t>(max_fid) + 1);
+  for (std::size_t i = 0; i < dyn.size(); ++i) by_fid[dyn[i].fid].push_back(i);
+  for (auto& group : by_fid) {
+    std::sort(group.begin(), group.end(), [&](std::size_t a, std::size_t b) {
+      return std::make_pair(dyn[a].priority, dyn[a].message) <
+             std::make_pair(dyn[b].priority, dyn[b].message);
+    });
+  }
+  std::vector<std::int64_t> p_latest(static_cast<std::size_t>(max_fid) + 1, -1);
+  for (int fid = 1; fid <= max_fid; ++fid) {
+    NodeId owner{};
+    if (layout.frame_id_owner(fid, &owner)) p_latest[fid] = layout.p_latest_tx(owner);
+  }
+
+  const Time cycle_len = layout.cycle_len();
+  const Time st_len = layout.st_segment_len();
+  const Time gd = layout.params().gd_minislot;
+  const std::int64_t minislot_count = layout.config().minislot_count;
+  const Time max_cycles = horizon / cycle_len + 1;
+
+  // Worst explored finish per DYN message (graph-relative); only published
+  // for messages whose jobs all complete on every surviving path.
+  std::vector<Time> worst(dyn.size(), 0);
+
+  std::set<StateKey> frontier;
+  frontier.insert(StateKey(dyn.size(), 0));
+
+  std::vector<std::size_t> maybe;
+  std::vector<std::size_t> tied;
+  std::vector<CycleWalk> stack;
+  std::vector<char> must(dyn.size(), 0);
+  std::vector<char> ready(dyn.size(), 0);
+  // 2^k readiness subsets are enumerated through a 64-bit mask; anything
+  // near that is hopeless anyway, so the branch cap is clamped well below.
+  const auto max_branch = static_cast<std::size_t>(
+      std::clamp(options.max_branch_messages, 0, 20));
+
+  for (Time cycle = 0; cycle < max_cycles && !frontier.empty(); ++cycle) {
+    result.explored_states += frontier.size();
+    if (result.explored_states > options.max_states) {
+      result.fallback = ExactFallback::BudgetExceeded;
+      return result;
+    }
+    const Time cycle_start = cycle * cycle_len;
+    const Time seg_start = cycle_start + st_len;
+    std::set<StateKey> next;
+    std::uint64_t inserted = 0;
+
+    for (const StateKey& state : frontier) {
+      // Classify pending head jobs.  must: certainly in the CHI by the
+      // earliest slot its FrameID can get (all earlier slots advancing by
+      // one minislot); maybe: released before the cycle ends, so the
+      // adversary chooses whether it arrived in time.
+      maybe.clear();
+      for (std::size_t i = 0; i < dyn.size(); ++i) {
+        must[i] = 0;
+        if (state[i] >= dyn[i].jobs) continue;
+        const Time release = static_cast<Time>(state[i]) * dyn[i].period;
+        const Time earliest_slot = seg_start + static_cast<Time>(dyn[i].fid - 1) * gd;
+        if (release + dyn[i].jitter <= earliest_slot) {
+          must[i] = 1;
+        } else if (release < cycle_start + cycle_len) {
+          maybe.push_back(i);
+        }
+      }
+      if (maybe.size() > max_branch) {
+        result.fallback = ExactFallback::BudgetExceeded;
+        return result;
+      }
+
+      for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << maybe.size()); ++mask) {
+        std::copy(must.begin(), must.end(), ready.begin());
+        for (std::size_t b = 0; b < maybe.size(); ++b) {
+          if ((mask >> b) & 1) ready[maybe[b]] = 1;
+        }
+
+        // Replay the DynSlot chain (sim/engine.cpp): one slot per FrameID,
+        // stop when the FrameIDs or the minislots run out.
+        stack.clear();
+        stack.push_back(CycleWalk{1, 1, seg_start, state});
+        while (!stack.empty()) {
+          CycleWalk w = std::move(stack.back());
+          stack.pop_back();
+          if (w.fid > max_fid || w.counter > minislot_count) {
+            ++result.transitions;
+            ++inserted;
+            if (!all_done(w.sent, dyn)) next.insert(std::move(w.sent));
+            continue;
+          }
+          tied.clear();
+          if (w.counter <= p_latest[w.fid]) {
+            int best_priority = 0;
+            for (const std::size_t i : by_fid[w.fid]) {
+              if (ready[i] == 0 || w.sent[i] >= dyn[i].jobs) continue;
+              if (!tied.empty() && dyn[i].priority != best_priority) break;
+              best_priority = dyn[i].priority;
+              tied.push_back(i);
+            }
+          }
+          if (tied.empty()) {
+            w.slot_time += gd;
+            w.counter += 1;
+            w.fid += 1;
+            stack.push_back(std::move(w));
+            continue;
+          }
+          // Fork over every tied highest-priority candidate: the engine
+          // breaks the tie by CHI arrival order, which the ready intervals
+          // cannot resolve.
+          for (const std::size_t i : tied) {
+            CycleWalk n = w;
+            const Time finish = n.slot_time + dyn[i].occupancy;
+            const Time release = static_cast<Time>(n.sent[i]) * dyn[i].period;
+            worst[i] = std::max(worst[i], finish - release);
+            n.sent[i] += 1;
+            n.slot_time += static_cast<Time>(dyn[i].minislots) * gd;
+            n.counter += dyn[i].minislots;
+            n.fid += 1;
+            stack.push_back(std::move(n));
+          }
+        }
+      }
+    }
+
+    result.merged_states += inserted - next.size();
+    if (options.prune_dominated && next.size() > 1 &&
+        next.size() <= options.dominance_sweep_limit) {
+      // Drop states dominated by a strictly less progressed one.
+      std::vector<StateKey> keys(next.begin(), next.end());
+      std::vector<char> dead(keys.size(), 0);
+      for (std::size_t a = 0; a < keys.size(); ++a) {
+        for (std::size_t b = 0; b < keys.size() && dead[a] == 0; ++b) {
+          if (a == b || dead[b] != 0) continue;
+          bool covers = true;
+          for (std::size_t i = 0; i < dyn.size() && covers; ++i) {
+            covers = keys[b][i] <= keys[a][i];
+          }
+          if (covers) dead[a] = 1;  // keys differ (set), so b is strictly behind somewhere
+        }
+      }
+      next.clear();
+      for (std::size_t a = 0; a < keys.size(); ++a) {
+        if (dead[a] == 0) {
+          next.insert(std::move(keys[a]));
+        } else {
+          ++result.merged_states;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Publish caps.  A message is covered (refinable) only if every surviving
+  // state — states that hit the cycle horizon with work left — has all of
+  // its jobs transmitted; paths that completed everything were dropped from
+  // the frontier and are covered by construction.
+  result.worst_completion.assign(app.message_count(), kTimeInfinity);
+  for (std::size_t i = 0; i < dyn.size(); ++i) {
+    bool covered = true;
+    for (const StateKey& state : frontier) {
+      covered = covered && state[i] >= dyn[i].jobs;
+    }
+    if (covered) result.worst_completion[dyn[i].message] = worst[i];
+  }
+  return result;
+}
+
+}  // namespace flexopt

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file schedule_space.hpp
+/// Exact DYN-segment schedule-space exploration (the np-schedulability-
+/// analysis idea adapted to FlexRay FTDMA): a breadth-first reachability
+/// walk over bus cycles whose states are keyed by the per-message
+/// transmitted-job count, with identical-state merging and dominance
+/// pruning.
+///
+/// The explored behaviour space is a superset of the simulator's: each DYN
+/// job of message m released at r = k * T_m becomes ready (reaches the
+/// sender CHI) somewhere in [r, r + J_m], where J_m is the converged
+/// holistic release jitter — a sound bound on the sender's completion.  Per
+/// cycle the walk classifies each pending head job as
+///  * must-ready  (r + J_m <= earliest possible slot time of its FrameID) —
+///    certainly in the CHI when its minislot arrives, or
+///  * maybe-ready (released before the cycle ends) — the walk branches over
+///    ready/not-ready,
+/// and then replays the minislot arbitration exactly as the discrete-event
+/// engine does (sim/engine.cpp DynSlot): walk FrameIDs from the segment
+/// start, transmit the highest-priority ready head if the slot counter is
+/// within the owner's pLatestTx, advance the counter by the frame's
+/// minislot count (else by one).  Where the engine breaks priority ties by
+/// CHI arrival order — unresolvable from intervals — the walk forks over
+/// every tied candidate.  Supersets on every axis means: max explored
+/// finish >= every finish the simulator can observe.
+///
+/// Dominance: of two states in the same cycle, the one with pointwise >=
+/// transmitted counts has pointwise less backlog, so every future finish
+/// reachable from it is also reachable (no later) from the less progressed
+/// state; the more progressed state is dropped.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flexopt/analysis/analysis_mode.hpp"
+#include "flexopt/util/time.hpp"
+
+namespace flexopt {
+
+class BusLayout;
+
+/// Outcome of one cluster's exploration.
+struct ScheduleSpaceResult {
+  ExactFallback fallback = ExactFallback::None;
+  /// Worst explored finish per message, graph-relative, indexed by
+  /// MessageId.  kTimeInfinity for ST messages and for DYN messages whose
+  /// jobs did not all complete within the cycle horizon (no refinement) —
+  /// i.e. exactly the values to feed analyze_system's dyn_message_caps.
+  /// Empty when `fallback` != None.
+  std::vector<Time> worst_completion;
+  std::uint64_t explored_states = 0;  ///< frontier sizes summed over cycles
+  std::uint64_t merged_states = 0;    ///< identical-key + dominance merges
+  std::uint64_t transitions = 0;      ///< successor states generated
+};
+
+/// Explores all DYN jobs released in [0, hyperperiod * options.hyperperiods)
+/// to completion, walking bus cycles up to `horizon` (use analysis_horizon).
+/// `message_jitter` must hold finite converged holistic release jitters for
+/// every DYN message (callers gate on convergence first).
+[[nodiscard]] ScheduleSpaceResult explore_dyn_schedule_space(
+    const BusLayout& layout, std::span<const Time> message_jitter, Time horizon,
+    const ExactOptions& options);
+
+}  // namespace flexopt

@@ -65,10 +65,17 @@ Expected<std::vector<ClusterLayout>> build_system_layouts(const SystemModel& mod
 /// jitter-independent, so every cross iteration after the first reuses all
 /// of them; pass an empty span to analyse cache-free.  `counters`
 /// accumulates work across every per-cluster analysis of every sweep.
+/// `dyn_message_caps` (optional, one vector per cluster; an empty inner
+/// vector caps nothing) forwards per-message response caps into each
+/// FlexRay cluster's fixed point — the exact backend's re-run hook (see
+/// analyze_system).  A cluster with caps bypasses its incremental cache for
+/// that call.  When options.mode == AnalysisMode::Exact and no caps are
+/// given, the call dispatches to analyze_multicluster_exact.
 Expected<MulticlusterResult> analyze_multicluster(
     const SystemModel& model, std::span<const ClusterLayout> layouts,
     const AnalysisOptions& options, const MulticlusterOptions& mc_options = {},
     std::span<AnalysisComponentCache* const> caches = {},
-    AnalysisWorkCounters* counters = nullptr);
+    AnalysisWorkCounters* counters = nullptr,
+    std::span<const std::vector<Time>> dyn_message_caps = {});
 
 }  // namespace flexopt

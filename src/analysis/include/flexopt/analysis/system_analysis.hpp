@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "flexopt/analysis/analysis_mode.hpp"
 #include "flexopt/analysis/cost.hpp"
 #include "flexopt/analysis/dyn_analysis.hpp"
 #include "flexopt/analysis/list_scheduler.hpp"
@@ -34,6 +35,13 @@ struct AnalysisOptions {
   int horizon_factor = 4;
   /// Log per-iteration convergence diagnostics (log_debug level).
   bool debug_trace = false;
+  /// Which backend produces the ET bounds.  Exact routes through the DYN
+  /// schedule-space exploration (flexopt/analysis/exact/); Simulate is
+  /// analysis-wise identical to Holistic (the simulator lane is a campaign
+  /// concern).
+  AnalysisMode mode = AnalysisMode::Holistic;
+  /// Exploration knobs, used only when mode == AnalysisMode::Exact.
+  ExactOptions exact;
 };
 
 /// Recompute accounting of the evaluation pipeline.  One "analysis
@@ -105,6 +113,10 @@ struct AnalysisResult {
   /// ET completions were pinned to infinity.  Incremental re-evaluation
   /// (analyze_system_incremental) only seeds from converged results.
   bool converged = true;
+  /// Set only by the exact backend (AnalysisMode::Exact): refinement
+  /// statistics plus the holistic reference bounds.  Shared, immutable,
+  /// cheap to copy along with the result; null for holistic analyses.
+  std::shared_ptr<const ExactClusterInfo> exact;
   [[nodiscard]] bool schedulable() const { return cost.schedulable; }
   /// The schedule table (an empty table when analysis never built one).
   [[nodiscard]] const StaticSchedule& schedule() const {
@@ -135,9 +147,21 @@ Expected<Time> analysis_horizon(const Application& app, const AnalysisOptions& o
 /// multicluster.hpp) uses to feed gateway forwarding relays the completion
 /// bounds of their upstream hops.  An empty span leaves the analysis
 /// bit-identical to the pre-cluster behaviour.
+/// `dyn_message_caps` (optional, indexed by MessageId; empty = none) clamps
+/// each DYN message's response-time recurrence to min(recurrence, cap)
+/// inside the fixed point — the hook the exact backend uses to fold its
+/// explored worst-case finish times back into the holistic iteration.  The
+/// minimum of two sound monotone bounds is sound and monotone, so the
+/// capped fixed point converges and every completion (tasks included,
+/// through the tightened jitters) is <= its uncapped counterpart.
+/// When options.mode == AnalysisMode::Exact and no caps are given, the call
+/// dispatches to the exact backend (analyze_system_exact), which runs the
+/// holistic analysis, explores the DYN schedule space, and re-runs the
+/// fixed point with the explored caps.
 Expected<AnalysisResult> analyze_system(const BusLayout& layout,
                                         const AnalysisOptions& options = {},
                                         AnalysisWorkCounters* counters = nullptr,
-                                        std::span<const Time> external_task_jitter = {});
+                                        std::span<const Time> external_task_jitter = {},
+                                        std::span<const Time> dyn_message_caps = {});
 
 }  // namespace flexopt

@@ -4,23 +4,29 @@
 #include <string>
 #include <utility>
 
+#include "flexopt/analysis/exact/exact_analysis.hpp"
+
 namespace flexopt {
 namespace {
 
 Expected<AnalysisResult> analyze_one(const ClusterLayout& layout, const AnalysisOptions& options,
                                      AnalysisComponentCache* cache,
                                      AnalysisWorkCounters* counters,
-                                     std::span<const Time> external_task_jitter) {
+                                     std::span<const Time> external_task_jitter,
+                                     std::span<const Time> dyn_message_caps) {
   if (layout.kind() == ClusterBackendKind::Tsn) {
     // The TSN backend has no incremental path yet; its schedule build is a
     // plain topological sweep, cheap enough to recompute per evaluation.
+    // Response caps never target TSN clusters (the exact backend records
+    // ExactFallback::UnsupportedBackend instead of producing any).
     return analyze_tsn_cluster(layout.tsn(), options, counters, external_task_jitter);
   }
-  if (cache != nullptr) {
+  if (cache != nullptr && dyn_message_caps.empty()) {
     return analyze_system_incremental(layout.flexray(), options, *cache, counters, nullptr,
                                       nullptr, external_task_jitter);
   }
-  return analyze_system(layout.flexray(), options, counters, external_task_jitter);
+  return analyze_system(layout.flexray(), options, counters, external_task_jitter,
+                        dyn_message_caps);
 }
 
 }  // namespace
@@ -53,12 +59,17 @@ Expected<std::vector<ClusterLayout>> build_system_layouts(const SystemModel& mod
   return layouts;
 }
 
-Expected<MulticlusterResult> analyze_multicluster(const SystemModel& model,
-                                                  std::span<const ClusterLayout> layouts,
-                                                  const AnalysisOptions& options,
-                                                  const MulticlusterOptions& mc_options,
-                                                  std::span<AnalysisComponentCache* const> caches,
-                                                  AnalysisWorkCounters* counters) {
+Expected<MulticlusterResult> analyze_multicluster(
+    const SystemModel& model, std::span<const ClusterLayout> layouts,
+    const AnalysisOptions& options, const MulticlusterOptions& mc_options,
+    std::span<AnalysisComponentCache* const> caches, AnalysisWorkCounters* counters,
+    std::span<const std::vector<Time>> dyn_message_caps) {
+  // Exact mode dispatches to the schedule-space backend, which re-enters
+  // this function with mode == Holistic (and, on the second pass, with the
+  // explored caps) — the caps.empty() guard keeps the re-entry direct.
+  if (options.mode == AnalysisMode::Exact && dyn_message_caps.empty()) {
+    return analyze_multicluster_exact(model, layouts, options, mc_options, caches, counters);
+  }
   const std::size_t C = model.cluster_count();
   if (layouts.size() != C) {
     return make_error("analyze_multicluster: layout count does not match cluster count");
@@ -66,12 +77,16 @@ Expected<MulticlusterResult> analyze_multicluster(const SystemModel& model,
   auto cache_of = [&](std::size_t c) -> AnalysisComponentCache* {
     return c < caches.size() ? caches[c] : nullptr;
   };
+  auto caps_of = [&](std::size_t c) -> std::span<const Time> {
+    return c < dyn_message_caps.size() ? std::span<const Time>(dyn_message_caps[c])
+                                       : std::span<const Time>{};
+  };
 
   MulticlusterResult result;
   result.clusters.resize(C);
 
   if (model.single_cluster()) {
-    auto analysis = analyze_one(layouts[0], options, cache_of(0), counters, {});
+    auto analysis = analyze_one(layouts[0], options, cache_of(0), counters, {}, caps_of(0));
     if (!analysis.ok()) return analysis.error();
     result.clusters[0] = std::move(analysis).value();
     result.cost = result.clusters[0].cost;
@@ -94,7 +109,8 @@ Expected<MulticlusterResult> analyze_multicluster(const SystemModel& model,
   for (int iter = 0; iter < max_cross && !stable; ++iter) {
     ++result.cross_iterations;
     for (std::size_t c = 0; c < C; ++c) {
-      auto analysis = analyze_one(layouts[c], options, cache_of(c), counters, external[c]);
+      auto analysis = analyze_one(layouts[c], options, cache_of(c), counters, external[c],
+                                  caps_of(c));
       if (!analysis.ok()) {
         return make_error("cluster " + std::to_string(c) + ": " + analysis.error().message);
       }

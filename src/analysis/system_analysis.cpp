@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "flexopt/analysis/dyn_analysis.hpp"
+#include "flexopt/analysis/exact/exact_analysis.hpp"
 #include "flexopt/analysis/fps_analysis.hpp"
 #include "flexopt/analysis/sat_time.hpp"
 #include "flexopt/util/log.hpp"
@@ -27,7 +28,14 @@ Expected<Time> analysis_horizon(const Application& app, const AnalysisOptions& o
 
 Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisOptions& options,
                                         AnalysisWorkCounters* counters,
-                                        std::span<const Time> external_task_jitter) {
+                                        std::span<const Time> external_task_jitter,
+                                        std::span<const Time> dyn_message_caps) {
+  // Exact mode dispatches to the schedule-space backend, which re-enters
+  // this function twice with mode == Holistic (once uncapped, once with the
+  // explored caps) — the caps.empty() guard keeps that re-entry direct.
+  if (options.mode == AnalysisMode::Exact && dyn_message_caps.empty()) {
+    return analyze_system_exact(layout, options, counters, external_task_jitter);
+  }
   const Application& app = layout.application();
   const auto horizon_result = analysis_horizon(app, options);
   if (!horizon_result.ok()) return horizon_result.error();
@@ -130,8 +138,10 @@ Expected<AnalysisResult> analyze_system(const BusLayout& layout, const AnalysisO
       const DynResponse r = dyn_response_time(layout, static_cast<MessageId>(m),
                                               result.message_jitter, horizon,
                                               options.dyn_bound, fp_out);
-      if (result.message_completion[m] != r.response) {
-        result.message_completion[m] = r.response;
+      Time response = r.response;
+      if (m < dyn_message_caps.size()) response = std::min(response, dyn_message_caps[m]);
+      if (result.message_completion[m] != response) {
+        result.message_completion[m] = response;
         changed = true;
       }
     }

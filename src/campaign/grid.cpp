@@ -34,6 +34,15 @@ Expected<std::vector<ScenarioPlan>> expand_grid(const CampaignSpec& spec) {
       }
     }
   }
+  if (spec.analysis_modes.empty()) return make_error("campaign: no analysis modes");
+  for (std::size_t i = 0; i < spec.analysis_modes.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.analysis_modes.size(); ++j) {
+      if (spec.analysis_modes[i] == spec.analysis_modes[j]) {
+        return make_error(std::string("campaign: duplicate analysis mode '") +
+                          to_string(spec.analysis_modes[i]) + "'");
+      }
+    }
+  }
   if (spec.traffic_mixes.empty()) return make_error("campaign: no traffic mixes");
   if (spec.node_util_bands.empty()) return make_error("campaign: no node utilisation bands");
   if (spec.bus_util_bands.empty()) return make_error("campaign: no bus utilisation bands");
@@ -74,48 +83,53 @@ Expected<std::vector<ScenarioPlan>> expand_grid(const CampaignSpec& spec) {
 
   std::vector<ScenarioPlan> plans;
   plans.reserve(spec.node_counts.size() * spec.topologies.size() *
-                spec.cluster_counts.size() * spec.backends.size() * spec.traffic_mixes.size() *
+                spec.cluster_counts.size() * spec.backends.size() *
+                spec.analysis_modes.size() * spec.traffic_mixes.size() *
                 spec.node_util_bands.size() * spec.bus_util_bands.size() *
                 spec.period_sets.size() * spec.message_size_caps.size() *
                 static_cast<std::size_t>(spec.replicates));
 
   // Fixed axis nesting (replicates innermost) keeps scenario indices — and
   // therefore seeds, records and summaries — stable for a given spec.  The
-  // cluster and backend axes default to one value, so pre-cluster and
-  // pre-backend specs keep their exact index sequence (and seeds).
+  // cluster, backend and analysis-mode axes default to one value, so
+  // pre-cluster, pre-backend and pre-exact specs keep their exact index
+  // sequence (and seeds).
   for (const int nodes : spec.node_counts) {
     for (const Topology topology : spec.topologies) {
       for (const int clusters : spec.cluster_counts) {
         for (const BackendMix backend : spec.backends) {
-          for (const TrafficMix traffic : spec.traffic_mixes) {
-            for (const UtilBand& node_util : spec.node_util_bands) {
-              for (const UtilBand& bus_util : spec.bus_util_bands) {
-                for (const std::vector<Time>& periods : spec.period_sets) {
-                  for (const int size_cap : spec.message_size_caps) {
-                    for (int r = 0; r < spec.replicates; ++r) {
-                      ScenarioPlan plan;
-                      plan.index = plans.size();
-                      plan.node_util = node_util;
-                      plan.bus_util = bus_util;
-                      plan.scenario.topology = topology;
-                      plan.scenario.traffic = traffic;
-                      plan.scenario.clusters = clusters;
-                      plan.scenario.backend = backend;
-                      plan.scenario.inter_cluster_share = spec.inter_cluster_share;
-                      SyntheticSpec& base = plan.scenario.base;
-                      base.nodes = nodes;
-                      base.tasks_per_node = spec.tasks_per_node;
-                      base.tasks_per_graph = spec.tasks_per_graph;
-                      base.tt_share = spec.tt_share;
-                      base.node_util_min = node_util.lo;
-                      base.node_util_max = node_util.hi;
-                      base.bus_util_min = bus_util.lo;
-                      base.bus_util_max = bus_util.hi;
-                      base.period_choices = periods;
-                      base.deadline_factor = spec.deadline_factor;
-                      base.max_message_bytes = size_cap;
-                      base.seed = scenario_seed(spec.base_seed, plan.index);
-                      plans.push_back(std::move(plan));
+          for (const AnalysisMode analysis_mode : spec.analysis_modes) {
+            for (const TrafficMix traffic : spec.traffic_mixes) {
+              for (const UtilBand& node_util : spec.node_util_bands) {
+                for (const UtilBand& bus_util : spec.bus_util_bands) {
+                  for (const std::vector<Time>& periods : spec.period_sets) {
+                    for (const int size_cap : spec.message_size_caps) {
+                      for (int r = 0; r < spec.replicates; ++r) {
+                        ScenarioPlan plan;
+                        plan.index = plans.size();
+                        plan.node_util = node_util;
+                        plan.bus_util = bus_util;
+                        plan.scenario.topology = topology;
+                        plan.scenario.traffic = traffic;
+                        plan.scenario.clusters = clusters;
+                        plan.scenario.backend = backend;
+                        plan.scenario.inter_cluster_share = spec.inter_cluster_share;
+                        plan.analysis_mode = analysis_mode;
+                        SyntheticSpec& base = plan.scenario.base;
+                        base.nodes = nodes;
+                        base.tasks_per_node = spec.tasks_per_node;
+                        base.tasks_per_graph = spec.tasks_per_graph;
+                        base.tt_share = spec.tt_share;
+                        base.node_util_min = node_util.lo;
+                        base.node_util_max = node_util.hi;
+                        base.bus_util_min = bus_util.lo;
+                        base.bus_util_max = bus_util.hi;
+                        base.period_choices = periods;
+                        base.deadline_factor = spec.deadline_factor;
+                        base.max_message_bytes = size_cap;
+                        base.seed = scenario_seed(spec.base_seed, plan.index);
+                        plans.push_back(std::move(plan));
+                      }
                     }
                   }
                 }

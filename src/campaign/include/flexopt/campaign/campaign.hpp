@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "flexopt/analysis/analysis_mode.hpp"
 #include "flexopt/core/solver.hpp"
 #include "flexopt/gen/scenario.hpp"
 
@@ -52,6 +53,13 @@ struct CampaignSpec {
   /// in the grid to be multicluster; the default single value keeps
   /// pre-backend specs' scenario indices (and seeds) unchanged.
   std::vector<BackendMix> backends{BackendMix::Flexray};
+  /// Analysis-backend axis: which backend produces every evaluator bound of
+  /// the cell (holistic | exact | simulate; see flexopt/analysis/
+  /// analysis_mode.hpp).  `simulate` solves holistically and forces the
+  /// sim_check lane for its scenarios; `exact` additionally records the
+  /// holistic-vs-exact pessimism of every winner.  The default single value
+  /// keeps pre-axis specs' scenario indices (and seeds) unchanged.
+  std::vector<AnalysisMode> analysis_modes{AnalysisMode::Holistic};
   std::vector<TrafficMix> traffic_mixes{TrafficMix::Mixed};
   std::vector<UtilBand> node_util_bands{{0.25, 0.45}};
   std::vector<UtilBand> bus_util_bands{{0.10, 0.40}};
@@ -99,6 +107,7 @@ struct ScenarioPlan {
   ScenarioSpec scenario;
   UtilBand node_util;
   UtilBand bus_util;
+  AnalysisMode analysis_mode = AnalysisMode::Holistic;
 };
 
 /// Deterministic scenario seed for `index` under `base_seed` (splitmix64;
@@ -132,6 +141,22 @@ struct AlgorithmRun {
   /// Mean pessimism gap (bound - observed) / bound over the simulated
   /// activities with finite bounds; 0 when not simulated.
   double sim_gap = 0.0;
+  /// Analysis backend this run solved with (the plan's analysis_mode).
+  AnalysisMode analysis_mode = AnalysisMode::Holistic;
+  /// AnalysisMode::Exact lane: true when the winner's holistic-vs-exact
+  /// pessimism was computed (analysable winners of exact cells only).
+  bool exact_ran = false;
+  /// True when any cluster of the exact run fell back to holistic bounds
+  /// (budget exceeded, unsupported backend, ... — recorded, never silent).
+  bool exact_fallback = false;
+  /// Schedule-space states explored across clusters.
+  std::uint64_t exact_states = 0;
+  /// ET activities whose exact bound is strictly below the holistic one.
+  std::size_t exact_refined = 0;
+  /// Mean / max relative gap (holistic - exact) / holistic over the
+  /// winner's ET activities with finite holistic bounds; 0 when !exact_ran.
+  double exact_gap_mean = 0.0;
+  double exact_gap_max = 0.0;
   /// Wall-clock of this solve; non-deterministic, excluded from summaries
   /// unless timing output is requested.
   double wall_seconds = 0.0;

@@ -42,6 +42,16 @@ struct AlgorithmAggregate {
   std::size_t simulated = 0;
   std::size_t sim_unsound = 0;
   double sim_gap_mean = 0.0;
+  /// Exact lane: winners re-analysed on the schedule-space backend, how
+  /// many had a cluster fall back to holistic bounds, the states explored,
+  /// the activities strictly refined, and the mean/max holistic-vs-exact
+  /// pessimism gap over the exact-analysed winners.
+  std::size_t exact_ran = 0;
+  std::size_t exact_fallbacks = 0;
+  std::uint64_t exact_states_total = 0;
+  std::size_t exact_refined_total = 0;
+  double exact_gap_mean = 0.0;
+  double exact_gap_max = 0.0;
   double wall_seconds_total = 0.0;  ///< timing output only
 };
 
@@ -55,6 +65,12 @@ struct AlgorithmAggregate {
 [[nodiscard]] AlgorithmAggregate aggregate_runs_backend(const CampaignResult& result,
                                                         const std::string& algorithm,
                                                         BackendMix mix);
+
+/// Aggregates `algorithm` over the generated scenarios with analysis mode
+/// `mode` (the per-mode bucket of the `by_mode` JSON breakdown).
+[[nodiscard]] AlgorithmAggregate aggregate_runs_mode(const CampaignResult& result,
+                                                     const std::string& algorithm,
+                                                     AnalysisMode mode);
 
 /// Aggregate JSON summary; stable key order, stable scenario order.
 [[nodiscard]] std::string write_campaign_json(const CampaignResult& result,

@@ -27,8 +27,17 @@ std::vector<int> node_axis(const CampaignResult& result) {
   return {counts.begin(), counts.end()};
 }
 
+/// True when the analysis-mode axis departs from the pure-default single
+/// holistic value; gates the exact aggregate fields and the by_mode
+/// breakdown so pre-exact campaigns keep their output bytes.
+bool mode_axis_swept(const CampaignResult& result) {
+  return result.spec.analysis_modes.size() > 1 ||
+         (result.spec.analysis_modes.size() == 1 &&
+          result.spec.analysis_modes[0] != AnalysisMode::Holistic);
+}
+
 void write_aggregate_fields(JsonWriter& json, const AlgorithmAggregate& agg,
-                            bool include_timing) {
+                            bool include_timing, bool include_exact) {
   json.field("scenarios", agg.scenarios);
   json.field("schedulable", agg.schedulable);
   json.field("schedulable_fraction", agg.schedulable_fraction);
@@ -43,6 +52,14 @@ void write_aggregate_fields(JsonWriter& json, const AlgorithmAggregate& agg,
   json.field("simulated", agg.simulated);
   json.field("sim_unsound", agg.sim_unsound);
   json.field("sim_gap_mean", agg.sim_gap_mean);
+  if (include_exact) {
+    json.field("exact_ran", agg.exact_ran);
+    json.field("exact_fallbacks", agg.exact_fallbacks);
+    json.field("exact_states_total", agg.exact_states_total);
+    json.field("exact_refined_total", agg.exact_refined_total);
+    json.field("exact_gap_mean", agg.exact_gap_mean);
+    json.field("exact_gap_max", agg.exact_gap_max);
+  }
   if (include_timing) json.field("wall_seconds_total", agg.wall_seconds_total);
 }
 
@@ -75,9 +92,18 @@ AlgorithmAggregate aggregate_filtered(const CampaignResult& result,
       if (!run->sim_sound) ++agg.sim_unsound;
       agg.sim_gap_mean += run->sim_gap;
     }
+    if (run->exact_ran) {
+      ++agg.exact_ran;
+      if (run->exact_fallback) ++agg.exact_fallbacks;
+      agg.exact_states_total += run->exact_states;
+      agg.exact_refined_total += run->exact_refined;
+      agg.exact_gap_mean += run->exact_gap_mean;
+      agg.exact_gap_max = std::max(agg.exact_gap_max, run->exact_gap_max);
+    }
     agg.wall_seconds_total += run->wall_seconds;
   }
   if (agg.simulated > 0) agg.sim_gap_mean /= static_cast<double>(agg.simulated);
+  if (agg.exact_ran > 0) agg.exact_gap_mean /= static_cast<double>(agg.exact_ran);
   if (agg.scenarios > 0) {
     agg.schedulable_fraction =
         static_cast<double>(agg.schedulable) / static_cast<double>(agg.scenarios);
@@ -85,9 +111,10 @@ AlgorithmAggregate aggregate_filtered(const CampaignResult& result,
         static_cast<double>(agg.evaluations_total) / static_cast<double>(agg.scenarios);
   }
   if (!costs.empty()) {
-    agg.cost_p10 = percentile(costs, 10.0);
-    agg.cost_p50 = percentile(costs, 50.0);
-    agg.cost_p90 = percentile(costs, 90.0);
+    std::sort(costs.begin(), costs.end());
+    agg.cost_p10 = percentile_sorted(costs, 10.0);
+    agg.cost_p50 = percentile_sorted(costs, 50.0);
+    agg.cost_p90 = percentile_sorted(costs, 90.0);
     agg.cost_mean = summarize(costs).mean;
   }
   return agg;
@@ -109,6 +136,13 @@ AlgorithmAggregate aggregate_runs_backend(const CampaignResult& result,
   });
 }
 
+AlgorithmAggregate aggregate_runs_mode(const CampaignResult& result,
+                                       const std::string& algorithm, AnalysisMode mode) {
+  return aggregate_filtered(result, algorithm, [mode](const ScenarioRecord& record) {
+    return record.plan.analysis_mode == mode;
+  });
+}
+
 std::string write_campaign_json(const CampaignResult& result, bool include_timing) {
   std::size_t generated = 0;
   for (const ScenarioRecord& record : result.scenarios) {
@@ -127,18 +161,19 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
   json.field("max_evaluations", result.spec.max_evaluations);
   if (include_timing) json.field("wall_seconds", result.wall_seconds);
 
+  const bool include_exact = mode_axis_swept(result);
   json.key("algorithms").begin_array();
   for (const std::string& name : result.spec.algorithms) {
     json.begin_object();
     json.field("name", name);
-    write_aggregate_fields(json, aggregate_runs(result, name), include_timing);
+    write_aggregate_fields(json, aggregate_runs(result, name), include_timing, include_exact);
     json.key("by_nodes").begin_array();
     for (const int nodes : nodes_axis) {
       const AlgorithmAggregate agg = aggregate_runs(result, name, nodes);
       if (agg.scenarios == 0) continue;
       json.begin_object();
       json.field("nodes", nodes);
-      write_aggregate_fields(json, agg, include_timing);
+      write_aggregate_fields(json, agg, include_timing, include_exact);
       json.end_object();
     }
     json.end_array();
@@ -152,7 +187,20 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
         if (agg.scenarios == 0) continue;
         json.begin_object();
         json.field("backend", to_string(mix));
-        write_aggregate_fields(json, agg, include_timing);
+        write_aggregate_fields(json, agg, include_timing, include_exact);
+        json.end_object();
+      }
+      json.end_array();
+    }
+    // Analysis-mode breakdown, gated exactly like by_backend.
+    if (include_exact) {
+      json.key("by_mode").begin_array();
+      for (const AnalysisMode mode : result.spec.analysis_modes) {
+        const AlgorithmAggregate agg = aggregate_runs_mode(result, name, mode);
+        if (agg.scenarios == 0) continue;
+        json.begin_object();
+        json.field("mode", to_string(mode));
+        write_aggregate_fields(json, agg, include_timing, include_exact);
         json.end_object();
       }
       json.end_array();
@@ -182,12 +230,45 @@ std::string write_campaign_json(const CampaignResult& result, bool include_timin
   return json.str();
 }
 
+namespace {
+
+/// Emits one CSV detail row field by field.  Every row — real runs and
+/// generation-error fallbacks alike — goes through here, so a column added
+/// to the format is added exactly once (the old fallback path was a
+/// hard-coded literal that silently drifted out of sync with the header
+/// whenever a column was added).  `generated` selects the failure shape:
+/// empty cost and the "generation-error" status.
+void write_csv_row(std::ostream& out, const std::string& prefix, const ScenarioRecord& record,
+                   const AlgorithmRun& run, bool generated, bool include_timing) {
+  out << prefix << ',' << record.task_count << ',' << record.message_count << ','
+      << record.graph_count << ',' << json_double(record.bus_util_realized) << ','
+      << run.algorithm << ',' << (run.feasible ? 1 : 0) << ',';
+  if (generated) out << json_double(run.cost);
+  out << ',' << run.evaluations << ','
+      << (generated ? to_string(run.status) : "generation-error") << ',' << run.cache_hits
+      << ',' << run.cache_misses << ',' << run.portfolio_winner << ','
+      << (run.simulated ? 1 : 0) << ',';
+  // A never-simulated run has no soundness verdict: the column stays
+  // empty, not the vacuous 1 the old fallback literal emitted.
+  if (run.simulated) out << (run.sim_sound ? 1 : 0);
+  out << ',' << json_double(run.sim_gap) << ',' << to_string(run.analysis_mode) << ','
+      << (run.exact_ran ? 1 : 0) << ',' << (run.exact_fallback ? 1 : 0) << ','
+      << run.exact_states << ',' << run.exact_refined << ','
+      << json_double(run.exact_gap_mean) << ',' << json_double(run.exact_gap_max);
+  if (include_timing) out << ',' << json_double(run.wall_seconds);
+  out << "\n";
+}
+
+}  // namespace
+
 std::string write_campaign_csv(const CampaignResult& result, bool include_timing) {
   std::ostringstream out;
   out << "scenario,seed,nodes,topology,clusters,backend,traffic,node_util_lo,node_util_hi,"
          "bus_util_lo,"
          "bus_util_hi,tasks,messages,graphs,bus_util_realized,algorithm,feasible,cost,"
-         "evaluations,status,cache_hits,cache_misses,winner,simulated,sim_sound,sim_gap";
+         "evaluations,status,cache_hits,cache_misses,winner,simulated,sim_sound,sim_gap,"
+         "analysis_mode,exact_ran,exact_fallback,exact_states,exact_refined,exact_gap_mean,"
+         "exact_gap_max";
   if (include_timing) out << ",wall_seconds";
   out << "\n";
   for (const ScenarioRecord& record : result.scenarios) {
@@ -202,21 +283,15 @@ std::string write_campaign_csv(const CampaignResult& result, bool include_timing
            << json_double(plan.node_util.hi) << ',' << json_double(plan.bus_util.lo) << ','
            << json_double(plan.bus_util.hi);
     if (!record.generated) {
-      out << prefix.str() << ",0,0,0,0,-,0,,0,generation-error,0,0,,0,1,0";
-      if (include_timing) out << ",0";
-      out << "\n";
+      AlgorithmRun none;
+      none.algorithm = "-";
+      none.evaluations = 0;
+      none.analysis_mode = plan.analysis_mode;
+      write_csv_row(out, prefix.str(), record, none, /*generated=*/false, include_timing);
       continue;
     }
     for (const AlgorithmRun& run : record.runs) {
-      out << prefix.str() << ',' << record.task_count << ',' << record.message_count << ','
-          << record.graph_count << ',' << json_double(record.bus_util_realized) << ','
-          << run.algorithm << ',' << (run.feasible ? 1 : 0) << ',' << json_double(run.cost)
-          << ',' << run.evaluations << ',' << to_string(run.status) << ',' << run.cache_hits
-          << ',' << run.cache_misses << ',' << run.portfolio_winner << ','
-          << (run.simulated ? 1 : 0) << ',' << (run.sim_sound ? 1 : 0) << ','
-          << json_double(run.sim_gap);
-      if (include_timing) out << ',' << json_double(run.wall_seconds);
-      out << "\n";
+      write_csv_row(out, prefix.str(), record, run, /*generated=*/true, include_timing);
     }
   }
   return out.str();

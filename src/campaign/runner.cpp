@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "flexopt/analysis/exact/exact_analysis.hpp"
 #include "flexopt/core/portfolio.hpp"
 #include "flexopt/netsim/netsim.hpp"
 
@@ -130,7 +131,14 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           // count and cost — is independent of CampaignOptions::threads.
           EvaluatorOptions evaluator_options;
           evaluator_options.threads = 1;
-          CostEvaluator evaluator(model, params_, AnalysisOptions{}, evaluator_options);
+          // The plan's analysis mode drives every evaluator bound of the
+          // solve (`simulate` analyses holistically — its extra lane is the
+          // forced sim_check below).
+          AnalysisOptions analysis_options;
+          if (plan.analysis_mode == AnalysisMode::Exact) {
+            analysis_options.mode = AnalysisMode::Exact;
+          }
+          CostEvaluator evaluator(model, params_, analysis_options, evaluator_options);
           SolveRequest request;
           request.seed = plan.scenario.base.seed;
           request.max_evaluations = spec_.max_evaluations;
@@ -147,27 +155,54 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           run.status = report.status;
           run.portfolio_winner = report.winner;
           run.wall_seconds = report.outcome.wall_seconds;
-          // sim_check: replay the winner on the network simulator for one
+          run.analysis_mode = plan.analysis_mode;
+          // Post-solve winner lanes.  sim_check (or a `simulate` cell):
+          // replay the winner on the network simulator for one
           // hyper-period.  The simulation is single-threaded and seeded by
           // nothing but the winning configuration, so it preserves the
-          // thread-count determinism contract.  A layout/analysis failure
-          // on the winner leaves the run unsimulated rather than failing
-          // the scenario (the solve itself already succeeded).
-          if (spec_.sim_check && report.outcome.cost.value < kInvalidConfigCost) {
+          // thread-count determinism contract.  An `exact` cell re-analyses
+          // the winner with the schedule-space backend and records its
+          // holistic-vs-exact pessimism.  A layout/analysis failure on the
+          // winner leaves the lanes unrun rather than failing the scenario
+          // (the solve itself already succeeded).
+          const bool want_sim =
+              spec_.sim_check || plan.analysis_mode == AnalysisMode::Simulate;
+          const bool want_exact = plan.analysis_mode == AnalysisMode::Exact;
+          if ((want_sim || want_exact) && report.outcome.cost.value < kInvalidConfigCost) {
+            AnalysisOptions winner_options;
+            if (want_exact) winner_options.mode = AnalysisMode::Exact;
             auto layouts = build_system_layouts(model, params_, report.outcome.system);
             auto analysis = layouts.ok()
-                                ? analyze_multicluster(model, layouts.value(),
-                                                       AnalysisOptions{})
+                                ? analyze_multicluster(model, layouts.value(), winner_options)
                                 : Expected<MulticlusterResult>(layouts.error());
-            auto sim = analysis.ok()
-                           ? simulate_network(model, layouts.value(), analysis.value())
-                           : Expected<NetSimResult>(analysis.error());
-            if (sim.ok()) {
-              const SoundnessReport verdict =
-                  check_soundness(model, analysis.value(), sim.value());
-              run.simulated = true;
-              run.sim_sound = verdict.sound;
-              run.sim_gap = verdict.mean_gap;
+            if (want_exact && analysis.ok()) {
+              std::vector<const Application*> apps;
+              apps.reserve(model.cluster_count());
+              for (std::size_t c = 0; c < model.cluster_count(); ++c) {
+                apps.push_back(model.cluster_app(c).get());
+              }
+              const PessimismReport pessimism =
+                  make_pessimism_report(apps, analysis.value().clusters);
+              run.exact_ran = true;
+              run.exact_fallback = pessimism.any_fallback;
+              run.exact_states = pessimism.explored_states;
+              run.exact_refined = pessimism.refined;
+              run.exact_gap_mean = pessimism.mean_gap;
+              run.exact_gap_max = pessimism.max_gap;
+            }
+            if (want_sim) {
+              // Exact cells simulate against the refined bounds: the
+              // stronger observed <= exact check subsumes the holistic one.
+              auto sim = analysis.ok()
+                             ? simulate_network(model, layouts.value(), analysis.value())
+                             : Expected<NetSimResult>(analysis.error());
+              if (sim.ok()) {
+                const SoundnessReport verdict =
+                    check_soundness(model, analysis.value(), sim.value());
+                run.simulated = true;
+                run.sim_sound = verdict.sound;
+                run.sim_gap = verdict.mean_gap;
+              }
             }
           }
           record.runs.push_back(std::move(run));

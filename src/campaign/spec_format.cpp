@@ -75,6 +75,7 @@ constexpr const char* kKeywords[] = {
     "topology",
     "clusters",
     "backend",
+    "analysis_mode",
     "traffic",
     "node_util",
     "bus_util",
@@ -151,8 +152,8 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
   // and extend the axis afterwards (periods always extends: each line is
   // one period-set axis value).
   bool nodes_set = false, topo_set = false, clusters_set = false, backend_set = false,
-       traffic_set = false, node_util_set = false, bus_util_set = false, periods_set = false,
-       bytes_set = false, algorithms_set = false;
+       mode_set = false, traffic_set = false, node_util_set = false, bus_util_set = false,
+       periods_set = false, bytes_set = false, algorithms_set = false;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -171,7 +172,7 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
     // mode for a reproducible-experiment spec.
     const bool is_axis = keyword == "nodes" || keyword == "topology" ||
                          keyword == "clusters" || keyword == "backend" ||
-                         keyword == "traffic" ||
+                         keyword == "analysis_mode" || keyword == "traffic" ||
                          keyword == "node_util" || keyword == "bus_util" ||
                          keyword == "periods" || keyword == "message_bytes" ||
                          keyword == "algorithms" || keyword == "portfolio_members";
@@ -212,6 +213,14 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
         auto b = parse_backend_mix(v);
         if (!b.ok()) return line_error(line_no, b.error().message);
         spec.backends.push_back(b.value());
+      }
+    } else if (keyword == "analysis_mode") {
+      if (!mode_set) spec.analysis_modes.clear();
+      mode_set = true;
+      for (const std::string& v : values) {
+        auto m = parse_analysis_mode(v);
+        if (!m.ok()) return line_error(line_no, m.error().message);
+        spec.analysis_modes.push_back(m.value());
       }
     } else if (keyword == "traffic") {
       if (!traffic_set) spec.traffic_mixes.clear();

@@ -303,6 +303,13 @@ CostEvaluator::Evaluation CostEvaluator::evaluate(const BusConfig& config) {
 const CostEvaluator::Evaluation& CostEvaluator::delta_fast_impl(
     const AnalysisResult* base_analysis, const DeltaMove& move) {
   ThreadSlot& s = slot();
+  if (options_.mode == AnalysisMode::Exact) {
+    // The incremental engine is holistic-only: exact-mode deltas pay the
+    // full pipeline (which dispatches into the schedule-space backend) so a
+    // refined bound is never compared against an unrefined seed.
+    s.eval = evaluate(move.config);
+    return s.eval;
+  }
   Evaluation& out = s.eval;
   if (const auto hit = cached(move.config)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);

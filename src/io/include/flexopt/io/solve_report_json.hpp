@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 
+#include "flexopt/analysis/exact/exact_analysis.hpp"
 #include "flexopt/core/solve_types.hpp"
 #include "flexopt/model/application.hpp"
 
@@ -19,11 +20,15 @@ namespace flexopt {
 /// Serializes `report` for `algorithm` (the registry key the front-end
 /// asked for) solved against `app`.  Schema (stable key order):
 /// schema/system/algorithm/status/feasible/cost/evaluations/cache/
-/// incremental/config/winner/members — `members` is empty for
-/// non-portfolio solves, and per-member `improvements` carry the
-/// evaluation-stamped incumbent timeline.
+/// incremental/profile/[pessimism]/config/winner/members — `members` is
+/// empty for non-portfolio solves, and per-member `improvements` carry the
+/// evaluation-stamped incumbent timeline.  `pessimism` (schema v5) appears
+/// only when the caller re-analysed the winner with the exact backend and
+/// passes the resulting report; infinite bounds inside it serialize as
+/// JSON null, never as a sentinel integer.
 [[nodiscard]] std::string write_solve_json(const Application& app, std::string_view algorithm,
                                            const SolveReport& report,
-                                           bool include_timing = false);
+                                           bool include_timing = false,
+                                           const PessimismReport* pessimism = nullptr);
 
 }  // namespace flexopt

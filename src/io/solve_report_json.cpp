@@ -1,5 +1,6 @@
 #include "flexopt/io/solve_report_json.hpp"
 
+#include "flexopt/analysis/sat_time.hpp"
 #include "flexopt/io/json_writer.hpp"
 
 namespace flexopt {
@@ -49,6 +50,49 @@ void write_cluster_config(JsonWriter& json, const ClusterConfig& cluster) {
   write_config(json, cluster.flexray, to_string(ClusterBackendKind::FlexRay));
 }
 
+/// Bound fields inside the pessimism block: infinite bounds (a starved TSN
+/// port, an uncovered ET message) serialize as JSON null — int64 max is not
+/// a number any consumer should ever parse back as a response time.
+void write_bound(JsonWriter& json, std::string_view name, Time bound) {
+  json.key(name);
+  if (is_infinite(bound)) {
+    json.null_value();
+  } else {
+    json.value(static_cast<long long>(bound));
+  }
+}
+
+/// Schema v5: the `pessimism` block of an exact-mode solve — holistic vs
+/// schedule-space bounds of the winner, per ET activity.
+void write_pessimism(JsonWriter& json, const PessimismReport& pessimism) {
+  json.key("pessimism").begin_object();
+  json.field("activities", pessimism.activities)
+      .field("refined", pessimism.refined)
+      .field("unbounded", pessimism.unbounded)
+      .field("mean_gap", pessimism.mean_gap)
+      .field("max_gap", pessimism.max_gap)
+      .field("explored_states", pessimism.explored_states)
+      .field("merged_states", pessimism.merged_states)
+      .field("any_fallback", pessimism.any_fallback);
+  json.key("cluster_fallbacks").begin_array();
+  for (const ExactFallback fallback : pessimism.cluster_fallbacks) {
+    json.value(to_string(fallback));
+  }
+  json.end_array();
+  json.key("entries").begin_array();
+  for (const PessimismActivity& entry : pessimism.entries) {
+    json.begin_object()
+        .field("cluster", entry.cluster)
+        .field("activity", entry.is_task ? "task" : "message")
+        .field("index", entry.index);
+    write_bound(json, "holistic", entry.holistic);
+    write_bound(json, "exact", entry.exact);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
 void write_member(JsonWriter& json, const MemberSolveReport& member, bool include_timing) {
   json.begin_object()
       .field("member", member.member)
@@ -81,7 +125,8 @@ void write_member(JsonWriter& json, const MemberSolveReport& member, bool includ
 }  // namespace
 
 std::string write_solve_json(const Application& app, std::string_view algorithm,
-                             const SolveReport& report, bool include_timing) {
+                             const SolveReport& report, bool include_timing,
+                             const PessimismReport* pessimism) {
   const OptimizationOutcome& outcome = report.outcome;
   // Schema v2 delta: the version bump itself, plus — for multi-cluster
   // systems only — a `clusters` count in the system object and a
@@ -92,10 +137,12 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
   // cluster_configs entry leads with a `backend` tag ("flexray" | "tsn")
   // and TSN entries carry the shaper decision variables (cycle,
   // link_rate_mbps, gates, et_priority) instead of the FlexRay fields.
+  // Schema v5 delta: version-only for holistic solves; exact-mode solves
+  // add a `pessimism` block after `profile` (infinite bounds are null).
   const bool multicluster = outcome.system.cluster_count() > 1;
   JsonWriter json;
   json.begin_object();
-  json.field("schema", "flexopt-solve-report/4");
+  json.field("schema", "flexopt-solve-report/5");
   json.key("system").begin_object();
   json.field("tasks", app.task_count())
       .field("messages", app.message_count())
@@ -158,6 +205,7 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
   json.end_array();
   json.end_object();   // components_per_delta
   json.end_object();   // profile
+  if (pessimism != nullptr) write_pessimism(json, *pessimism);
   json.key("config");
   write_config(json, outcome.config);
   if (multicluster) {

@@ -19,7 +19,24 @@ struct Summary {
 /// Summary of a sample set; all-zero summary for empty input.
 Summary summarize(std::span<const double> values);
 
-/// p-th percentile (0..100) by linear interpolation; requires non-empty input.
+/// p-th percentile (0..100) of an unsorted sample by linear interpolation
+/// over the (n-1)-spaced ranks (numpy's default "linear" rule):
+/// rank = p/100 * (n-1), result = v[floor(rank)] interpolated towards
+/// v[floor(rank)+1].  Pinned semantics: under this rule
+/// percentile(v, 50) == median(v) for every sample size — odd, even, or
+/// duplicate-heavy (regression-tested in tests/math/stats_test.cpp), so
+/// reported p50 columns and medians can never disagree.  Requires
+/// non-empty input.
 double percentile(std::span<const double> values, double p);
+
+/// percentile() for an already ascending-sorted sample: skips the internal
+/// copy-and-sort, so callers extracting several quantiles of one sample
+/// sort once and query many times.
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Median: the middle order statistic for odd sizes, the mean of the two
+/// middle ones for even — by construction equal to percentile(values, 50).
+/// Requires non-empty input.
+double median(std::span<const double> values);
 
 }  // namespace flexopt

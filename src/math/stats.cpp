@@ -26,15 +26,28 @@ Summary summarize(std::span<const double> values) {
   return s;
 }
 
-double percentile(std::span<const double> values, double p) {
-  if (values.empty()) throw std::invalid_argument("percentile of empty sample");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("percentile of empty sample");
   const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("median of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 }
 
 }  // namespace flexopt

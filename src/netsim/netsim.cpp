@@ -35,14 +35,17 @@ struct RouterState {
 LatencyStat make_latency_stat(std::vector<double>& samples) {
   LatencyStat stat;
   if (samples.empty()) return stat;
+  // One sort feeds both quantiles; percentile() would re-copy and re-sort
+  // the sample per call.  percentile_sorted's p50 equals the true median
+  // for even sample counts too (see math/stats.hpp).
   std::sort(samples.begin(), samples.end());
   const Summary summary = summarize(samples);
   stat.count = summary.count;
   stat.min = summary.min;
   stat.mean = summary.mean;
   stat.max = summary.max;
-  stat.p50 = percentile(samples, 50.0);
-  stat.p99 = percentile(samples, 99.0);
+  stat.p50 = percentile_sorted(samples, 50.0);
+  stat.p99 = percentile_sorted(samples, 99.0);
   return stat;
 }
 

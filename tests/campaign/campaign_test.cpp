@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "flexopt/campaign/report.hpp"
 
@@ -302,6 +304,169 @@ TEST(CampaignRunner, SimCheckRecordsSoundnessAndGap) {
   EXPECT_NE(csv.find(",simulated,sim_sound,sim_gap"), std::string::npos);
   const std::string json = write_campaign_json(a.value());
   EXPECT_NE(json.find("\"sim_unsound\": 0"), std::string::npos);
+}
+
+/// Splits one CSV line into fields (empty fields preserved).
+std::vector<std::string> csv_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+std::vector<std::string> csv_lines(const std::string& csv) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : csv) {
+    if (c == '\n') {
+      if (!line.empty()) lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+// The generation-error fallback row regression: every CSV row — including
+// the fallback rows of degenerate grid cells — must have exactly as many
+// columns as the header (the old hard-coded fallback literal drifted when
+// columns were added), and a never-simulated row leaves sim_sound *empty*
+// instead of claiming soundness it never checked.
+TEST(CampaignReport, CsvRowsMatchHeaderShapeIncludingFallbackRows) {
+  CampaignSpec spec = tiny_campaign();
+  spec.node_counts = {2, 3};
+  spec.tasks_per_node = 5;
+  spec.tasks_per_graph = 2;  // 15 % 2 != 0: nodes=3 cells fail generation
+  auto result = CampaignRunner(spec, BusParams{}).run();
+  ASSERT_TRUE(result.ok()) << result.error().message;
+
+  for (const bool include_timing : {false, true}) {
+    const std::string csv = write_campaign_csv(result.value(), include_timing);
+    const std::vector<std::string> lines = csv_lines(csv);
+    ASSERT_GT(lines.size(), 1u);
+    const std::vector<std::string> header = csv_fields(lines[0]);
+    std::size_t fallback_rows = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::vector<std::string> row = csv_fields(lines[i]);
+      ASSERT_EQ(row.size(), header.size()) << "row " << i << ": " << lines[i];
+      std::size_t column = 0;
+      for (const std::string& name : header) {
+        const std::string& value = row[column++];
+        if (name == "status" && value == "generation-error") ++fallback_rows;
+        if (name == "sim_sound") {
+          // sim_sound is only ever 0/1 on simulated rows; otherwise empty.
+          const bool simulated = row[column - 2] == "1";
+          if (simulated) {
+            EXPECT_TRUE(value == "0" || value == "1") << lines[i];
+          } else {
+            EXPECT_TRUE(value.empty()) << lines[i];
+          }
+        }
+      }
+    }
+    EXPECT_GT(fallback_rows, 0u);
+  }
+
+  // Fallback-row shape, field by field.
+  const std::string csv = write_campaign_csv(result.value());
+  const std::vector<std::string> lines = csv_lines(csv);
+  const std::vector<std::string> header = csv_fields(lines[0]);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> row = csv_fields(lines[i]);
+    bool is_fallback = false;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      is_fallback = is_fallback || (header[c] == "status" && row[c] == "generation-error");
+    }
+    if (!is_fallback) continue;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == "algorithm") {
+        EXPECT_EQ(row[c], "-");
+      } else if (header[c] == "cost" || header[c] == "sim_sound") {
+        EXPECT_TRUE(row[c].empty()) << lines[i];
+      } else if (header[c] == "feasible" || header[c] == "simulated" ||
+                 header[c] == "evaluations" || header[c] == "exact_ran") {
+        EXPECT_EQ(row[c], "0") << header[c];
+      }
+    }
+  }
+}
+
+// The analysis_mode axis: holistic and exact lanes of the same grid cell,
+// exact runs record refinement stats, the by_mode aggregate appears, and
+// the thread-count determinism contract extends to the new axis.
+TEST(CampaignRunner, AnalysisModeAxisRecordsPessimism) {
+  CampaignSpec spec;
+  spec.name = "modes";
+  spec.node_counts = {3};
+  spec.traffic_mixes = {TrafficMix::DynOnly};
+  spec.replicates = 2;
+  spec.tasks_per_node = 4;
+  spec.tasks_per_graph = 4;
+  spec.deadline_factor = 2.0;
+  spec.base_seed = 5;
+  spec.algorithms = {"bbc"};
+  spec.max_evaluations = 120;
+  spec.analysis_modes = {AnalysisMode::Holistic, AnalysisMode::Exact};
+  CampaignRunner runner(spec, BusParams{});
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  auto a = runner.run(serial);
+  auto b = runner.run(parallel);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(write_campaign_json(a.value()), write_campaign_json(b.value()));
+  EXPECT_EQ(write_campaign_csv(a.value()), write_campaign_csv(b.value()));
+
+  std::size_t exact_ran = 0;
+  for (const ScenarioRecord& record : a.value().scenarios) {
+    if (!record.generated) continue;
+    for (const AlgorithmRun& run : record.runs) {
+      EXPECT_EQ(run.analysis_mode, record.plan.analysis_mode);
+      if (record.plan.analysis_mode == AnalysisMode::Exact &&
+          run.cost < kInvalidConfigCost) {
+        EXPECT_TRUE(run.exact_ran);
+        EXPECT_GE(run.exact_gap_mean, 0.0);
+        ++exact_ran;
+      }
+      if (record.plan.analysis_mode == AnalysisMode::Holistic) {
+        EXPECT_FALSE(run.exact_ran);
+      }
+    }
+  }
+  EXPECT_GT(exact_ran, 0u);
+
+  const AlgorithmAggregate exact_agg =
+      aggregate_runs_mode(a.value(), "bbc", AnalysisMode::Exact);
+  EXPECT_EQ(exact_agg.exact_ran, exact_ran);
+  const AlgorithmAggregate holistic_agg =
+      aggregate_runs_mode(a.value(), "bbc", AnalysisMode::Holistic);
+  EXPECT_EQ(holistic_agg.exact_ran, 0u);
+
+  const std::string csv = write_campaign_csv(a.value());
+  EXPECT_NE(csv.find(",analysis_mode,exact_ran,"), std::string::npos);
+  EXPECT_NE(csv.find(",exact,"), std::string::npos);
+  EXPECT_NE(csv.find(",holistic,"), std::string::npos);
+  const std::string json = write_campaign_json(a.value());
+  EXPECT_NE(json.find("\"by_mode\""), std::string::npos);
+  EXPECT_NE(json.find("\"exact_gap_mean\""), std::string::npos);
+
+  // Default axis: no by_mode block, pre-axis JSON bytes preserved.
+  auto plain = CampaignRunner(tiny_campaign(), BusParams{}).run();
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(write_campaign_json(plain.value()).find("by_mode"), std::string::npos);
+  EXPECT_EQ(write_campaign_json(plain.value()).find("exact_gap_mean"), std::string::npos);
 }
 
 TEST(CampaignReport, AggregatesPerAlgorithmAndNodeCount) {

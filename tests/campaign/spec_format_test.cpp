@@ -141,6 +141,24 @@ TEST(CampaignSpecFormat, ParsesBackendAxis) {
   EXPECT_NE(typo.error().message.find("did you mean 'backend'"), std::string::npos);
 }
 
+TEST(CampaignSpecFormat, ParsesAnalysisModeAxis) {
+  auto spec = parse_campaign_text("analysis_mode holistic exact simulate\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_EQ(spec.value().analysis_modes,
+            (std::vector<AnalysisMode>{AnalysisMode::Holistic, AnalysisMode::Exact,
+                                       AnalysisMode::Simulate}));
+  // Untouched: the axis defaults to the holistic backend only.
+  auto plain = parse_campaign_text("nodes 4\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().analysis_modes, std::vector<AnalysisMode>{AnalysisMode::Holistic});
+
+  // Unknown mode values fail with the line and the valid set.
+  auto bad = parse_campaign_text("name ok\nanalysis_mode oracle\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(bad.error().message.find("holistic"), std::string::npos);
+}
+
 TEST(CampaignSpecFormat, BackendAxisRejectsSingleBusFamilies) {
   // tsn/mixed require every swept topology to be multicluster: the grid is
   // rejected at expansion (spec-level, not N per-cell skips).

@@ -182,7 +182,7 @@ TEST(MulticlusterSolve, PortfolioJobsDoNotChangeTheReport) {
   const std::string parallel = solve_with_jobs(4);
   EXPECT_EQ(serial, parallel);
   EXPECT_NE(serial.find("cluster_configs"), std::string::npos);
-  EXPECT_NE(serial.find("flexopt-solve-report/4"), std::string::npos);
+  EXPECT_NE(serial.find("flexopt-solve-report/5"), std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 
 namespace flexopt {
@@ -76,6 +77,51 @@ TEST(Stats, PercentileTwoSamplesP99) {
   // p99 of two samples interpolates 98% of the way to the larger one.
   const std::array<double, 2> v{0.0, 100.0};
   EXPECT_DOUBLE_EQ(percentile(v, 99), 99.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::array<double, 5> v{50.0, 10.0, 30.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(median(v), 30.0);
+}
+
+TEST(Stats, MedianEvenCount) {
+  // Mean of the two middle order statistics, regardless of input order.
+  const std::array<double, 4> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(median(v), 25.0);
+}
+
+TEST(Stats, MedianOfEmptyThrows) {
+  EXPECT_THROW((void)median({}), std::invalid_argument);
+}
+
+TEST(Stats, P50EqualsMedianEvenOddAndDuplicateHeavy) {
+  // The pinned interpolation rule (rank = p/100 * (n-1)) makes p50 the true
+  // median for every sample size; a reported p50 column and a median column
+  // must never disagree.  Regression over even, odd and duplicate-heavy
+  // shapes, including netsim-style latency vectors.
+  const std::array<double, 4> even{4.0, 1.0, 3.0, 2.0};
+  const std::array<double, 7> odd{7.0, 3.0, 5.0, 1.0, 6.0, 2.0, 4.0};
+  const std::array<double, 8> duplicate_heavy{5.0, 5.0, 5.0, 5.0, 9.0, 5.0, 5.0, 1.0};
+  const std::array<double, 6> latency{120.0, 80.0, 80.0, 95.0, 120.0, 80.0};
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), median(even));
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), median(odd));
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(duplicate_heavy, 50.0), median(duplicate_heavy));
+  EXPECT_DOUBLE_EQ(percentile(duplicate_heavy, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(latency, 50.0), median(latency));
+  EXPECT_DOUBLE_EQ(percentile(latency, 50.0), 87.5);
+}
+
+TEST(Stats, PercentileSortedMatchesPercentile) {
+  // The sorted-input fast path (one sort, many quantiles — the netsim
+  // latency-stat hot path) must agree with the copying variant everywhere.
+  const std::array<double, 6> unsorted{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  std::array<double, 6> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, p), percentile(unsorted, p)) << "p=" << p;
+  }
 }
 
 }  // namespace

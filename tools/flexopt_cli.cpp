@@ -4,13 +4,17 @@
 //
 //   flexopt_cli solve <system-file> [--algorithm NAME] [--seed N] [--budget N]
 //               [--time-limit S] [--threads N] [--members LIST] [--jobs N]
-//               [--json FILE] [--progress] [--no-cache] [--simulate] [--dump]
+//               [--analysis-mode MODE] [--json FILE] [--progress] [--no-cache]
+//               [--simulate] [--dump]
 //       Optimise one system described in the flexopt/io/system_format.hpp
 //       plain-text format; prints the chosen configuration and per-activity
 //       worst-case response times; exit code 0 iff schedulable.  With
 //       --algorithm portfolio, --members ("4xsa,obc-ee") composes the
 //       racing pool and --jobs caps its worker threads (results are
-//       independent of --jobs).  --json writes the deterministic
+//       independent of --jobs).  --analysis-mode holistic|exact|simulate
+//       selects the analysis backend: `exact` refines every evaluator bound
+//       with the schedule-space backend and reports the winner's pessimism,
+//       `simulate` implies --simulate.  --json writes the deterministic
 //       machine-readable report of flexopt/io/solve_report_json.hpp.
 //
 //   flexopt_cli simulate <system-file> [--algorithm NAME] [--seed N] [--budget N]
@@ -62,7 +66,8 @@ int usage() {
   std::cerr
       << "usage: flexopt_cli [solve] <system-file> [--algorithm NAME|list] [--seed N]\n"
          "                   [--budget MAX_EVALUATIONS] [--time-limit SECONDS]\n"
-         "                   [--threads N] [--members LIST] [--jobs N] [--json FILE]\n"
+         "                   [--threads N] [--members LIST] [--jobs N]\n"
+         "                   [--analysis-mode holistic|exact|simulate] [--json FILE]\n"
          "                   [--progress] [--no-cache] [--simulate] [--dump]\n"
          "       flexopt_cli simulate <system-file> [--algorithm NAME] [--seed N]\n"
          "                   [--budget N] [--time-limit S] [--threads N]\n"
@@ -169,6 +174,7 @@ int solve_main(int argc, char** argv) {
   int jobs = 0;
   SolveRequest request;
   EvaluatorOptions evaluator_options;
+  AnalysisMode analysis_mode = AnalysisMode::Holistic;
   bool show_progress = false;
   bool run_sim = false;
   bool dump = false;
@@ -176,6 +182,13 @@ int solve_main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
       algorithm = argv[++i];
+    } else if (arg == "--analysis-mode" && i + 1 < argc) {
+      auto mode = parse_analysis_mode(argv[++i]);
+      if (!mode.ok()) {
+        std::cerr << mode.error().message << "\n";
+        return usage();
+      }
+      analysis_mode = mode.value();
     } else if (arg == "--members" && i + 1 < argc) {
       members_arg = argv[++i];
       members_set = true;
@@ -295,12 +308,39 @@ int solve_main(int argc, char** argv) {
     };
   }
 
-  CostEvaluator evaluator(model.value(), params, AnalysisOptions{}, evaluator_options);
+  // `simulate` analyses holistically and implies the --simulate replay;
+  // `exact` routes every evaluator bound through the schedule-space backend.
+  if (analysis_mode == AnalysisMode::Simulate) run_sim = true;
+  AnalysisOptions analysis_options;
+  if (analysis_mode == AnalysisMode::Exact) analysis_options.mode = AnalysisMode::Exact;
+  CostEvaluator evaluator(model.value(), params, analysis_options, evaluator_options);
   const SolveReport report = optimizer.value()->solve(evaluator, request);
   const OptimizationOutcome& outcome = report.outcome;
   if (show_progress) std::cerr << "\n";
 
-  if (json_out.pending() && !json_out.commit(write_solve_json(app, algorithm, report) + "\n")) {
+  // Exact-mode lane: re-analyse the winner with the schedule-space backend
+  // so both the JSON report and the human output carry its pessimism.
+  std::unique_ptr<PessimismReport> pessimism;
+  if (analysis_mode == AnalysisMode::Exact && outcome.cost.value < kInvalidConfigCost) {
+    auto layouts = build_system_layouts(model.value(), params, outcome.system);
+    auto exact = layouts.ok()
+                     ? analyze_multicluster(model.value(), layouts.value(), analysis_options)
+                     : Expected<MulticlusterResult>(layouts.error());
+    if (exact.ok()) {
+      std::vector<const Application*> apps;
+      for (std::size_t c = 0; c < model.value().cluster_count(); ++c) {
+        apps.push_back(model.value().cluster_app(c).get());
+      }
+      pessimism = std::make_unique<PessimismReport>(
+          make_pessimism_report(apps, exact.value().clusters));
+    } else {
+      std::cerr << "exact analysis: " << exact.error().message << "\n";
+    }
+  }
+
+  if (json_out.pending() &&
+      !json_out.commit(write_solve_json(app, algorithm, report, false, pessimism.get()) +
+                       "\n")) {
     std::cerr << "cannot write '" << json_path << "'\n";
     return 2;
   }
@@ -325,6 +365,14 @@ int solve_main(int argc, char** argv) {
       std::cout << ", " << fmt_double(profile.components_per_delta.mean(), 1)
                 << " components/delta";
     }
+    std::cout << "\n";
+  }
+  if (pessimism != nullptr) {
+    std::cout << "pessimism: " << pessimism->refined << "/" << pessimism->activities
+              << " ET activities refined, gap mean " << fmt_percent(pessimism->mean_gap)
+              << ", max " << fmt_percent(pessimism->max_gap) << ", "
+              << pessimism->explored_states << " states explored";
+    if (pessimism->any_fallback) std::cout << " (holistic fallback on some clusters)";
     std::cout << "\n";
   }
   if (!report.members.empty()) {
