@@ -1,6 +1,9 @@
 #include "flexopt/analysis/analysis_mode.hpp"
 
+#include <array>
 #include <string>
+
+#include "flexopt/util/suggest.hpp"
 
 namespace flexopt {
 
@@ -20,8 +23,11 @@ Expected<AnalysisMode> parse_analysis_mode(std::string_view text) {
   if (text == "holistic") return AnalysisMode::Holistic;
   if (text == "exact") return AnalysisMode::Exact;
   if (text == "simulate") return AnalysisMode::Simulate;
+  static constexpr std::array<std::string_view, 3> kModes = {"holistic", "exact",
+                                                             "simulate"};
   return make_error("unknown analysis mode '" + std::string(text) +
-                    "' (expected holistic, exact, or simulate)");
+                    "' (expected holistic, exact, or simulate)" +
+                    suggest_hint(text, kModes));
 }
 
 const char* to_string(ExactFallback fallback) {
@@ -38,6 +44,8 @@ const char* to_string(ExactFallback fallback) {
       return "unbounded-jitter";
     case ExactFallback::BudgetExceeded:
       return "budget-exceeded";
+    case ExactFallback::InvalidOptions:
+      return "invalid-options";
   }
   return "?";
 }

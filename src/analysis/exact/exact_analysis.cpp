@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "flexopt/analysis/incremental.hpp"
 #include "flexopt/analysis/sat_time.hpp"
 #include "flexopt/analysis/exact/schedule_space.hpp"
 #include "flexopt/flexray/bus_layout.hpp"
@@ -45,11 +46,22 @@ void clamp_to_holistic(const Application& app, AnalysisResult& refined,
 }
 
 /// Runs the exploration preconditions and, when they hold, the exploration
-/// itself; returns the caps to feed the re-run (empty on fallback) and
-/// records the outcome in `info`.
+/// itself — through `cache`'s exact-space store when one is available and
+/// ExactOptions::reuse_base_frontier is on (a hit replays the stored
+/// frontier outcome verbatim, bit-identical to a cold run); returns the
+/// caps to feed the re-run (empty on fallback) and records the outcome in
+/// `info`.
 std::vector<Time> explore_cluster(const BusLayout& layout, const AnalysisResult& holistic,
-                                  const AnalysisOptions& options, ExactClusterInfo& info) {
+                                  const AnalysisOptions& options, ExactClusterInfo& info,
+                                  AnalysisComponentCache* cache,
+                                  AnalysisWorkCounters* counters) {
   const Application& app = layout.application();
+  // Validated at entry: a zero budget must be a loud diagnostic, not a
+  // silently converged empty exploration.
+  if (options.exact.max_states == 0 || options.exact.max_branch_messages <= 0) {
+    info.fallback = ExactFallback::InvalidOptions;
+    return {};
+  }
   if (!has_dyn_messages(app)) {
     info.fallback = ExactFallback::NoDynMessages;
     return {};
@@ -67,8 +79,20 @@ std::vector<Time> explore_cluster(const BusLayout& layout, const AnalysisResult&
     info.fallback = ExactFallback::NotConverged;
     return {};
   }
-  ScheduleSpaceResult space = explore_dyn_schedule_space(layout, holistic.message_jitter,
-                                                         horizon.value(), options.exact);
+  ScheduleSpaceResult space;
+  if (cache != nullptr && options.exact.reuse_base_frontier) {
+    space = cache
+                ->schedule_space_for(layout, holistic.message_jitter, horizon.value(),
+                                     options.exact, counters)
+                ->space;
+  } else {
+    space = explore_dyn_schedule_space(layout, holistic.message_jitter, horizon.value(),
+                                       options.exact);
+    if (counters != nullptr) {
+      counters->exact_states_explored += space.explored_states;
+      counters->exact_states_deduped += space.merged_states;
+    }
+  }
   info.explored_states = space.explored_states;
   info.merged_states = space.merged_states;
   info.transitions = space.transitions;
@@ -82,7 +106,8 @@ std::vector<Time> explore_cluster(const BusLayout& layout, const AnalysisResult&
 Expected<AnalysisResult> analyze_system_exact(const BusLayout& layout,
                                               const AnalysisOptions& options,
                                               AnalysisWorkCounters* counters,
-                                              std::span<const Time> external_task_jitter) {
+                                              std::span<const Time> external_task_jitter,
+                                              AnalysisComponentCache* cache) {
   AnalysisOptions holistic_options = options;
   holistic_options.mode = AnalysisMode::Holistic;
   auto holistic = analyze_system(layout, holistic_options, counters, external_task_jitter);
@@ -93,7 +118,7 @@ Expected<AnalysisResult> analyze_system_exact(const BusLayout& layout,
   info->holistic_task_completion = base.task_completion;
   info->holistic_message_completion = base.message_completion;
 
-  const std::vector<Time> caps = explore_cluster(layout, base, options, *info);
+  const std::vector<Time> caps = explore_cluster(layout, base, options, *info, cache, counters);
   if (info->fallback != ExactFallback::None) {
     base.exact = std::move(info);
     return base;
@@ -142,7 +167,9 @@ Expected<MulticlusterResult> analyze_multicluster_exact(
       info.fallback = ExactFallback::NotConverged;
       continue;
     }
-    caps[c] = explore_cluster(layouts[c].flexray(), base.clusters[c], options, info);
+    AnalysisComponentCache* cache = c < caches.size() ? caches[c] : nullptr;
+    caps[c] = explore_cluster(layouts[c].flexray(), base.clusters[c], options, info, cache,
+                              counters);
     any_caps = any_caps || info.fallback == ExactFallback::None;
   }
 

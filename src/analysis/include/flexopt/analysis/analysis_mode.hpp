@@ -56,8 +56,34 @@ struct ExactOptions {
   /// released in [0, H * hyperperiods) are explored to completion (plus
   /// drain cycles up to the analysis horizon).
   int hyperperiods = 1;
+  /// Worker threads for the sharded frontier exploration.  1 explores
+  /// inline on the calling thread; 0 uses the hardware concurrency.  The
+  /// exploration result is bit-identical for every worker count: states are
+  /// routed to a fixed number of shards by key hash (independent of jobs),
+  /// each shard merges and prunes locally in sorted key order, and all
+  /// counters are order-independent sums.
+  int jobs = 1;
+  /// Reuse explored per-cluster schedule spaces across neighbour moves:
+  /// when an AnalysisComponentCache is available, exploration results are
+  /// keyed by the cluster's DYN-geometry sub-hash plus the converged release
+  /// jitters, horizon and exploration knobs, so a move that leaves a
+  /// cluster's DYN inputs untouched replays the surviving frontier verbatim
+  /// instead of re-exploring from the empty state.  A hit is bit-identical
+  /// to a cold run (the exploration is a pure function of the key).
+  bool reuse_base_frontier = true;
 
   friend bool operator==(const ExactOptions&, const ExactOptions&) = default;
+
+  /// The fields that determine the exploration *result* (bounds and
+  /// counters).  `jobs` and `reuse_base_frontier` are execution knobs with
+  /// bit-identical outcomes, so cache keys must ignore them.
+  [[nodiscard]] bool same_semantics(const ExactOptions& other) const {
+    return max_states == other.max_states &&
+           max_branch_messages == other.max_branch_messages &&
+           prune_dominated == other.prune_dominated &&
+           dominance_sweep_limit == other.dominance_sweep_limit &&
+           hyperperiods == other.hyperperiods;
+  }
 };
 
 /// Why a cluster kept its holistic bounds instead of exact refinements.
@@ -68,6 +94,7 @@ enum class ExactFallback {
   NotConverged,        ///< holistic prerequisite diverged; no jitter bounds
   UnboundedJitter,     ///< some DYN release jitter is infinite
   BudgetExceeded,      ///< max_states / max_branch_messages hit mid-exploration
+  InvalidOptions,      ///< zero max_states / max_branch_messages budget
 };
 
 [[nodiscard]] const char* to_string(ExactFallback fallback);

@@ -29,6 +29,20 @@
 /// transmitted counts has pointwise less backlog, so every future finish
 /// reachable from it is also reachable (no later) from the less progressed
 /// state; the more progressed state is dropped.
+///
+/// Parallel exploration (ExactOptions::jobs): each cycle fans out over a
+/// sharded state table whose shard count is FIXED (independent of the
+/// worker count) — states are routed to shards by a hash of the
+/// transmitted-count key.  Workers steal source shards from a shared atomic
+/// cursor, write successors into per-(worker, target-shard) buffers
+/// (lock-free handoff — no shared successor structure), and after a barrier
+/// steal target shards to merge: open-addressing dedup, lexicographic key
+/// sort, then a shard-local pointwise-<= dominance sweep over the SoA rows.
+/// Small frontiers get one extra cross-shard sweep (the serial engine's
+/// dominance_sweep_limit regime).  Because shard membership, per-shard
+/// sorted order, the dominance relation and every counter are functions of
+/// the key set alone — never of which worker produced a state — the result
+/// is bit-identical for any worker count.
 
 #include <cstdint>
 #include <span>

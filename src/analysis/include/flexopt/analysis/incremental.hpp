@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "flexopt/analysis/arena.hpp"
+#include "flexopt/analysis/exact/schedule_space.hpp"
 #include "flexopt/analysis/fps_analysis.hpp"
 #include "flexopt/analysis/system_analysis.hpp"
 #include "flexopt/flexray/bus_config.hpp"
@@ -164,6 +165,23 @@ struct TaskStructure {
   std::vector<std::uint32_t> task_node;  ///< per task
 };
 
+/// Cacheable exact-backend component: one cluster's DYN schedule-space
+/// exploration outcome, keyed by every input the exploration reads — the
+/// dyn sub-hash (segment geometry + FrameID assignment), the converged DYN
+/// release jitters, the cycle horizon and the semantic exploration knobs.
+/// The exploration is a pure function of that key, so serving a stored
+/// component is bit-identical to re-exploring (counters included); this is
+/// what makes exact analysis incremental across neighbour moves.
+struct ExactSpaceComponent {
+  // Exploration inputs — the hash-collision / equality guard.
+  std::uint64_t dyn_key = 0;
+  Time horizon = 0;
+  ExactOptions options;  ///< compared via ExactOptions::same_semantics
+  std::vector<Time> message_jitter;
+
+  ScheduleSpaceResult space;
+};
+
 /// Thread-safe store of the per-geometry schedule components and the
 /// per-mapping task structure.  Owned by CostEvaluator; one cache serves
 /// exactly one application.
@@ -182,18 +200,34 @@ class AnalysisComponentCache {
   std::shared_ptr<const TaskStructure> task_structure(const Application& app,
                                                       const AnalysisOptions& options);
 
+  /// Exact schedule-space exploration for the layout's DYN inputs under
+  /// `message_jitter` (the converged holistic release jitters): explored on
+  /// a miss, served verbatim on a hit.  A hit bumps
+  /// `counters->exact_frontier_reused`; a miss records the explored/merged
+  /// state counts.  Results (including fallbacks) are negatively cached —
+  /// the exploration is deterministic, so the first outcome is the outcome.
+  std::shared_ptr<const ExactSpaceComponent> schedule_space_for(
+      const BusLayout& layout, std::span<const Time> message_jitter, Time horizon,
+      const ExactOptions& options, AnalysisWorkCounters* counters);
+
   void clear();
   [[nodiscard]] std::size_t schedule_entries() const;
+  [[nodiscard]] std::size_t exact_space_entries() const;
 
  private:
   mutable std::mutex mutex_;
   std::size_t max_entries_;
   std::size_t entry_count_ = 0;  ///< total components across all buckets
+  std::size_t exact_entry_count_ = 0;
   std::shared_ptr<const TaskStructure> task_structure_;
   /// geometry_key -> components (a bucket list: collisions are resolved by
   /// comparing the stored geometry).
   std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<const ScheduleComponent>>>
       schedules_;
+  /// Combined exploration-input hash -> explored spaces (bucket list,
+  /// full-key equality guard).
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<const ExactSpaceComponent>>>
+      exact_spaces_;
 };
 
 /// Incremental analyze_system.  Without `base`, the result (values,

@@ -61,6 +61,13 @@ struct AnalysisWorkCounters {
   /// the "how hard did each recomputed component work" axis the coarse
   /// per-component counters cannot see.
   std::uint64_t fixed_point_iterations = 0;
+  /// Exact schedule-space engine (AnalysisMode::Exact only): states
+  /// expanded, states merged away (identical-key dedup + dominance), and
+  /// per-cluster explorations served verbatim from the exact-space cache
+  /// instead of re-explored.
+  std::uint64_t exact_states_explored = 0;
+  std::uint64_t exact_states_deduped = 0;
+  std::uint64_t exact_frontier_reused = 0;
 
   /// Total recomputed components (the delta-vs-full gate metric).
   [[nodiscard]] std::uint64_t components() const {
@@ -75,6 +82,9 @@ struct AnalysisWorkCounters {
     dyn_skipped += o.dyn_skipped;
     holistic_iterations += o.holistic_iterations;
     fixed_point_iterations += o.fixed_point_iterations;
+    exact_states_explored += o.exact_states_explored;
+    exact_states_deduped += o.exact_states_deduped;
+    exact_frontier_reused += o.exact_frontier_reused;
     return *this;
   }
   /// Field-wise delta against an earlier snapshot of the same counters.
@@ -88,6 +98,9 @@ struct AnalysisWorkCounters {
     d.dyn_skipped = dyn_skipped - before.dyn_skipped;
     d.holistic_iterations = holistic_iterations - before.holistic_iterations;
     d.fixed_point_iterations = fixed_point_iterations - before.fixed_point_iterations;
+    d.exact_states_explored = exact_states_explored - before.exact_states_explored;
+    d.exact_states_deduped = exact_states_deduped - before.exact_states_deduped;
+    d.exact_frontier_reused = exact_frontier_reused - before.exact_frontier_reused;
     return d;
   }
 };

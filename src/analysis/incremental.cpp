@@ -64,6 +64,28 @@ bool same_profile(const BusyProfile& a, const BusyProfile& b) {
   return a.period() == b.period() && a.intervals() == b.intervals();
 }
 
+/// The jitter slice the exploration actually reads: DYN messages only, in
+/// ascending MessageId order (ST jitters must not perturb the key — an
+/// ST-side move that leaves the DYN inputs untouched is exactly the reuse
+/// case).  Out-of-range reads mirror the exploration's kTimeInfinity.
+std::vector<Time> dyn_jitter_slice(const Application& app,
+                                   std::span<const Time> message_jitter) {
+  std::vector<Time> slice;
+  for (std::uint32_t m = 0; m < app.message_count(); ++m) {
+    if (app.messages()[m].cls != MessageClass::Dynamic) continue;
+    slice.push_back(m < message_jitter.size() ? message_jitter[m] : kTimeInfinity);
+  }
+  return slice;
+}
+
+bool same_exploration(const ExactSpaceComponent& component, std::uint64_t dyn_key,
+                      const std::vector<Time>& dyn_jitter, Time horizon,
+                      const ExactOptions& options) {
+  return component.dyn_key == dyn_key && component.horizon == horizon &&
+         component.options.same_semantics(options) &&
+         component.message_jitter == dyn_jitter;
+}
+
 }  // namespace
 
 ConfigSubHashes config_subhashes(const BusConfig& config) {
@@ -120,6 +142,62 @@ std::shared_ptr<const ScheduleComponent> AnalysisComponentCache::schedule_for(
     }
   }
   return component;
+}
+
+std::shared_ptr<const ExactSpaceComponent> AnalysisComponentCache::schedule_space_for(
+    const BusLayout& layout, std::span<const Time> message_jitter, Time horizon,
+    const ExactOptions& options, AnalysisWorkCounters* counters) {
+  const std::uint64_t dyn_key = config_subhashes(layout.config()).dyn_key;
+  std::vector<Time> dyn_jitter = dyn_jitter_slice(layout.application(), message_jitter);
+  Fnv fnv;
+  fnv.mix(dyn_key);
+  fnv.mix(static_cast<std::uint64_t>(horizon));
+  fnv.mix(options.max_states);
+  fnv.mix(static_cast<std::uint64_t>(options.max_branch_messages));
+  fnv.mix(options.prune_dominated ? 1 : 0);
+  fnv.mix(options.dominance_sweep_limit);
+  fnv.mix(static_cast<std::uint64_t>(options.hyperperiods));
+  for (const Time j : dyn_jitter) fnv.mix(static_cast<std::uint64_t>(j));
+  const std::uint64_t key = fnv.h;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = exact_spaces_.find(key); it != exact_spaces_.end()) {
+      for (const auto& component : it->second) {
+        if (same_exploration(*component, dyn_key, dyn_jitter, horizon, options)) {
+          if (counters != nullptr) ++counters->exact_frontier_reused;
+          return component;
+        }
+      }
+    }
+  }
+  auto component = std::make_shared<ExactSpaceComponent>();
+  component->dyn_key = dyn_key;
+  component->horizon = horizon;
+  component->options = options;
+  component->message_jitter = std::move(dyn_jitter);
+  component->space = explore_dyn_schedule_space(layout, message_jitter, horizon, options);
+  if (counters != nullptr) {
+    counters->exact_states_explored += component->space.explored_states;
+    counters->exact_states_deduped += component->space.merged_states;
+  }
+  std::shared_ptr<const ExactSpaceComponent> stored = std::move(component);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Concurrent misses of the same key explore redundantly (deterministic
+    // work); keep whichever entry landed first so a race never grows the
+    // bucket, and bound the store by total entries like the schedules.
+    auto& bucket = exact_spaces_[key];
+    for (const auto& existing : bucket) {
+      if (same_exploration(*existing, dyn_key, stored->message_jitter, horizon, options)) {
+        return existing;
+      }
+    }
+    if (exact_entry_count_ < max_entries_) {
+      bucket.push_back(stored);
+      ++exact_entry_count_;
+    }
+  }
+  return stored;
 }
 
 std::shared_ptr<const TaskStructure> AnalysisComponentCache::task_structure(
@@ -213,12 +291,19 @@ void AnalysisComponentCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   schedules_.clear();
   entry_count_ = 0;
+  exact_spaces_.clear();
+  exact_entry_count_ = 0;
   // task_structure_ is configuration-independent: keep it.
 }
 
 std::size_t AnalysisComponentCache::schedule_entries() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entry_count_;
+}
+
+std::size_t AnalysisComponentCache::exact_space_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exact_entry_count_;
 }
 
 Expected<bool> analyze_system_incremental_into(const BusLayout& layout,

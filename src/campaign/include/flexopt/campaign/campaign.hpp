@@ -98,6 +98,11 @@ struct CampaignSpec {
   /// simulator (flexopt/netsim) for one hyper-period and record the
   /// observed-vs-bound verdict and pessimism gap per run.
   bool sim_check = false;
+  /// Worker threads per exact schedule-space exploration when an `exact`
+  /// analysis-mode cell runs (ExactOptions::jobs; 0 = hardware).  Results
+  /// are bit-identical for any value, so this never perturbs the campaign
+  /// determinism contract.
+  int exact_jobs = 1;
 };
 
 /// One expanded grid cell instance: the fully resolved generator spec plus

@@ -137,6 +137,7 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           AnalysisOptions analysis_options;
           if (plan.analysis_mode == AnalysisMode::Exact) {
             analysis_options.mode = AnalysisMode::Exact;
+            analysis_options.exact.jobs = spec_.exact_jobs;
           }
           CostEvaluator evaluator(model, params_, analysis_options, evaluator_options);
           SolveRequest request;
@@ -170,7 +171,10 @@ Expected<CampaignResult> CampaignRunner::run(const CampaignOptions& options) {
           const bool want_exact = plan.analysis_mode == AnalysisMode::Exact;
           if ((want_sim || want_exact) && report.outcome.cost.value < kInvalidConfigCost) {
             AnalysisOptions winner_options;
-            if (want_exact) winner_options.mode = AnalysisMode::Exact;
+            if (want_exact) {
+              winner_options.mode = AnalysisMode::Exact;
+              winner_options.exact.jobs = spec_.exact_jobs;
+            }
             auto layouts = build_system_layouts(model, params_, report.outcome.system);
             auto analysis = layouts.ok()
                                 ? analyze_multicluster(model, layouts.value(), winner_options)

@@ -8,6 +8,7 @@
 
 #include "flexopt/core/portfolio.hpp"
 #include "flexopt/io/system_format.hpp"
+#include "flexopt/util/suggest.hpp"
 
 namespace flexopt {
 namespace {
@@ -69,13 +70,14 @@ Expected<std::uint64_t> parse_uint(const std::string& text) {
 /// parse_campaign (a keyword added there but not here degrades the "did
 /// you mean" hint for its near-typos; spec_format_test's keyword tests
 /// cover the common spellings).
-constexpr const char* kKeywords[] = {
+constexpr std::string_view kKeywords[] = {
     "name",
     "nodes",
     "topology",
     "clusters",
     "backend",
     "analysis_mode",
+    "exact_jobs",
     "traffic",
     "node_util",
     "bus_util",
@@ -95,39 +97,8 @@ constexpr const char* kKeywords[] = {
     "sim_check",
 };
 
-/// Edit distance for the "did you mean" hint on unknown keywords — typos in
-/// a checked-in spec must fail loudly AND helpfully.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diagonal = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t next_diagonal = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diagonal = next_diagonal;
-    }
-  }
-  return row[b.size()];
-}
-
 std::string unknown_keyword_message(const std::string& keyword) {
-  std::string message = "unknown keyword '" + keyword + "'";
-  std::size_t best = keyword.size();
-  const char* suggestion = nullptr;
-  for (const char* candidate : kKeywords) {
-    const std::size_t d = edit_distance(keyword, candidate);
-    if (d < best) {
-      best = d;
-      suggestion = candidate;
-    }
-  }
-  if (suggestion != nullptr && best <= 2) {
-    message += " (did you mean '" + std::string(suggestion) + "'?)";
-  }
-  return message;
+  return "unknown keyword '" + keyword + "'" + suggest_hint(keyword, kKeywords);
 }
 
 Expected<UtilBand> parse_band(const std::string& text) {
@@ -318,6 +289,11 @@ Expected<CampaignSpec> parse_campaign(std::istream& in) {
       if (!v.ok()) return line_error(line_no, v.error().message);
       if (v.value() < 0.0) return line_error(line_no, "time_limit must be >= 0");
       spec.max_wall_seconds = v.value();
+    } else if (keyword == "exact_jobs") {
+      auto v = parse_int32(first);
+      if (!v.ok()) return line_error(line_no, v.error().message);
+      if (v.value() < 0) return line_error(line_no, "exact_jobs must be >= 0 (0 = auto)");
+      spec.exact_jobs = v.value();
     } else if (keyword == "sim_check") {
       if (first == "on" || first == "true" || first == "1") {
         spec.sim_check = true;

@@ -1,5 +1,6 @@
 #include "flexopt/core/evaluator.hpp"
 
+#include "flexopt/analysis/exact/exact_analysis.hpp"
 #include "flexopt/analysis/multicluster.hpp"
 #include "flexopt/flexray/bus_layout.hpp"
 
@@ -209,7 +210,13 @@ CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   AnalysisWorkCounters counters;
-  auto analysis = analyze_system(s.layout, options_, &counters);
+  // Exact mode routes through the component cache's exact-space store, so
+  // repeat analyses of configurations whose DYN inputs are unchanged replay
+  // the explored frontier instead of re-exploring (bit-identical either
+  // way; asserted below).
+  auto analysis = options_.mode == AnalysisMode::Exact
+                      ? analyze_system_exact(s.layout, options_, &counters, {}, &components_)
+                      : analyze_system(s.layout, options_, &counters);
   add_work(counters);
   count_evaluation(/*delta=*/false, /*seeded=*/false);
   if (!analysis.ok()) {
@@ -219,6 +226,28 @@ CostEvaluator::Evaluation CostEvaluator::analyze(const BusConfig& config) {
   out.valid = true;
   out.analysis = std::move(analysis).value();
   out.cost = out.analysis.cost;
+
+#ifndef NDEBUG
+  // Debug builds cross-check every cache-served exact analysis against a
+  // cold exploration, bit for bit — bounds AND engine counters, so a stale
+  // or mis-keyed exact-space entry can never hide behind equal costs.
+  if (options_.mode == AnalysisMode::Exact && options_.exact.reuse_base_frontier) {
+    auto cold = analyze_system_exact(s.layout, options_);
+    assert(cold.ok());
+    if (cold.ok()) {
+      const AnalysisResult& ref = cold.value();
+      assert(out.analysis.task_completion == ref.task_completion);
+      assert(out.analysis.message_completion == ref.message_completion);
+      assert(out.analysis.cost.value == ref.cost.value);
+      assert(out.analysis.exact != nullptr && ref.exact != nullptr);
+      assert(out.analysis.exact->fallback == ref.exact->fallback);
+      assert(out.analysis.exact->explored_states == ref.exact->explored_states);
+      assert(out.analysis.exact->merged_states == ref.exact->merged_states);
+      assert(out.analysis.exact->transitions == ref.exact->transitions);
+      assert(out.analysis.exact->refined_messages == ref.exact->refined_messages);
+    }
+  }
+#endif
   return out;
 }
 
@@ -305,8 +334,10 @@ const CostEvaluator::Evaluation& CostEvaluator::delta_fast_impl(
   ThreadSlot& s = slot();
   if (options_.mode == AnalysisMode::Exact) {
     // The incremental engine is holistic-only: exact-mode deltas pay the
-    // full pipeline (which dispatches into the schedule-space backend) so a
-    // refined bound is never compared against an unrefined seed.
+    // full holistic pipeline, but the schedule-space exploration inside it
+    // is incremental — analyze() serves it from the component cache's
+    // exact-space store, so a move that leaves the DYN geometry and message
+    // set untouched replays the base frontier instead of re-exploring.
     s.eval = evaluate(move.config);
     return s.eval;
   }

@@ -139,6 +139,9 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
   // link_rate_mbps, gates, et_priority) instead of the FlexRay fields.
   // Schema v5 delta: version-only for holistic solves; exact-mode solves
   // add a `pessimism` block after `profile` (infinite bounds are null).
+  // Additive within v5: the profile block carries the exact-engine counters
+  // (exact_states_explored, exact_states_deduped, exact_frontier_reused) —
+  // zero on holistic solves, so existing consumers see only new keys.
   const bool multicluster = outcome.system.cluster_count() > 1;
   JsonWriter json;
   json.begin_object();
@@ -183,6 +186,9 @@ std::string write_solve_json(const Application& app, std::string_view algorithm,
       .field("dyn_skipped", profile.analysis.dyn_skipped)
       .field("schedule_builds", profile.analysis.schedule_builds)
       .field("schedule_reuses", profile.analysis.schedule_reuses)
+      .field("exact_states_explored", profile.analysis.exact_states_explored)
+      .field("exact_states_deduped", profile.analysis.exact_states_deduped)
+      .field("exact_frontier_reused", profile.analysis.exact_frontier_reused)
       .field("full_evaluations", profile.full_evaluations)
       .field("delta_seeded", profile.delta_seeded)
       .field("arena_binds", profile.arena_binds)

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file suggest.hpp
+/// "Did you mean" hints shared by every keyword/enum parser that rejects
+/// free-form user text: campaign spec keywords, cluster backend names, and
+/// the CLI's --analysis-mode values.  Typos in a checked-in spec or a CI
+/// command line must fail loudly AND helpfully.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace flexopt {
+
+/// Levenshtein distance (unit insert/delete/substitute costs).
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// Returns " (did you mean 'X'?)" for the closest candidate within edit
+/// distance 2 (and closer than replacing the whole input), or "" when no
+/// candidate is plausibly what the user meant.  Ties keep the earliest
+/// candidate, so order the span by preference.
+[[nodiscard]] std::string suggest_hint(std::string_view given,
+                                       std::span<const std::string_view> candidates);
+
+}  // namespace flexopt

@@ -1,0 +1,39 @@
+#include "flexopt/util/suggest.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace flexopt {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next_diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = next_diagonal;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string suggest_hint(std::string_view given,
+                         std::span<const std::string_view> candidates) {
+  std::size_t best = given.size();
+  std::string_view suggestion;
+  for (const std::string_view candidate : candidates) {
+    const std::size_t d = edit_distance(given, candidate);
+    if (d < best) {
+      best = d;
+      suggestion = candidate;
+    }
+  }
+  if (suggestion.empty() || best > 2) return "";
+  return " (did you mean '" + std::string(suggestion) + "'?)";
+}
+
+}  // namespace flexopt

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "flexopt/analysis/exact/exact_analysis.hpp"
+#include "flexopt/analysis/incremental.hpp"
 #include "flexopt/analysis/multicluster.hpp"
 #include "flexopt/core/config_builder.hpp"
 #include "flexopt/gen/synthetic.hpp"
@@ -133,11 +134,22 @@ TEST(ExactAnalysis, DominancePruningPreservesBounds) {
 }
 
 TEST(ExactAnalysis, BudgetExceededFallsBackToHolisticAndRecords) {
-  TinySystem tiny;
-  const BusLayout layout = make_layout(tiny.app, tiny.params, tiny.config);
+  BusParams params;
+  params.gd_bit = 100;
+  params.gd_macrotick = timeunits::us(1);
+  params.gd_minislot = timeunits::us(5);
+  SyntheticSpec spec;
+  spec.nodes = 3;
+  spec.deadline_factor = 0.7;
+  spec.seed = 3000;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok()) << app.error().message;
+  const StartConfig start = minimal_start_config(app.value(), params);
+  ASSERT_TRUE(start.bounds.feasible());
+  const BusLayout layout = make_layout(app.value(), params, start.config);
   const AnalysisResult holistic = analyze(layout);
   AnalysisOptions options = exact_options();
-  options.exact.max_states = 0;  // first frontier already over budget
+  options.exact.max_states = 1;  // second frontier already over budget
   const AnalysisResult exact = analyze(layout, options);
   ASSERT_NE(exact.exact, nullptr);
   EXPECT_EQ(exact.exact->fallback, ExactFallback::BudgetExceeded);
@@ -145,6 +157,140 @@ TEST(ExactAnalysis, BudgetExceededFallsBackToHolisticAndRecords) {
   // Fallback keeps the holistic bounds exactly — no partial refinement.
   EXPECT_EQ(exact.task_completion, holistic.task_completion);
   EXPECT_EQ(exact.message_completion, holistic.message_completion);
+}
+
+/// A zero exploration budget is a configuration error, not an exploration
+/// outcome: it must surface as the InvalidOptions diagnostic (before any
+/// other fallback classification), never as a silently "converged" empty
+/// exploration or a budget-exceeded run that did no work.
+TEST(ExactAnalysis, ZeroBudgetsRecordInvalidOptions) {
+  TinySystem tiny;
+  const BusLayout layout = make_layout(tiny.app, tiny.params, tiny.config);
+  const AnalysisResult holistic = analyze(layout);
+  for (const bool zero_states : {true, false}) {
+    AnalysisOptions options = exact_options();
+    if (zero_states) {
+      options.exact.max_states = 0;
+    } else {
+      options.exact.max_branch_messages = 0;
+    }
+    const AnalysisResult exact = analyze(layout, options);
+    ASSERT_NE(exact.exact, nullptr);
+    EXPECT_EQ(exact.exact->fallback, ExactFallback::InvalidOptions);
+    EXPECT_EQ(exact.exact->explored_states, 0u);
+    EXPECT_EQ(exact.exact->refined_messages, 0u);
+    EXPECT_EQ(exact.task_completion, holistic.task_completion);
+    EXPECT_EQ(exact.message_completion, holistic.message_completion);
+  }
+  EXPECT_STREQ(to_string(ExactFallback::InvalidOptions), "invalid-options");
+}
+
+/// The validation outranks every other fallback reason: even a system the
+/// exploration would skip anyway (no DYN messages) reports the bad options
+/// first — the diagnostic points at the caller's mistake, not the workload.
+TEST(ExactAnalysis, InvalidOptionsOutranksNoDynMessages) {
+  TinySystem tiny;
+  const BusLayout layout = make_layout(tiny.app, tiny.params, tiny.config);
+  AnalysisOptions options = exact_options();
+  options.exact.max_states = 0;
+  options.exact.max_branch_messages = 0;
+  const AnalysisResult exact = analyze(layout, options);
+  ASSERT_NE(exact.exact, nullptr);
+  EXPECT_EQ(exact.exact->fallback, ExactFallback::InvalidOptions);
+}
+
+/// Worker count must never leak into results: the full ExactClusterInfo —
+/// bounds, counters, transitions — is bit-identical for any jobs value
+/// (0 = hardware included).
+TEST(ExactAnalysis, WorkerCountPreservesResultsBitIdentically) {
+  BusParams params;
+  params.gd_bit = 100;
+  params.gd_macrotick = timeunits::us(1);
+  params.gd_minislot = timeunits::us(5);
+  SyntheticSpec spec;
+  spec.nodes = 3;
+  spec.deadline_factor = 0.7;
+  spec.seed = 3000;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok()) << app.error().message;
+  const StartConfig start = minimal_start_config(app.value(), params);
+  ASSERT_TRUE(start.bounds.feasible());
+  const BusLayout layout = make_layout(app.value(), params, start.config);
+
+  AnalysisOptions reference_options = exact_options();
+  reference_options.exact.jobs = 1;
+  const AnalysisResult reference = analyze(layout, reference_options);
+  ASSERT_NE(reference.exact, nullptr);
+  ASSERT_EQ(reference.exact->fallback, ExactFallback::None);
+  for (const int jobs : {0, 2, 8}) {
+    AnalysisOptions options = exact_options();
+    options.exact.jobs = jobs;
+    const AnalysisResult parallel = analyze(layout, options);
+    ASSERT_NE(parallel.exact, nullptr) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.exact->fallback, reference.exact->fallback) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.exact->explored_states, reference.exact->explored_states)
+        << "jobs=" << jobs;
+    EXPECT_EQ(parallel.exact->merged_states, reference.exact->merged_states)
+        << "jobs=" << jobs;
+    EXPECT_EQ(parallel.exact->transitions, reference.exact->transitions) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.exact->refined_messages, reference.exact->refined_messages)
+        << "jobs=" << jobs;
+    EXPECT_EQ(parallel.task_completion, reference.task_completion) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.message_completion, reference.message_completion) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.cost.value, reference.cost.value) << "jobs=" << jobs;
+  }
+}
+
+/// The exact-space store makes repeat analyses of unchanged DYN inputs
+/// incremental: the second analysis through the same cache replays the
+/// stored frontier (counted as a reuse, zero new states) and returns a
+/// bit-identical result.
+TEST(ExactAnalysis, ComponentCacheReusesExploration) {
+  BusParams params;
+  params.gd_bit = 100;
+  params.gd_macrotick = timeunits::us(1);
+  params.gd_minislot = timeunits::us(5);
+  SyntheticSpec spec;
+  spec.nodes = 3;
+  spec.deadline_factor = 0.7;
+  spec.seed = 3000;
+  auto app = generate_synthetic(spec, params);
+  ASSERT_TRUE(app.ok()) << app.error().message;
+  const StartConfig start = minimal_start_config(app.value(), params);
+  ASSERT_TRUE(start.bounds.feasible());
+  const BusLayout layout = make_layout(app.value(), params, start.config);
+
+  AnalysisComponentCache cache;
+  AnalysisWorkCounters counters;
+  auto first = analyze_system_exact(layout, exact_options(), &counters, {}, &cache);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  ASSERT_NE(first.value().exact, nullptr);
+  ASSERT_EQ(first.value().exact->fallback, ExactFallback::None);
+  EXPECT_EQ(counters.exact_frontier_reused, 0u);
+  EXPECT_EQ(counters.exact_states_explored, first.value().exact->explored_states);
+
+  const AnalysisWorkCounters cold = counters;
+  auto second = analyze_system_exact(layout, exact_options(), &counters, {}, &cache);
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  const AnalysisWorkCounters warm = counters.since(cold);
+  EXPECT_EQ(warm.exact_frontier_reused, 1u);
+  EXPECT_EQ(warm.exact_states_explored, 0u);
+  ASSERT_NE(second.value().exact, nullptr);
+  EXPECT_EQ(second.value().exact->explored_states, first.value().exact->explored_states);
+  EXPECT_EQ(second.value().exact->merged_states, first.value().exact->merged_states);
+  EXPECT_EQ(second.value().exact->transitions, first.value().exact->transitions);
+  EXPECT_EQ(second.value().task_completion, first.value().task_completion);
+  EXPECT_EQ(second.value().message_completion, first.value().message_completion);
+
+  // Opting out of reuse bypasses the store even when a cache is supplied.
+  AnalysisOptions no_reuse = exact_options();
+  no_reuse.exact.reuse_base_frontier = false;
+  const AnalysisWorkCounters before_optout = counters;
+  auto third = analyze_system_exact(layout, no_reuse, &counters, {}, &cache);
+  ASSERT_TRUE(third.ok()) << third.error().message;
+  const AnalysisWorkCounters optout = counters.since(before_optout);
+  EXPECT_EQ(optout.exact_frontier_reused, 0u);
+  EXPECT_EQ(optout.exact_states_explored, first.value().exact->explored_states);
 }
 
 TEST(ExactAnalysis, TtOnlySystemRecordsNoDynMessages) {
@@ -236,6 +382,18 @@ TEST(ExactAnalysis, ModeStringsRoundTrip) {
     EXPECT_EQ(parsed.value(), mode);
   }
   EXPECT_FALSE(parse_analysis_mode("magic").ok());
+}
+
+TEST(ExactAnalysis, ModeParseErrorSuggestsNearMiss) {
+  const auto near = parse_analysis_mode("exat");
+  ASSERT_FALSE(near.ok());
+  EXPECT_NE(near.error().message.find("did you mean 'exact'?"), std::string::npos)
+      << near.error().message;
+  // A distant typo gets the plain error — no misleading suggestion.
+  const auto far = parse_analysis_mode("magic");
+  ASSERT_FALSE(far.ok());
+  EXPECT_EQ(far.error().message.find("did you mean"), std::string::npos)
+      << far.error().message;
 }
 
 }  // namespace

@@ -9,7 +9,10 @@
 // behaviour space; right: the exact backend clamps to holistic by
 // construction — both inequalities checked empirically here).  Plus:
 // exact evaluation is bit-deterministic across evaluator worker counts
-// (jobs 1 vs 8), so campaign results never depend on the thread schedule.
+// (jobs 1 vs 8), so campaign results never depend on the thread schedule;
+// and the parallel exploration engine itself (ExactOptions::jobs 1 vs 8)
+// returns bit-identical ExactClusterInfo records — states, merges,
+// transitions, refined bounds — across the same scenario breadth.
 
 #include <gtest/gtest.h>
 
@@ -136,6 +139,86 @@ TEST(ExactProperty, ObservedLeExactLeHolisticAcrossScenarios) {
   // The lane must actually exercise its advertised breadth.
   ASSERT_GE(analysed, kScenarios);
   EXPECT_GT(mixed_analysed, 0);
+}
+
+/// The parallel frontier engine must be a pure wall-time optimisation: for
+/// every scenario the full ExactClusterInfo — engine counters AND refined
+/// bounds — is bit-identical between sequential (jobs=1) and maximally
+/// sharded (jobs=8) exploration, fallbacks included.
+TEST(ExactProperty, ExplorationBitIdenticalAcrossJobCounts) {
+  Rng rng(20260809);
+  const BusParams params = lane_params();
+  int analysed = 0;
+  int multicluster_analysed = 0;
+  for (int attempt = 0; attempt < kMaxAttempts && analysed < kScenarios; ++attempt) {
+    const ScenarioSpec spec = lane_spec(attempt, rng);
+    auto app = generate_scenario(spec, params);
+    if (!app.ok()) continue;
+    auto built = SystemModel::build(std::make_shared<const Application>(std::move(app).value()));
+    ASSERT_TRUE(built.ok()) << built.error().message;
+    const SystemModel& model = built.value();
+
+    SystemConfig config;
+    bool feasible = true;
+    for (std::size_t c = 0; c < model.cluster_count(); ++c) {
+      const ClusterBackendKind backend =
+          model.cluster_app(c)->cluster_backend(ClusterId{0});
+      ClusterConfig cluster =
+          minimal_start_cluster_config(*model.cluster_app(c), params, backend);
+      if (cluster.kind == ClusterBackendKind::FlexRay) {
+        const StartConfig start = minimal_start_config(*model.cluster_app(c), params);
+        feasible = feasible && start.bounds.feasible();
+      }
+      config.clusters.push_back(std::move(cluster));
+    }
+    if (!feasible) continue;
+    auto layouts = build_system_layouts(model, params, config);
+    if (!layouts.ok()) continue;
+
+    AnalysisOptions sequential_options;
+    sequential_options.mode = AnalysisMode::Exact;
+    sequential_options.exact.jobs = 1;
+    AnalysisOptions parallel_options = sequential_options;
+    parallel_options.exact.jobs = 8;
+    auto sequential = analyze_multicluster(model, layouts.value(), sequential_options);
+    auto parallel = analyze_multicluster(model, layouts.value(), parallel_options);
+    ASSERT_TRUE(sequential.ok()) << sequential.error().message;
+    ASSERT_TRUE(parallel.ok()) << parallel.error().message;
+    ASSERT_EQ(sequential.value().clusters.size(), parallel.value().clusters.size());
+
+    EXPECT_EQ(sequential.value().converged, parallel.value().converged)
+        << "scenario " << attempt;
+    EXPECT_EQ(sequential.value().cost.value, parallel.value().cost.value)
+        << "scenario " << attempt;
+    for (std::size_t c = 0; c < sequential.value().clusters.size(); ++c) {
+      const AnalysisResult& s = sequential.value().clusters[c];
+      const AnalysisResult& p = parallel.value().clusters[c];
+      ASSERT_NE(s.exact, nullptr) << "scenario " << attempt << " cluster " << c;
+      ASSERT_NE(p.exact, nullptr) << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.exact->fallback, p.exact->fallback)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.exact->explored_states, p.exact->explored_states)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.exact->merged_states, p.exact->merged_states)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.exact->transitions, p.exact->transitions)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.exact->refined_messages, p.exact->refined_messages)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.task_completion, p.task_completion)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.message_completion, p.message_completion)
+          << "scenario " << attempt << " cluster " << c;
+      EXPECT_EQ(s.cost.value, p.cost.value) << "scenario " << attempt << " cluster " << c;
+    }
+
+    ++analysed;
+    if (model.cluster_count() > 1) ++multicluster_analysed;
+  }
+  ASSERT_GE(analysed, kScenarios);
+  // The lane must cover both single- and multi-cluster explorations.
+  EXPECT_GT(multicluster_analysed, 0);
+  EXPECT_GT(analysed - multicluster_analysed, 0);
 }
 
 TEST(ExactProperty, ExactEvaluationBitDeterministicAcrossWorkerCounts) {

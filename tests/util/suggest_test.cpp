@@ -1,0 +1,36 @@
+#include "flexopt/util/suggest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string_view>
+
+namespace flexopt {
+namespace {
+
+TEST(Suggest, EditDistanceBasics) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("exat", "exact"), 1u);    // insertion
+  EXPECT_EQ(edit_distance("exacts", "exact"), 1u);  // deletion
+  EXPECT_EQ(edit_distance("ezact", "exact"), 1u);   // substitution
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(Suggest, HintsOnlyOnNearMisses) {
+  constexpr std::array<std::string_view, 3> candidates{"holistic", "exact", "simulate"};
+  EXPECT_EQ(suggest_hint("exat", candidates), " (did you mean 'exact'?)");
+  EXPECT_EQ(suggest_hint("holstic", candidates), " (did you mean 'holistic'?)");
+  // Too far from everything: no hint rather than a misleading one.
+  EXPECT_EQ(suggest_hint("oracle", candidates), "");
+  // Short garbage must not match a long candidate just because the distance
+  // happens to be small relative to nothing — the distance must be below
+  // the given word's own length.
+  EXPECT_EQ(suggest_hint("x", candidates), "");
+  EXPECT_EQ(suggest_hint("", candidates), "");
+}
+
+}  // namespace
+}  // namespace flexopt
